@@ -1,0 +1,13 @@
+"""Pytest root configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (useful in offline environments where editable installs are not
+possible); an installed ``repro`` takes precedence if present.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,69 @@
+"""Eye-diagram study across the three modelling levels (Figures 14, 16, 18).
+
+Generates the clock-aligned eye diagram of the paper's Figure 14 condition
+(CCO at 2.375 GHz, SJ 0.10 UIpp at 250 MHz) with the behavioural model, the
+same condition with the improved sampling tap (Figure 16), and the typical-
+case circuit-level eye (Figure 18), printing an ASCII rendering of each.
+
+Run with:  python examples/eye_diagram_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import EyeDiagram
+from repro.circuit import CircuitCdrConfig, CircuitLevelCdr, calibrate_ring
+from repro.core import BehavioralCdrChannel, CdrChannelConfig
+from repro.datapath import JitterSpec, prbs7
+
+FIG14_JITTER = JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0,
+                          sj_amplitude_ui_pp=0.10, sj_frequency_hz=250.0e6)
+
+
+def ascii_eye(eye: EyeDiagram, title: str, width: int = 61, height: int = 10) -> str:
+    """Render the crossing histogram as a small ASCII density plot."""
+    centres, counts = eye.histogram(width)
+    lines = [title]
+    maximum = counts.max() if counts.max() else 1
+    for level in range(height, 0, -1):
+        threshold = maximum * level / height
+        row = "".join("#" if count >= threshold else " " for count in counts)
+        lines.append("|" + row + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(" -0.5 UI" + " " * (width - 16) + "+0.5 UI ")
+    metrics = eye.metrics()
+    lines.append(f"  opening {metrics.eye_opening_ui:.3f} UI, centre "
+                 f"{metrics.eye_centre_ui:+.3f} UI, left/right sigma "
+                 f"{metrics.left_edge_std_ui:.3f}/{metrics.right_edge_std_ui:.3f} UI")
+    return "\n".join(lines) + "\n"
+
+
+def behavioural_eyes() -> None:
+    bits = prbs7(4000)
+    for title, config in (
+        ("Figure 14: behavioural eye, CCO 2.375 GHz, SJ 0.10 UIpp @ 250 MHz (nominal tap)",
+         CdrChannelConfig.figure14_condition()),
+        ("Figure 16: same condition, improved (T/8 earlier) sampling tap",
+         CdrChannelConfig.figure14_condition(improved_sampling=True)),
+    ):
+        result = BehavioralCdrChannel(config).run(bits, jitter=FIG14_JITTER,
+                                                  rng=np.random.default_rng(14))
+        print(ascii_eye(result.eye_diagram(), title))
+
+
+def circuit_eye() -> None:
+    config = calibrate_ring(CircuitCdrConfig())
+    result = CircuitLevelCdr(config).simulate(prbs7(180), rng=np.random.default_rng(18))
+    print(ascii_eye(result.eye_diagram(),
+                    "Figure 18: circuit-level eye (typical case, no jitter applied)"))
+    measurement = result.ber()
+    print(f"circuit-level recovered bits: {measurement.compared_bits}, "
+          f"errors: {measurement.errors}")
+
+
+def main() -> None:
+    behavioural_eyes()
+    circuit_eye()
+
+
+if __name__ == "__main__":
+    main()

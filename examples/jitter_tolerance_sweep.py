@@ -1,0 +1,83 @@
+"""Jitter- and frequency-tolerance study with the statistical model.
+
+Sweeps sinusoidal-jitter amplitude/frequency (the paper's Figures 9/10) and
+frequency offset, for both the nominal and the improved sampling tap, and
+compares the resulting tolerance against the InfiniBand mask (Figure 5).
+
+Run with:  python examples/jitter_tolerance_sweep.py
+"""
+
+import numpy as np
+
+from repro import units
+from repro.reporting import Series, TextTable
+from repro.specs import infiniband_mask
+from repro.statistical import (
+    IMPROVED_SAMPLING_PHASE_UI,
+    CdrJitterBudget,
+    ber_vs_frequency_offset,
+    ber_vs_sinusoidal_jitter,
+    frequency_tolerance,
+    jitter_tolerance_curve,
+)
+
+GRID = 4.0e-3
+
+
+def ber_surface() -> None:
+    """Figure 9/10-style BER table versus SJ frequency and amplitude."""
+    normalised = np.array([1e-4, 1e-3, 1e-2, 0.1, 0.5])
+    amplitudes = np.array([0.1, 0.3, 0.6])
+    for offset, label in ((0.0, "no frequency offset"), (0.01, "1 % frequency offset")):
+        surface = ber_vs_sinusoidal_jitter(
+            normalised * units.DEFAULT_BIT_RATE, amplitudes,
+            budget=CdrJitterBudget(frequency_offset=offset), grid_step_ui=GRID)
+        table = TextTable(
+            headers=["SJ amplitude [UIpp]"] + [f"f/fb={f:g}" for f in normalised],
+            title=f"BER vs sinusoidal jitter ({label})")
+        for row, amplitude in enumerate(amplitudes):
+            table.add_row(f"{amplitude:.1f}",
+                          *[f"{surface[row, col]:.1e}" for col in range(surface.shape[1])])
+        print(table.render())
+
+
+def tolerance_vs_mask() -> None:
+    """Jitter tolerance at 1e-12 versus the InfiniBand mask."""
+    mask = infiniband_mask()
+    frequencies = mask.frequencies_for_sweep(points_per_decade=2)
+    curve = jitter_tolerance_curve(frequencies, grid_step_ui=GRID, max_amplitude_ui_pp=20.0)
+    series = Series("Jitter tolerance vs InfiniBand mask", "frequency_hz",
+                    "tolerance_minus_mask_ui")
+    margins = curve.margin_to_mask(np.asarray(mask.amplitude_ui_pp(frequencies)))
+    series.extend(frequencies, margins)
+    print(series.render())
+    print(f"mask compliance: {'PASS' if np.all(margins >= 0) else 'FAIL'}\n")
+
+
+def frequency_tolerance_study() -> None:
+    """Figure 10 / 17-style frequency-offset study for both sampling taps."""
+    offsets = np.array([0.0, 0.005, 0.01, 0.02, 0.04])
+    budget = CdrJitterBudget(sj_amplitude_ui_pp=0.3, sj_frequency_hz=1.25e9)
+    nominal = ber_vs_frequency_offset(offsets, budget=budget, grid_step_ui=GRID)
+    improved = ber_vs_frequency_offset(offsets, budget=budget, grid_step_ui=GRID,
+                                       sampling_phase_ui=IMPROVED_SAMPLING_PHASE_UI)
+    table = TextTable(headers=["frequency offset", "BER nominal tap", "BER improved tap"],
+                      title="Frequency offset sensitivity (SJ 0.3 UIpp at fb/2)")
+    for index, offset in enumerate(offsets):
+        table.add_row(f"{offset:+.1%}", f"{nominal[index]:.1e}", f"{improved[index]:.1e}")
+    print(table.render())
+
+    ftol = frequency_tolerance(grid_step_ui=GRID, max_offset=0.1, resolution=5e-4)
+    print(f"Frequency tolerance (Table 1 jitter only): "
+          f"+{ftol.positive_tolerance_ppm:.0f} / -{ftol.negative_tolerance_ppm:.0f} ppm "
+          f"(specification: +/-100 ppm)")
+
+
+def main() -> None:
+    ber_surface()
+    tolerance_vs_mask()
+    frequency_tolerance_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: recover a PRBS7 stream with one gated-oscillator CDR channel.
+
+Runs the behavioural (event-driven) model of a single 2.5 Gbit/s channel with
+the paper's Table 1 jitter applied to the data, then prints the bit-error
+measurement, the recovered-clock statistics and the clock-aligned eye diagram
+metrics.
+
+Run with:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import BehavioralCdrChannel, CdrChannelConfig, PAPER_JITTER_SPEC
+from repro.datapath import prbs7
+from repro.reporting import TextTable
+
+
+def main() -> None:
+    # 1. Configure the channel exactly as the paper's nominal topology (Fig. 7):
+    #    four-stage gated CCO at 2.5 GHz, edge detector inside the T/2..T window,
+    #    sampling half a bit after each transition.
+    config = CdrChannelConfig.paper_nominal()
+    channel = BehavioralCdrChannel(config)
+
+    # 2. Send 4000 bits of PRBS7 with the Table 1 jitter (DJ 0.4 UIpp, RJ 0.021 UIrms).
+    bits = prbs7(4000)
+    result = channel.run(bits, jitter=PAPER_JITTER_SPEC, rng=np.random.default_rng(1))
+
+    # 3. Report.
+    measurement = result.ber()
+    eye = result.eye_diagram().metrics()
+    table = TextTable(headers=["quantity", "value"], title="Quickstart: single-channel CDR")
+    table.add_row("transmitted bits", bits.size)
+    table.add_row("bit errors", f"{measurement.errors} / {measurement.compared_bits}")
+    table.add_row("BER upper bound (95 %)", f"{measurement.confidence_upper_bound():.2e}")
+    table.add_row("recovered clock", f"{result.recovered_clock_frequency_hz() / 1e9:.3f} GHz")
+    table.add_row("sampling edges per bit", f"{result.samples_per_bit():.3f}")
+    table.add_row("eye opening", f"{eye.eye_opening_ui:.3f} UI")
+    table.add_row("eye centre vs sampling instant", f"{eye.eye_centre_ui:+.3f} UI")
+    table.add_row("left / right crossing sigma",
+                  f"{eye.left_edge_std_ui:.3f} / {eye.right_edge_std_ui:.3f} UI")
+    print(table.render())
+
+    if measurement.errors == 0:
+        print("The channel recovered every bit under the Table 1 jitter budget.")
+    else:
+        print("Some bits were received in error - inspect result.trace('clock') "
+              "and result.sampling_phase_ui() to see why.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""repro — reproduction of "Top-Down Design of a Low-Power Multi-Channel
+2.5-Gbit/s/Channel Gated Oscillator Clock-Recovery Circuit" (DATE 2005).
+
+The package mirrors the paper's top-down flow:
+
+* :mod:`repro.statistical` — the system-level statistical BER / JTOL / FTOL model,
+* :mod:`repro.phasenoise` — oscillator jitter budgeting and power design,
+* :mod:`repro.events`, :mod:`repro.gates`, :mod:`repro.core` — the behavioural
+  (event-driven) gate-level model of the gated-oscillator CDR,
+* :mod:`repro.circuit` — the circuit-level (transistor-like) transient substrate,
+* :mod:`repro.datapath`, :mod:`repro.jitter`, :mod:`repro.pll`, :mod:`repro.specs`,
+  :mod:`repro.analysis`, :mod:`repro.reporting` — supporting substrates.
+
+Quick start::
+
+    from repro.core import BehavioralCdrChannel, CdrChannelConfig, PAPER_JITTER_SPEC
+    from repro.datapath import prbs7
+
+    channel = BehavioralCdrChannel(CdrChannelConfig.paper_nominal())
+    result = channel.run(prbs7(2000), jitter=PAPER_JITTER_SPEC)
+    print(result.ber().ber, result.eye_diagram().metrics())
+"""
+
+from . import units
+
+__version__ = "1.0.0"
+
+__all__ = ["units", "__version__"]

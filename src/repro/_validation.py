@@ -1,0 +1,113 @@
+"""Small argument-validation helpers shared by the public API.
+
+Keeping the checks in one place makes the error messages uniform and keeps the
+numerical code readable.  All helpers raise ``ValueError`` (or ``TypeError``
+for wrong types) with a message that names the offending argument.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_probability",
+    "require_fraction",
+    "require_int",
+    "require_positive_int",
+    "require_binary_sequence",
+    "require_finite",
+]
+
+
+def require_finite(name: str, value: float) -> float:
+    """Return *value* if it is a finite real number, else raise ``ValueError``."""
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    return value
+
+
+def require_positive(name: str, value: float) -> float:
+    """Return *value* if strictly positive, else raise ``ValueError``."""
+    value = require_finite(name, value)
+    if value <= 0.0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(name: str, value: float) -> float:
+    """Return *value* if >= 0, else raise ``ValueError``."""
+    value = require_finite(name, value)
+    if value < 0.0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in_range(
+    name: str,
+    value: float,
+    low: float,
+    high: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Return *value* if it lies in ``[low, high]`` (or ``(low, high)``)."""
+    value = require_finite(name, value)
+    if inclusive:
+        if not (low <= value <= high):
+            raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    else:
+        if not (low < value < high):
+            raise ValueError(f"{name} must be in ({low}, {high}), got {value!r}")
+    return value
+
+
+def require_probability(name: str, value: float) -> float:
+    """Return *value* if it is a valid probability in [0, 1]."""
+    return require_in_range(name, value, 0.0, 1.0)
+
+
+def require_fraction(name: str, value: float) -> float:
+    """Return *value* if it is a fraction in [0, 1)."""
+    value = require_finite(name, value)
+    if not (0.0 <= value < 1.0):
+        raise ValueError(f"{name} must be in [0, 1), got {value!r}")
+    return value
+
+
+def require_int(name: str, value: int) -> int:
+    """Return *value* as ``int`` if it is integral, else raise ``TypeError``."""
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if not isinstance(value, (int,)):
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    return int(value)
+
+
+def require_positive_int(name: str, value: int) -> int:
+    """Return *value* as ``int`` if it is a strictly positive integer."""
+    value = require_int(name, value)
+    if value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def require_binary_sequence(name: str, bits: Sequence[int] | Iterable[int]) -> list[int]:
+    """Return *bits* as a list of 0/1 integers, raising on anything else."""
+    out: list[int] = []
+    for index, bit in enumerate(bits):
+        if isinstance(bit, bool):
+            out.append(int(bit))
+            continue
+        if bit not in (0, 1):
+            raise ValueError(
+                f"{name}[{index}] must be 0 or 1, got {bit!r}"
+            )
+        out.append(int(bit))
+    return out

@@ -1,0 +1,24 @@
+"""Waveform analysis: eye diagrams, BER counting, timing/jitter measurement."""
+
+from .eye import EyeDiagram, EyeMetrics
+from .ber_counter import BerMeasurement, align_and_count, count_errors
+from .timing import (
+    TimingStatistics,
+    duty_cycle,
+    measure_frequency,
+    period_jitter,
+    time_interval_error,
+)
+
+__all__ = [
+    "EyeDiagram",
+    "EyeMetrics",
+    "BerMeasurement",
+    "align_and_count",
+    "count_errors",
+    "TimingStatistics",
+    "duty_cycle",
+    "measure_frequency",
+    "period_jitter",
+    "time_interval_error",
+]

@@ -1,0 +1,93 @@
+"""Bit-error counting for time-domain simulations.
+
+The behavioural (event-driven) and circuit-level simulations recover a bit
+stream by sampling; this module aligns the recovered stream against the
+transmitted one (compensating for the fixed recovery latency) and counts the
+errors, mirroring the classic BERT (bit-error-rate tester) procedure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_positive_int
+
+__all__ = ["BerMeasurement", "count_errors", "align_and_count"]
+
+
+@dataclass(frozen=True)
+class BerMeasurement:
+    """Outcome of a bit-error-rate measurement."""
+
+    errors: int
+    compared_bits: int
+    alignment_offset: int = 0
+
+    @property
+    def ber(self) -> float:
+        """Measured bit error ratio."""
+        if self.compared_bits == 0:
+            return float("nan")
+        return self.errors / self.compared_bits
+
+    def confidence_upper_bound(self, confidence: float = 0.95) -> float:
+        """Upper bound on the true BER at the given confidence level.
+
+        For zero observed errors this is the standard ``-ln(1 - confidence) / N``
+        bound; otherwise a normal approximation around the estimate is used.
+        """
+        if self.compared_bits == 0:
+            return float("nan")
+        if self.errors == 0:
+            return float(-np.log(1.0 - confidence) / self.compared_bits)
+        p = self.ber
+        z = {0.9: 1.2816, 0.95: 1.6449, 0.99: 2.3263}.get(round(confidence, 2), 1.6449)
+        return float(min(1.0, p + z * np.sqrt(p * (1.0 - p) / self.compared_bits)))
+
+
+def count_errors(transmitted: np.ndarray, received: np.ndarray) -> BerMeasurement:
+    """Count mismatches between two equally long aligned bit sequences."""
+    tx = np.asarray(transmitted).astype(np.uint8).ravel()
+    rx = np.asarray(received).astype(np.uint8).ravel()
+    n = min(tx.size, rx.size)
+    if n == 0:
+        return BerMeasurement(errors=0, compared_bits=0)
+    errors = int(np.count_nonzero(tx[:n] != rx[:n]))
+    return BerMeasurement(errors=errors, compared_bits=n)
+
+
+def align_and_count(transmitted: np.ndarray, received: np.ndarray,
+                    max_offset: int = 8, skip_head: int = 8) -> BerMeasurement:
+    """Find the latency offset minimising errors, then count them.
+
+    The recovered stream lags the transmitted one by a fixed number of bits
+    (edge-detector delay plus half a period plus sampler latency), and start-up
+    decisions taken before the data arrived can add leading stale samples, so
+    the alignment search shifts *either* stream by up to ``max_offset`` bits
+    (positive ``alignment_offset`` = transmitted stream shifted, negative =
+    received stream shifted).  The first *skip_head* compared bits are excluded
+    to let the CDR acquire lock.
+    """
+    max_offset = require_positive_int("max_offset", max_offset + 1) - 1
+    tx = np.asarray(transmitted).astype(np.uint8).ravel()
+    rx = np.asarray(received).astype(np.uint8).ravel()
+    if rx.size == 0 or tx.size == 0:
+        return BerMeasurement(errors=0, compared_bits=0)
+
+    best: BerMeasurement | None = None
+    for offset in range(-max_offset, max_offset + 1):
+        tx_shift = max(offset, 0)
+        rx_shift = max(-offset, 0)
+        usable = min(tx.size - tx_shift, rx.size - rx_shift) - skip_head
+        if usable <= 0:
+            continue
+        tx_slice = tx[tx_shift + skip_head: tx_shift + skip_head + usable]
+        rx_slice = rx[rx_shift + skip_head: rx_shift + skip_head + usable]
+        errors = int(np.count_nonzero(tx_slice != rx_slice))
+        candidate = BerMeasurement(errors=errors, compared_bits=usable,
+                                   alignment_offset=offset)
+        if best is None or candidate.errors < best.errors:
+            best = candidate
+    return best if best is not None else BerMeasurement(errors=0, compared_bits=0)

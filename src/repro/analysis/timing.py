@@ -1,0 +1,109 @@
+"""Timing / jitter measurement utilities for simulated waveforms.
+
+Provides time-interval-error (TIE) extraction, period-jitter statistics and
+duty-cycle measurement, so that the behavioural and circuit-level simulations
+can be characterised with the same vocabulary as the specification (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_positive
+
+__all__ = [
+    "TimingStatistics",
+    "time_interval_error",
+    "period_jitter",
+    "duty_cycle",
+    "measure_frequency",
+]
+
+
+@dataclass(frozen=True)
+class TimingStatistics:
+    """Summary statistics of a jitter population (seconds)."""
+
+    mean_s: float
+    rms_s: float
+    peak_to_peak_s: float
+    count: int
+
+    def rms_ui(self, unit_interval_s: float) -> float:
+        """RMS value expressed in unit intervals."""
+        require_positive("unit_interval_s", unit_interval_s)
+        return self.rms_s / unit_interval_s
+
+    def peak_to_peak_ui(self, unit_interval_s: float) -> float:
+        """Peak-to-peak value expressed in unit intervals."""
+        require_positive("unit_interval_s", unit_interval_s)
+        return self.peak_to_peak_s / unit_interval_s
+
+
+def _statistics(values: np.ndarray) -> TimingStatistics:
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        return TimingStatistics(mean_s=0.0, rms_s=0.0, peak_to_peak_s=0.0, count=0)
+    centred = values - values.mean()
+    return TimingStatistics(
+        mean_s=float(values.mean()),
+        rms_s=float(np.sqrt(np.mean(centred ** 2))),
+        peak_to_peak_s=float(values.max() - values.min()),
+        count=int(values.size),
+    )
+
+
+def time_interval_error(edge_times_s: np.ndarray, nominal_period_s: float
+                        ) -> tuple[np.ndarray, TimingStatistics]:
+    """TIE of a set of edges against an ideal clock fitted to them.
+
+    The ideal clock's phase and (optionally offset) frequency are taken as the
+    least-squares fit through the edge times, which is what a jitter analyser
+    does; the returned TIE is the residual of that fit.
+    """
+    require_positive("nominal_period_s", nominal_period_s)
+    edges = np.sort(np.asarray(edge_times_s, dtype=float).ravel())
+    if edges.size < 2:
+        return np.zeros(0), _statistics(np.zeros(0))
+    index = np.arange(edges.size, dtype=float)
+    # Least-squares fit edges ~ a * index + b.
+    slope, intercept = np.polyfit(index, edges, 1)
+    ideal = slope * index + intercept
+    tie = edges - ideal
+    return tie, _statistics(tie)
+
+
+def period_jitter(edge_times_s: np.ndarray) -> tuple[np.ndarray, TimingStatistics]:
+    """Cycle-to-cycle period population and its statistics."""
+    edges = np.sort(np.asarray(edge_times_s, dtype=float).ravel())
+    periods = np.diff(edges)
+    return periods, _statistics(periods)
+
+
+def duty_cycle(rising_edges_s: np.ndarray, falling_edges_s: np.ndarray) -> float:
+    """Average duty cycle of a clock from its rising and falling edge times."""
+    rising = np.sort(np.asarray(rising_edges_s, dtype=float).ravel())
+    falling = np.sort(np.asarray(falling_edges_s, dtype=float).ravel())
+    if rising.size < 2 or falling.size < 1:
+        raise ValueError("need at least two rising and one falling edge")
+    high_times = []
+    for rise in rising[:-1]:
+        later_falls = falling[falling > rise]
+        if later_falls.size == 0:
+            break
+        high_times.append(later_falls[0] - rise)
+    periods = np.diff(rising)
+    n = min(len(high_times), periods.size)
+    if n == 0:
+        raise ValueError("could not pair rising and falling edges")
+    return float(np.sum(high_times[:n]) / np.sum(periods[:n]))
+
+
+def measure_frequency(edge_times_s: np.ndarray) -> float:
+    """Average frequency implied by a set of same-polarity edges."""
+    edges = np.sort(np.asarray(edge_times_s, dtype=float).ravel())
+    if edges.size < 2:
+        raise ValueError("need at least two edges to measure a frequency")
+    return float((edges.size - 1) / (edges[-1] - edges[0]))

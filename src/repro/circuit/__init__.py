@@ -1,0 +1,25 @@
+"""Circuit-level substrate: technology, devices, CML stage analysis, transient CDR."""
+
+from .technology import Technology, UMC_018
+from .mosfet import Mosfet
+from .cml_stage import CmlStageDesign, design_cml_stage
+from .transient import (
+    CircuitCdrConfig,
+    CircuitLevelCdr,
+    CircuitSimulationResult,
+    calibrate_ring,
+    measure_free_running_frequency,
+)
+
+__all__ = [
+    "Technology",
+    "UMC_018",
+    "Mosfet",
+    "CmlStageDesign",
+    "design_cml_stage",
+    "CircuitCdrConfig",
+    "CircuitLevelCdr",
+    "CircuitSimulationResult",
+    "calibrate_ring",
+    "measure_free_running_frequency",
+]

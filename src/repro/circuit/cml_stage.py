@@ -1,0 +1,154 @@
+"""Electrical analysis of a differential CML stage.
+
+Bridges the top-down specifications (bias current, swing) to the transistor
+level: device sizing, load resistor value, load capacitance, propagation
+delay, maximum toggle frequency, and the conversion of the stage's thermal
+noise into timing jitter (the quantity equation 1 of the paper summarises).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import units
+from .._validation import require_positive
+from ..phasenoise.formulas import CmlStageBias, kappa_hajimiri
+from .mosfet import Mosfet
+from .technology import Technology, UMC_018
+
+__all__ = ["CmlStageDesign", "design_cml_stage"]
+
+_LN2 = math.log(2.0)
+
+
+@dataclass(frozen=True)
+class CmlStageDesign:
+    """A fully sized differential CML delay cell.
+
+    Attributes
+    ----------
+    bias:
+        Electrical bias point (tail current, load resistance, swing, supply).
+    switch_device:
+        One transistor of the switching differential pair.
+    tail_device:
+        Tail current source transistor.
+    wiring_capacitance_f:
+        Fixed wiring / layout capacitance per output node.
+    fanout:
+        Number of identical stages driven by each output.
+    technology:
+        Process the devices are built in.
+    """
+
+    bias: CmlStageBias
+    switch_device: Mosfet
+    tail_device: Mosfet
+    wiring_capacitance_f: float
+    fanout: int
+    technology: Technology = UMC_018
+
+    def __post_init__(self) -> None:
+        require_positive("wiring_capacitance_f", self.wiring_capacitance_f)
+        if self.fanout < 1:
+            raise ValueError("fanout must be at least 1")
+
+    # -- loading and speed -----------------------------------------------------
+
+    @property
+    def load_capacitance_f(self) -> float:
+        """Total single-ended load capacitance at each output node."""
+        self_loading = self.switch_device.drain_capacitance_f
+        next_stage = self.fanout * self.switch_device.gate_capacitance_f
+        return self_loading + next_stage + self.wiring_capacitance_f
+
+    @property
+    def time_constant_s(self) -> float:
+        """Output RC time constant."""
+        return self.bias.load_resistance_ohm * self.load_capacitance_f
+
+    @property
+    def propagation_delay_s(self) -> float:
+        """50 %-swing propagation delay (``ln 2`` times the RC constant)."""
+        return _LN2 * self.time_constant_s
+
+    @property
+    def maximum_toggle_frequency_hz(self) -> float:
+        """Highest frequency a ring of four such stages can reach."""
+        return 1.0 / (8.0 * self.propagation_delay_s)
+
+    def ring_frequency_hz(self, n_stages: int = 4) -> float:
+        """Oscillation frequency of an *n_stages* ring built from this cell."""
+        if n_stages < 3:
+            raise ValueError("a ring oscillator needs at least three stages")
+        return 1.0 / (2.0 * n_stages * self.propagation_delay_s)
+
+    # -- noise ------------------------------------------------------------------
+
+    def output_noise_voltage_rms(self,
+                                 temperature_k: float = units.ROOM_TEMPERATURE_K) -> float:
+        """RMS thermal noise voltage at one output node (kT/C plus device excess)."""
+        ktc = units.BOLTZMANN_K * temperature_k / self.load_capacitance_f
+        excess = 1.0 + self.technology.noise_gamma * self.switch_device.transconductance(
+            self.bias.tail_current_a
+        ) * self.bias.load_resistance_ohm
+        return math.sqrt(ktc * excess)
+
+    def jitter_per_transition_rms_s(self,
+                                    temperature_k: float = units.ROOM_TEMPERATURE_K) -> float:
+        """RMS timing jitter added to each output transition by this stage.
+
+        The noise voltage is converted to time through the output slew rate at
+        the switching threshold (``slew = swing / (2 * tau)``).
+        """
+        slew_rate = self.bias.swing_v / (2.0 * self.time_constant_s)
+        return self.output_noise_voltage_rms(temperature_k) / slew_rate
+
+    def kappa(self, temperature_k: float = units.ROOM_TEMPERATURE_K) -> float:
+        """Jitter figure of merit of a ring built from this stage (equation 1)."""
+        return kappa_hajimiri(self.bias, gamma=self.technology.noise_gamma,
+                              temperature_k=temperature_k)
+
+    # -- power -------------------------------------------------------------------
+
+    @property
+    def power_w(self) -> float:
+        """Static power of the stage."""
+        return self.bias.power_w
+
+
+def design_cml_stage(
+    tail_current_a: float,
+    *,
+    swing_v: float = 0.4,
+    overdrive_v: float = 0.25,
+    wiring_capacitance_f: float = 8.0e-15,
+    fanout: int = 1,
+    technology: Technology = UMC_018,
+    supply_v: float | None = None,
+) -> CmlStageDesign:
+    """Size a differential CML delay cell for the given bias current.
+
+    The switching pair is sized for the requested overdrive at the full tail
+    current (so it steers completely at the chosen swing); the tail device is
+    sized at a higher overdrive for headroom efficiency; the load resistor
+    follows from the swing.
+    """
+    require_positive("tail_current_a", tail_current_a)
+    require_positive("swing_v", swing_v)
+    require_positive("overdrive_v", overdrive_v)
+    supply = supply_v if supply_v is not None else technology.supply_v
+
+    bias = CmlStageBias.from_current_and_swing(tail_current_a, swing_v, supply)
+    switch = Mosfet.sized_for_current(tail_current_a, overdrive_v, technology)
+    tail = Mosfet.sized_for_current(tail_current_a, overdrive_v * 1.4, technology,
+                                    length_um=2.0 * technology.minimum_length_um)
+    return CmlStageDesign(
+        bias=bias,
+        switch_device=switch,
+        tail_device=tail,
+        wiring_capacitance_f=wiring_capacitance_f,
+        fanout=fanout,
+        technology=technology,
+    )

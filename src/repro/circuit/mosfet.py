@@ -1,0 +1,118 @@
+"""Square-law MOSFET model with smooth region transitions.
+
+The circuit-level simulator only needs a qualitatively correct large-signal
+model of the differential pair and tail source — a long-channel square law
+with a smooth triode/saturation transition is sufficient and keeps the
+transient integration fast and robust.  Thermal noise current density is
+``4 k T gamma g_m``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import units
+from .._validation import require_positive
+from .technology import Technology, UMC_018
+
+__all__ = ["Mosfet"]
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """An NMOS (or PMOS, with polarity handled by the caller) transistor instance."""
+
+    width_um: float
+    length_um: float
+    technology: Technology = UMC_018
+    is_pmos: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive("width_um", self.width_um)
+        require_positive("length_um", self.length_um)
+        if self.length_um < self.technology.minimum_length_um:
+            raise ValueError(
+                f"channel length {self.length_um} um is below the technology minimum "
+                f"{self.technology.minimum_length_um} um"
+            )
+
+    # -- derived parameters ---------------------------------------------------
+
+    @property
+    def threshold_v(self) -> float:
+        """Threshold voltage magnitude of the device."""
+        if self.is_pmos:
+            return self.technology.pmos_threshold_v
+        return self.technology.nmos_threshold_v
+
+    @property
+    def kprime(self) -> float:
+        """Process transconductance ``k' = mu * Cox`` of the device type."""
+        if self.is_pmos:
+            return self.technology.pmos_kprime_a_per_v2
+        return self.technology.nmos_kprime_a_per_v2
+
+    @property
+    def beta(self) -> float:
+        """Device transconductance factor ``k' * W / L``."""
+        return self.kprime * self.width_um / self.length_um
+
+    @property
+    def gate_capacitance_f(self) -> float:
+        """Gate capacitance of the device."""
+        return self.technology.gate_capacitance_f(self.width_um, self.length_um)
+
+    @property
+    def drain_capacitance_f(self) -> float:
+        """Drain capacitance of the device."""
+        return self.technology.drain_capacitance_f(self.width_um)
+
+    # -- large-signal behaviour -----------------------------------------------
+
+    def drain_current(self, vgs: float, vds: float) -> float:
+        """Square-law drain current with a smooth triode/saturation transition."""
+        vov = vgs - self.threshold_v
+        if vov <= 0.0 or vds <= 0.0:
+            return 0.0
+        if vds >= vov:
+            return 0.5 * self.beta * vov * vov
+        return self.beta * (vov * vds - 0.5 * vds * vds)
+
+    def saturation_current(self, vgs: float) -> float:
+        """Saturation drain current for the given gate drive."""
+        vov = max(vgs - self.threshold_v, 0.0)
+        return 0.5 * self.beta * vov * vov
+
+    def vgs_for_current(self, drain_current_a: float) -> float:
+        """Gate-source voltage needed to carry *drain_current_a* in saturation."""
+        require_positive("drain_current_a", drain_current_a)
+        return self.threshold_v + math.sqrt(2.0 * drain_current_a / self.beta)
+
+    def overdrive_for_current(self, drain_current_a: float) -> float:
+        """Overdrive voltage ``V_GS - V_T`` at the given saturation current."""
+        require_positive("drain_current_a", drain_current_a)
+        return math.sqrt(2.0 * drain_current_a / self.beta)
+
+    def transconductance(self, drain_current_a: float) -> float:
+        """Small-signal transconductance at the given saturation current."""
+        require_positive("drain_current_a", drain_current_a)
+        return math.sqrt(2.0 * self.beta * drain_current_a)
+
+    def thermal_noise_current_psd(self, drain_current_a: float,
+                                  temperature_k: float = units.ROOM_TEMPERATURE_K) -> float:
+        """Drain thermal-noise current PSD [A^2/Hz] at the given bias."""
+        gm = self.transconductance(drain_current_a)
+        return 4.0 * units.BOLTZMANN_K * temperature_k * self.technology.noise_gamma * gm
+
+    @classmethod
+    def sized_for_current(cls, drain_current_a: float, overdrive_v: float,
+                          technology: Technology = UMC_018, length_um: float | None = None,
+                          is_pmos: bool = False) -> "Mosfet":
+        """Size a device to carry *drain_current_a* at the requested overdrive."""
+        require_positive("drain_current_a", drain_current_a)
+        require_positive("overdrive_v", overdrive_v)
+        length = length_um if length_um is not None else technology.minimum_length_um
+        kprime = technology.pmos_kprime_a_per_v2 if is_pmos else technology.nmos_kprime_a_per_v2
+        width = 2.0 * drain_current_a * length / (kprime * overdrive_v * overdrive_v)
+        return cls(width_um=width, length_um=length, technology=technology, is_pmos=is_pmos)

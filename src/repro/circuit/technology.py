@@ -1,0 +1,98 @@
+"""0.18 µm CMOS technology constants used by the circuit-level models.
+
+The paper implements the CDR in a 0.18 µm digital CMOS process from UMC
+(section 4).  The values below are generic, publicly documented figures for a
+0.18 µm node (they are not the foundry's proprietary model parameters) and are
+sufficient for the behavioural circuit modelling this library performs:
+square-law drain current, gate capacitance loading, and thermal noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .._validation import require_positive
+
+__all__ = ["Technology", "UMC_018"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process parameters of a planar CMOS technology node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node name.
+    supply_v:
+        Nominal core supply voltage.
+    nmos_threshold_v / pmos_threshold_v:
+        Threshold voltages (PMOS value given as magnitude).
+    nmos_kprime_a_per_v2 / pmos_kprime_a_per_v2:
+        Process transconductance ``k' = mu * Cox`` of each device type.
+    gate_capacitance_f_per_um2:
+        Gate-oxide capacitance per unit area.
+    overlap_capacitance_f_per_um:
+        Gate-drain/source overlap capacitance per unit gate width.
+    junction_capacitance_f_per_um:
+        Drain-junction capacitance per unit width (for load estimation).
+    minimum_length_um:
+        Minimum drawn channel length.
+    sheet_resistance_ohm:
+        Sheet resistance of the (poly or well) resistor used as CML load.
+    noise_gamma:
+        Channel thermal-noise factor for the node's short-channel devices.
+    """
+
+    name: str
+    supply_v: float
+    nmos_threshold_v: float
+    pmos_threshold_v: float
+    nmos_kprime_a_per_v2: float
+    pmos_kprime_a_per_v2: float
+    gate_capacitance_f_per_um2: float
+    overlap_capacitance_f_per_um: float
+    junction_capacitance_f_per_um: float
+    minimum_length_um: float
+    sheet_resistance_ohm: float
+    noise_gamma: float
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "supply_v", "nmos_threshold_v", "pmos_threshold_v",
+            "nmos_kprime_a_per_v2", "pmos_kprime_a_per_v2",
+            "gate_capacitance_f_per_um2", "overlap_capacitance_f_per_um",
+            "junction_capacitance_f_per_um", "minimum_length_um",
+            "sheet_resistance_ohm", "noise_gamma",
+        ):
+            require_positive(field_name, getattr(self, field_name))
+
+    def gate_capacitance_f(self, width_um: float, length_um: float) -> float:
+        """Total gate capacitance (area + overlap) of a device."""
+        require_positive("width_um", width_um)
+        require_positive("length_um", length_um)
+        area = width_um * length_um * self.gate_capacitance_f_per_um2
+        overlap = 2.0 * width_um * self.overlap_capacitance_f_per_um
+        return area + overlap
+
+    def drain_capacitance_f(self, width_um: float) -> float:
+        """Drain junction + overlap capacitance of a device."""
+        require_positive("width_um", width_um)
+        return width_um * (self.junction_capacitance_f_per_um + self.overlap_capacitance_f_per_um)
+
+
+#: Generic 0.18 µm process corner used throughout the reproduction.
+UMC_018 = Technology(
+    name="generic-0.18um",
+    supply_v=1.8,
+    nmos_threshold_v=0.45,
+    pmos_threshold_v=0.48,
+    nmos_kprime_a_per_v2=300.0e-6,
+    pmos_kprime_a_per_v2=70.0e-6,
+    gate_capacitance_f_per_um2=8.5e-15,
+    overlap_capacitance_f_per_um=0.35e-15,
+    junction_capacitance_f_per_um=0.9e-15,
+    minimum_length_um=0.18,
+    sheet_resistance_ohm=300.0,
+    noise_gamma=1.5,
+)

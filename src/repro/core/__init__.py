@@ -1,0 +1,44 @@
+"""Core CDR library: the gated-oscillator channel, multi-channel receiver, design flow."""
+
+from .config import (
+    PAPER_JITTER_SPEC,
+    PAPER_POWER_TARGET_MW_PER_GBPS,
+    PAPER_TARGET_BER,
+    CdrChannelConfig,
+)
+from .gcco import GatedRingOscillator, GccoParameters
+from .edge_detector import EdgeDetector
+from .cdr_channel import BehavioralCdrChannel, BehavioralSimulationResult
+from .elastic_buffer import ElasticBuffer, ElasticBufferStatistics
+from .multichannel import (
+    ChannelReport,
+    MultiChannelBehaviouralReport,
+    MultiChannelConfig,
+    MultiChannelReceiver,
+    MultiChannelStatisticalReport,
+)
+from .baselines import FreeRunningOscillatorBer, PllCdrBerModel
+from .design_flow import DesignFlowReport, run_design_flow
+
+__all__ = [
+    "PAPER_JITTER_SPEC",
+    "PAPER_POWER_TARGET_MW_PER_GBPS",
+    "PAPER_TARGET_BER",
+    "CdrChannelConfig",
+    "GatedRingOscillator",
+    "GccoParameters",
+    "EdgeDetector",
+    "BehavioralCdrChannel",
+    "BehavioralSimulationResult",
+    "ElasticBuffer",
+    "ElasticBufferStatistics",
+    "ChannelReport",
+    "MultiChannelBehaviouralReport",
+    "MultiChannelConfig",
+    "MultiChannelReceiver",
+    "MultiChannelStatisticalReport",
+    "FreeRunningOscillatorBer",
+    "PllCdrBerModel",
+    "DesignFlowReport",
+    "run_design_flow",
+]

@@ -1,0 +1,139 @@
+"""Baseline clock-recovery schemes used for ablation comparisons.
+
+The paper motivates the gated-oscillator topology against the mainstream
+alternatives (PLL-, DLL- and phase-interpolator-based CDRs, section 1).  Two
+baselines are provided for quantitative comparison with the same statistical
+machinery as the GCCO model:
+
+* :class:`FreeRunningOscillatorBer` — the ablation "what if we never gate":
+  an oscillator at a fixed frequency offset samples the data open loop, so the
+  phase error grows without bound and the BER degrades to ~0.5 unless the
+  frequency match is essentially perfect.  This isolates the benefit of the
+  per-edge re-phasing.
+* :class:`PllCdrBerModel` — an idealised PLL-based CDR: it tracks frequency
+  perfectly (no accumulation term) and low-pass-filters the input jitter with
+  a first-order jitter-transfer function of the given bandwidth.  This is the
+  reference topology the paper trades power against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_positive, require_positive_int
+from ..statistical.ber_model import CdrJitterBudget
+from ..statistical.qfunc import q_function
+from ..jitter.pdf import DEFAULT_GRID_STEP_UI, delta_pdf, gaussian_pdf, sinusoidal_pdf, uniform_pdf
+
+__all__ = ["FreeRunningOscillatorBer", "PllCdrBerModel"]
+
+
+@dataclass(frozen=True)
+class FreeRunningOscillatorBer:
+    """BER of an *ungated* oscillator sampling a jittered data stream.
+
+    Without gating, the sampling phase relative to the data drifts by the
+    frequency offset every bit and is never corrected; over a burst of
+    ``n_bits`` the phase error sweeps through the whole eye unless the offset
+    is tiny.  The reported BER is the average over the burst.
+    """
+
+    budget: CdrJitterBudget
+    n_bits: int = 10_000
+    grid_step_ui: float = DEFAULT_GRID_STEP_UI
+
+    def __post_init__(self) -> None:
+        require_positive_int("n_bits", self.n_bits)
+        require_positive("grid_step_ui", self.grid_step_ui)
+
+    def _edge_pdf(self):
+        budget = self.budget
+        pdf = delta_pdf(0.0, self.grid_step_ui)
+        if budget.dj_ui_pp > 0.0:
+            pdf = pdf.convolve(uniform_pdf(budget.dj_ui_pp, self.grid_step_ui))
+        if budget.rj_ui_rms > 0.0:
+            pdf = pdf.convolve(gaussian_pdf(budget.rj_ui_rms, self.grid_step_ui))
+        if budget.sj_amplitude_ui_pp > 0.0:
+            pdf = pdf.convolve(sinusoidal_pdf(budget.sj_amplitude_ui_pp, self.grid_step_ui))
+        return pdf
+
+    def ber(self) -> float:
+        """Average BER over the burst (transition density 0.5 assumed)."""
+        budget = self.budget
+        edge_pdf = self._edge_pdf()
+        osc_sigma = budget.osc_sigma_ui_per_bit
+
+        total = 0.0
+        phase = 0.5  # start sampling mid-eye
+        for bit_index in range(1, self.n_bits + 1):
+            phase_error = phase + bit_index * budget.frequency_offset
+            # Wrap into the current bit: the error relative to the nearest eye centre.
+            wrapped = (phase_error % 1.0)
+            sigma = osc_sigma * math.sqrt(bit_index) if osc_sigma > 0.0 else 0.0
+            # Error if the sample lands past either eye edge (jittered by data jitter).
+            margin_right = 1.0 - wrapped
+            margin_left = wrapped
+            p_right = _tail_probability(edge_pdf, margin_right, sigma)
+            p_left = _tail_probability(edge_pdf, margin_left, sigma)
+            # Errors only matter at transitions (density ~0.5 for random data).
+            total += 0.5 * min(1.0, p_right + p_left)
+        return total / self.n_bits
+
+
+def _tail_probability(edge_pdf, margin: float, gaussian_sigma: float) -> float:
+    """P(edge displacement + Gaussian > margin) for an edge-jitter PDF."""
+    grid = edge_pdf.grid
+    density = edge_pdf.density
+    if gaussian_sigma > 0.0:
+        tail = q_function((margin - grid) / gaussian_sigma)
+    else:
+        tail = (grid > margin).astype(float)
+    return float(np.clip(np.sum(density * tail) * edge_pdf.step, 0.0, 1.0))
+
+
+@dataclass(frozen=True)
+class PllCdrBerModel:
+    """Idealised PLL-based CDR used as the conventional-topology reference.
+
+    The loop tracks frequency exactly and passes input jitter below its
+    bandwidth (so only the *untracked* high-frequency part of the sinusoidal
+    jitter stresses the sampler).  Random and deterministic jitter are assumed
+    untracked (worst case).  The sampling instant sits mid-eye.
+    """
+
+    budget: CdrJitterBudget
+    loop_bandwidth_hz: float = 4.0e6
+    grid_step_ui: float = DEFAULT_GRID_STEP_UI
+
+    def __post_init__(self) -> None:
+        require_positive("loop_bandwidth_hz", self.loop_bandwidth_hz)
+        require_positive("grid_step_ui", self.grid_step_ui)
+
+    def untracked_sj_amplitude_ui_pp(self) -> float:
+        """Sinusoidal-jitter amplitude left after the loop's jitter tracking."""
+        budget = self.budget
+        if budget.sj_amplitude_ui_pp == 0.0:
+            return 0.0
+        ratio = budget.sj_frequency_hz / self.loop_bandwidth_hz
+        highpass = ratio / math.sqrt(1.0 + ratio * ratio)
+        return budget.sj_amplitude_ui_pp * highpass
+
+    def ber(self) -> float:
+        """BER of the idealised PLL CDR under the configured jitter budget."""
+        budget = self.budget
+        step = self.grid_step_ui
+        pdf = delta_pdf(0.0, step)
+        if budget.dj_ui_pp > 0.0:
+            pdf = pdf.convolve(uniform_pdf(budget.dj_ui_pp, step))
+        if budget.rj_ui_rms > 0.0:
+            pdf = pdf.convolve(gaussian_pdf(budget.rj_ui_rms, step))
+        untracked = self.untracked_sj_amplitude_ui_pp()
+        if untracked > 0.0:
+            pdf = pdf.convolve(sinusoidal_pdf(untracked, step))
+        # Mid-eye sampling: error when an edge moves more than 0.5 UI either way.
+        p_right = pdf.probability_above(0.5)
+        p_left = pdf.probability_below(-0.5)
+        return float(min(1.0, 0.5 * (p_right + p_left) * 2.0))

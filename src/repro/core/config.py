@@ -1,0 +1,158 @@
+"""Configuration objects and paper constants for the CDR core.
+
+``PAPER_JITTER_SPEC`` is Table 1 of the paper; ``CdrChannelConfig`` bundles
+everything the behavioural (event-driven) channel simulation needs and is the
+single place where the nominal-versus-improved sampling tap, the edge-detector
+delay and the oscillator parameters are selected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .. import units
+from .._validation import require_non_negative, require_positive, require_positive_int
+from ..datapath.nrz import JitterSpec
+from ..gates.ring import GccoParameters
+
+__all__ = [
+    "PAPER_JITTER_SPEC",
+    "PAPER_TARGET_BER",
+    "PAPER_POWER_TARGET_MW_PER_GBPS",
+    "CdrChannelConfig",
+]
+
+#: Table 1 of the paper: DJ = 0.4 UIpp, RJ = 0.021 UIrms (0.3 UIpp at 1e-12),
+#: sinusoidal jitter swept, oscillator jitter 0.01 UIrms.
+PAPER_JITTER_SPEC = JitterSpec(dj_ui_pp=0.4, rj_ui_rms=0.021, sj_amplitude_ui_pp=0.0)
+
+#: Target bit error ratio used throughout the paper.
+PAPER_TARGET_BER = 1.0e-12
+
+#: Headline power-efficiency target of the paper.
+PAPER_POWER_TARGET_MW_PER_GBPS = 5.0
+
+
+@dataclass(frozen=True)
+class CdrChannelConfig:
+    """Configuration of one behavioural (event-driven) CDR channel.
+
+    Attributes
+    ----------
+    bit_rate_hz:
+        Incoming data rate.
+    oscillator:
+        Gated-oscillator electrical parameters (frequency, gain, jitter).
+    edge_detector_delay_ui:
+        Total delay of the edge-detector delay line in unit intervals of the
+        *oscillator* period.  The paper's stability analysis requires
+        ``0.5 < delay < 1.0`` (section 3.3a); values outside that window are
+        accepted so the failure can be reproduced (Figure 13).
+    edge_detector_cells:
+        Number of delay-line cells the delay is split across.
+    improved_sampling:
+        Select the inverted third-stage clock tap (Figure 15) instead of the
+        nominal fourth-stage tap (Figure 7).
+    gate_jitter_sigma_fraction:
+        Delay jitter of the edge-detector / clock-path cells (fraction of the
+        cell delay), matching the oscillator's ``jitter_sigma_fraction``.
+    sampler_delay_s:
+        Clock-to-Q delay of the decision flip-flop.
+    frequency_offset:
+        Relative frequency error applied to the channel oscillator versus the
+        nominal bit rate (positive = oscillator slow).  This is how the
+        CCO-frequency = 2.375 GHz condition of Figure 14 is expressed
+        (offset = +0.05 for a 5 % slow oscillator).
+    """
+
+    bit_rate_hz: float = units.DEFAULT_BIT_RATE
+    oscillator: GccoParameters = field(default_factory=GccoParameters)
+    #: Default sits near the low end of the paper's reliable window
+    #: (T/2 < tau < T): the smaller the delay, the more closely spaced two
+    #: jittered data edges can be before the detector emits a truncated
+    #: synchronisation pulse, so the low end maximises tolerance to
+    #: deterministic jitter while keeping margin above T/2.
+    edge_detector_delay_ui: float = 0.6
+    edge_detector_cells: int = 3
+    improved_sampling: bool = False
+    gate_jitter_sigma_fraction: float = 0.0
+    sampler_delay_s: float = 20.0e-12
+    frequency_offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("bit_rate_hz", self.bit_rate_hz)
+        require_positive("edge_detector_delay_ui", self.edge_detector_delay_ui)
+        require_positive_int("edge_detector_cells", self.edge_detector_cells)
+        require_non_negative("gate_jitter_sigma_fraction", self.gate_jitter_sigma_fraction)
+        require_positive("sampler_delay_s", self.sampler_delay_s)
+        if abs(self.frequency_offset) >= 0.5:
+            raise ValueError("frequency_offset must lie in (-0.5, 0.5)")
+
+    @property
+    def unit_interval_s(self) -> float:
+        """Bit period of the incoming data."""
+        return 1.0 / self.bit_rate_hz
+
+    @property
+    def oscillator_frequency_hz(self) -> float:
+        """Actual channel oscillator frequency including the frequency offset.
+
+        A positive ``frequency_offset`` means the oscillator period is longer
+        than the bit period by that fraction.
+        """
+        return self.bit_rate_hz / (1.0 + self.frequency_offset)
+
+    @property
+    def oscillator_period_s(self) -> float:
+        """Oscillation period of the channel oscillator."""
+        return 1.0 / self.oscillator_frequency_hz
+
+    @property
+    def edge_detector_delay_s(self) -> float:
+        """Absolute edge-detector delay implied by ``edge_detector_delay_ui``."""
+        return self.edge_detector_delay_ui * self.oscillator_period_s
+
+    @property
+    def sampling_phase_ui(self) -> float:
+        """Nominal sampling phase after the trigger (0.5 nominal, 0.375 improved)."""
+        return 0.375 if self.improved_sampling else 0.5
+
+    def with_improved_sampling(self, improved: bool = True) -> "CdrChannelConfig":
+        """Return a copy selecting the improved (or nominal) sampling tap."""
+        return replace(self, improved_sampling=improved)
+
+    def with_frequency_offset(self, frequency_offset: float) -> "CdrChannelConfig":
+        """Return a copy with a different oscillator frequency offset."""
+        return replace(self, frequency_offset=frequency_offset)
+
+    def with_edge_detector_delay(self, delay_ui: float) -> "CdrChannelConfig":
+        """Return a copy with a different edge-detector delay (in UI)."""
+        return replace(self, edge_detector_delay_ui=delay_ui)
+
+    @classmethod
+    def paper_nominal(cls, *, jitter_sigma_fraction: float = 0.01) -> "CdrChannelConfig":
+        """The nominal 2.5 Gbit/s configuration of the paper (Figure 7 topology)."""
+        return cls(
+            oscillator=GccoParameters(jitter_sigma_fraction=jitter_sigma_fraction),
+            gate_jitter_sigma_fraction=jitter_sigma_fraction,
+        )
+
+    @classmethod
+    def paper_improved(cls, *, jitter_sigma_fraction: float = 0.01) -> "CdrChannelConfig":
+        """The improved-sampling configuration of the paper (Figure 15 topology)."""
+        return cls(
+            oscillator=GccoParameters(jitter_sigma_fraction=jitter_sigma_fraction),
+            gate_jitter_sigma_fraction=jitter_sigma_fraction,
+            improved_sampling=True,
+        )
+
+    @classmethod
+    def figure14_condition(cls, *, improved_sampling: bool = False,
+                           jitter_sigma_fraction: float = 0.01) -> "CdrChannelConfig":
+        """The condition of Figures 14/16: CCO at 2.375 GHz (5 % slow oscillator)."""
+        return cls(
+            oscillator=GccoParameters(jitter_sigma_fraction=jitter_sigma_fraction),
+            gate_jitter_sigma_fraction=jitter_sigma_fraction,
+            improved_sampling=improved_sampling,
+            frequency_offset=2.5e9 / 2.375e9 - 1.0,
+        )

@@ -1,0 +1,168 @@
+"""Top-down design-flow driver — the end-to-end methodology of the paper.
+
+The paper's claim is methodological: a *top-down* flow, starting from
+quantifiable system specifications and descending to the transistor level,
+can produce a demanding high-speed analog block.  This module strings the
+individual levels together into one call:
+
+1. **System feasibility** (statistical model): BER under Table 1 jitter,
+   jitter tolerance against the InfiniBand mask, frequency tolerance.
+2. **Block budgeting** (phase noise): oscillator bias current from equation 1
+   plus the speed constraint, and the channel power roll-up versus the
+   5 mW/Gbit/s target.
+3. **Behavioural verification** (event-driven): a short PRBS run through the
+   gate-level channel confirming lock and error-free operation at the design
+   point.
+
+Each stage's result is kept so examples, tests and benchmarks can inspect
+intermediate quantities; :meth:`DesignFlowReport.summary_lines` prints the
+whole story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import units
+from .._validation import require_positive_int
+from ..analysis.ber_counter import BerMeasurement
+from ..datapath.nrz import JitterSpec
+from ..datapath.prbs import prbs7
+from ..jitter.accumulation import OscillatorJitterBudget
+from ..phasenoise.design import (
+    ChannelCellBudget,
+    ChannelPowerReport,
+    RingOscillatorDesign,
+    channel_power_report,
+    design_oscillator,
+)
+from ..specs.compliance import ComplianceReport, check_compliance
+from ..specs.infiniband import infiniband_mask
+from ..statistical.ber_model import CdrJitterBudget, GatedOscillatorBerModel
+from ..statistical.ftol import FtolResult, frequency_tolerance
+from ..statistical.jtol import JtolCurve, jitter_tolerance_curve
+from .cdr_channel import BehavioralCdrChannel
+from .config import CdrChannelConfig, PAPER_TARGET_BER
+
+__all__ = ["DesignFlowReport", "run_design_flow"]
+
+
+@dataclass(frozen=True)
+class DesignFlowReport:
+    """Aggregated results of the three design-flow stages."""
+
+    # Stage 1 — system-level statistical feasibility.
+    nominal_ber: float
+    jtol_curve: JtolCurve
+    ftol: FtolResult
+    # Stage 2 — block-level budgeting.
+    oscillator_design: RingOscillatorDesign
+    power_report: ChannelPowerReport
+    # Stage 3 — behavioural verification.
+    behavioural_ber: BerMeasurement
+    recovered_frequency_hz: float
+    # Overall compliance.
+    compliance: ComplianceReport
+    target_ber: float = PAPER_TARGET_BER
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable end-to-end summary of the flow."""
+        lines = [
+            "=== Stage 1: statistical feasibility ===",
+            f"BER (Table 1 jitter, no SJ)     : {self.nominal_ber:.3e}",
+            f"FTOL (symmetric)                : {self.ftol.symmetric_tolerance_ppm:.0f} ppm",
+            "=== Stage 2: phase-noise / power budgeting ===",
+            f"Oscillator tail current         : {self.oscillator_design.bias.tail_current_a * 1e6:.1f} uA",
+            f"Oscillator kappa                : {self.oscillator_design.kappa:.3e} sqrt(s) "
+            f"(budget {self.oscillator_design.kappa_budget:.3e})",
+            f"Channel power                   : {self.power_report.total_power_w * 1e3:.2f} mW",
+            f"Power efficiency                : {self.power_report.power_per_gbps_mw:.2f} mW/Gbit/s",
+            "=== Stage 3: behavioural verification ===",
+            f"Behavioural BER                 : {self.behavioural_ber.errors} / "
+            f"{self.behavioural_ber.compared_bits} bits",
+            f"Recovered clock frequency       : {self.recovered_frequency_hz / 1e9:.3f} GHz",
+            "=== Compliance ===",
+        ]
+        lines.extend(self.compliance.summary_lines())
+        return lines
+
+
+def run_design_flow(
+    *,
+    bit_rate_hz: float = units.DEFAULT_BIT_RATE,
+    channel_config: CdrChannelConfig | None = None,
+    jitter_budget: CdrJitterBudget | None = None,
+    cells: ChannelCellBudget | None = None,
+    n_channels: int = 4,
+    jtol_frequencies_hz: np.ndarray | None = None,
+    behavioural_bits: int = 1500,
+    grid_step_ui: float = 2.0e-3,
+    rng: np.random.Generator | None = None,
+) -> DesignFlowReport:
+    """Run the complete top-down flow and return the aggregated report."""
+    require_positive_int("behavioural_bits", behavioural_bits)
+    rng = rng or np.random.default_rng(7)
+    channel_config = channel_config or CdrChannelConfig.paper_nominal()
+    jitter_budget = jitter_budget or CdrJitterBudget(bit_rate_hz=bit_rate_hz)
+    mask = infiniband_mask(bit_rate_hz)
+
+    # --- stage 1: statistical feasibility -----------------------------------
+    nominal_model = GatedOscillatorBerModel(
+        jitter_budget,
+        sampling_phase_ui=channel_config.sampling_phase_ui,
+        grid_step_ui=grid_step_ui,
+    )
+    nominal_ber = nominal_model.ber()
+
+    if jtol_frequencies_hz is None:
+        # Compliance is judged over the mask's specified frequency range
+        # (wander up to ~bit rate / 100); the near-bit-rate region where
+        # gated-oscillator tolerance collapses is reported separately by the
+        # Figure 9/10 benchmarks.
+        jtol_frequencies_hz = mask.frequencies_for_sweep(points_per_decade=2)
+    jtol = jitter_tolerance_curve(
+        jtol_frequencies_hz,
+        budget=jitter_budget,
+        target_ber=PAPER_TARGET_BER,
+        sampling_phase_ui=channel_config.sampling_phase_ui,
+        grid_step_ui=grid_step_ui,
+        max_amplitude_ui_pp=10.0,
+    )
+    ftol = frequency_tolerance(
+        budget=jitter_budget,
+        target_ber=PAPER_TARGET_BER,
+        sampling_phase_ui=channel_config.sampling_phase_ui,
+        grid_step_ui=grid_step_ui,
+        max_offset=0.1,
+        resolution=5.0e-4,
+    )
+
+    # --- stage 2: block budgeting --------------------------------------------
+    oscillator_budget = OscillatorJitterBudget(bit_rate_hz=bit_rate_hz)
+    oscillator_design = design_oscillator(bit_rate_hz=bit_rate_hz, budget=oscillator_budget)
+    power = channel_power_report(oscillator_design, cells=cells, n_channels=n_channels,
+                                 bit_rate_hz=bit_rate_hz)
+
+    # --- stage 3: behavioural verification ------------------------------------
+    bits = prbs7(behavioural_bits)
+    channel = BehavioralCdrChannel(channel_config)
+    result = channel.run(bits, jitter=JitterSpec(dj_ui_pp=0.1, rj_ui_rms=0.01), rng=rng)
+    behavioural_ber = result.ber()
+    recovered_frequency = result.recovered_clock_frequency_hz()
+
+    compliance = check_compliance(
+        jtol, mask, ftol, power.power_per_gbps_mw,
+    )
+
+    return DesignFlowReport(
+        nominal_ber=nominal_ber,
+        jtol_curve=jtol,
+        ftol=ftol,
+        oscillator_design=oscillator_design,
+        power_report=power,
+        behavioural_ber=behavioural_ber,
+        recovered_frequency_hz=recovered_frequency,
+        compliance=compliance,
+    )

@@ -1,0 +1,93 @@
+"""Gate-level edge detector (delay line + XNOR) of the gated-oscillator CDR.
+
+At every data transition the detector pulses its output EDET low for the
+delay-line duration (paper Figure 7).  Because the data handed to the sampler
+(DDIN) is taken *after* the delay line, the line's absolute delay and jitter
+are common mode and do not affect the sampling precision — the property the
+paper emphasises in section 2.2.  A dummy gate on the data path compensates
+the XOR propagation delay, exactly as the paper's dummy-gate compensation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import require_positive
+from ..events.kernel import Simulator
+from ..events.signal import Signal
+from ..gates.cml import CmlTiming
+from ..gates.delay_line import DelayLine
+from ..gates.logic import BufferGate, Xnor2Gate
+
+__all__ = ["EdgeDetector"]
+
+
+class EdgeDetector:
+    """Delay-line + XNOR edge detector.
+
+    Parameters
+    ----------
+    simulator:
+        Event kernel.
+    data_in:
+        Incoming data signal (DIN).
+    total_delay_s:
+        Total delay of the delay line (the ``tau`` of the paper's analysis).
+    n_cells:
+        Number of cascaded delay cells implementing that delay.
+    gate_delay_s:
+        Propagation delay of the XNOR gate and of the dummy data buffer
+        (identical cells, so the two match and cancel).
+    jitter_sigma_fraction:
+        Per-cell Gaussian delay jitter.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        data_in: Signal,
+        *,
+        total_delay_s: float,
+        n_cells: int = 3,
+        gate_delay_s: float = 25.0e-12,
+        jitter_sigma_fraction: float = 0.0,
+        rng: np.random.Generator | None = None,
+        name: str = "edge_detector",
+    ) -> None:
+        require_positive("total_delay_s", total_delay_s)
+        require_positive("gate_delay_s", gate_delay_s)
+        self.simulator = simulator
+        self.name = name
+        self.total_delay_s = total_delay_s
+        rng = rng or np.random.default_rng()
+
+        cell_delay = total_delay_s / n_cells
+        cell_timing = CmlTiming(nominal_delay_s=cell_delay,
+                                jitter_sigma_fraction=jitter_sigma_fraction)
+        gate_timing = CmlTiming(nominal_delay_s=gate_delay_s,
+                                jitter_sigma_fraction=jitter_sigma_fraction)
+
+        #: Delayed data (DDIN before the dummy gate).
+        self.delay_line = DelayLine(simulator, f"{name}.delay_line", data_in, n_cells,
+                                    cell_timing, rng=rng)
+
+        #: EDET: high in steady state, pulses low for ``total_delay_s`` at each edge.
+        self.edet = Signal(simulator, f"{name}.edet", initial=1)
+        self._xnor = Xnor2Gate(f"{name}.xnor", data_in, self.delay_line.output, self.edet,
+                               gate_timing, rng=rng)
+
+        #: DDIN handed to the sampler: the delayed data re-timed through a dummy
+        #: gate so its delay matches the XNOR path (paper's dummy-gate trick).
+        self.data_out = Signal(simulator, f"{name}.ddin", initial=int(data_in.value))
+        self._dummy = BufferGate(f"{name}.dummy", self.delay_line.output, self.data_out,
+                                 gate_timing, rng=rng)
+
+    @property
+    def delayed_data(self) -> Signal:
+        """DDIN — the delayed data signal that the sampler slices."""
+        return self.data_out
+
+    @property
+    def output(self) -> Signal:
+        """EDET — the active-low synchronisation pulse driving the oscillator gate."""
+        return self.edet

@@ -1,0 +1,159 @@
+"""Elastic buffer between the recovered-clock domain and the system clock.
+
+In short-haul links the resynchronised data is transferred from the receive
+clock domain to the system clock domain through an elastic buffer (paper
+Figure 4).  The buffer absorbs the phase wander between the two clocks and —
+because the recovered and system clocks may differ by up to the combined
+reference tolerance (±100 ppm each) — it must occasionally skip or repeat
+*idle* symbols to avoid overflow/underflow, which is why the fill level and
+the overflow statistics matter for the system-level specification.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import require_positive, require_positive_int
+
+__all__ = ["ElasticBufferStatistics", "ElasticBuffer"]
+
+
+@dataclass(frozen=True)
+class ElasticBufferStatistics:
+    """Occupancy and slip statistics of an elastic buffer run."""
+
+    writes: int
+    reads: int
+    overflows: int
+    underflows: int
+    max_occupancy: int
+    min_occupancy: int
+
+    @property
+    def slips(self) -> int:
+        """Total number of slip events (overflow drops + underflow repeats)."""
+        return self.overflows + self.underflows
+
+
+class ElasticBuffer:
+    """A fixed-depth FIFO written by the recovered clock and read by the system clock.
+
+    The buffer starts half full (the standard centring strategy): writes before
+    the first read pre-fill it to ``depth // 2`` via :meth:`prime`.
+    """
+
+    def __init__(self, depth: int = 16) -> None:
+        self.depth = require_positive_int("depth", depth)
+        self._fifo: deque[int] = deque()
+        self._writes = 0
+        self._reads = 0
+        self._overflows = 0
+        self._underflows = 0
+        self._max_occupancy = 0
+        self._min_occupancy = depth
+        self._last_read_value = 0
+
+    # -- data-plane operations ----------------------------------------------
+
+    def prime(self, fill_value: int = 0) -> None:
+        """Pre-fill the buffer to half depth (centring)."""
+        self._fifo.clear()
+        for _ in range(self.depth // 2):
+            self._fifo.append(int(fill_value))
+        self._track_occupancy()
+
+    def write(self, value: int) -> bool:
+        """Write one symbol from the recovered-clock domain.
+
+        Returns False (and counts an overflow) when the buffer is full; the
+        symbol is dropped in that case.
+        """
+        self._writes += 1
+        if len(self._fifo) >= self.depth:
+            self._overflows += 1
+            return False
+        self._fifo.append(int(value))
+        self._track_occupancy()
+        return True
+
+    def read(self) -> int:
+        """Read one symbol in the system-clock domain.
+
+        On underflow the last successfully read value is repeated and an
+        underflow is counted.
+        """
+        self._reads += 1
+        if not self._fifo:
+            self._underflows += 1
+            return self._last_read_value
+        self._last_read_value = self._fifo.popleft()
+        self._track_occupancy()
+        return self._last_read_value
+
+    @property
+    def occupancy(self) -> int:
+        """Number of symbols currently stored."""
+        return len(self._fifo)
+
+    def _track_occupancy(self) -> None:
+        occupancy = len(self._fifo)
+        self._max_occupancy = max(self._max_occupancy, occupancy)
+        self._min_occupancy = min(self._min_occupancy, occupancy)
+
+    # -- reporting -------------------------------------------------------------
+
+    def statistics(self) -> ElasticBufferStatistics:
+        """Return the accumulated occupancy / slip statistics."""
+        return ElasticBufferStatistics(
+            writes=self._writes,
+            reads=self._reads,
+            overflows=self._overflows,
+            underflows=self._underflows,
+            max_occupancy=self._max_occupancy,
+            min_occupancy=min(self._min_occupancy, self._max_occupancy),
+        )
+
+    # -- system-level helper ------------------------------------------------------
+
+    @staticmethod
+    def simulate_clock_domains(
+        n_symbols: int,
+        *,
+        write_rate_hz: float,
+        read_rate_hz: float,
+        depth: int = 16,
+        fill_value: int = 0,
+    ) -> ElasticBufferStatistics:
+        """Stream *n_symbols* through a buffer with the two clock rates.
+
+        A purely rate-based simulation: symbols are written at ``write_rate_hz``
+        and read at ``read_rate_hz``; the returned statistics show whether the
+        chosen depth absorbs the ppm difference over the run.
+        """
+        require_positive_int("n_symbols", n_symbols)
+        require_positive("write_rate_hz", write_rate_hz)
+        require_positive("read_rate_hz", read_rate_hz)
+        buffer = ElasticBuffer(depth)
+        buffer.prime(fill_value)
+
+        write_period = 1.0 / write_rate_hz
+        read_period = 1.0 / read_rate_hz
+        next_write = write_period
+        next_read = read_period + 0.5 * read_period  # offset read phase
+        written = 0
+        read_count = 0
+        while written < n_symbols or read_count < n_symbols:
+            if next_write <= next_read and written < n_symbols:
+                buffer.write(fill_value)
+                written += 1
+                next_write += write_period
+            elif read_count < n_symbols:
+                buffer.read()
+                read_count += 1
+                next_read += read_period
+            else:
+                break
+        return buffer.statistics()

@@ -1,0 +1,12 @@
+"""Gated current-controlled oscillator (GCCO) — re-exported for the core API.
+
+The gate-level implementation lives in :mod:`repro.gates.ring`; it is exposed
+here because the GCCO is the heart of the paper's contribution and users of
+the core package expect to find it under ``repro.core.gcco``.
+"""
+
+from __future__ import annotations
+
+from ..gates.ring import GatedRingOscillator, GccoParameters
+
+__all__ = ["GatedRingOscillator", "GccoParameters"]

@@ -1,0 +1,183 @@
+"""Consecutive-identical-digit (CID) and run-length statistics.
+
+The gated-oscillator CDR is only corrected at data transitions; between two
+transitions the oscillator free-runs and accumulates both timing jitter and
+frequency error.  The statistical BER model therefore needs the probability
+that a bit lies at a given distance from the most recent transition — i.e. the
+run-length statistics of the line code.
+
+Two stream models are provided:
+
+* ``random`` — i.i.d. equiprobable bits (a good approximation of a long PRBS);
+  runs are geometrically distributed, truncated at ``max_run``.
+* ``encoded_8b10b`` — run length hard-limited to 5 (the 8b/10b guarantee the
+  paper's section 2.3 relies on); the distribution is the geometric law
+  renormalised on 1..5, which closely matches measured 8b/10b statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_positive_int
+
+__all__ = [
+    "run_lengths",
+    "run_length_histogram",
+    "max_consecutive_identical_digits",
+    "transition_density",
+    "RunLengthDistribution",
+    "geometric_run_distribution",
+    "encoded_8b10b_run_distribution",
+    "measured_run_distribution",
+    "bit_position_distribution",
+]
+
+
+def run_lengths(bits: np.ndarray | list[int]) -> np.ndarray:
+    """Return the lengths of all runs of identical bits in *bits* (in order)."""
+    bit_array = np.asarray(bits).astype(np.int64).ravel()
+    if bit_array.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    change_points = np.flatnonzero(np.diff(bit_array) != 0)
+    boundaries = np.concatenate(([-1], change_points, [bit_array.size - 1]))
+    return np.diff(boundaries).astype(np.int64)
+
+
+def run_length_histogram(bits: np.ndarray | list[int]) -> dict[int, int]:
+    """Return ``{run_length: count}`` for *bits*."""
+    lengths = run_lengths(bits)
+    values, counts = np.unique(lengths, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def max_consecutive_identical_digits(bits: np.ndarray | list[int]) -> int:
+    """Return the maximum CID (longest run of identical bits) in *bits*."""
+    lengths = run_lengths(bits)
+    return int(lengths.max()) if lengths.size else 0
+
+
+def transition_density(bits: np.ndarray | list[int]) -> float:
+    """Return the fraction of bit boundaries that carry a transition."""
+    bit_array = np.asarray(bits).astype(np.int64).ravel()
+    if bit_array.size < 2:
+        return 0.0
+    transitions = np.count_nonzero(np.diff(bit_array) != 0)
+    return transitions / (bit_array.size - 1)
+
+
+@dataclass(frozen=True)
+class RunLengthDistribution:
+    """Probability distribution of run lengths of a line code.
+
+    ``probabilities[k-1]`` is the probability that a randomly chosen *run* has
+    length ``k`` (k = 1 .. max_run).  :meth:`bit_weights` converts this to the
+    probability that a randomly chosen *bit* belongs to a run of length ``k``,
+    which is what the BER model averages over.
+    """
+
+    probabilities: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        probs = np.asarray(self.probabilities, dtype=float)
+        if probs.size == 0:
+            raise ValueError("run-length distribution must not be empty")
+        if np.any(probs < 0.0):
+            raise ValueError("run-length probabilities must be non-negative")
+        total = float(probs.sum())
+        if not np.isclose(total, 1.0, rtol=0.0, atol=1.0e-9):
+            raise ValueError(
+                f"run-length probabilities must sum to 1, got {total!r}"
+            )
+
+    @property
+    def max_run(self) -> int:
+        """Longest run length with non-zero probability bin."""
+        return len(self.probabilities)
+
+    @property
+    def mean_run_length(self) -> float:
+        """Expected run length (per run, not per bit)."""
+        lengths = np.arange(1, self.max_run + 1, dtype=float)
+        return float(np.dot(lengths, np.asarray(self.probabilities)))
+
+    def bit_weights(self) -> np.ndarray:
+        """Probability that a randomly chosen *bit* sits in a run of length k.
+
+        A run of length k contains k bits, so the per-bit weight is
+        ``k * P(run = k) / E[run length]``.
+        """
+        probs = np.asarray(self.probabilities, dtype=float)
+        lengths = np.arange(1, self.max_run + 1, dtype=float)
+        weights = lengths * probs
+        return weights / weights.sum()
+
+    def position_in_run_weights(self) -> np.ndarray:
+        """Joint probability P(run length = k, position in run = i) per bit.
+
+        Returns a ``(max_run, max_run)`` array ``W`` where ``W[k-1, i-1]`` is
+        the probability that a randomly chosen bit belongs to a run of length
+        ``k`` and is the ``i``-th bit of that run (``i`` counted from the
+        transition that started the run).  Entries with ``i > k`` are zero.
+        """
+        bit_weights = self.bit_weights()
+        max_run = self.max_run
+        joint = np.zeros((max_run, max_run), dtype=float)
+        for k in range(1, max_run + 1):
+            # Inside a run of length k each of the k positions is equally likely.
+            joint[k - 1, :k] = bit_weights[k - 1] / k
+        return joint
+
+
+def geometric_run_distribution(max_run: int, transition_probability: float = 0.5
+                               ) -> RunLengthDistribution:
+    """Run-length distribution of an i.i.d. bit stream truncated at *max_run*.
+
+    For a memoryless stream with per-boundary transition probability ``p`` the
+    run length is geometric: ``P(k) = p * (1-p)**(k-1)``.  The tail beyond
+    *max_run* is folded into the last bin so that a worst-case CID bound can be
+    enforced (e.g. the paper's CID = 5 for 8b/10b, or CID = 7 for PRBS7).
+    """
+    max_run = require_positive_int("max_run", max_run)
+    p = float(transition_probability)
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"transition_probability must be in (0, 1], got {p!r}")
+    lengths = np.arange(1, max_run + 1, dtype=float)
+    probs = p * (1.0 - p) ** (lengths - 1.0)
+    # Fold the truncated tail into the final bin (worst case accumulation).
+    probs[-1] += (1.0 - p) ** max_run
+    probs = probs / probs.sum()
+    return RunLengthDistribution(tuple(float(x) for x in probs))
+
+
+def encoded_8b10b_run_distribution() -> RunLengthDistribution:
+    """Run-length distribution of an 8b/10b coded stream (CID limited to 5)."""
+    return geometric_run_distribution(max_run=5, transition_probability=0.5)
+
+
+def measured_run_distribution(bits: np.ndarray | list[int],
+                              max_run: int | None = None) -> RunLengthDistribution:
+    """Estimate the run-length distribution from a measured/generated bit stream."""
+    lengths = run_lengths(bits)
+    if lengths.size == 0:
+        raise ValueError("cannot estimate a run-length distribution from an empty stream")
+    limit = int(lengths.max()) if max_run is None else require_positive_int("max_run", max_run)
+    counts = np.zeros(limit, dtype=float)
+    for length in lengths:
+        index = min(int(length), limit) - 1
+        counts[index] += 1.0
+    probs = counts / counts.sum()
+    return RunLengthDistribution(tuple(float(x) for x in probs))
+
+
+def bit_position_distribution(distribution: RunLengthDistribution) -> np.ndarray:
+    """Probability that a randomly chosen bit is the i-th bit after a transition.
+
+    Marginalises :meth:`RunLengthDistribution.position_in_run_weights` over the
+    run length.  Element ``i-1`` is the probability of being the ``i``-th bit
+    of its run; the BER model uses this to weight per-position error rates.
+    """
+    joint = distribution.position_in_run_weights()
+    return joint.sum(axis=0)

@@ -1,0 +1,195 @@
+"""Pseudo-random bit sequence (PRBS) generators.
+
+The paper's behavioural verification uses a PRBS7 pattern ("a standard
+pseudo-random bit sequence (PRBS7) was applied, which exhibits more consecutive
+identical digits than an 8bit/10bit encoded stream", section 3.3b).  This module
+implements the standard ITU-T / industry PRBS polynomials as linear-feedback
+shift registers (LFSR) in Fibonacci configuration.
+
+Supported polynomials::
+
+    PRBS7   x^7  + x^6  + 1
+    PRBS9   x^9  + x^5  + 1
+    PRBS11  x^11 + x^9  + 1
+    PRBS15  x^15 + x^14 + 1
+    PRBS23  x^23 + x^18 + 1
+    PRBS31  x^31 + x^28 + 1
+
+Each generator produces the maximal-length sequence of ``2**order - 1`` bits
+before repeating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from .._validation import require_positive_int
+
+__all__ = [
+    "PRBS_TAPS",
+    "PrbsGenerator",
+    "prbs_sequence",
+    "prbs7",
+    "prbs9",
+    "prbs15",
+    "prbs23",
+    "prbs31",
+    "sequence_period",
+    "verify_maximal_length",
+]
+
+#: Feedback taps (1-indexed bit positions) for each supported PRBS order.
+PRBS_TAPS: dict[int, tuple[int, int]] = {
+    7: (7, 6),
+    9: (9, 5),
+    11: (11, 9),
+    15: (15, 14),
+    23: (23, 18),
+    31: (31, 28),
+}
+
+
+def sequence_period(order: int) -> int:
+    """Return the period (``2**order - 1``) of a maximal-length PRBS of *order*."""
+    order = require_positive_int("order", order)
+    if order not in PRBS_TAPS:
+        raise ValueError(
+            f"unsupported PRBS order {order}; supported: {sorted(PRBS_TAPS)}"
+        )
+    return (1 << order) - 1
+
+
+@dataclass
+class PrbsGenerator:
+    """Stateful maximal-length LFSR bit generator.
+
+    Parameters
+    ----------
+    order:
+        PRBS order (7, 9, 11, 15, 23 or 31).
+    seed:
+        Initial register contents; must be non-zero and fit in *order* bits.
+        Defaults to all ones.
+    invert:
+        If true, output the complemented bit stream (common for PRBS31).
+    """
+
+    order: int
+    seed: int | None = None
+    invert: bool = False
+
+    def __post_init__(self) -> None:
+        self.order = require_positive_int("order", self.order)
+        if self.order not in PRBS_TAPS:
+            raise ValueError(
+                f"unsupported PRBS order {self.order}; supported: {sorted(PRBS_TAPS)}"
+            )
+        mask = (1 << self.order) - 1
+        state = mask if self.seed is None else int(self.seed) & mask
+        if state == 0:
+            raise ValueError("seed must be non-zero for a maximal-length LFSR")
+        self._mask = mask
+        self._state = state
+        tap_a, tap_b = PRBS_TAPS[self.order]
+        self._tap_a = tap_a
+        self._tap_b = tap_b
+
+    @property
+    def state(self) -> int:
+        """Current LFSR register contents."""
+        return self._state
+
+    @property
+    def period(self) -> int:
+        """Number of bits before the sequence repeats."""
+        return (1 << self.order) - 1
+
+    def next_bit(self) -> int:
+        """Advance the LFSR by one step and return the output bit (0/1)."""
+        bit_a = (self._state >> (self._tap_a - 1)) & 1
+        bit_b = (self._state >> (self._tap_b - 1)) & 1
+        feedback = bit_a ^ bit_b
+        self._state = ((self._state << 1) | feedback) & self._mask
+        out = feedback
+        if self.invert:
+            out ^= 1
+        return out
+
+    def bits(self, count: int) -> np.ndarray:
+        """Return the next *count* bits as a uint8 numpy array."""
+        count = require_positive_int("count", count)
+        out = np.empty(count, dtype=np.uint8)
+        for i in range(count):
+            out[i] = self.next_bit()
+        return out
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            yield self.next_bit()
+
+    def reset(self, seed: int | None = None) -> None:
+        """Reset the register to *seed* (default: all ones)."""
+        state = self._mask if seed is None else int(seed) & self._mask
+        if state == 0:
+            raise ValueError("seed must be non-zero for a maximal-length LFSR")
+        self._state = state
+
+
+def prbs_sequence(order: int, length: int | None = None, *, seed: int | None = None,
+                  invert: bool = False) -> np.ndarray:
+    """Return *length* bits of a PRBS of the given *order* as a uint8 array.
+
+    If *length* is ``None`` a single full period is returned.
+    """
+    generator = PrbsGenerator(order, seed=seed, invert=invert)
+    if length is None:
+        length = generator.period
+    return generator.bits(length)
+
+
+def prbs7(length: int | None = None, *, seed: int | None = None) -> np.ndarray:
+    """Shorthand for :func:`prbs_sequence` with order 7."""
+    return prbs_sequence(7, length, seed=seed)
+
+
+def prbs9(length: int | None = None, *, seed: int | None = None) -> np.ndarray:
+    """Shorthand for :func:`prbs_sequence` with order 9."""
+    return prbs_sequence(9, length, seed=seed)
+
+
+def prbs15(length: int | None = None, *, seed: int | None = None) -> np.ndarray:
+    """Shorthand for :func:`prbs_sequence` with order 15."""
+    return prbs_sequence(15, length, seed=seed)
+
+
+def prbs23(length: int | None = None, *, seed: int | None = None) -> np.ndarray:
+    """Shorthand for :func:`prbs_sequence` with order 23."""
+    return prbs_sequence(23, length, seed=seed)
+
+
+def prbs31(length: int | None = None, *, seed: int | None = None) -> np.ndarray:
+    """Shorthand for :func:`prbs_sequence` with order 31 (inverted, per convention)."""
+    return prbs_sequence(31, length, seed=seed, invert=True)
+
+
+def verify_maximal_length(order: int) -> bool:
+    """Return ``True`` if the LFSR for *order* really has period ``2**order - 1``.
+
+    This walks the register through states until the initial state recurs and
+    is intended for small orders (used by the test-suite for orders 7 and 9).
+    """
+    generator = PrbsGenerator(order)
+    initial = generator.state
+    steps = 0
+    limit = generator.period + 1
+    while True:
+        generator.next_bit()
+        steps += 1
+        if generator.state == initial:
+            break
+        if steps > limit:
+            return False
+    return steps == generator.period

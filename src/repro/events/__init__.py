@@ -1,0 +1,18 @@
+"""Discrete-event simulation substrate (the Python equivalent of the paper's VHDL flow)."""
+
+from .kernel import Process, SimulationError, Simulator, WaitFor, WaitOn
+from .signal import Edge, Signal, bus
+from .waveform import Trace, WaveformRecorder
+
+__all__ = [
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "WaitFor",
+    "WaitOn",
+    "Edge",
+    "Signal",
+    "bus",
+    "Trace",
+    "WaveformRecorder",
+]

@@ -1,0 +1,145 @@
+"""Signals with VHDL-style transport-delayed assignment.
+
+A :class:`Signal` carries a value (any comparable Python object; the gate
+library uses ints 0/1), notifies subscribers on value *changes* (VHDL events),
+and supports ``transport`` assignment semantics: scheduling a new value at
+time ``t`` cancels every previously scheduled transaction at or after ``t`` —
+exactly the behaviour of the ``transport`` assignments in the paper's VHDL
+model of the gated CCO (Figure 12).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .._validation import require_non_negative
+from .kernel import SimulationError, Simulator
+
+__all__ = ["Signal", "Edge"]
+
+
+class Edge:
+    """Constants naming edge polarities."""
+
+    RISING = "rising"
+    FALLING = "falling"
+    ANY = "any"
+
+
+class _Transaction:
+    """A pending scheduled value change on a signal."""
+
+    __slots__ = ("time_s", "value", "cancelled")
+
+    def __init__(self, time_s: float, value) -> None:
+        self.time_s = time_s
+        self.value = value
+        self.cancelled = False
+
+
+class Signal:
+    """A simulated signal (wire) with transport-delay scheduling."""
+
+    def __init__(self, simulator: Simulator, name: str, initial=0) -> None:
+        self._simulator = simulator
+        self.name = name
+        self._value = initial
+        self._subscribers: list[Callable[["Signal", float], None]] = []
+        self._pending: list[_Transaction] = []
+        self.last_event_time_s: float | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, value={self._value!r})"
+
+    @property
+    def value(self):
+        """Current value of the signal."""
+        return self._value
+
+    @property
+    def simulator(self) -> Simulator:
+        """The simulator this signal belongs to."""
+        return self._simulator
+
+    # -- subscription --------------------------------------------------------
+
+    def subscribe(self, callback: Callable[["Signal", float], None]) -> Callable[[], None]:
+        """Register *callback(signal, time)* to run on every value change.
+
+        Returns a function that unsubscribes the callback.
+        """
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    # -- assignment ----------------------------------------------------------
+
+    def assign(self, value, delay_s: float = 0.0) -> None:
+        """Schedule a transport-delayed assignment of *value* after *delay_s*.
+
+        Any previously scheduled transaction at the same or a later time is
+        cancelled (VHDL transport semantics).
+        """
+        require_non_negative("delay_s", delay_s)
+        target_time = self._simulator.now + delay_s
+        for transaction in self._pending:
+            if not transaction.cancelled and transaction.time_s >= target_time:
+                transaction.cancelled = True
+        transaction = _Transaction(target_time, value)
+        self._pending.append(transaction)
+        self._simulator.call_at(target_time, lambda: self._apply(transaction))
+
+    def force(self, value) -> None:
+        """Immediately set the signal value (used for initial conditions)."""
+        if value != self._value:
+            self._value = value
+            self.last_event_time_s = self._simulator.now
+            self._notify()
+
+    def _apply(self, transaction: _Transaction) -> None:
+        if transaction in self._pending:
+            self._pending.remove(transaction)
+        if transaction.cancelled:
+            return
+        if transaction.value == self._value:
+            return
+        self._value = transaction.value
+        self.last_event_time_s = self._simulator.now
+        self._notify()
+
+    def _notify(self) -> None:
+        for callback in list(self._subscribers):
+            callback(self, self._simulator.now)
+
+    # -- helpers -------------------------------------------------------------
+
+    def on_edge(self, callback: Callable[["Signal", float], None],
+                polarity: str = Edge.RISING) -> Callable[[], None]:
+        """Subscribe to a particular edge polarity of a binary signal."""
+        if polarity not in (Edge.RISING, Edge.FALLING, Edge.ANY):
+            raise SimulationError(f"unknown edge polarity {polarity!r}")
+
+        def filtered(signal: "Signal", time_s: float) -> None:
+            if polarity == Edge.ANY:
+                callback(signal, time_s)
+            elif polarity == Edge.RISING and signal.value == 1:
+                callback(signal, time_s)
+            elif polarity == Edge.FALLING and signal.value == 0:
+                callback(signal, time_s)
+
+        return self.subscribe(filtered)
+
+    def pending_transactions(self) -> list[tuple[float, object]]:
+        """Return the (time, value) pairs currently scheduled (for inspection)."""
+        return [(t.time_s, t.value) for t in self._pending if not t.cancelled]
+
+
+def bus(simulator: Simulator, prefix: str, width: int, initial=0) -> list[Signal]:
+    """Create a list of *width* signals named ``prefix[i]``."""
+    return [Signal(simulator, f"{prefix}[{index}]", initial) for index in range(width)]

@@ -1,0 +1,34 @@
+"""Gate-level CML library: combinational gates, storage, delay line, gated ring."""
+
+from .cml import CmlGate, CmlTiming
+from .logic import (
+    And2Gate,
+    BufferGate,
+    InverterGate,
+    Mux2Gate,
+    Nand2Gate,
+    Or2Gate,
+    Xnor2Gate,
+    Xor2Gate,
+)
+from .storage import CmlFlipFlop, CmlLatch
+from .delay_line import DelayLine
+from .ring import GatedRingOscillator, GccoParameters
+
+__all__ = [
+    "CmlGate",
+    "CmlTiming",
+    "And2Gate",
+    "BufferGate",
+    "InverterGate",
+    "Mux2Gate",
+    "Nand2Gate",
+    "Or2Gate",
+    "Xnor2Gate",
+    "Xor2Gate",
+    "CmlFlipFlop",
+    "CmlLatch",
+    "DelayLine",
+    "GatedRingOscillator",
+    "GccoParameters",
+]

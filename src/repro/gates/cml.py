@@ -1,0 +1,155 @@
+"""Base classes for behavioural current-mode-logic (CML) gates.
+
+The whole CDR is built from fully differential CML two-input gates (paper
+section 2.2).  At the behavioural level each gate is characterised by
+
+* a nominal propagation delay,
+* a *per-input* additional delay — the stacked differential pairs of a CML
+  gate give the lower input a longer input-to-output delay than the upper one,
+  the non-ideality that the VHDL model exposed as the edge-detector problem in
+  section 3.3a,
+* Gaussian delay jitter (fractional sigma), re-drawn for every output event,
+  which models the thermal noise of the cell exactly as the VHDL model does
+  with its ``awgn`` call,
+* a rising/falling asymmetry (duty-cycle distortion) if desired.
+
+Because the logic is differential, logical inversion is free (swap the output
+wires); the behavioural models therefore expose an ``invert_output`` flag
+rather than separate inverter cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import require_non_negative, require_positive
+from ..events.signal import Signal
+
+__all__ = ["CmlTiming", "CmlGate"]
+
+
+@dataclass(frozen=True)
+class CmlTiming:
+    """Timing parameters of a behavioural CML gate.
+
+    Attributes
+    ----------
+    nominal_delay_s:
+        Input-to-output propagation delay for the fastest input.
+    input_skew_s:
+        Extra delay per input index: input ``i`` has delay
+        ``nominal_delay_s + input_skew_s[i]``.  Defaults to zero skew.
+    jitter_sigma_fraction:
+        Standard deviation of the Gaussian delay jitter as a fraction of the
+        nominal delay (the VHDL model's ``cdr_gcco_jit_sigma``).
+    rise_fall_mismatch_s:
+        Extra delay applied to falling output transitions (duty-cycle
+        distortion); negative values make falling edges faster.
+    """
+
+    nominal_delay_s: float
+    input_skew_s: tuple[float, ...] = ()
+    jitter_sigma_fraction: float = 0.0
+    rise_fall_mismatch_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("nominal_delay_s", self.nominal_delay_s)
+        require_non_negative("jitter_sigma_fraction", self.jitter_sigma_fraction)
+        for index, skew in enumerate(self.input_skew_s):
+            require_non_negative(f"input_skew_s[{index}]", skew)
+
+    def delay_for_input(self, input_index: int) -> float:
+        """Nominal delay seen from input *input_index* (no jitter applied)."""
+        skew = 0.0
+        if input_index < len(self.input_skew_s):
+            skew = self.input_skew_s[input_index]
+        return self.nominal_delay_s + skew
+
+    def with_delay(self, nominal_delay_s: float) -> "CmlTiming":
+        """Return a copy with a different nominal delay (same skew/jitter)."""
+        return replace(self, nominal_delay_s=nominal_delay_s)
+
+
+class CmlGate:
+    """Behavioural combinational CML gate.
+
+    Subclasses (or callers) provide ``evaluate(values) -> 0/1``; the gate
+    subscribes to its inputs, and on every input event schedules the new
+    output value with the per-input delay, the optional rise/fall mismatch and
+    a fresh Gaussian jitter draw — the same recipe as the VHDL processes of
+    Figure 12.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[Signal],
+        output: Signal,
+        evaluate: Callable[[Sequence[int]], int],
+        timing: CmlTiming,
+        *,
+        invert_output: bool = False,
+        rng: np.random.Generator | None = None,
+        delay_scale: Callable[[], float] | None = None,
+    ) -> None:
+        if not inputs:
+            raise ValueError(f"gate {name!r} needs at least one input")
+        self.name = name
+        self.inputs = list(inputs)
+        self.output = output
+        self.timing = timing
+        self.invert_output = invert_output
+        self._evaluate = evaluate
+        self._rng = rng or np.random.default_rng()
+        self._delay_scale = delay_scale
+        self.event_count = 0
+        for index, signal in enumerate(self.inputs):
+            signal.subscribe(self._make_listener(index))
+
+    def _make_listener(self, input_index: int) -> Callable[[Signal, float], None]:
+        def on_input_event(_signal: Signal, _time_s: float) -> None:
+            self._schedule_output(input_index)
+
+        return on_input_event
+
+    # -- evaluation ----------------------------------------------------------
+
+    def current_output_value(self) -> int:
+        """Combinationally evaluate the output for the present input values."""
+        values = [int(signal.value) for signal in self.inputs]
+        result = int(self._evaluate(values)) & 1
+        if self.invert_output:
+            result ^= 1
+        return result
+
+    def propagation_delay(self, input_index: int, new_value: int) -> float:
+        """Delay used for the next output event triggered from *input_index*."""
+        delay = self.timing.delay_for_input(input_index)
+        if self._delay_scale is not None:
+            delay = delay * float(self._delay_scale())
+        if new_value == 0 and self.timing.rise_fall_mismatch_s:
+            delay = delay + self.timing.rise_fall_mismatch_s
+        if self.timing.jitter_sigma_fraction > 0.0:
+            delay = delay * (1.0 + self._rng.normal(0.0, self.timing.jitter_sigma_fraction))
+        return max(delay, 1.0e-15)
+
+    def _schedule_output(self, input_index: int) -> None:
+        new_value = self.current_output_value()
+        delay = self.propagation_delay(input_index, new_value)
+        self.output.assign(new_value, delay)
+        self.event_count += 1
+
+    def evaluate_now(self) -> None:
+        """Schedule an output update as if input 0 had just changed.
+
+        Used to kick feedback loops (ring oscillators) at time zero, when no
+        external input event exists yet.
+        """
+        self._schedule_output(0)
+
+    def settle(self) -> None:
+        """Force the output to its combinational value immediately (initialisation)."""
+        self.output.force(self.current_output_value())

@@ -1,0 +1,152 @@
+"""Open-loop oscillator jitter accumulation.
+
+A gated oscillator is only re-phased at data transitions.  Between two
+transitions it free-runs and its timing error accumulates as a random walk:
+after ``n`` oscillation periods the accumulated jitter standard deviation is
+
+    sigma(n) = kappa * sqrt(n * T_osc)        (McNeill / Hajimiri convention)
+
+where ``kappa`` is the jitter accumulation figure of merit of the oscillator
+(units sqrt(seconds)).  This module converts between kappa, per-cycle jitter
+and the UI-referred oscillator jitter budget of the paper (0.01 UI rms at
+CID = 5, section 3.2), and provides the accumulation law the statistical BER
+model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+from .._validation import require_non_negative, require_positive, require_positive_int
+
+__all__ = [
+    "OscillatorJitterBudget",
+    "accumulated_sigma_seconds",
+    "accumulated_sigma_ui",
+    "kappa_from_per_cycle_sigma",
+    "per_cycle_sigma_from_kappa",
+    "kappa_for_ui_budget",
+    "ui_budget_from_kappa",
+    "PAPER_CKJ_UI_RMS",
+    "PAPER_WORST_CASE_CID",
+]
+
+#: The paper's oscillator-jitter budget: 0.01 UI rms for CID = 5 (section 3.2).
+PAPER_CKJ_UI_RMS = 0.01
+
+#: Worst-case consecutive identical digits for 8b/10b coded data.
+PAPER_WORST_CASE_CID = 5
+
+
+def accumulated_sigma_seconds(kappa: float, elapsed_s: float) -> float:
+    """RMS accumulated jitter (seconds) after free-running for *elapsed_s* seconds.
+
+    Implements the random-walk law ``sigma = kappa * sqrt(elapsed)``.
+    """
+    require_non_negative("kappa", kappa)
+    require_non_negative("elapsed_s", elapsed_s)
+    return kappa * float(np.sqrt(elapsed_s))
+
+
+def accumulated_sigma_ui(kappa: float, elapsed_ui: float,
+                         bit_rate_hz: float = units.DEFAULT_BIT_RATE) -> float:
+    """RMS accumulated jitter (UI) after free-running for *elapsed_ui* unit intervals."""
+    elapsed_s = units.ui_to_seconds(elapsed_ui, bit_rate_hz)
+    sigma_s = accumulated_sigma_seconds(kappa, elapsed_s)
+    return units.seconds_to_ui(sigma_s, bit_rate_hz)
+
+
+def kappa_from_per_cycle_sigma(sigma_per_cycle_s: float, period_s: float) -> float:
+    """Convert a per-cycle jitter sigma to the kappa figure of merit.
+
+    ``sigma(1 cycle) = kappa * sqrt(T)``  →  ``kappa = sigma / sqrt(T)``.
+    """
+    require_non_negative("sigma_per_cycle_s", sigma_per_cycle_s)
+    require_positive("period_s", period_s)
+    return sigma_per_cycle_s / float(np.sqrt(period_s))
+
+
+def per_cycle_sigma_from_kappa(kappa: float, period_s: float) -> float:
+    """Convert kappa back to the RMS jitter accumulated over one period."""
+    require_non_negative("kappa", kappa)
+    require_positive("period_s", period_s)
+    return kappa * float(np.sqrt(period_s))
+
+
+def kappa_for_ui_budget(budget_ui_rms: float = PAPER_CKJ_UI_RMS,
+                        cid: int = PAPER_WORST_CASE_CID,
+                        bit_rate_hz: float = units.DEFAULT_BIT_RATE) -> float:
+    """Maximum kappa that keeps accumulated jitter below *budget_ui_rms* at *cid*.
+
+    This is the quantity read off Figure 11 to choose the oscillator bias
+    point: the oscillator may accumulate at most ``budget_ui_rms`` UI of rms
+    jitter while free-running across ``cid`` bit periods.
+    """
+    require_positive("budget_ui_rms", budget_ui_rms)
+    cid = require_positive_int("cid", cid)
+    elapsed_s = units.ui_to_seconds(float(cid), bit_rate_hz)
+    budget_s = units.ui_to_seconds(budget_ui_rms, bit_rate_hz)
+    return budget_s / float(np.sqrt(elapsed_s))
+
+
+def ui_budget_from_kappa(kappa: float, cid: int = PAPER_WORST_CASE_CID,
+                         bit_rate_hz: float = units.DEFAULT_BIT_RATE) -> float:
+    """Accumulated rms jitter (UI) of an oscillator with figure of merit *kappa* at *cid*."""
+    return accumulated_sigma_ui(kappa, float(require_positive_int("cid", cid)), bit_rate_hz)
+
+
+@dataclass(frozen=True)
+class OscillatorJitterBudget:
+    """Oscillator jitter budget linking the system target to the circuit design.
+
+    Parameters
+    ----------
+    budget_ui_rms:
+        Allowed accumulated rms jitter, referred to the sampling instant, at
+        the worst-case run length (paper: 0.01 UI).
+    cid:
+        Worst-case consecutive identical digits (paper: 5 for 8b/10b).
+    bit_rate_hz:
+        Channel data rate.
+    """
+
+    budget_ui_rms: float = PAPER_CKJ_UI_RMS
+    cid: int = PAPER_WORST_CASE_CID
+    bit_rate_hz: float = units.DEFAULT_BIT_RATE
+
+    def __post_init__(self) -> None:
+        require_positive("budget_ui_rms", self.budget_ui_rms)
+        require_positive_int("cid", self.cid)
+        require_positive("bit_rate_hz", self.bit_rate_hz)
+
+    @property
+    def kappa_max(self) -> float:
+        """Maximum allowed jitter figure of merit [sqrt(s)]."""
+        return kappa_for_ui_budget(self.budget_ui_rms, self.cid, self.bit_rate_hz)
+
+    @property
+    def sigma_per_bit_ui(self) -> float:
+        """Per-bit-period rms jitter implied by the budget."""
+        return self.budget_ui_rms / float(np.sqrt(self.cid))
+
+    def sigma_at_position_ui(self, position: int | np.ndarray) -> np.ndarray:
+        """RMS accumulated jitter (UI) when sampling the *position*-th bit of a run.
+
+        The oscillator is re-phased at the transition that starts the run; by
+        the time the ``i``-th bit of the run is sampled it has free-run for
+        roughly ``i`` bit periods (half a period to the first sampling edge,
+        plus ``i - 1`` full periods, rounded up to ``i`` for a slightly
+        conservative budget).
+        """
+        position_array = np.asarray(position, dtype=float)
+        if np.any(position_array < 1):
+            raise ValueError("bit positions are 1-based and must be >= 1")
+        return self.sigma_per_bit_ui * np.sqrt(position_array)
+
+    def satisfied_by(self, kappa: float) -> bool:
+        """Return True if an oscillator with figure of merit *kappa* meets the budget."""
+        require_non_negative("kappa", kappa)
+        return kappa <= self.kappa_max * (1.0 + 1.0e-12)

@@ -1,0 +1,267 @@
+"""Time-domain jitter source models.
+
+Where :mod:`repro.jitter.pdf` provides the *statistical* description used by
+the analytic BER model, this module provides matching *time-domain* sources
+for the event-driven (VHDL-like) and circuit-level simulators, so that both
+levels of the design flow consume exactly the same jitter specification
+(Table 1 of the paper).
+
+Every source maps an edge time (or edge index) to a timing displacement in
+unit intervals and exposes the matching :class:`~repro.jitter.pdf.Pdf` so the
+statistical and behavioural models can be cross-validated.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import units
+from .._validation import require_non_negative, require_positive
+from .pdf import DEFAULT_GRID_STEP_UI, Pdf, delta_pdf, gaussian_pdf, sinusoidal_pdf, uniform_pdf
+
+__all__ = [
+    "JitterSource",
+    "NoJitter",
+    "RandomJitter",
+    "DeterministicJitter",
+    "SinusoidalJitter",
+    "BoundedUncorrelatedJitter",
+    "CompositeJitter",
+    "table1_jitter_sources",
+]
+
+
+class JitterSource(ABC):
+    """Abstract time-domain jitter source.
+
+    Subclasses implement :meth:`displacement_ui`, mapping absolute edge times
+    (seconds) to a timing displacement in UI, and :meth:`pdf`, returning the
+    marginal distribution of that displacement.
+    """
+
+    @abstractmethod
+    def displacement_ui(self, edge_times_s: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
+        """Return the displacement (UI) applied to each edge at *edge_times_s*."""
+
+    @abstractmethod
+    def pdf(self, step: float = DEFAULT_GRID_STEP_UI) -> Pdf:
+        """Return the marginal probability density of the displacement (UI)."""
+
+    @abstractmethod
+    def rms_ui(self) -> float:
+        """Return the RMS displacement in UI."""
+
+    def peak_to_peak_ui(self) -> float:
+        """Return the bounded peak-to-peak displacement (inf for unbounded sources)."""
+        return math.inf
+
+
+@dataclass(frozen=True)
+class NoJitter(JitterSource):
+    """A source that contributes no displacement (useful as a neutral element)."""
+
+    def displacement_ui(self, edge_times_s: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(np.asarray(edge_times_s).shape, dtype=float)
+
+    def pdf(self, step: float = DEFAULT_GRID_STEP_UI) -> Pdf:
+        return delta_pdf(0.0, step)
+
+    def rms_ui(self) -> float:
+        return 0.0
+
+    def peak_to_peak_ui(self) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class RandomJitter(JitterSource):
+    """Unbounded Gaussian (thermal-noise) jitter — paper Table 1 'RJ'."""
+
+    sigma_ui: float = 0.021
+
+    def __post_init__(self) -> None:
+        require_non_negative("sigma_ui", self.sigma_ui)
+
+    def displacement_ui(self, edge_times_s: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
+        shape = np.asarray(edge_times_s).shape
+        if self.sigma_ui == 0.0:
+            return np.zeros(shape, dtype=float)
+        return rng.normal(0.0, self.sigma_ui, size=shape)
+
+    def pdf(self, step: float = DEFAULT_GRID_STEP_UI) -> Pdf:
+        return gaussian_pdf(self.sigma_ui, step)
+
+    def rms_ui(self) -> float:
+        return self.sigma_ui
+
+
+@dataclass(frozen=True)
+class DeterministicJitter(JitterSource):
+    """Bounded, uniformly distributed jitter — paper Table 1 'DJ'.
+
+    The uniform PDF is the paper's explicit modelling choice for deterministic
+    (data-dependent / duty-cycle) jitter.
+    """
+
+    peak_to_peak_ui_pp: float = 0.4
+
+    def __post_init__(self) -> None:
+        require_non_negative("peak_to_peak_ui_pp", self.peak_to_peak_ui_pp)
+
+    def displacement_ui(self, edge_times_s: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
+        shape = np.asarray(edge_times_s).shape
+        half = 0.5 * self.peak_to_peak_ui_pp
+        if half == 0.0:
+            return np.zeros(shape, dtype=float)
+        return rng.uniform(-half, half, size=shape)
+
+    def pdf(self, step: float = DEFAULT_GRID_STEP_UI) -> Pdf:
+        return uniform_pdf(self.peak_to_peak_ui_pp, step)
+
+    def rms_ui(self) -> float:
+        return units.peak_to_peak_to_rms_uniform(self.peak_to_peak_ui_pp)
+
+    def peak_to_peak_ui(self) -> float:
+        return self.peak_to_peak_ui_pp
+
+
+@dataclass(frozen=True)
+class SinusoidalJitter(JitterSource):
+    """Sinusoidal jitter at a single frequency — the swept stressor of JTOL tests.
+
+    The displacement of an edge at absolute time ``t`` is
+    ``(A_pp / 2) * sin(2*pi*f*t + phase)``.
+    """
+
+    amplitude_ui_pp: float
+    frequency_hz: float
+    phase_rad: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_non_negative("amplitude_ui_pp", self.amplitude_ui_pp)
+        require_positive("frequency_hz", self.frequency_hz)
+
+    def displacement_ui(self, edge_times_s: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
+        edge_times_s = np.asarray(edge_times_s, dtype=float)
+        omega = 2.0 * math.pi * self.frequency_hz
+        return 0.5 * self.amplitude_ui_pp * np.sin(omega * edge_times_s + self.phase_rad)
+
+    def pdf(self, step: float = DEFAULT_GRID_STEP_UI) -> Pdf:
+        return sinusoidal_pdf(self.amplitude_ui_pp, step)
+
+    def rms_ui(self) -> float:
+        return units.peak_to_peak_to_rms_sine(self.amplitude_ui_pp)
+
+    def peak_to_peak_ui(self) -> float:
+        return self.amplitude_ui_pp
+
+    def relative_amplitude_over_gap_ui_pp(self, gap_ui: float,
+                                          bit_rate_hz: float = units.DEFAULT_BIT_RATE
+                                          ) -> float:
+        """Peak-to-peak amplitude of the *differential* SJ over a gap of ``gap_ui``.
+
+        The gated oscillator is re-phased at every transition; what matters for
+        the BER of a bit ``k`` UI after the trigger is the *difference* of the
+        sinusoidal displacement between the two edges.  The difference of two
+        sinusoids of amplitude ``a`` separated by ``delta`` radians is a
+        sinusoid of amplitude ``2*a*sin(delta/2)``, hence the well known
+        high-pass characteristic of gated-oscillator CDRs (flat at high
+        frequency, 20 dB/dec roll-off of sensitivity towards DC).
+        """
+        require_non_negative("gap_ui", gap_ui)
+        phase_gap = math.pi * self.frequency_hz * gap_ui / bit_rate_hz
+        return 2.0 * self.amplitude_ui_pp * abs(math.sin(phase_gap))
+
+
+@dataclass(frozen=True)
+class BoundedUncorrelatedJitter(JitterSource):
+    """Bounded uncorrelated jitter (BUJ), modelled as a truncated Gaussian.
+
+    Crosstalk from neighbouring channels of the multi-channel receiver is
+    commonly characterised as BUJ; it is not part of Table 1 but is provided
+    for the multi-channel experiments.
+    """
+
+    peak_to_peak_ui_pp: float
+    sigma_ui: float
+
+    def __post_init__(self) -> None:
+        require_non_negative("peak_to_peak_ui_pp", self.peak_to_peak_ui_pp)
+        require_non_negative("sigma_ui", self.sigma_ui)
+
+    def displacement_ui(self, edge_times_s: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
+        shape = np.asarray(edge_times_s).shape
+        if self.sigma_ui == 0.0 or self.peak_to_peak_ui_pp == 0.0:
+            return np.zeros(shape, dtype=float)
+        half = 0.5 * self.peak_to_peak_ui_pp
+        draws = rng.normal(0.0, self.sigma_ui, size=shape)
+        return np.clip(draws, -half, half)
+
+    def pdf(self, step: float = DEFAULT_GRID_STEP_UI) -> Pdf:
+        if self.sigma_ui == 0.0 or self.peak_to_peak_ui_pp == 0.0:
+            return delta_pdf(0.0, step)
+        base = gaussian_pdf(self.sigma_ui, step)
+        half = 0.5 * self.peak_to_peak_ui_pp
+        density = np.where(np.abs(base.grid) <= half, base.density, 0.0)
+        clipped = Pdf(base.grid, density)
+        return clipped.normalised()
+
+    def rms_ui(self) -> float:
+        return float(self.pdf().std())
+
+    def peak_to_peak_ui(self) -> float:
+        return self.peak_to_peak_ui_pp
+
+
+@dataclass(frozen=True)
+class CompositeJitter(JitterSource):
+    """Sum of independent jitter sources."""
+
+    sources: tuple[JitterSource, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not all(isinstance(source, JitterSource) for source in self.sources):
+            raise TypeError("all elements of sources must be JitterSource instances")
+
+    def displacement_ui(self, edge_times_s: np.ndarray,
+                        rng: np.random.Generator) -> np.ndarray:
+        edge_times_s = np.asarray(edge_times_s, dtype=float)
+        total = np.zeros(edge_times_s.shape, dtype=float)
+        for source in self.sources:
+            total = total + source.displacement_ui(edge_times_s, rng)
+        return total
+
+    def pdf(self, step: float = DEFAULT_GRID_STEP_UI) -> Pdf:
+        result = delta_pdf(0.0, step)
+        for source in self.sources:
+            result = result.convolve(source.pdf(step))
+        return result
+
+    def rms_ui(self) -> float:
+        return math.sqrt(sum(source.rms_ui() ** 2 for source in self.sources))
+
+    def peak_to_peak_ui(self) -> float:
+        return sum(source.peak_to_peak_ui() for source in self.sources)
+
+
+def table1_jitter_sources(sj_amplitude_ui_pp: float = 0.0,
+                          sj_frequency_hz: float = 100.0e6) -> CompositeJitter:
+    """Return the paper's Table 1 jitter mix as a composite time-domain source.
+
+    DJ = 0.4 UIpp (uniform), RJ = 0.021 UIrms (Gaussian) and an optional
+    sinusoidal component (amplitude swept in the JTOL experiments).
+    """
+    sources: list[JitterSource] = [DeterministicJitter(0.4), RandomJitter(0.021)]
+    if sj_amplitude_ui_pp > 0.0:
+        sources.append(SinusoidalJitter(sj_amplitude_ui_pp, sj_frequency_hz))
+    return CompositeJitter(tuple(sources))

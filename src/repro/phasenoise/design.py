@@ -1,0 +1,250 @@
+"""Top-down oscillator and channel power design (the paper's section 3.2 flow).
+
+Two constraints set the CML bias current of the gated oscillator:
+
+1. **Speed** — four differential stages must oscillate at the bit rate
+   (2.5 GHz), so each stage delay must equal ``1 / (2 * N * f_osc)`` = 50 ps.
+   With a resistive load the delay is ``ln(2) * R_L * C_L`` and the load
+   capacitance grows with the device width (itself proportional to the bias
+   current), so the required current follows from the fixed (wiring + fan-out)
+   part of the load.
+2. **Phase noise** — the kappa implied by equation 1 must keep the jitter
+   accumulated over the worst-case run (CID = 5) below the 0.01 UI rms budget.
+
+The design point is the larger of the two currents; the resulting per-channel
+power (oscillator + edge detector + sampler + output buffer, plus the
+amortised share of the multi-channel PLL) is reported in mW per Gbit/s — the
+paper's headline metric (< 5 mW/Gbit/s).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .. import units
+from .._validation import require_non_negative, require_positive, require_positive_int
+from ..jitter.accumulation import OscillatorJitterBudget
+from .formulas import (
+    DEFAULT_NOISE_FACTOR_GAMMA,
+    DEFAULT_RISE_TIME_RATIO_ETA,
+    CmlStageBias,
+    kappa_hajimiri,
+    kappa_mcneill,
+    phase_noise_dbc_per_hz,
+)
+
+__all__ = [
+    "StageLoadModel",
+    "ChannelCellBudget",
+    "RingOscillatorDesign",
+    "ChannelPowerReport",
+    "design_oscillator",
+    "channel_power_report",
+]
+
+#: Natural-log-of-2 factor between an RC time constant and a 50 % swing delay.
+_LN2 = math.log(2.0)
+
+
+@dataclass(frozen=True)
+class StageLoadModel:
+    """Capacitive load seen by one CML stage.
+
+    ``C_load = fixed_f + per_ampere_f * I_SS`` — the second term models the
+    self-loading of the switching pair and the input capacitance of the next
+    (identically sized) stage, both of which scale with the device width and
+    therefore with the bias current at constant overdrive.
+    """
+
+    fixed_f: float = 25.0e-15
+    per_ampere_f: float = 40.0e-12
+
+    def __post_init__(self) -> None:
+        require_positive("fixed_f", self.fixed_f)
+        require_non_negative("per_ampere_f", self.per_ampere_f)
+
+    def load_f(self, tail_current_a: float) -> float:
+        """Total load capacitance at the given bias current."""
+        require_positive("tail_current_a", tail_current_a)
+        return self.fixed_f + self.per_ampere_f * tail_current_a
+
+
+@dataclass(frozen=True)
+class ChannelCellBudget:
+    """Cell count of one CDR channel, used for the power roll-up.
+
+    Defaults follow Figure 7 / 15 of the paper: a four-stage gated ring
+    oscillator, a two-cell edge-detector delay line, the XOR edge detector, the
+    dummy gate compensating the NAND input mismatch, a master-slave sampler
+    (two latches) and one output buffer.
+    """
+
+    oscillator_stages: int = 4
+    delay_line_cells: int = 2
+    edge_detector_gates: int = 2
+    sampler_latches: int = 2
+    output_buffers: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("oscillator_stages", "delay_line_cells", "edge_detector_gates",
+                     "sampler_latches", "output_buffers"):
+            require_positive_int(name, getattr(self, name))
+
+    @property
+    def total_cells(self) -> int:
+        """Total number of CML cells in the channel."""
+        return (self.oscillator_stages + self.delay_line_cells + self.edge_detector_gates
+                + self.sampler_latches + self.output_buffers)
+
+
+@dataclass(frozen=True)
+class RingOscillatorDesign:
+    """Result of the oscillator design solve."""
+
+    bias: CmlStageBias
+    n_stages: int
+    oscillation_frequency_hz: float
+    stage_delay_s: float
+    load_capacitance_f: float
+    kappa: float
+    kappa_mcneill: float
+    kappa_budget: float
+    speed_limited: bool
+    noise_limited: bool
+
+    @property
+    def oscillator_power_w(self) -> float:
+        """Static power of the ring oscillator."""
+        return self.bias.power_w * self.n_stages
+
+    @property
+    def accumulated_jitter_ui_rms(self) -> float:
+        """Jitter accumulated over the worst-case CID (5 bits), in UI rms."""
+        elapsed_s = 5.0 / self.oscillation_frequency_hz
+        sigma_s = self.kappa * math.sqrt(elapsed_s)
+        return sigma_s * self.oscillation_frequency_hz
+
+    def phase_noise_dbc(self, offset_hz: float = 1.0e6) -> float:
+        """Single-sideband phase noise at the given offset."""
+        return phase_noise_dbc_per_hz(self.kappa, self.oscillation_frequency_hz, offset_hz)
+
+
+def design_oscillator(
+    *,
+    bit_rate_hz: float = units.DEFAULT_BIT_RATE,
+    n_stages: int = 4,
+    swing_v: float = 0.4,
+    supply_v: float = 1.8,
+    load: StageLoadModel | None = None,
+    budget: OscillatorJitterBudget | None = None,
+    gamma: float = DEFAULT_NOISE_FACTOR_GAMMA,
+    eta: float = DEFAULT_RISE_TIME_RATIO_ETA,
+) -> RingOscillatorDesign:
+    """Solve for the minimum-power oscillator bias meeting speed and noise.
+
+    Raises ``ValueError`` when the intrinsic (self-loading) delay alone already
+    exceeds the required stage delay — i.e. the requested frequency is not
+    reachable in this load model regardless of power.
+    """
+    require_positive("bit_rate_hz", bit_rate_hz)
+    n_stages = require_positive_int("n_stages", n_stages)
+    require_positive("swing_v", swing_v)
+    require_positive("supply_v", supply_v)
+    load = load or StageLoadModel()
+    budget = budget or OscillatorJitterBudget(bit_rate_hz=bit_rate_hz)
+
+    oscillation_frequency = bit_rate_hz  # full-rate clock recovery
+    stage_delay = 1.0 / (2.0 * n_stages * oscillation_frequency)
+
+    # Speed constraint: ln2 * (swing / I) * (C_fixed + c_I * I) <= stage_delay
+    #  =>  I >= ln2 * swing * C_fixed / (stage_delay - ln2 * swing * c_I)
+    intrinsic_delay = _LN2 * swing_v * load.per_ampere_f
+    if intrinsic_delay >= stage_delay:
+        raise ValueError(
+            "requested oscillation frequency is unreachable: intrinsic stage delay "
+            f"{intrinsic_delay:.3e}s exceeds the required {stage_delay:.3e}s"
+        )
+    current_for_speed = _LN2 * swing_v * load.fixed_f / (stage_delay - intrinsic_delay)
+
+    # Noise constraint: kappa(I) <= kappa_max.  kappa^2 = A / I with
+    # A = 8 k T gamma / (3 eta) * (1/swing + 1/swing) because R_L * I = swing.
+    kt = units.BOLTZMANN_K * units.ROOM_TEMPERATURE_K
+    kappa_budget = budget.kappa_max
+    a_coefficient = (8.0 * kt * gamma) / (3.0 * eta) * (2.0 / swing_v)
+    current_for_noise = a_coefficient / (kappa_budget ** 2)
+
+    tail_current = max(current_for_speed, current_for_noise)
+    bias = CmlStageBias.from_current_and_swing(tail_current, swing_v, supply_v)
+    kappa = kappa_hajimiri(bias, gamma=gamma, eta=eta)
+    kappa_m = kappa_mcneill(bias, gamma=gamma)
+
+    return RingOscillatorDesign(
+        bias=bias,
+        n_stages=n_stages,
+        oscillation_frequency_hz=oscillation_frequency,
+        stage_delay_s=stage_delay,
+        load_capacitance_f=load.load_f(tail_current),
+        kappa=kappa,
+        kappa_mcneill=kappa_m,
+        kappa_budget=kappa_budget,
+        speed_limited=current_for_speed >= current_for_noise,
+        noise_limited=current_for_noise > current_for_speed,
+    )
+
+
+@dataclass(frozen=True)
+class ChannelPowerReport:
+    """Per-channel power roll-up in the paper's mW/Gbit/s terms."""
+
+    oscillator_design: RingOscillatorDesign
+    cells: ChannelCellBudget
+    channel_power_w: float
+    shared_pll_power_w: float
+    n_channels: int
+    bit_rate_hz: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Channel power including the amortised share of the shared PLL."""
+        return self.channel_power_w + self.shared_pll_power_w / self.n_channels
+
+    @property
+    def power_per_gbps_mw(self) -> float:
+        """Power efficiency in mW per Gbit/s."""
+        return units.power_per_gbps(self.total_power_w, self.bit_rate_hz)
+
+    def meets_target(self, target_mw_per_gbps: float = 5.0) -> bool:
+        """True when the design meets the paper's 5 mW/Gbit/s headline target."""
+        return self.power_per_gbps_mw <= target_mw_per_gbps
+
+
+def channel_power_report(
+    design: RingOscillatorDesign | None = None,
+    *,
+    cells: ChannelCellBudget | None = None,
+    shared_pll_power_w: float = 6.0e-3,
+    n_channels: int = 4,
+    bit_rate_hz: float = units.DEFAULT_BIT_RATE,
+) -> ChannelPowerReport:
+    """Roll up the per-channel power from the oscillator design point.
+
+    Every CML cell in the channel runs at the same bias current as the
+    oscillator stages (the paper builds the delay line and the ring from
+    identical two-input gates), so the channel power is simply
+    ``total_cells * I_SS * V_DD`` plus the amortised shared-PLL power.
+    """
+    design = design or design_oscillator(bit_rate_hz=bit_rate_hz)
+    cells = cells or ChannelCellBudget()
+    require_positive("shared_pll_power_w", shared_pll_power_w)
+    n_channels = require_positive_int("n_channels", n_channels)
+
+    channel_power = design.bias.power_w * cells.total_cells
+    return ChannelPowerReport(
+        oscillator_design=design,
+        cells=cells,
+        channel_power_w=channel_power,
+        shared_pll_power_w=shared_pll_power_w,
+        n_channels=n_channels,
+        bit_rate_hz=bit_rate_hz,
+    )

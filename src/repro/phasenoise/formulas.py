@@ -1,0 +1,174 @@
+"""Ring-oscillator jitter / phase-noise formulas (Hajimiri and McNeill).
+
+Section 3.2 of the paper sizes the oscillator from its equation 1 (after
+Hajimiri's analysis of jitter in ring oscillators) and compares it with "a
+variation of McNeill's formula".  Both express the oscillator's *jitter
+accumulation figure of merit* ``kappa`` (units sqrt(seconds)), defined through
+the open-loop random-walk law
+
+    sigma_jitter(delta_t) = kappa * sqrt(delta_t).
+
+Equation 1 of the paper, for a differential current-mode-logic (CML) delay
+stage with tail current ``I_SS``, load resistance ``R_L`` and differential
+swing ``dV``::
+
+    kappa = sqrt( (8 * k * T * gamma) / (3 * eta * I_SS)
+                  * ( 1 / dV  +  1 / (R_L * I_SS) ) )
+
+where ``gamma`` is the channel thermal-noise factor of the active devices and
+``eta`` relates rise time to cell delay.  The McNeill variant used for
+comparison applies the noise factor to the device term only — the two formulas
+agree within a small factor over the design space, which is exactly the point
+Figure 11 makes.
+
+The same module provides the standard conversions between ``kappa``, per-cycle
+jitter, and single-sideband phase noise ``L(f_offset) = kappa^2 * f0^3 /
+f_offset^2`` (McNeill 1997).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .. import units
+from .._validation import require_non_negative, require_positive
+
+__all__ = [
+    "CmlStageBias",
+    "kappa_hajimiri",
+    "kappa_mcneill",
+    "phase_noise_dbc_per_hz",
+    "kappa_from_phase_noise",
+    "period_jitter_rms",
+    "DEFAULT_NOISE_FACTOR_GAMMA",
+    "DEFAULT_RISE_TIME_RATIO_ETA",
+]
+
+#: Long-channel thermal-noise factor; short-channel 0.18 um devices are noisier.
+DEFAULT_NOISE_FACTOR_GAMMA = 1.5
+
+#: Ratio between rise time and cell delay for CML stages (Hajimiri's eta).
+DEFAULT_RISE_TIME_RATIO_ETA = 0.75
+
+
+@dataclass(frozen=True)
+class CmlStageBias:
+    """Bias point of one differential CML delay stage.
+
+    Attributes
+    ----------
+    tail_current_a:
+        Tail (bias) current ``I_SS`` of the stage.
+    load_resistance_ohm:
+        Load resistance ``R_L`` of each branch.
+    swing_v:
+        Differential output swing ``dV = I_SS * R_L`` (stored explicitly so a
+        reduced-swing design can be expressed).
+    supply_v:
+        Supply voltage, used for power calculations.
+    """
+
+    tail_current_a: float
+    load_resistance_ohm: float
+    swing_v: float
+    supply_v: float = 1.8
+
+    def __post_init__(self) -> None:
+        require_positive("tail_current_a", self.tail_current_a)
+        require_positive("load_resistance_ohm", self.load_resistance_ohm)
+        require_positive("swing_v", self.swing_v)
+        require_positive("supply_v", self.supply_v)
+
+    @classmethod
+    def from_current_and_swing(cls, tail_current_a: float, swing_v: float,
+                               supply_v: float = 1.8) -> "CmlStageBias":
+        """Construct the bias point implied by a current and a full-switching swing."""
+        require_positive("tail_current_a", tail_current_a)
+        require_positive("swing_v", swing_v)
+        return cls(
+            tail_current_a=tail_current_a,
+            load_resistance_ohm=swing_v / tail_current_a,
+            swing_v=swing_v,
+            supply_v=supply_v,
+        )
+
+    @property
+    def power_w(self) -> float:
+        """Static power drawn by the stage (CML current is constant)."""
+        return self.tail_current_a * self.supply_v
+
+
+def kappa_hajimiri(
+    bias: CmlStageBias,
+    *,
+    gamma: float = DEFAULT_NOISE_FACTOR_GAMMA,
+    eta: float = DEFAULT_RISE_TIME_RATIO_ETA,
+    temperature_k: float = units.ROOM_TEMPERATURE_K,
+) -> float:
+    """Jitter figure of merit of a CML ring stage per equation 1 of the paper.
+
+    Returns ``kappa`` in sqrt(seconds): the rms jitter accumulated over a free
+    run of duration ``dt`` is ``kappa * sqrt(dt)``.
+    """
+    require_positive("gamma", gamma)
+    require_positive("eta", eta)
+    require_positive("temperature_k", temperature_k)
+    kt = units.BOLTZMANN_K * temperature_k
+    i_ss = bias.tail_current_a
+    term = (1.0 / bias.swing_v) + (1.0 / (bias.load_resistance_ohm * i_ss))
+    return math.sqrt((8.0 * kt * gamma) / (3.0 * eta * i_ss) * term)
+
+
+def kappa_mcneill(
+    bias: CmlStageBias,
+    *,
+    gamma: float = DEFAULT_NOISE_FACTOR_GAMMA,
+    temperature_k: float = units.ROOM_TEMPERATURE_K,
+) -> float:
+    """McNeill-style variant of the jitter figure of merit.
+
+    The variation (as used for the paper's Figure 11 comparison) applies the
+    device noise factor only to the transconductor term and omits the
+    rise-time ratio; it tracks :func:`kappa_hajimiri` within a small constant
+    factor across the design space.
+    """
+    require_positive("gamma", gamma)
+    require_positive("temperature_k", temperature_k)
+    kt = units.BOLTZMANN_K * temperature_k
+    i_ss = bias.tail_current_a
+    term = (gamma / bias.swing_v) + (1.0 / (bias.load_resistance_ohm * i_ss))
+    return math.sqrt((8.0 * kt) / (3.0 * i_ss) * term)
+
+
+def phase_noise_dbc_per_hz(kappa: float, oscillation_frequency_hz: float,
+                           offset_frequency_hz: float) -> float:
+    """Single-sideband phase noise implied by *kappa* (McNeill's relation).
+
+    An oscillator whose timing error random-walks as ``sigma = kappa*sqrt(dt)``
+    has white frequency noise, hence ``L(f_off) = kappa^2 * f0^2 / f_off^2``
+    (the -20 dB/decade region), returned in dBc/Hz.
+    """
+    require_non_negative("kappa", kappa)
+    require_positive("oscillation_frequency_hz", oscillation_frequency_hz)
+    require_positive("offset_frequency_hz", offset_frequency_hz)
+    if kappa == 0.0:
+        return -math.inf
+    linear = (kappa ** 2) * (oscillation_frequency_hz ** 2) / (offset_frequency_hz ** 2)
+    return 10.0 * math.log10(linear)
+
+
+def kappa_from_phase_noise(phase_noise_dbc: float, oscillation_frequency_hz: float,
+                           offset_frequency_hz: float) -> float:
+    """Invert :func:`phase_noise_dbc_per_hz` — extract kappa from a measured L(f)."""
+    require_positive("oscillation_frequency_hz", oscillation_frequency_hz)
+    require_positive("offset_frequency_hz", offset_frequency_hz)
+    linear = 10.0 ** (phase_noise_dbc / 10.0)
+    return math.sqrt(linear) * offset_frequency_hz / oscillation_frequency_hz
+
+
+def period_jitter_rms(kappa: float, oscillation_frequency_hz: float) -> float:
+    """RMS jitter accumulated over one oscillation period (seconds)."""
+    require_non_negative("kappa", kappa)
+    require_positive("oscillation_frequency_hz", oscillation_frequency_hz)
+    return kappa * math.sqrt(1.0 / oscillation_frequency_hz)

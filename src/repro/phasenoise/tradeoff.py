@@ -1,0 +1,197 @@
+"""Phase-noise versus power-consumption trade-off (paper Figure 11).
+
+The oscillator bias current is the design's main power knob: more current
+buys lower kappa (less accumulated jitter) at the price of static CML power.
+This module sweeps the bias current, evaluates both the Hajimiri (equation 1)
+and McNeill kappa formulas, and locates the minimum power meeting the
+oscillator-jitter budget (0.01 UI rms at CID = 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+from .._validation import require_positive, require_positive_int
+from ..jitter.accumulation import OscillatorJitterBudget
+from .formulas import (
+    DEFAULT_NOISE_FACTOR_GAMMA,
+    DEFAULT_RISE_TIME_RATIO_ETA,
+    CmlStageBias,
+    kappa_hajimiri,
+    kappa_mcneill,
+)
+
+__all__ = [
+    "TradeoffPoint",
+    "TradeoffCurve",
+    "phase_noise_power_tradeoff",
+    "minimum_power_for_budget",
+]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One bias point of the kappa-versus-power trade-off."""
+
+    tail_current_a: float
+    stage_power_w: float
+    oscillator_power_w: float
+    kappa_hajimiri: float
+    kappa_mcneill: float
+    accumulated_jitter_ui_rms: float
+
+    def meets_budget(self, budget: OscillatorJitterBudget) -> bool:
+        """True when the Hajimiri kappa satisfies the accumulation budget."""
+        return budget.satisfied_by(self.kappa_hajimiri)
+
+
+@dataclass(frozen=True)
+class TradeoffCurve:
+    """Sweep of :class:`TradeoffPoint` over tail current."""
+
+    points: tuple[TradeoffPoint, ...]
+    n_stages: int
+    swing_v: float
+    supply_v: float
+
+    @property
+    def powers_w(self) -> np.ndarray:
+        """Oscillator power at each sweep point."""
+        return np.array([p.oscillator_power_w for p in self.points])
+
+    @property
+    def kappas_hajimiri(self) -> np.ndarray:
+        """Hajimiri kappa at each sweep point."""
+        return np.array([p.kappa_hajimiri for p in self.points])
+
+    @property
+    def kappas_mcneill(self) -> np.ndarray:
+        """McNeill kappa at each sweep point."""
+        return np.array([p.kappa_mcneill for p in self.points])
+
+    def first_point_meeting(self, budget: OscillatorJitterBudget) -> TradeoffPoint | None:
+        """Lowest-power sweep point meeting the jitter budget (None if none does)."""
+        for point in sorted(self.points, key=lambda p: p.oscillator_power_w):
+            if point.meets_budget(budget):
+                return point
+        return None
+
+
+def phase_noise_power_tradeoff(
+    *,
+    tail_currents_a: np.ndarray | None = None,
+    n_stages: int = 4,
+    swing_v: float = 0.4,
+    supply_v: float = 1.8,
+    gamma: float = DEFAULT_NOISE_FACTOR_GAMMA,
+    eta: float = DEFAULT_RISE_TIME_RATIO_ETA,
+    budget: OscillatorJitterBudget | None = None,
+) -> TradeoffCurve:
+    """Sweep the oscillator bias current and evaluate both kappa formulas.
+
+    Parameters
+    ----------
+    tail_currents_a:
+        Tail currents to sweep (default: logarithmic sweep 20 uA .. 2 mA).
+    n_stages:
+        Number of delay stages in the ring (the GCCO uses four).
+    swing_v, supply_v:
+        CML design choices; the load resistor follows from the swing.
+    budget:
+        Jitter budget used to report the accumulated jitter column (defaults
+        to the paper's 0.01 UI at CID 5 and 2.5 Gbit/s).
+    """
+    n_stages = require_positive_int("n_stages", n_stages)
+    require_positive("swing_v", swing_v)
+    require_positive("supply_v", supply_v)
+    budget = budget or OscillatorJitterBudget()
+    if tail_currents_a is None:
+        tail_currents_a = np.logspace(np.log10(5.0e-6), np.log10(2.0e-3), 60)
+    tail_currents_a = np.asarray(tail_currents_a, dtype=float)
+
+    points: list[TradeoffPoint] = []
+    for current in tail_currents_a:
+        bias = CmlStageBias.from_current_and_swing(float(current), swing_v, supply_v)
+        kappa_h = kappa_hajimiri(bias, gamma=gamma, eta=eta)
+        kappa_m = kappa_mcneill(bias, gamma=gamma)
+        elapsed_s = units.ui_to_seconds(float(budget.cid), budget.bit_rate_hz)
+        accumulated_s = kappa_h * np.sqrt(elapsed_s)
+        accumulated_ui = units.seconds_to_ui(float(accumulated_s), budget.bit_rate_hz)
+        points.append(
+            TradeoffPoint(
+                tail_current_a=float(current),
+                stage_power_w=bias.power_w,
+                oscillator_power_w=bias.power_w * n_stages,
+                kappa_hajimiri=kappa_h,
+                kappa_mcneill=kappa_m,
+                accumulated_jitter_ui_rms=float(accumulated_ui),
+            )
+        )
+    return TradeoffCurve(points=tuple(points), n_stages=n_stages, swing_v=swing_v,
+                         supply_v=supply_v)
+
+
+def minimum_power_for_budget(
+    budget: OscillatorJitterBudget | None = None,
+    *,
+    n_stages: int = 4,
+    swing_v: float = 0.4,
+    supply_v: float = 1.8,
+    gamma: float = DEFAULT_NOISE_FACTOR_GAMMA,
+    eta: float = DEFAULT_RISE_TIME_RATIO_ETA,
+    current_bounds_a: tuple[float, float] = (1.0e-6, 20.0e-3),
+) -> TradeoffPoint:
+    """Minimum-power oscillator bias point meeting the jitter budget.
+
+    Because kappa decreases monotonically with tail current, the minimum power
+    is found by bisection on the current.
+    """
+    budget = budget or OscillatorJitterBudget()
+    low, high = current_bounds_a
+    require_positive("current lower bound", low)
+    require_positive("current upper bound", high)
+    if low >= high:
+        raise ValueError("current_bounds_a must be an increasing interval")
+
+    def kappa_at(current: float) -> float:
+        bias = CmlStageBias.from_current_and_swing(current, swing_v, supply_v)
+        return kappa_hajimiri(bias, gamma=gamma, eta=eta)
+
+    if not budget.satisfied_by(kappa_at(high)):
+        raise ValueError(
+            "jitter budget cannot be met within the given current bounds; "
+            "increase the upper bound or relax the budget"
+        )
+    if budget.satisfied_by(kappa_at(low)):
+        best = low
+    else:
+        lo, hi = low, high
+        for _ in range(80):
+            mid = math_sqrt_interval(lo, hi)
+            if budget.satisfied_by(kappa_at(mid)):
+                hi = mid
+            else:
+                lo = mid
+        best = hi
+
+    bias = CmlStageBias.from_current_and_swing(best, swing_v, supply_v)
+    kappa_h = kappa_hajimiri(bias, gamma=gamma, eta=eta)
+    kappa_m = kappa_mcneill(bias, gamma=gamma)
+    elapsed_s = units.ui_to_seconds(float(budget.cid), budget.bit_rate_hz)
+    accumulated_ui = units.seconds_to_ui(kappa_h * float(np.sqrt(elapsed_s)), budget.bit_rate_hz)
+    return TradeoffPoint(
+        tail_current_a=best,
+        stage_power_w=bias.power_w,
+        oscillator_power_w=bias.power_w * n_stages,
+        kappa_hajimiri=kappa_h,
+        kappa_mcneill=kappa_m,
+        accumulated_jitter_ui_rms=float(accumulated_ui),
+    )
+
+
+def math_sqrt_interval(low: float, high: float) -> float:
+    """Geometric midpoint used for bisection on a logarithmic quantity."""
+    return float(np.sqrt(low * high))

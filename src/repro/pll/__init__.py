@@ -1,0 +1,20 @@
+"""Shared multi-channel PLL: behavioural components, loop simulation, mismatch."""
+
+from .components import (
+    ChargePump,
+    CurrentControlledOscillator,
+    PhaseFrequencyDetector,
+    SecondOrderLoopFilter,
+)
+from .pll import ChannelBiasMismatch, PllConfig, PllSimulationResult, SharedPll
+
+__all__ = [
+    "ChargePump",
+    "CurrentControlledOscillator",
+    "PhaseFrequencyDetector",
+    "SecondOrderLoopFilter",
+    "ChannelBiasMismatch",
+    "PllConfig",
+    "PllSimulationResult",
+    "SharedPll",
+]

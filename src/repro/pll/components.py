@@ -1,0 +1,149 @@
+"""Behavioural building blocks of the shared multi-channel PLL.
+
+The multi-channel receiver (paper Figure 6) contains a single shared PLL that
+multiplies a low-frequency crystal reference (LFCK) up to the bit-rate clock
+(HFCK) using a current-controlled oscillator, and distributes a copy of the
+CCO control current to the matched gated oscillators in every channel.
+
+These are *behavioural*, phase-domain component models: the phase-frequency
+detector works on phase error, the charge pump converts it to a current, the
+loop filter integrates it, and the CCO turns the control current into a
+frequency.  They are deliberately simple (the PLL is a substrate, not the
+paper's contribution) but carry the parameters that matter downstream: loop
+bandwidth, damping, CCO gain, and the control current handed to the channels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .._validation import require_non_negative, require_positive
+
+__all__ = [
+    "PhaseFrequencyDetector",
+    "ChargePump",
+    "SecondOrderLoopFilter",
+    "CurrentControlledOscillator",
+]
+
+
+@dataclass
+class PhaseFrequencyDetector:
+    """Linear phase-frequency detector.
+
+    Outputs the phase error (radians) between reference and feedback, clamped
+    to ±2π to model the limited range of a real tri-state PFD.
+    """
+
+    gain: float = 1.0
+
+    def __post_init__(self) -> None:
+        require_positive("gain", self.gain)
+
+    def phase_error(self, reference_phase_rad: float, feedback_phase_rad: float) -> float:
+        """Clamped phase error between the reference and the divided CCO clock."""
+        error = reference_phase_rad - feedback_phase_rad
+        limit = 2.0 * math.pi
+        return self.gain * max(-limit, min(limit, error))
+
+
+@dataclass
+class ChargePump:
+    """Charge pump converting a phase error into a control current.
+
+    ``current = I_cp * error / (2 * pi)`` plus a static mismatch term modelling
+    the up/down current imbalance (which produces a static phase offset).
+    """
+
+    pump_current_a: float = 50.0e-6
+    mismatch_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive("pump_current_a", self.pump_current_a)
+        require_non_negative("mismatch_fraction", abs(self.mismatch_fraction))
+
+    def output_current(self, phase_error_rad: float) -> float:
+        """Average charge-pump current for a given phase error."""
+        nominal = self.pump_current_a * phase_error_rad / (2.0 * math.pi)
+        return nominal * (1.0 + self.mismatch_fraction)
+
+
+@dataclass
+class SecondOrderLoopFilter:
+    """Series R-C plus shunt C loop filter (the classic type-II PLL filter).
+
+    State is the voltage on the main integrating capacitor plus the ripple
+    capacitor voltage; the filter integrates the charge-pump current and
+    produces the CCO control voltage (converted to a control current by the
+    V-to-I stage folded into ``transconductance_s``).
+    """
+
+    resistance_ohm: float = 10.0e3
+    capacitance_f: float = 200.0e-12
+    ripple_capacitance_f: float = 20.0e-12
+    transconductance_s: float = 200.0e-6
+
+    def __post_init__(self) -> None:
+        require_positive("resistance_ohm", self.resistance_ohm)
+        require_positive("capacitance_f", self.capacitance_f)
+        require_positive("ripple_capacitance_f", self.ripple_capacitance_f)
+        require_positive("transconductance_s", self.transconductance_s)
+        self._integrator_v = 0.0
+        self._ripple_v = 0.0
+
+    @property
+    def control_voltage_v(self) -> float:
+        """Present control voltage at the filter output."""
+        return self._ripple_v
+
+    def reset(self, voltage_v: float = 0.0) -> None:
+        """Reset the filter state (e.g. to a pre-charge value)."""
+        self._integrator_v = voltage_v
+        self._ripple_v = voltage_v
+
+    def update(self, input_current_a: float, time_step_s: float) -> float:
+        """Advance the filter by one time step; return the new control voltage."""
+        require_positive("time_step_s", time_step_s)
+        # Integrating capacitor.
+        self._integrator_v += input_current_a * time_step_s / self.capacitance_f
+        # Proportional path plus ripple pole.
+        target_v = self._integrator_v + input_current_a * self.resistance_ohm
+        pole_tau = self.resistance_ohm * self.ripple_capacitance_f
+        alpha = 1.0 - math.exp(-time_step_s / pole_tau)
+        self._ripple_v += (target_v - self._ripple_v) * alpha
+        return self._ripple_v
+
+    def control_current_a(self) -> float:
+        """Control current handed to the CCOs (local and per-channel copies)."""
+        return self.transconductance_s * self._ripple_v
+
+
+@dataclass
+class CurrentControlledOscillator:
+    """Behavioural CCO: frequency linear in the control current."""
+
+    free_running_frequency_hz: float = 2.5e9
+    gain_hz_per_a: float = 2.0e12
+    control_current_midpoint_a: float = 200.0e-6
+
+    def __post_init__(self) -> None:
+        require_positive("free_running_frequency_hz", self.free_running_frequency_hz)
+        require_non_negative("gain_hz_per_a", self.gain_hz_per_a)
+        require_non_negative("control_current_midpoint_a", self.control_current_midpoint_a)
+
+    def frequency_hz(self, control_current_a: float) -> float:
+        """Oscillation frequency for a given control current (clamped positive)."""
+        frequency = self.free_running_frequency_hz + self.gain_hz_per_a * (
+            control_current_a - self.control_current_midpoint_a
+        )
+        return max(frequency, 1.0)
+
+    def control_current_for(self, frequency_hz: float) -> float:
+        """Control current needed to reach *frequency_hz* (inverse of the gain law)."""
+        require_positive("frequency_hz", frequency_hz)
+        if self.gain_hz_per_a == 0.0:
+            raise ValueError("a zero-gain CCO cannot be tuned to a target frequency")
+        return self.control_current_midpoint_a + (
+            frequency_hz - self.free_running_frequency_hz
+        ) / self.gain_hz_per_a

@@ -1,0 +1,190 @@
+"""Behavioural (phase-domain) simulation of the shared multi-channel PLL.
+
+The shared PLL locks a current-controlled oscillator to ``multiplication *
+f_reference`` and exports its control current; each receive channel biases its
+own matched gated oscillator from a mirrored copy of that current
+(paper Figure 6).  What the channel-level analysis needs from the PLL is
+
+* the steady-state control current (sets every channel's centre frequency),
+* the residual frequency error after lock (ideally zero for a type-II loop),
+* the lock time and loop dynamics (to confirm the chosen loop bandwidth), and
+* the per-channel frequency offsets caused by mirror and oscillator mismatch,
+  which feed straight into the FTOL analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import require_positive, require_positive_int
+from .components import (
+    ChargePump,
+    CurrentControlledOscillator,
+    PhaseFrequencyDetector,
+    SecondOrderLoopFilter,
+)
+
+__all__ = ["PllConfig", "PllSimulationResult", "SharedPll", "ChannelBiasMismatch"]
+
+
+@dataclass(frozen=True)
+class PllConfig:
+    """Configuration of the shared PLL."""
+
+    reference_frequency_hz: float = 156.25e6
+    multiplication_factor: int = 16
+    pfd: PhaseFrequencyDetector = field(default_factory=PhaseFrequencyDetector)
+    charge_pump: ChargePump = field(default_factory=ChargePump)
+    cco: CurrentControlledOscillator = field(default_factory=CurrentControlledOscillator)
+
+    def __post_init__(self) -> None:
+        require_positive("reference_frequency_hz", self.reference_frequency_hz)
+        require_positive_int("multiplication_factor", self.multiplication_factor)
+
+    @property
+    def target_frequency_hz(self) -> float:
+        """Output frequency the loop locks to."""
+        return self.reference_frequency_hz * self.multiplication_factor
+
+
+@dataclass
+class PllSimulationResult:
+    """Time series produced by :meth:`SharedPll.simulate`."""
+
+    times_s: np.ndarray
+    frequencies_hz: np.ndarray
+    control_currents_a: np.ndarray
+    phase_errors_rad: np.ndarray
+    target_frequency_hz: float
+
+    @property
+    def final_frequency_hz(self) -> float:
+        """Output frequency at the end of the simulation."""
+        return float(self.frequencies_hz[-1])
+
+    @property
+    def final_control_current_a(self) -> float:
+        """Control current at the end of the simulation."""
+        return float(self.control_currents_a[-1])
+
+    @property
+    def final_frequency_error(self) -> float:
+        """Relative frequency error at the end of the simulation."""
+        return (self.final_frequency_hz - self.target_frequency_hz) / self.target_frequency_hz
+
+    def lock_time_s(self, tolerance: float = 1.0e-3) -> float:
+        """First time after which the frequency error stays within *tolerance*.
+
+        Returns ``nan`` when the loop never settles within the simulated span.
+        """
+        relative_error = np.abs(self.frequencies_hz - self.target_frequency_hz) / self.target_frequency_hz
+        within = relative_error <= tolerance
+        if not np.any(within):
+            return float("nan")
+        # Find the last sample that violates the tolerance; lock is after it.
+        violations = np.flatnonzero(~within)
+        if violations.size == 0:
+            return float(self.times_s[0])
+        last_violation = violations[-1]
+        if last_violation + 1 >= self.times_s.size:
+            return float("nan")
+        return float(self.times_s[last_violation + 1])
+
+
+class SharedPll:
+    """Phase-domain, fixed-time-step simulation of the shared PLL."""
+
+    def __init__(self, config: PllConfig | None = None,
+                 loop_filter: SecondOrderLoopFilter | None = None) -> None:
+        self.config = config or PllConfig()
+        self.loop_filter = loop_filter or SecondOrderLoopFilter()
+
+    def simulate(self, duration_s: float = 20.0e-6, time_step_s: float = 2.0e-9,
+                 initial_frequency_hz: float | None = None) -> PllSimulationResult:
+        """Run the loop for *duration_s* and return the acquisition transient."""
+        require_positive("duration_s", duration_s)
+        require_positive("time_step_s", time_step_s)
+        config = self.config
+        n_steps = int(math.ceil(duration_s / time_step_s))
+
+        reference_phase = 0.0
+        feedback_phase = 0.0
+        self.loop_filter.reset(0.0)
+        frequency = (initial_frequency_hz if initial_frequency_hz is not None
+                     else config.cco.free_running_frequency_hz)
+
+        times = np.empty(n_steps)
+        frequencies = np.empty(n_steps)
+        currents = np.empty(n_steps)
+        errors = np.empty(n_steps)
+
+        for step in range(n_steps):
+            time_s = (step + 1) * time_step_s
+            reference_phase += 2.0 * math.pi * config.reference_frequency_hz * time_step_s
+            feedback_phase += (
+                2.0 * math.pi * frequency * time_step_s / config.multiplication_factor
+            )
+            error = config.pfd.phase_error(reference_phase, feedback_phase)
+            pump_current = config.charge_pump.output_current(error)
+            self.loop_filter.update(pump_current, time_step_s)
+            control_current = self.loop_filter.control_current_a()
+            frequency = config.cco.frequency_hz(control_current)
+
+            times[step] = time_s
+            frequencies[step] = frequency
+            currents[step] = control_current
+            errors[step] = error
+
+        return PllSimulationResult(
+            times_s=times,
+            frequencies_hz=frequencies,
+            control_currents_a=currents,
+            phase_errors_rad=errors,
+            target_frequency_hz=config.target_frequency_hz,
+        )
+
+    def locked_control_current_a(self) -> float:
+        """Control current the loop settles to (from the CCO tuning law)."""
+        return self.config.cco.control_current_for(self.config.target_frequency_hz)
+
+
+@dataclass(frozen=True)
+class ChannelBiasMismatch:
+    """Mismatch between the shared PLL's CCO and the per-channel gated oscillators.
+
+    The control current is mirrored to every channel; mirror gain error and
+    oscillator free-running-frequency mismatch both translate into a static
+    frequency offset of that channel — the quantity the FTOL analysis needs.
+    """
+
+    mirror_gain_sigma: float = 0.005
+    oscillator_frequency_sigma: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.mirror_gain_sigma < 0.0 or self.oscillator_frequency_sigma < 0.0:
+            raise ValueError("mismatch sigmas must be non-negative")
+
+    def sample_channel_offsets(self, n_channels: int, control_current_a: float,
+                               cco: CurrentControlledOscillator,
+                               rng: np.random.Generator | None = None) -> np.ndarray:
+        """Draw per-channel relative frequency offsets versus the shared PLL.
+
+        Returns an array of length *n_channels* with the relative frequency
+        error of each channel's gated oscillator.
+        """
+        require_positive_int("n_channels", n_channels)
+        require_positive("control_current_a", control_current_a)
+        rng = rng or np.random.default_rng()
+        target = cco.frequency_hz(control_current_a)
+        gains = rng.normal(1.0, self.mirror_gain_sigma, size=n_channels)
+        frequency_errors = rng.normal(0.0, self.oscillator_frequency_sigma, size=n_channels)
+        offsets = np.empty(n_channels)
+        for index in range(n_channels):
+            mirrored_current = control_current_a * gains[index]
+            base = cco.frequency_hz(mirrored_current)
+            actual = base * (1.0 + frequency_errors[index])
+            offsets[index] = (actual - target) / target
+        return offsets

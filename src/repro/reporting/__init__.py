@@ -1,0 +1,5 @@
+"""Reporting helpers: text tables, (x, y) series and engineering formatting."""
+
+from .tables import Series, TextTable, format_engineering
+
+__all__ = ["Series", "TextTable", "format_engineering"]

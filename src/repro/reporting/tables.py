@@ -1,0 +1,119 @@
+"""Plain-text tables and series used by the benchmark harness.
+
+The benchmarks regenerate every table and figure of the paper as *text*
+(aligned tables and ``(x, y)`` series) so the reproduction can be compared to
+the paper without a plotting dependency.  CSV export is provided for anyone
+who wants to plot the series elsewhere.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+__all__ = ["TextTable", "Series", "format_engineering"]
+
+
+def format_engineering(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format a value with an engineering (SI) prefix, e.g. ``1.25e-3 -> 1.25 m``."""
+    prefixes = {
+        -15: "f", -12: "p", -9: "n", -6: "u", -3: "m",
+        0: "", 3: "k", 6: "M", 9: "G", 12: "T",
+    }
+    if value == 0.0:
+        return f"0 {unit}".strip()
+    magnitude = value
+    exponent = 0
+    while abs(magnitude) >= 1000.0 and exponent < 12:
+        magnitude /= 1000.0
+        exponent += 3
+    while abs(magnitude) < 1.0 and exponent > -15:
+        magnitude *= 1000.0
+        exponent -= 3
+    prefix = prefixes.get(exponent, f"e{exponent}")
+    return f"{magnitude:.{digits}g} {prefix}{unit}".strip()
+
+
+@dataclass
+class TextTable:
+    """A simple aligned text table."""
+
+    headers: Sequence[str]
+    rows: list[Sequence[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *cells) -> None:
+        """Append a row; cells are converted to strings."""
+        row = [str(cell) for cell in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table as aligned text."""
+        columns = len(self.headers)
+        widths = [len(str(header)) for header in self.headers]
+        for row in self.rows:
+            for index in range(columns):
+                widths[index] = max(widths[index], len(row[index]))
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(str(cell).ljust(widths[index]) for index, cell in enumerate(cells))
+
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        out.write(line(self.headers) + "\n")
+        out.write(line(["-" * width for width in widths]) + "\n")
+        for row in self.rows:
+            out.write(line(row) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Render the table as CSV."""
+        out = io.StringIO()
+        out.write(",".join(str(h) for h in self.headers) + "\n")
+        for row in self.rows:
+            out.write(",".join(row) + "\n")
+        return out.getvalue()
+
+
+@dataclass
+class Series:
+    """A named (x, y) series — one curve of a paper figure."""
+
+    name: str
+    x_label: str
+    y_label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point."""
+        self.points.append((float(x), float(y)))
+
+    def extend(self, xs: Iterable[float], ys: Iterable[float]) -> None:
+        """Append many points."""
+        for x, y in zip(xs, ys):
+            self.add(x, y)
+
+    def render(self, max_points: int | None = None) -> str:
+        """Render the series as aligned two-column text."""
+        table = TextTable(headers=[self.x_label, self.y_label], title=self.name)
+        points = self.points
+        if max_points is not None and len(points) > max_points:
+            step = max(1, len(points) // max_points)
+            points = points[::step]
+        for x, y in points:
+            table.add_row(f"{x:.6g}", f"{y:.6g}")
+        return table.render()
+
+    def to_csv(self) -> str:
+        """Render the series as CSV."""
+        out = io.StringIO()
+        out.write(f"{self.x_label},{self.y_label}\n")
+        for x, y in self.points:
+            out.write(f"{x:.9g},{y:.9g}\n")
+        return out.getvalue()

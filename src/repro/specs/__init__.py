@@ -1,0 +1,18 @@
+"""Interface specifications: jitter-tolerance masks and compliance checks."""
+
+from .infiniband import (
+    INFINIBAND_FREQUENCY_TOLERANCE_PPM,
+    INFINIBAND_TARGET_BER,
+    JitterToleranceMask,
+    infiniband_mask,
+)
+from .compliance import ComplianceReport, check_compliance
+
+__all__ = [
+    "INFINIBAND_FREQUENCY_TOLERANCE_PPM",
+    "INFINIBAND_TARGET_BER",
+    "JitterToleranceMask",
+    "infiniband_mask",
+    "ComplianceReport",
+    "check_compliance",
+]

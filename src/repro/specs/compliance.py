@@ -1,0 +1,80 @@
+"""Specification compliance checks combining the analysis results.
+
+Gathers the individual checks (jitter-tolerance mask, frequency tolerance,
+power target) into a single report so the examples and benchmarks can print a
+one-look verdict for a candidate design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import require_positive
+from ..statistical.ftol import FtolResult
+from ..statistical.jtol import JtolCurve
+from .infiniband import (
+    INFINIBAND_FREQUENCY_TOLERANCE_PPM,
+    INFINIBAND_TARGET_BER,
+    JitterToleranceMask,
+)
+
+__all__ = ["ComplianceReport", "check_compliance"]
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """Outcome of the receiver-level compliance checks."""
+
+    jtol_pass: bool
+    jtol_worst_margin_ui: float
+    ftol_pass: bool
+    ftol_ppm: float
+    power_pass: bool
+    power_mw_per_gbps: float
+    target_ber: float = INFINIBAND_TARGET_BER
+
+    @property
+    def overall_pass(self) -> bool:
+        """True only when every individual check passes."""
+        return self.jtol_pass and self.ftol_pass and self.power_pass
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable summary, one line per check."""
+        def verdict(flag: bool) -> str:
+            return "PASS" if flag else "FAIL"
+
+        return [
+            f"JTOL vs mask      : {verdict(self.jtol_pass)} "
+            f"(worst margin {self.jtol_worst_margin_ui:+.3f} UI)",
+            f"FTOL (>=100 ppm)  : {verdict(self.ftol_pass)} "
+            f"({self.ftol_ppm:.0f} ppm)",
+            f"Power (<=5 mW/Gb) : {verdict(self.power_pass)} "
+            f"({self.power_mw_per_gbps:.2f} mW/Gbit/s)",
+            f"Overall           : {verdict(self.overall_pass)}",
+        ]
+
+
+def check_compliance(
+    jtol_curve: JtolCurve,
+    mask: JitterToleranceMask,
+    ftol: FtolResult,
+    power_mw_per_gbps: float,
+    *,
+    required_ftol_ppm: float = INFINIBAND_FREQUENCY_TOLERANCE_PPM,
+    power_target_mw_per_gbps: float = 5.0,
+) -> ComplianceReport:
+    """Combine a JTOL curve, an FTOL result and a power figure into one report."""
+    require_positive("power_mw_per_gbps", power_mw_per_gbps)
+    mask_amplitudes = mask.amplitude_ui_pp(jtol_curve.frequencies_hz)
+    margins = jtol_curve.margin_to_mask(np.asarray(mask_amplitudes, dtype=float))
+    return ComplianceReport(
+        jtol_pass=bool(np.all(margins >= 0.0)),
+        jtol_worst_margin_ui=float(np.min(margins)),
+        ftol_pass=ftol.symmetric_tolerance_ppm >= required_ftol_ppm,
+        ftol_ppm=float(ftol.symmetric_tolerance_ppm),
+        power_pass=power_mw_per_gbps <= power_target_mw_per_gbps,
+        power_mw_per_gbps=float(power_mw_per_gbps),
+        target_ber=jtol_curve.target_ber,
+    )

@@ -1,0 +1,110 @@
+"""InfiniBand-style jitter-tolerance mask and frequency specification.
+
+Figure 5 of the paper shows the InfiniBand 1.0.a receiver jitter-tolerance
+specification: the sinusoidal-jitter amplitude the receiver must tolerate as a
+function of jitter frequency.  The mask has the classic shape
+
+* a low-frequency region where the tolerated amplitude rises at 20 dB/decade
+  towards DC (the CDR is expected to track slow wander),
+* a corner ("knee") frequency,
+* a flat high-frequency floor given by the eye closure budget.
+
+The exact corner values are taken from the public InfiniBand 2.5 Gbit/s
+receiver specification: a high-frequency floor of 0.15 UI peak-to-peak above
+roughly 1.875 MHz (= bit rate / 1333) and a 20 dB/decade slope below it,
+capped at 1.5 UI at the low-frequency end of the specification range.
+The module also records the ±100 ppm reference-clock accuracy the paper's
+frequency-tolerance (FTOL) requirement derives from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+from .._validation import require_positive
+
+__all__ = [
+    "JitterToleranceMask",
+    "infiniband_mask",
+    "INFINIBAND_FREQUENCY_TOLERANCE_PPM",
+    "INFINIBAND_TARGET_BER",
+]
+
+#: Reference-clock accuracy required by the specification (±100 ppm).
+INFINIBAND_FREQUENCY_TOLERANCE_PPM = 100.0
+
+#: Target bit error ratio of the specification (and of the paper).
+INFINIBAND_TARGET_BER = 1.0e-12
+
+
+@dataclass(frozen=True)
+class JitterToleranceMask:
+    """Piecewise jitter-tolerance mask.
+
+    Below ``corner_frequency_hz`` the tolerated amplitude increases as
+    ``floor * (corner / f)`` (20 dB/decade), clamped to ``low_frequency_cap``;
+    above the corner it is the flat ``floor_ui_pp``.
+    """
+
+    corner_frequency_hz: float
+    floor_ui_pp: float
+    low_frequency_cap_ui_pp: float
+    bit_rate_hz: float = units.DEFAULT_BIT_RATE
+
+    def __post_init__(self) -> None:
+        require_positive("corner_frequency_hz", self.corner_frequency_hz)
+        require_positive("floor_ui_pp", self.floor_ui_pp)
+        require_positive("low_frequency_cap_ui_pp", self.low_frequency_cap_ui_pp)
+        require_positive("bit_rate_hz", self.bit_rate_hz)
+        if self.low_frequency_cap_ui_pp < self.floor_ui_pp:
+            raise ValueError("the low-frequency cap cannot be below the floor")
+
+    def amplitude_ui_pp(self, frequency_hz: np.ndarray | float) -> np.ndarray | float:
+        """Required tolerated SJ amplitude at the given jitter frequency."""
+        frequency = np.asarray(frequency_hz, dtype=float)
+        if np.any(frequency <= 0.0):
+            raise ValueError("jitter frequency must be positive")
+        amplitude = np.where(
+            frequency >= self.corner_frequency_hz,
+            self.floor_ui_pp,
+            self.floor_ui_pp * (self.corner_frequency_hz / frequency),
+        )
+        amplitude = np.minimum(amplitude, self.low_frequency_cap_ui_pp)
+        if np.isscalar(frequency_hz) or np.asarray(frequency_hz).ndim == 0:
+            return float(amplitude)
+        return amplitude
+
+    def frequencies_for_sweep(self, points_per_decade: int = 5,
+                              minimum_hz: float = 1.0e4,
+                              maximum_hz: float | None = None) -> np.ndarray:
+        """Log-spaced jitter frequencies covering the mask's specification range.
+
+        The tolerance template of the specification is defined up to a maximum
+        jitter frequency of the order of ``bit rate / 100``; sinusoidal jitter
+        near the bit rate itself (where gated-oscillator tolerance drops, paper
+        Figures 9/10) is outside the mask's domain.
+        """
+        maximum = maximum_hz if maximum_hz is not None else self.bit_rate_hz / 100.0
+        decades = np.log10(maximum / minimum_hz)
+        n_points = max(2, int(np.ceil(decades * points_per_decade)) + 1)
+        return np.logspace(np.log10(minimum_hz), np.log10(maximum), n_points)
+
+    def check_compliance(self, frequencies_hz: np.ndarray,
+                         tolerated_ui_pp: np.ndarray) -> bool:
+        """True when the measured tolerance meets the mask at every frequency."""
+        required = self.amplitude_ui_pp(np.asarray(frequencies_hz, dtype=float))
+        return bool(np.all(np.asarray(tolerated_ui_pp, dtype=float) >= required))
+
+
+def infiniband_mask(bit_rate_hz: float = units.DEFAULT_BIT_RATE) -> JitterToleranceMask:
+    """The InfiniBand 2.5 Gbit/s receiver jitter-tolerance mask (paper Figure 5)."""
+    require_positive("bit_rate_hz", bit_rate_hz)
+    return JitterToleranceMask(
+        corner_frequency_hz=bit_rate_hz / 1333.0,
+        floor_ui_pp=0.15,
+        low_frequency_cap_ui_pp=1.5,
+        bit_rate_hz=bit_rate_hz,
+    )

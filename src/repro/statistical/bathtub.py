@@ -1,0 +1,119 @@
+"""Bathtub-curve and eye-opening analysis based on the statistical model.
+
+The bathtub curve — BER as a function of the sampling phase — is the standard
+way of visualising the horizontal eye opening at very low error ratios (the
+region Monte-Carlo eye diagrams such as the paper's Figure 14/16 cannot
+reach).  It also identifies the optimum sampling instant, which is how the
+paper motivates the improved (T/8 earlier) sampling tap in section 3.3b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_positive, require_probability
+from ..datapath.cid import RunLengthDistribution
+from .ber_model import CdrJitterBudget, GatedOscillatorBerModel
+
+__all__ = [
+    "BathtubCurve",
+    "bathtub_curve",
+    "eye_opening_ui",
+    "optimum_sampling_phase",
+]
+
+
+@dataclass(frozen=True)
+class BathtubCurve:
+    """BER versus sampling phase."""
+
+    phases_ui: np.ndarray
+    ber: np.ndarray
+
+    def __post_init__(self) -> None:
+        phases = np.asarray(self.phases_ui, dtype=float)
+        ber = np.asarray(self.ber, dtype=float)
+        if phases.shape != ber.shape:
+            raise ValueError("phases_ui and ber must have the same shape")
+        object.__setattr__(self, "phases_ui", phases)
+        object.__setattr__(self, "ber", ber)
+
+    def eye_opening_ui(self, target_ber: float = 1.0e-12) -> float:
+        """Width of the phase interval with BER <= target."""
+        passing = self.phases_ui[self.ber <= target_ber]
+        if passing.size == 0:
+            return 0.0
+        return float(passing.max() - passing.min())
+
+    def optimum(self) -> tuple[float, float]:
+        """Return ``(phase_ui, ber)`` of the minimum-BER sampling point."""
+        index = int(np.argmin(self.ber))
+        return float(self.phases_ui[index]), float(self.ber[index])
+
+    def left_edge_ui(self, target_ber: float = 1.0e-12) -> float:
+        """Leftmost passing phase (NaN if the curve never passes)."""
+        passing = self.phases_ui[self.ber <= target_ber]
+        return float(passing.min()) if passing.size else float("nan")
+
+    def right_edge_ui(self, target_ber: float = 1.0e-12) -> float:
+        """Rightmost passing phase (NaN if the curve never passes)."""
+        passing = self.phases_ui[self.ber <= target_ber]
+        return float(passing.max()) if passing.size else float("nan")
+
+
+def bathtub_curve(
+    *,
+    budget: CdrJitterBudget | None = None,
+    run_lengths: RunLengthDistribution | None = None,
+    phases_ui: np.ndarray | None = None,
+    grid_step_ui: float = 2.0e-3,
+) -> BathtubCurve:
+    """Compute the bathtub curve for the given jitter budget.
+
+    ``phases_ui`` defaults to a scan of (0.02 .. 0.98) UI in 0.02 UI steps.
+    """
+    budget = budget or CdrJitterBudget()
+    if phases_ui is None:
+        phases_ui = np.arange(0.02, 0.99, 0.02)
+    phases_ui = np.asarray(phases_ui, dtype=float)
+    bers = np.empty(phases_ui.shape, dtype=float)
+    for index, phase in enumerate(phases_ui):
+        model = GatedOscillatorBerModel(
+            budget,
+            sampling_phase_ui=float(phase),
+            run_lengths=run_lengths,
+            grid_step_ui=grid_step_ui,
+        )
+        bers[index] = model.ber()
+    return BathtubCurve(phases_ui=phases_ui, ber=bers)
+
+
+def eye_opening_ui(
+    target_ber: float = 1.0e-12,
+    *,
+    budget: CdrJitterBudget | None = None,
+    run_lengths: RunLengthDistribution | None = None,
+    grid_step_ui: float = 2.0e-3,
+) -> float:
+    """Horizontal eye opening (UI) at the target BER."""
+    require_probability("target_ber", target_ber)
+    curve = bathtub_curve(budget=budget, run_lengths=run_lengths, grid_step_ui=grid_step_ui)
+    return curve.eye_opening_ui(target_ber)
+
+
+def optimum_sampling_phase(
+    *,
+    budget: CdrJitterBudget | None = None,
+    run_lengths: RunLengthDistribution | None = None,
+    resolution_ui: float = 0.02,
+    grid_step_ui: float = 2.0e-3,
+) -> tuple[float, float]:
+    """Return the minimum-BER sampling phase and its BER."""
+    require_positive("resolution_ui", resolution_ui)
+    phases = np.arange(resolution_ui, 1.0, resolution_ui)
+    curve = bathtub_curve(
+        budget=budget, run_lengths=run_lengths, phases_ui=phases, grid_step_ui=grid_step_ui
+    )
+    return curve.optimum()

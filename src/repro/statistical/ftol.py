@@ -1,0 +1,128 @@
+"""Frequency tolerance (FTOL) analysis.
+
+Unlike PLL-based CDRs, a gated-oscillator CDR never frequency-locks to the
+incoming data: any difference between the local oscillator and the data rate
+accumulates as phase error over every run of identical bits.  The paper
+defines the frequency tolerance as the maximum frequency difference at which
+the BER remains below 1e-12 (section 2.3), with ±100 ppm being the typical
+application requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+from .._validation import require_positive, require_probability
+from ..datapath.cid import RunLengthDistribution
+from .ber_model import CdrJitterBudget, GatedOscillatorBerModel, NOMINAL_SAMPLING_PHASE_UI
+
+__all__ = [
+    "FtolResult",
+    "ber_vs_frequency_offset",
+    "frequency_tolerance",
+]
+
+
+@dataclass(frozen=True)
+class FtolResult:
+    """Frequency-tolerance search result."""
+
+    positive_tolerance: float
+    negative_tolerance: float
+    target_ber: float
+
+    @property
+    def positive_tolerance_ppm(self) -> float:
+        """Tolerance towards a slow oscillator, in ppm."""
+        return units.fraction_to_ppm(self.positive_tolerance)
+
+    @property
+    def negative_tolerance_ppm(self) -> float:
+        """Tolerance towards a fast oscillator, in ppm (returned positive)."""
+        return units.fraction_to_ppm(abs(self.negative_tolerance))
+
+    @property
+    def symmetric_tolerance_ppm(self) -> float:
+        """Worst-case (smaller) of the two tolerances, in ppm."""
+        return min(self.positive_tolerance_ppm, self.negative_tolerance_ppm)
+
+    def meets_specification(self, required_ppm: float = 100.0) -> bool:
+        """True when the CDR tolerates at least ±required_ppm."""
+        return self.symmetric_tolerance_ppm >= required_ppm
+
+
+def ber_vs_frequency_offset(
+    offsets: np.ndarray,
+    *,
+    budget: CdrJitterBudget | None = None,
+    sampling_phase_ui: float = NOMINAL_SAMPLING_PHASE_UI,
+    run_lengths: RunLengthDistribution | None = None,
+    grid_step_ui: float = 2.0e-3,
+) -> np.ndarray:
+    """BER for each relative frequency offset in *offsets*."""
+    budget = budget or CdrJitterBudget()
+    offsets = np.asarray(offsets, dtype=float)
+    bers = np.empty(offsets.shape, dtype=float)
+    for index, offset in enumerate(offsets.ravel()):
+        model = GatedOscillatorBerModel(
+            budget.with_frequency_offset(float(offset)),
+            sampling_phase_ui=sampling_phase_ui,
+            run_lengths=run_lengths,
+            grid_step_ui=grid_step_ui,
+        )
+        bers.ravel()[index] = model.ber()
+    return bers
+
+
+def frequency_tolerance(
+    *,
+    budget: CdrJitterBudget | None = None,
+    target_ber: float = 1.0e-12,
+    sampling_phase_ui: float = NOMINAL_SAMPLING_PHASE_UI,
+    run_lengths: RunLengthDistribution | None = None,
+    grid_step_ui: float = 2.0e-3,
+    max_offset: float = 0.2,
+    resolution: float = 1.0e-4,
+) -> FtolResult:
+    """Find the largest positive and negative frequency offsets meeting *target_ber*.
+
+    Uses bisection independently in each direction.
+    """
+    budget = budget or CdrJitterBudget()
+    require_probability("target_ber", target_ber)
+    require_positive("max_offset", max_offset)
+    require_positive("resolution", resolution)
+
+    def ber_at(offset: float) -> float:
+        model = GatedOscillatorBerModel(
+            budget.with_frequency_offset(offset),
+            sampling_phase_ui=sampling_phase_ui,
+            run_lengths=run_lengths,
+            grid_step_ui=grid_step_ui,
+        )
+        return model.ber()
+
+    def search(direction: float) -> float:
+        low = 0.0
+        if ber_at(low) > target_ber:
+            return 0.0
+        high = direction * max_offset
+        if ber_at(high) <= target_ber:
+            return high
+        low_abs, high_abs = 0.0, max_offset
+        while (high_abs - low_abs) > resolution:
+            middle = 0.5 * (low_abs + high_abs)
+            if ber_at(direction * middle) <= target_ber:
+                low_abs = middle
+            else:
+                high_abs = middle
+        return direction * low_abs
+
+    return FtolResult(
+        positive_tolerance=float(search(+1.0)),
+        negative_tolerance=float(search(-1.0)),
+        target_ber=target_ber,
+    )

@@ -1,0 +1,178 @@
+"""Jitter tolerance (JTOL) analysis.
+
+Jitter tolerance is measured by adding sinusoidal jitter of a given frequency
+to a data stream that already carries the channel jitter (Table 1), and
+finding the largest amplitude at which the CDR still achieves the target BER
+(1e-12).  The result, as a function of jitter frequency, is compared against
+the InfiniBand tolerance mask (paper Figure 5); Figure 9 of the paper shows
+the underlying BER surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import require_positive, require_positive_int, require_probability
+from ..datapath.cid import RunLengthDistribution
+from .ber_model import CdrJitterBudget, GatedOscillatorBerModel, NOMINAL_SAMPLING_PHASE_UI
+
+__all__ = [
+    "JtolPoint",
+    "JtolCurve",
+    "ber_vs_sinusoidal_jitter",
+    "jitter_tolerance_curve",
+    "jitter_tolerance_at_frequency",
+]
+
+
+@dataclass(frozen=True)
+class JtolPoint:
+    """One point of a jitter-tolerance curve."""
+
+    frequency_hz: float
+    amplitude_ui_pp: float
+    ber_at_amplitude: float
+
+
+@dataclass(frozen=True)
+class JtolCurve:
+    """A measured/computed jitter-tolerance curve."""
+
+    points: tuple[JtolPoint, ...]
+    target_ber: float
+
+    @property
+    def frequencies_hz(self) -> np.ndarray:
+        """Sinusoidal jitter frequencies of the curve."""
+        return np.array([p.frequency_hz for p in self.points])
+
+    @property
+    def amplitudes_ui_pp(self) -> np.ndarray:
+        """Tolerated amplitude at each frequency."""
+        return np.array([p.amplitude_ui_pp for p in self.points])
+
+    def margin_to_mask(self, mask_amplitudes_ui_pp: np.ndarray) -> np.ndarray:
+        """Tolerance margin (in UI) relative to a mask evaluated at the same frequencies."""
+        mask = np.asarray(mask_amplitudes_ui_pp, dtype=float)
+        if mask.shape != self.amplitudes_ui_pp.shape:
+            raise ValueError("mask must be evaluated at the curve frequencies")
+        return self.amplitudes_ui_pp - mask
+
+    def passes_mask(self, mask_amplitudes_ui_pp: np.ndarray) -> bool:
+        """True when the tolerance exceeds the mask at every frequency."""
+        return bool(np.all(self.margin_to_mask(mask_amplitudes_ui_pp) >= 0.0))
+
+
+def _make_model(budget: CdrJitterBudget, sampling_phase_ui: float,
+                run_lengths: RunLengthDistribution | None,
+                grid_step_ui: float) -> GatedOscillatorBerModel:
+    return GatedOscillatorBerModel(
+        budget,
+        sampling_phase_ui=sampling_phase_ui,
+        run_lengths=run_lengths,
+        grid_step_ui=grid_step_ui,
+    )
+
+
+def ber_vs_sinusoidal_jitter(
+    frequencies_hz: np.ndarray,
+    amplitudes_ui_pp: np.ndarray,
+    *,
+    budget: CdrJitterBudget | None = None,
+    sampling_phase_ui: float = NOMINAL_SAMPLING_PHASE_UI,
+    run_lengths: RunLengthDistribution | None = None,
+    grid_step_ui: float = 2.0e-3,
+) -> np.ndarray:
+    """BER surface versus sinusoidal-jitter frequency and amplitude (paper Fig. 9/10/17).
+
+    Returns an array of shape ``(len(amplitudes), len(frequencies))``; rows are
+    constant-amplitude BER-versus-frequency curves exactly as plotted in the
+    paper.
+    """
+    budget = budget or CdrJitterBudget()
+    frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+    amplitudes_ui_pp = np.asarray(amplitudes_ui_pp, dtype=float)
+    surface = np.empty((amplitudes_ui_pp.size, frequencies_hz.size), dtype=float)
+    for row, amplitude in enumerate(amplitudes_ui_pp):
+        for col, frequency in enumerate(frequencies_hz):
+            stressed = budget.with_sinusoidal(float(amplitude), float(frequency))
+            model = _make_model(stressed, sampling_phase_ui, run_lengths, grid_step_ui)
+            surface[row, col] = model.ber()
+    return surface
+
+
+def jitter_tolerance_at_frequency(
+    frequency_hz: float,
+    *,
+    budget: CdrJitterBudget | None = None,
+    target_ber: float = 1.0e-12,
+    sampling_phase_ui: float = NOMINAL_SAMPLING_PHASE_UI,
+    run_lengths: RunLengthDistribution | None = None,
+    grid_step_ui: float = 2.0e-3,
+    max_amplitude_ui_pp: float = 100.0,
+    tolerance_ui: float = 0.01,
+) -> JtolPoint:
+    """Largest sinusoidal-jitter amplitude meeting *target_ber* at one frequency.
+
+    Uses bisection on the amplitude; the search interval is expanded
+    geometrically up to *max_amplitude_ui_pp* first (low-frequency tolerance of
+    a gated-oscillator CDR is essentially unbounded because the oscillator is
+    re-phased at every transition).
+    """
+    budget = budget or CdrJitterBudget()
+    require_positive("frequency_hz", frequency_hz)
+    require_probability("target_ber", target_ber)
+    require_positive("max_amplitude_ui_pp", max_amplitude_ui_pp)
+
+    def ber_at(amplitude: float) -> float:
+        stressed = budget.with_sinusoidal(amplitude, frequency_hz)
+        return _make_model(stressed, sampling_phase_ui, run_lengths, grid_step_ui).ber()
+
+    # Expand to bracket the failure amplitude.
+    low, high = 0.0, 0.05
+    ber_low = ber_at(low)
+    if ber_low > target_ber:
+        return JtolPoint(frequency_hz, 0.0, ber_low)
+    while high < max_amplitude_ui_pp and ber_at(high) <= target_ber:
+        low = high
+        high *= 2.0
+    if high >= max_amplitude_ui_pp:
+        amplitude = max_amplitude_ui_pp
+        return JtolPoint(frequency_hz, amplitude, ber_at(amplitude))
+
+    # Bisect between the last passing and first failing amplitude.
+    while (high - low) > tolerance_ui:
+        middle = 0.5 * (low + high)
+        if ber_at(middle) <= target_ber:
+            low = middle
+        else:
+            high = middle
+    return JtolPoint(frequency_hz, low, ber_at(low))
+
+
+def jitter_tolerance_curve(
+    frequencies_hz: np.ndarray,
+    *,
+    budget: CdrJitterBudget | None = None,
+    target_ber: float = 1.0e-12,
+    sampling_phase_ui: float = NOMINAL_SAMPLING_PHASE_UI,
+    run_lengths: RunLengthDistribution | None = None,
+    grid_step_ui: float = 2.0e-3,
+    max_amplitude_ui_pp: float = 100.0,
+) -> JtolCurve:
+    """Jitter-tolerance curve over a set of sinusoidal-jitter frequencies."""
+    points = tuple(
+        jitter_tolerance_at_frequency(
+            float(frequency),
+            budget=budget,
+            target_ber=target_ber,
+            sampling_phase_ui=sampling_phase_ui,
+            run_lengths=run_lengths,
+            grid_step_ui=grid_step_ui,
+            max_amplitude_ui_pp=max_amplitude_ui_pp,
+        )
+        for frequency in np.asarray(frequencies_hz, dtype=float)
+    )
+    return JtolCurve(points=points, target_ber=target_ber)

@@ -1,0 +1,106 @@
+"""Tests for clock-aligned eye-diagram construction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.eye import EyeDiagram
+
+
+UI = 400.0e-12
+
+
+class TestFromEdges:
+    def test_clean_eye_is_fully_open(self):
+        clock = np.arange(1, 50) * UI
+        data = clock[:-1] + 0.5 * UI  # transitions exactly between clock edges
+        eye = EyeDiagram.from_edges(data, clock, UI)
+        assert eye.eye_opening_ui() > 0.9
+
+    def test_crossing_offsets_are_wrapped(self):
+        clock = np.arange(1, 20) * UI
+        data = clock[:-1] + 0.95 * UI
+        eye = EyeDiagram.from_edges(data, clock, UI)
+        assert np.all(eye.crossing_offsets_ui >= -0.5)
+        assert np.all(eye.crossing_offsets_ui < 0.5)
+        # A crossing just before the next clock edge appears at ~ -0.05 UI.
+        assert np.allclose(eye.crossing_offsets_ui, -0.05, atol=1e-6)
+
+    def test_crossing_at_sampling_instant_destroys_margin(self):
+        # A data transition landing right on the sampling instant leaves no
+        # margin on that side, even if the other side stays clear.
+        clock = np.arange(1, 20) * UI
+        data = clock[:-1] + 0.002 * UI
+        eye = EyeDiagram.from_edges(data, clock, UI)
+        assert eye.metrics().right_margin_ui < 0.01
+        assert eye.eye_opening_ui() < 0.55
+
+    def test_empty_inputs(self):
+        eye = EyeDiagram.from_edges(np.array([]), np.array([]), UI)
+        assert eye.n_crossings == 0
+        assert eye.eye_opening_ui() == 1.0
+
+    def test_edges_outside_clock_span_dropped(self):
+        clock = np.array([10 * UI, 11 * UI])
+        data = np.array([1 * UI, 10.5 * UI, 20 * UI])
+        eye = EyeDiagram.from_edges(data, clock, UI)
+        assert eye.n_crossings == 1
+
+
+class TestMetrics:
+    def test_symmetric_eye_metrics(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        offsets = np.concatenate([
+            -0.35 + rng.normal(0.0, 0.02, n // 2),
+            +0.35 + rng.normal(0.0, 0.02, n // 2),
+        ])
+        metrics = EyeDiagram.from_offsets(offsets).metrics()
+        assert metrics.eye_centre_ui == pytest.approx(0.0, abs=0.05)
+        assert metrics.left_edge_std_ui == pytest.approx(0.02, rel=0.25)
+        assert metrics.right_edge_std_ui == pytest.approx(0.02, rel=0.25)
+        assert 0.4 < metrics.eye_opening_ui < 0.8
+
+    def test_asymmetric_eye_detected(self):
+        # Left crossings tight, right crossings spread: the gated-oscillator
+        # signature from the paper's Figure 14.
+        rng = np.random.default_rng(1)
+        n = 3000
+        clock = np.arange(1, n + 1) * UI
+        left = clock[: n // 2] - 0.45 * UI + rng.normal(0, 0.002 * UI, n // 2)
+        right = clock[n // 2:] + 0.45 * UI + rng.normal(0, 0.05 * UI, n // 2)
+        eye = EyeDiagram.from_offsets(
+            np.concatenate([(left - clock[: n // 2]) / UI,
+                            (right - clock[n // 2:]) / UI]))
+        metrics = eye.metrics()
+        assert metrics.right_edge_std_ui > 5 * metrics.left_edge_std_ui
+
+    def test_empty_metrics(self):
+        metrics = EyeDiagram.from_offsets(np.array([])).metrics()
+        assert metrics.eye_opening_ui == 1.0
+        assert metrics.n_crossings == 0
+
+    def test_margins(self):
+        eye = EyeDiagram.from_offsets(np.array([-0.4, -0.38, 0.42, 0.44]))
+        metrics = eye.metrics()
+        assert metrics.left_margin_ui == pytest.approx(0.39, abs=0.02)
+        assert metrics.right_margin_ui == pytest.approx(0.43, abs=0.02)
+
+
+class TestHistogram:
+    def test_histogram_counts_all_crossings(self):
+        offsets = np.random.default_rng(2).uniform(-0.5, 0.5, size=500)
+        eye = EyeDiagram.from_offsets(offsets)
+        centres, counts = eye.histogram(50)
+        assert counts.sum() == 500
+        assert centres.size == 50
+
+    def test_series_export(self):
+        eye = EyeDiagram.from_offsets(np.array([-0.4, 0.4]))
+        series = eye.to_series(10)
+        assert len(series) == 10
+        assert sum(count for _offset, count in series) == 2
+
+    def test_guard_band_reduces_opening(self):
+        eye = EyeDiagram.from_offsets(np.array([-0.4, 0.4]))
+        assert eye.eye_opening_ui(guard_band_ui=0.1) == pytest.approx(
+            eye.eye_opening_ui() - 0.2)

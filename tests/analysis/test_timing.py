@@ -1,0 +1,78 @@
+"""Tests for timing / jitter measurement utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timing import (
+    duty_cycle,
+    measure_frequency,
+    period_jitter,
+    time_interval_error,
+)
+
+
+class TestTie:
+    def test_clean_clock_has_zero_tie(self):
+        edges = np.arange(100) * 400e-12
+        tie, stats = time_interval_error(edges, 400e-12)
+        assert stats.rms_s == pytest.approx(0.0, abs=1e-18)
+
+    def test_gaussian_jitter_recovered(self):
+        rng = np.random.default_rng(0)
+        edges = np.arange(20000) * 400e-12 + rng.normal(0, 3e-12, 20000)
+        _, stats = time_interval_error(edges, 400e-12)
+        assert stats.rms_s == pytest.approx(3e-12, rel=0.05)
+
+    def test_frequency_offset_removed_by_fit(self):
+        # A constant frequency error must not register as jitter.
+        edges = np.arange(1000) * 401e-12
+        _, stats = time_interval_error(edges, 400e-12)
+        assert stats.rms_s < 1e-15
+
+    def test_ui_conversion(self):
+        rng = np.random.default_rng(1)
+        edges = np.arange(5000) * 400e-12 + rng.normal(0, 4e-12, 5000)
+        _, stats = time_interval_error(edges, 400e-12)
+        assert stats.rms_ui(400e-12) == pytest.approx(0.01, rel=0.1)
+
+    def test_too_few_edges(self):
+        _, stats = time_interval_error(np.array([1e-9]), 400e-12)
+        assert stats.count == 0
+
+
+class TestPeriodJitter:
+    def test_mean_period(self):
+        edges = np.arange(50) * 400e-12
+        _, stats = period_jitter(edges)
+        assert stats.mean_s == pytest.approx(400e-12)
+        assert stats.peak_to_peak_s == pytest.approx(0.0, abs=1e-18)
+
+    def test_jittered_periods(self):
+        rng = np.random.default_rng(2)
+        edges = np.cumsum(400e-12 + rng.normal(0, 2e-12, 10000))
+        _, stats = period_jitter(edges)
+        assert stats.rms_s == pytest.approx(2e-12, rel=0.05)
+
+
+class TestFrequencyAndDuty:
+    def test_measure_frequency(self):
+        edges = np.arange(101) * 400e-12
+        assert measure_frequency(edges) == pytest.approx(2.5e9)
+
+    def test_measure_frequency_needs_two_edges(self):
+        with pytest.raises(ValueError):
+            measure_frequency(np.array([1e-9]))
+
+    def test_duty_cycle_50_percent(self):
+        rising = np.arange(20) * 1e-9
+        falling = rising + 0.5e-9
+        assert duty_cycle(rising, falling) == pytest.approx(0.5)
+
+    def test_duty_cycle_asymmetric(self):
+        rising = np.arange(20) * 1e-9
+        falling = rising + 0.3e-9
+        assert duty_cycle(rising, falling) == pytest.approx(0.3)
+
+    def test_duty_cycle_requires_edges(self):
+        with pytest.raises(ValueError):
+            duty_cycle(np.array([0.0]), np.array([]))

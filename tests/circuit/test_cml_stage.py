@@ -1,0 +1,55 @@
+"""Tests for the CML stage electrical analysis."""
+
+import pytest
+
+from repro.circuit.cml_stage import design_cml_stage
+from repro.jitter.accumulation import OscillatorJitterBudget
+
+
+class TestDesignCmlStage:
+    @pytest.fixture(scope="class")
+    def stage(self):
+        return design_cml_stage(200.0e-6)
+
+    def test_swing_and_load_consistent(self, stage):
+        assert stage.bias.swing_v == pytest.approx(0.4)
+        assert stage.bias.load_resistance_ohm == pytest.approx(2000.0)
+
+    def test_load_capacitance_in_tens_of_femtofarads(self, stage):
+        assert 5.0e-15 < stage.load_capacitance_f < 100.0e-15
+
+    def test_propagation_delay_supports_2p5ghz_ring(self, stage):
+        # Four stages must oscillate at (or above) the 2.5 GHz bit rate.
+        assert stage.ring_frequency_hz(4) > 2.0e9
+
+    def test_max_toggle_frequency_matches_ring_frequency(self, stage):
+        assert stage.maximum_toggle_frequency_hz == pytest.approx(stage.ring_frequency_hz(4))
+
+    def test_more_current_is_faster(self):
+        slow = design_cml_stage(50e-6)
+        fast = design_cml_stage(400e-6)
+        assert fast.ring_frequency_hz(4) > slow.ring_frequency_hz(4)
+
+    def test_noise_voltage_microvolt_range(self, stage):
+        noise = stage.output_noise_voltage_rms()
+        assert 50.0e-6 < noise < 2.0e-3
+
+    def test_jitter_per_transition_sub_picosecond(self, stage):
+        jitter = stage.jitter_per_transition_rms_s()
+        assert 1.0e-15 < jitter < 2.0e-12
+
+    def test_kappa_meets_paper_budget(self, stage):
+        """The 200 uA stage comfortably meets the 0.01 UIrms @ CID 5 budget."""
+        assert OscillatorJitterBudget().satisfied_by(stage.kappa())
+
+    def test_power(self, stage):
+        assert stage.power_w == pytest.approx(200e-6 * 1.8)
+
+    def test_ring_needs_three_stages(self, stage):
+        with pytest.raises(ValueError):
+            stage.ring_frequency_hz(2)
+
+    def test_fanout_increases_load(self):
+        single = design_cml_stage(200e-6, fanout=1)
+        double = design_cml_stage(200e-6, fanout=2)
+        assert double.load_capacitance_f > single.load_capacitance_f

@@ -1,0 +1,88 @@
+"""Tests for the technology constants and square-law MOSFET model."""
+
+import math
+
+import pytest
+
+from repro.circuit.mosfet import Mosfet
+from repro.circuit.technology import UMC_018, Technology
+
+
+class TestTechnology:
+    def test_default_node_values(self):
+        assert UMC_018.supply_v == pytest.approx(1.8)
+        assert UMC_018.minimum_length_um == pytest.approx(0.18)
+
+    def test_gate_capacitance_scales_with_area(self):
+        small = UMC_018.gate_capacitance_f(1.0, 0.18)
+        large = UMC_018.gate_capacitance_f(2.0, 0.18)
+        assert large > small
+
+    def test_drain_capacitance_scales_with_width(self):
+        assert UMC_018.drain_capacitance_f(4.0) == pytest.approx(
+            2.0 * UMC_018.drain_capacitance_f(2.0))
+
+    def test_rejects_non_positive_parameters(self):
+        with pytest.raises(ValueError):
+            Technology(name="bad", supply_v=0.0, nmos_threshold_v=0.4,
+                       pmos_threshold_v=0.4, nmos_kprime_a_per_v2=3e-4,
+                       pmos_kprime_a_per_v2=7e-5, gate_capacitance_f_per_um2=8e-15,
+                       overlap_capacitance_f_per_um=0.3e-15,
+                       junction_capacitance_f_per_um=0.9e-15,
+                       minimum_length_um=0.18, sheet_resistance_ohm=300.0,
+                       noise_gamma=1.5)
+
+
+class TestMosfet:
+    def test_minimum_length_enforced(self):
+        with pytest.raises(ValueError):
+            Mosfet(width_um=1.0, length_um=0.1)
+
+    def test_cutoff_region(self):
+        device = Mosfet(width_um=2.0, length_um=0.18)
+        assert device.drain_current(0.2, 1.0) == 0.0
+
+    def test_saturation_current_square_law(self):
+        device = Mosfet(width_um=2.0, length_um=0.18)
+        vov = 0.2
+        expected = 0.5 * device.beta * vov ** 2
+        assert device.saturation_current(device.threshold_v + vov) == pytest.approx(expected)
+
+    def test_triode_below_saturation(self):
+        device = Mosfet(width_um=2.0, length_um=0.18)
+        vgs = device.threshold_v + 0.3
+        triode = device.drain_current(vgs, 0.1)
+        saturation = device.drain_current(vgs, 1.0)
+        assert 0.0 < triode < saturation
+
+    def test_vgs_for_current_round_trip(self):
+        device = Mosfet(width_um=4.0, length_um=0.18)
+        current = 200e-6
+        vgs = device.vgs_for_current(current)
+        assert device.saturation_current(vgs) == pytest.approx(current, rel=1e-9)
+
+    def test_transconductance_formula(self):
+        device = Mosfet(width_um=4.0, length_um=0.18)
+        current = 150e-6
+        assert device.transconductance(current) == pytest.approx(
+            math.sqrt(2.0 * device.beta * current))
+
+    def test_overdrive_for_current(self):
+        device = Mosfet(width_um=4.0, length_um=0.18)
+        vov = device.overdrive_for_current(100e-6)
+        assert device.saturation_current(device.threshold_v + vov) == pytest.approx(100e-6)
+
+    def test_thermal_noise_positive_and_scales_with_gamma(self):
+        device = Mosfet(width_um=4.0, length_um=0.18)
+        assert device.thermal_noise_current_psd(200e-6) > 0.0
+
+    def test_sizing_helper(self):
+        device = Mosfet.sized_for_current(200e-6, 0.25)
+        assert device.saturation_current(device.threshold_v + 0.25) == pytest.approx(
+            200e-6, rel=1e-6)
+
+    def test_pmos_uses_pmos_parameters(self):
+        nmos = Mosfet(width_um=2.0, length_um=0.18, is_pmos=False)
+        pmos = Mosfet(width_um=2.0, length_um=0.18, is_pmos=True)
+        assert pmos.beta < nmos.beta
+        assert pmos.threshold_v == pytest.approx(UMC_018.pmos_threshold_v)

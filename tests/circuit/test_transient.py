@@ -1,0 +1,89 @@
+"""Tests for the circuit-level ("transistor-level") transient CDR simulation.
+
+These are the slowest unit tests in the suite; bit counts are kept small.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuit.transient import (
+    CircuitCdrConfig,
+    CircuitLevelCdr,
+    calibrate_ring,
+    measure_free_running_frequency,
+)
+from repro.datapath.nrz import JitterSpec
+from repro.datapath.prbs import prbs7
+
+
+@pytest.fixture(scope="module")
+def calibrated_config():
+    return calibrate_ring(CircuitCdrConfig())
+
+
+class TestCalibration:
+    def test_free_running_frequency_is_measurable(self):
+        frequency = measure_free_running_frequency(CircuitCdrConfig(), n_unit_intervals=30)
+        assert 1.0e9 < frequency < 10.0e9
+
+    def test_calibration_hits_bit_rate(self, calibrated_config):
+        frequency = measure_free_running_frequency(calibrated_config, n_unit_intervals=30)
+        assert frequency == pytest.approx(calibrated_config.bit_rate_hz, rel=0.01)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CircuitCdrConfig(n_ring_stages=2)
+        with pytest.raises(ValueError):
+            CircuitCdrConfig(tau_scale=0.0)
+
+
+class TestTransientSimulation:
+    @pytest.fixture(scope="class")
+    def result(self, calibrated_config):
+        simulator = CircuitLevelCdr(calibrated_config)
+        return simulator.simulate(prbs7(150), rng=np.random.default_rng(0))
+
+    def test_waveforms_have_cml_swing(self, result, calibrated_config):
+        half_swing = 0.5 * calibrated_config.stage.bias.swing_v
+        assert abs(result.clock_v).max() <= half_swing * 1.05
+        assert abs(result.delayed_data_v).max() >= 0.5 * half_swing
+
+    def test_one_clock_edge_per_bit(self, result):
+        ratio = result.clock_rising_edges_s().size / result.transmitted_bits.size
+        assert ratio == pytest.approx(1.0, abs=0.05)
+
+    def test_recovers_data_without_jitter(self, result):
+        """Typical-case run (no jitter): the recovered bits match the sent ones."""
+        measurement = result.ber()
+        assert measurement.compared_bits > 100
+        assert measurement.errors <= 2
+
+    def test_eye_is_open(self, result):
+        """Figure 18: the typical-case eye at the sampler is open."""
+        metrics = result.eye_diagram().metrics()
+        assert metrics.eye_opening_ui > 0.2
+        assert metrics.n_crossings > 30
+
+    def test_edet_pulses_exist(self, result):
+        # EDET must swing low after transitions: its minimum is well below zero.
+        assert result.edet_v.min() < -0.05
+
+    def test_sample_times_are_increasing(self, result):
+        assert np.all(np.diff(result.sample_times_s) > 0.0)
+
+
+class TestNoiseAndImpairments:
+    def test_noise_injection_runs(self, calibrated_config):
+        from dataclasses import replace
+        noisy = replace(calibrated_config, noise_enabled=True)
+        result = CircuitLevelCdr(noisy).simulate(prbs7(60), rng=np.random.default_rng(1))
+        assert result.clock_rising_edges_s().size > 30
+
+    def test_input_jitter_closes_eye(self, calibrated_config):
+        clean = CircuitLevelCdr(calibrated_config).simulate(
+            prbs7(120), rng=np.random.default_rng(2))
+        jittered = CircuitLevelCdr(calibrated_config).simulate(
+            prbs7(120), jitter=JitterSpec(dj_ui_pp=0.2, rj_ui_rms=0.02),
+            rng=np.random.default_rng(2))
+        assert jittered.eye_diagram().metrics().eye_opening_ui < \
+            clean.eye_diagram().metrics().eye_opening_ui

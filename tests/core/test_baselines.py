@@ -1,0 +1,56 @@
+"""Tests for the baseline CDR models used in ablations."""
+
+import pytest
+
+from repro.core.baselines import FreeRunningOscillatorBer, PllCdrBerModel
+from repro.statistical.ber_model import CdrJitterBudget, GatedOscillatorBerModel
+
+GRID = 4.0e-3
+
+
+class TestFreeRunningBaseline:
+    def test_fails_catastrophically_with_offset(self):
+        """Without gating, even 100 ppm of offset destroys the BER over a burst."""
+        budget = CdrJitterBudget(frequency_offset=1.0e-4)
+        baseline = FreeRunningOscillatorBer(budget, n_bits=10_000, grid_step_ui=GRID)
+        assert baseline.ber() > 1.0e-3
+
+    def test_gating_wins_by_orders_of_magnitude(self):
+        """Ablation A3: the gated oscillator versus the same oscillator ungated."""
+        budget = CdrJitterBudget(frequency_offset=1.0e-4)
+        gated = GatedOscillatorBerModel(budget, grid_step_ui=GRID).ber()
+        ungated = FreeRunningOscillatorBer(budget, n_bits=10_000, grid_step_ui=GRID).ber()
+        assert gated < 1.0e-12
+        assert ungated > 1.0e6 * max(gated, 1e-30)
+
+    def test_perfect_frequency_match_is_benign(self):
+        budget = CdrJitterBudget(frequency_offset=0.0, osc_sigma_ui_per_bit=0.0)
+        baseline = FreeRunningOscillatorBer(budget, n_bits=2_000, grid_step_ui=GRID)
+        assert baseline.ber() < 1.0e-10
+
+
+class TestPllBaseline:
+    def test_tracks_low_frequency_jitter(self):
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=1.0, sj_frequency_hz=1.0e5)
+        model = PllCdrBerModel(budget, loop_bandwidth_hz=4.0e6)
+        assert model.untracked_sj_amplitude_ui_pp() < 0.05
+        assert model.ber() < 1.0e-12
+
+    def test_does_not_track_high_frequency_jitter(self):
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=1.0, sj_frequency_hz=1.0e9)
+        model = PllCdrBerModel(budget, loop_bandwidth_hz=4.0e6)
+        assert model.untracked_sj_amplitude_ui_pp() == pytest.approx(1.0, rel=0.01)
+        assert model.ber() > 1.0e-12
+
+    def test_is_immune_to_frequency_offset_unlike_gcco(self):
+        # The PLL tracks frequency, so offset does not matter; the GCCO degrades.
+        budget = CdrJitterBudget(frequency_offset=0.05, sj_amplitude_ui_pp=0.3,
+                                 sj_frequency_hz=1.0e9)
+        pll = PllCdrBerModel(budget).ber()
+        gcco = GatedOscillatorBerModel(budget, grid_step_ui=GRID).ber()
+        assert gcco > pll
+
+    def test_no_sj_case(self):
+        model = PllCdrBerModel(CdrJitterBudget())
+        assert model.untracked_sj_amplitude_ui_pp() == 0.0
+        assert model.ber() < 1.0e-12

@@ -1,0 +1,66 @@
+"""Tests for the CDR channel configuration objects."""
+
+import pytest
+
+from repro.core.config import (
+    PAPER_JITTER_SPEC,
+    PAPER_POWER_TARGET_MW_PER_GBPS,
+    PAPER_TARGET_BER,
+    CdrChannelConfig,
+)
+
+
+class TestPaperConstants:
+    def test_table1_values(self):
+        assert PAPER_JITTER_SPEC.dj_ui_pp == pytest.approx(0.4)
+        assert PAPER_JITTER_SPEC.rj_ui_rms == pytest.approx(0.021)
+        assert PAPER_JITTER_SPEC.sj_amplitude_ui_pp == 0.0
+
+    def test_targets(self):
+        assert PAPER_TARGET_BER == 1.0e-12
+        assert PAPER_POWER_TARGET_MW_PER_GBPS == 5.0
+
+
+class TestChannelConfig:
+    def test_default_unit_interval(self):
+        assert CdrChannelConfig().unit_interval_s == pytest.approx(400.0e-12)
+
+    def test_sampling_phase_selection(self):
+        assert CdrChannelConfig().sampling_phase_ui == pytest.approx(0.5)
+        assert CdrChannelConfig(improved_sampling=True).sampling_phase_ui == pytest.approx(0.375)
+
+    def test_edge_detector_delay_inside_window(self):
+        config = CdrChannelConfig()
+        assert 0.5 < config.edge_detector_delay_ui < 1.0
+        assert config.edge_detector_delay_s == pytest.approx(
+            config.edge_detector_delay_ui * config.oscillator_period_s)
+
+    def test_frequency_offset_changes_oscillator_frequency(self):
+        config = CdrChannelConfig(frequency_offset=0.05)
+        assert config.oscillator_frequency_hz == pytest.approx(2.5e9 / 1.05)
+        assert config.oscillator_period_s > 400e-12
+
+    def test_frequency_offset_bounds(self):
+        with pytest.raises(ValueError):
+            CdrChannelConfig(frequency_offset=0.6)
+
+    def test_with_helpers_return_copies(self):
+        base = CdrChannelConfig()
+        improved = base.with_improved_sampling()
+        offset = base.with_frequency_offset(0.01)
+        delayed = base.with_edge_detector_delay(0.6)
+        assert improved.improved_sampling and not base.improved_sampling
+        assert offset.frequency_offset == 0.01 and base.frequency_offset == 0.0
+        assert delayed.edge_detector_delay_ui == 0.6
+
+    def test_paper_factories(self):
+        nominal = CdrChannelConfig.paper_nominal()
+        improved = CdrChannelConfig.paper_improved()
+        assert not nominal.improved_sampling
+        assert improved.improved_sampling
+        assert nominal.oscillator.jitter_sigma_fraction > 0.0
+
+    def test_figure14_condition_is_5_percent_slow(self):
+        config = CdrChannelConfig.figure14_condition()
+        assert config.oscillator_frequency_hz == pytest.approx(2.375e9)
+        assert config.frequency_offset == pytest.approx(2.5 / 2.375 - 1.0)

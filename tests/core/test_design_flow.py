@@ -1,0 +1,47 @@
+"""Tests for the end-to-end top-down design flow."""
+
+import numpy as np
+import pytest
+
+from repro.core.design_flow import run_design_flow
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_design_flow(behavioural_bits=600, grid_step_ui=4.0e-3,
+                           rng=np.random.default_rng(0))
+
+
+class TestDesignFlow:
+    def test_statistical_feasibility(self, report):
+        assert report.nominal_ber < 1.0e-12
+
+    def test_ftol_exceeds_100ppm(self, report):
+        assert report.ftol.meets_specification(100.0)
+
+    def test_jtol_passes_mask(self, report):
+        assert report.compliance.jtol_pass
+
+    def test_power_below_paper_target(self, report):
+        """Headline result: < 5 mW/Gbit/s."""
+        assert report.power_report.power_per_gbps_mw < 5.0
+        assert report.compliance.power_pass
+
+    def test_oscillator_meets_kappa_budget(self, report):
+        assert report.oscillator_design.kappa <= report.oscillator_design.kappa_budget
+
+    def test_behavioural_verification_is_error_free(self, report):
+        assert report.behavioural_ber.errors == 0
+        assert report.behavioural_ber.compared_bits > 500
+
+    def test_recovered_clock_at_bit_rate(self, report):
+        assert report.recovered_frequency_hz == pytest.approx(2.5e9, rel=0.01)
+
+    def test_overall_compliance(self, report):
+        assert report.compliance.overall_pass
+
+    def test_summary_lines_render(self, report):
+        text = "\n".join(report.summary_lines())
+        assert "mW/Gbit/s" in text
+        assert "PASS" in text
+        assert "Stage 3" in text

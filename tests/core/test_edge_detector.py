@@ -1,0 +1,85 @@
+"""Tests for the gate-level edge detector."""
+
+import numpy as np
+import pytest
+
+from repro.events.kernel import Simulator
+from repro.events.signal import Signal
+from repro.events.waveform import WaveformRecorder
+from repro.core.edge_detector import EdgeDetector
+
+
+def build(total_delay_s=300.0e-12, n_cells=3):
+    simulator = Simulator()
+    data = Signal(simulator, "din", initial=0)
+    detector = EdgeDetector(simulator, data, total_delay_s=total_delay_s, n_cells=n_cells)
+    recorder = WaveformRecorder()
+    edet = recorder.watch(detector.output, "edet")
+    ddin = recorder.watch(detector.delayed_data, "ddin")
+    return simulator, data, detector, edet, ddin
+
+
+class TestEdgeDetector:
+    def test_edet_idles_high(self):
+        simulator, _data, detector, edet, _ddin = build()
+        simulator.run_until(5.0e-9)
+        assert detector.output.value == 1
+        assert edet.edges("any").size == 0
+
+    def test_pulse_on_rising_data_edge(self):
+        simulator, data, _detector, edet, _ddin = build()
+        simulator.call_at(1.0e-9, lambda: data.force(1))
+        simulator.run_until(3.0e-9)
+        falling = edet.edges("falling")
+        rising = edet.edges("rising")
+        assert falling.size == 1
+        assert rising.size == 1
+        # The low pulse lasts the delay-line delay.
+        assert rising[0] - falling[0] == pytest.approx(300.0e-12, rel=0.05)
+
+    def test_pulse_on_falling_data_edge_too(self):
+        simulator, data, _detector, edet, _ddin = build()
+        simulator.call_at(1.0e-9, lambda: data.force(1))
+        simulator.call_at(3.0e-9, lambda: data.force(0))
+        simulator.run_until(5.0e-9)
+        assert edet.edges("falling").size == 2
+
+    def test_delayed_data_follows_input(self):
+        simulator, data, detector, _edet, ddin = build()
+        simulator.call_at(1.0e-9, lambda: data.force(1))
+        simulator.run_until(3.0e-9)
+        edges = ddin.edges("rising")
+        assert edges.size == 1
+        # DDIN is delayed by the delay line plus the dummy gate (25 ps).
+        assert edges[0] - 1.0e-9 == pytest.approx(325.0e-12, rel=0.05)
+        assert detector.delayed_data.value == 1
+
+    def test_ddin_and_edet_rise_are_matched(self):
+        """The dummy gate makes the DDIN edge and the EDET release coincide."""
+        simulator, data, _detector, edet, ddin = build()
+        simulator.call_at(1.0e-9, lambda: data.force(1))
+        simulator.run_until(3.0e-9)
+        assert ddin.edges("rising")[0] == pytest.approx(edet.edges("rising")[0], abs=2e-12)
+
+    def test_pulse_width_tracks_configured_delay(self):
+        for delay in (220.0e-12, 380.0e-12):
+            simulator, data, _detector, edet, _ddin = build(total_delay_s=delay)
+            simulator.call_at(1.0e-9, lambda: data.force(1))
+            simulator.run_until(3.0e-9)
+            width = edet.edges("rising")[0] - edet.edges("falling")[0]
+            assert width == pytest.approx(delay, rel=0.05)
+
+    def test_closely_spaced_edges_produce_split_pulses(self):
+        # Two data edges closer together than the delay-line delay produce two
+        # short EDET pulses — the hazard behind the paper's tau < T bound.
+        simulator, data, _detector, edet, _ddin = build(total_delay_s=300.0e-12)
+        simulator.call_at(1.0e-9, lambda: data.force(1))
+        simulator.call_at(1.2e-9, lambda: data.force(0))
+        simulator.run_until(3.0e-9)
+        assert edet.edges("falling").size == 2
+
+    def test_rejects_bad_parameters(self):
+        simulator = Simulator()
+        data = Signal(simulator, "d", initial=0)
+        with pytest.raises(ValueError):
+            EdgeDetector(simulator, data, total_delay_s=0.0)

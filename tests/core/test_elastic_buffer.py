@@ -1,0 +1,83 @@
+"""Tests for the elastic buffer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.elastic_buffer import ElasticBuffer
+
+
+class TestBasicOperation:
+    def test_prime_fills_to_half_depth(self):
+        buffer = ElasticBuffer(depth=16)
+        buffer.prime()
+        assert buffer.occupancy == 8
+
+    def test_write_then_read_fifo_order(self):
+        buffer = ElasticBuffer(depth=8)
+        for value in (1, 0, 1, 1):
+            assert buffer.write(value)
+        assert [buffer.read() for _ in range(4)] == [1, 0, 1, 1]
+
+    def test_overflow_drops_and_counts(self):
+        buffer = ElasticBuffer(depth=4)
+        for _ in range(4):
+            assert buffer.write(1)
+        assert not buffer.write(1)
+        stats = buffer.statistics()
+        assert stats.overflows == 1
+        assert buffer.occupancy == 4
+
+    def test_underflow_repeats_and_counts(self):
+        buffer = ElasticBuffer(depth=4)
+        buffer.write(1)
+        assert buffer.read() == 1
+        assert buffer.read() == 1  # repeated value
+        assert buffer.statistics().underflows == 1
+
+    def test_occupancy_tracking(self):
+        buffer = ElasticBuffer(depth=8)
+        for _ in range(5):
+            buffer.write(0)
+        for _ in range(3):
+            buffer.read()
+        stats = buffer.statistics()
+        assert stats.max_occupancy == 5
+        assert stats.writes == 5
+        assert stats.reads == 3
+        assert stats.slips == 0
+
+    @given(st.lists(st.sampled_from(["w", "r"]), min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_depth(self, operations):
+        buffer = ElasticBuffer(depth=8)
+        for operation in operations:
+            if operation == "w":
+                buffer.write(1)
+            else:
+                buffer.read()
+        assert 0 <= buffer.occupancy <= 8
+
+
+class TestClockDomainSimulation:
+    def test_matched_rates_do_not_slip(self):
+        stats = ElasticBuffer.simulate_clock_domains(
+            5000, write_rate_hz=250.0e6, read_rate_hz=250.0e6, depth=16)
+        assert stats.slips == 0
+
+    def test_100ppm_offset_absorbed_over_short_burst(self):
+        # +/-100 ppm over 5000 symbols drifts by 0.5 symbols: easily absorbed.
+        stats = ElasticBuffer.simulate_clock_domains(
+            5000, write_rate_hz=250.0e6 * 1.0001, read_rate_hz=250.0e6, depth=16)
+        assert stats.slips == 0
+
+    def test_large_offset_eventually_slips(self):
+        stats = ElasticBuffer.simulate_clock_domains(
+            20000, write_rate_hz=250.0e6 * 1.01, read_rate_hz=250.0e6, depth=8)
+        assert stats.slips > 0
+
+    def test_deeper_buffer_slips_less(self):
+        shallow = ElasticBuffer.simulate_clock_domains(
+            20000, write_rate_hz=250.0e6 * 1.002, read_rate_hz=250.0e6, depth=8)
+        deep = ElasticBuffer.simulate_clock_domains(
+            20000, write_rate_hz=250.0e6 * 1.002, read_rate_hz=250.0e6, depth=64)
+        assert deep.slips <= shallow.slips

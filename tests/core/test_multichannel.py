@@ -1,0 +1,84 @@
+"""Tests for the multi-channel receiver."""
+
+import numpy as np
+import pytest
+
+from repro.core.multichannel import MultiChannelConfig, MultiChannelReceiver
+from repro.pll.pll import ChannelBiasMismatch
+
+
+class TestBiasDistribution:
+    def test_shared_control_current(self):
+        receiver = MultiChannelReceiver(rng=np.random.default_rng(0))
+        assert receiver.shared_control_current_a() == pytest.approx(200.0e-6)
+
+    def test_channel_offsets_have_mismatch_scale(self):
+        config = MultiChannelConfig(
+            n_channels=64,
+            mismatch=ChannelBiasMismatch(mirror_gain_sigma=0.0,
+                                         oscillator_frequency_sigma=0.005),
+        )
+        receiver = MultiChannelReceiver(config, rng=np.random.default_rng(1))
+        offsets = receiver.channel_frequency_offsets()
+        assert offsets.size == 64
+        assert 0.002 < offsets.std() < 0.01
+
+    def test_transmitter_ppm_shifts_all_channels(self):
+        config = MultiChannelConfig(
+            n_channels=16, transmitter_offset_ppm=100.0,
+            mismatch=ChannelBiasMismatch(0.0, 0.0))
+        receiver = MultiChannelReceiver(config, rng=np.random.default_rng(2))
+        offsets = receiver.channel_frequency_offsets()
+        np.testing.assert_allclose(offsets, -1.0e-4, rtol=1e-6)
+
+    def test_lane_skews_bounded(self):
+        config = MultiChannelConfig(n_channels=8, max_lane_skew_ui=10.0)
+        receiver = MultiChannelReceiver(config, rng=np.random.default_rng(3))
+        skews = receiver.lane_skews_ui()
+        assert np.all((skews >= 0.0) & (skews <= 10.0))
+
+
+class TestStatisticalReport:
+    def test_all_channels_meet_target_with_realistic_mismatch(self):
+        """Matched oscillators (sub-percent mismatch) keep every channel below 1e-12."""
+        config = MultiChannelConfig(n_channels=4)
+        receiver = MultiChannelReceiver(config, rng=np.random.default_rng(4))
+        report = receiver.statistical_report(grid_step_ui=4.0e-3)
+        assert len(report.channels) == 4
+        assert report.all_channels_pass
+        assert report.worst_ber < 1.0e-12
+
+    def test_gross_mismatch_fails_channels(self):
+        config = MultiChannelConfig(
+            n_channels=4,
+            mismatch=ChannelBiasMismatch(mirror_gain_sigma=0.0,
+                                         oscillator_frequency_sigma=0.08))
+        receiver = MultiChannelReceiver(config, rng=np.random.default_rng(5))
+        report = receiver.statistical_report(grid_step_ui=4.0e-3)
+        assert not report.all_channels_pass
+
+    def test_report_fields(self):
+        receiver = MultiChannelReceiver(rng=np.random.default_rng(6))
+        report = receiver.statistical_report(grid_step_ui=4.0e-3)
+        channel = report.channels[0]
+        assert channel.channel_index == 0
+        assert channel.frequency_offset_ppm == pytest.approx(
+            channel.frequency_offset * 1e6)
+
+
+class TestBehaviouralRun:
+    def test_all_channels_recover_data(self):
+        config = MultiChannelConfig(n_channels=2)
+        receiver = MultiChannelReceiver(config, rng=np.random.default_rng(7))
+        report = receiver.behavioural_run(n_bits=300)
+        assert len(report.results) == 2
+        assert report.total_bits > 500
+        assert report.aggregate_ber < 0.01
+
+    def test_independent_data_per_channel(self):
+        config = MultiChannelConfig(n_channels=2)
+        receiver = MultiChannelReceiver(config, rng=np.random.default_rng(8))
+        report = receiver.behavioural_run(n_bits=200)
+        a = report.results[0].transmitted_bits
+        b = report.results[1].transmitted_bits
+        assert not np.array_equal(a, b)

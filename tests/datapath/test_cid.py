@@ -1,0 +1,104 @@
+"""Tests for run-length / CID statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datapath import cid
+
+
+class TestRunLengths:
+    def test_simple_pattern(self):
+        lengths = cid.run_lengths([0, 0, 1, 1, 1, 0])
+        np.testing.assert_array_equal(lengths, [2, 3, 1])
+
+    def test_single_run(self):
+        np.testing.assert_array_equal(cid.run_lengths([1, 1, 1]), [3])
+
+    def test_empty(self):
+        assert cid.run_lengths([]).size == 0
+
+    def test_histogram(self):
+        histogram = cid.run_length_histogram([0, 0, 1, 1, 1, 0])
+        assert histogram == {1: 1, 2: 1, 3: 1}
+
+    def test_max_cid(self):
+        assert cid.max_consecutive_identical_digits([0, 1, 1, 1, 1, 0, 0]) == 4
+
+    def test_transition_density_alternating(self):
+        assert cid.transition_density([0, 1, 0, 1, 0]) == pytest.approx(1.0)
+
+    def test_transition_density_constant(self):
+        assert cid.transition_density([1, 1, 1, 1]) == pytest.approx(0.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_run_lengths_sum_to_stream_length(self, bits):
+        assert int(cid.run_lengths(bits).sum()) == len(bits)
+
+
+class TestRunLengthDistribution:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            cid.RunLengthDistribution((0.5, 0.4))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            cid.RunLengthDistribution((1.5, -0.5))
+
+    def test_geometric_distribution_sums_to_one(self):
+        distribution = cid.geometric_run_distribution(5)
+        assert sum(distribution.probabilities) == pytest.approx(1.0)
+
+    def test_geometric_tail_folded_into_last_bin(self):
+        distribution = cid.geometric_run_distribution(5)
+        # P(5) contains the folded tail, so it exceeds the raw geometric value 1/32.
+        assert distribution.probabilities[-1] > 0.5 ** 5
+
+    def test_8b10b_distribution_max_run_is_five(self):
+        assert cid.encoded_8b10b_run_distribution().max_run == 5
+
+    def test_mean_run_length_of_fair_stream(self):
+        distribution = cid.geometric_run_distribution(20)
+        assert distribution.mean_run_length == pytest.approx(2.0, rel=0.01)
+
+    def test_bit_weights_sum_to_one(self):
+        distribution = cid.geometric_run_distribution(5)
+        assert distribution.bit_weights().sum() == pytest.approx(1.0)
+
+    def test_bit_weights_favour_long_runs_versus_run_weights(self):
+        distribution = cid.geometric_run_distribution(5)
+        # A bit is more likely than a run to belong to the longest bin.
+        assert distribution.bit_weights()[-1] > distribution.probabilities[-1]
+
+    def test_position_in_run_weights_structure(self):
+        distribution = cid.geometric_run_distribution(4)
+        joint = distribution.position_in_run_weights()
+        assert joint.shape == (4, 4)
+        assert joint.sum() == pytest.approx(1.0)
+        # Positions beyond the run length are impossible.
+        assert joint[0, 1] == 0.0
+        assert joint[2, 3] == 0.0
+
+    def test_position_distribution_is_decreasing(self):
+        distribution = cid.geometric_run_distribution(5)
+        positions = cid.bit_position_distribution(distribution)
+        assert positions.sum() == pytest.approx(1.0)
+        assert all(positions[i] >= positions[i + 1] for i in range(len(positions) - 1))
+
+    def test_measured_distribution_matches_stream(self):
+        rng = np.random.default_rng(3)
+        bits = rng.integers(0, 2, size=20000)
+        distribution = cid.measured_run_distribution(bits, max_run=6)
+        # The measured distribution of an i.i.d. stream approximates the geometric one.
+        expected = cid.geometric_run_distribution(6)
+        np.testing.assert_allclose(distribution.probabilities,
+                                   expected.probabilities, atol=0.02)
+
+    def test_measured_distribution_rejects_empty(self):
+        with pytest.raises(ValueError):
+            cid.measured_run_distribution([])
+
+    def test_invalid_transition_probability(self):
+        with pytest.raises(ValueError):
+            cid.geometric_run_distribution(5, transition_probability=0.0)

@@ -1,0 +1,155 @@
+"""Tests for the 8b/10b encoder / decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datapath import encoding8b10b as enc
+
+
+class TestEncoderBasics:
+    def test_symbol_length_is_ten(self):
+        encoder = enc.Encoder8b10b()
+        assert encoder.encode_symbol(0x00).size == 10
+
+    def test_running_disparity_starts_negative(self):
+        assert enc.Encoder8b10b().running_disparity == -1
+
+    def test_invalid_byte_rejected(self):
+        with pytest.raises(enc.EncodingError):
+            enc.Encoder8b10b().encode_symbol(256)
+
+    def test_invalid_control_rejected(self):
+        with pytest.raises(enc.EncodingError):
+            enc.Encoder8b10b().encode_symbol(0x00, control=True)
+
+    def test_d0_0_rd_negative_code(self):
+        # D0.0 at RD- is 100111 0100 in abcdei fghj order.
+        bits = enc.Encoder8b10b().encode_symbol(0x00)
+        assert "".join(str(b) for b in bits) == "1001110100"
+
+    def test_k28_5_comma_rd_negative(self):
+        bits = enc.Encoder8b10b().encode_symbol(enc.K28_5, control=True)
+        assert "".join(str(b) for b in bits) == "0011111010"
+
+    def test_symbol_name(self):
+        assert enc.symbol_name(0xBC, control=True) == "K28.5"
+        assert enc.symbol_name(0x4A) == "D10.2"
+
+
+class TestDisparityInvariants:
+    def test_disparity_stays_bounded(self):
+        encoder = enc.Encoder8b10b()
+        running = 0
+        for byte in range(256):
+            bits = encoder.encode_symbol(byte)
+            running += int(bits.sum()) * 2 - 10
+            # The cumulative ones/zeros imbalance of a valid stream stays within +/-2.
+            assert -3 <= running <= 3
+
+    def test_each_symbol_disparity_is_0_or_pm2(self):
+        encoder = enc.Encoder8b10b()
+        for byte in range(256):
+            bits = encoder.encode_symbol(byte)
+            disparity = int(bits.sum()) * 2 - 10
+            assert disparity in (-2, 0, 2)
+
+
+class TestRunLengthGuarantee:
+    def test_max_run_length_is_five_over_all_bytes(self):
+        stream = enc.encode_bytes(list(range(256)) * 2)
+        assert enc.max_run_length(stream) <= 5
+
+    def test_max_run_length_random_payload(self):
+        rng = np.random.default_rng(11)
+        payload = rng.integers(0, 256, size=4000).tolist()
+        stream = enc.encode_bytes(payload)
+        assert enc.max_run_length(stream) <= 5
+
+    def test_paper_worst_case_cid_is_reachable(self):
+        # The worst case the paper designs for (five identical digits) does occur.
+        rng = np.random.default_rng(5)
+        payload = rng.integers(0, 256, size=4000).tolist()
+        stream = enc.encode_bytes(payload)
+        assert enc.max_run_length(stream) == 5
+
+    def test_max_run_length_helper(self):
+        assert enc.max_run_length([0, 0, 0, 1, 1]) == 3
+        assert enc.max_run_length([]) == 0
+
+
+class TestRoundTrip:
+    def test_all_bytes_round_trip_from_rd_negative(self):
+        encoder = enc.Encoder8b10b()
+        decoder = enc.Decoder8b10b()
+        data = list(range(256))
+        stream = encoder.encode(data)
+        decoded = decoder.decode(stream)
+        assert [byte for byte, is_control in decoded] == data
+        assert all(not is_control for _byte, is_control in decoded)
+
+    def test_all_bytes_round_trip_from_rd_positive(self):
+        encoder = enc.Encoder8b10b(running_disparity=+1)
+        decoder = enc.Decoder8b10b(running_disparity=+1)
+        data = list(range(255, -1, -1))
+        decoded = decoder.decode(encoder.encode(data))
+        assert [byte for byte, _ in decoded] == data
+
+    def test_control_characters_round_trip(self):
+        encoder = enc.Encoder8b10b()
+        decoder = enc.Decoder8b10b()
+        controls = list(enc.CONTROL_CODES)
+        stream = encoder.encode(controls, controls=set(range(len(controls))))
+        decoded = decoder.decode(stream)
+        assert [byte for byte, _ in decoded] == controls
+        assert all(is_control for _byte, is_control in decoded)
+
+    def test_mixed_data_and_controls(self):
+        encoder = enc.Encoder8b10b()
+        decoder = enc.Decoder8b10b()
+        data = [enc.K28_5, 0x55, 0xAA, enc.K28_5, 0x00]
+        stream = encoder.encode(data, controls={0, 3})
+        decoded = decoder.decode(stream)
+        assert decoded[0] == (enc.K28_5, True)
+        assert decoded[1] == (0x55, False)
+        assert decoded[3] == (enc.K28_5, True)
+
+    @given(st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, payload):
+        stream = enc.encode_bytes(payload)
+        decoded = enc.decode_symbols(stream)
+        assert [byte for byte, _ in decoded] == payload
+
+
+class TestDecoderErrors:
+    def test_wrong_length_rejected(self):
+        with pytest.raises(enc.DecodingError):
+            enc.Decoder8b10b().decode_symbol([0, 1, 0])
+
+    def test_invalid_code_group_rejected(self):
+        with pytest.raises(enc.DecodingError):
+            enc.Decoder8b10b().decode_symbol([1] * 10)
+
+    def test_stream_length_must_be_multiple_of_ten(self):
+        with pytest.raises(enc.DecodingError):
+            enc.Decoder8b10b().decode([0, 1] * 7)
+
+    def test_disparity_error_detection(self):
+        encoder = enc.Encoder8b10b()
+        decoder = enc.Decoder8b10b()
+        # D0.1 has a code group with overall disparity +2; decoding the same
+        # group twice in a row (without the complementary form in between)
+        # violates the running-disparity rule.
+        first = encoder.encode_symbol(0x20)
+        assert int(first.sum()) * 2 - 10 == 2
+        decoder.decode_symbol(first)
+        decoder.decode_symbol(first)
+        assert decoder.disparity_errors >= 1
+
+    def test_reset_clears_errors(self):
+        decoder = enc.Decoder8b10b()
+        decoder.disparity_errors = 3
+        decoder.reset()
+        assert decoder.disparity_errors == 0
+        assert decoder.running_disparity == -1

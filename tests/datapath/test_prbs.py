@@ -1,0 +1,98 @@
+"""Tests for the PRBS generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datapath import prbs
+
+
+class TestTapsAndPeriods:
+    def test_supported_orders(self):
+        assert set(prbs.PRBS_TAPS) == {7, 9, 11, 15, 23, 31}
+
+    def test_period_formula(self):
+        assert prbs.sequence_period(7) == 127
+        assert prbs.sequence_period(15) == 32767
+
+    def test_unsupported_order_rejected(self):
+        with pytest.raises(ValueError):
+            prbs.sequence_period(8)
+
+
+class TestGenerator:
+    def test_zero_seed_rejected(self):
+        with pytest.raises(ValueError):
+            prbs.PrbsGenerator(7, seed=0)
+
+    def test_prbs7_has_full_period(self):
+        assert prbs.verify_maximal_length(7)
+
+    def test_prbs9_has_full_period(self):
+        assert prbs.verify_maximal_length(9)
+
+    def test_sequence_repeats_after_period(self):
+        generator = prbs.PrbsGenerator(7)
+        first = generator.bits(127)
+        second = generator.bits(127)
+        np.testing.assert_array_equal(first, second)
+
+    def test_balance_of_full_period(self):
+        # A maximal-length sequence of order n has 2**(n-1) ones and 2**(n-1)-1 zeros.
+        sequence = prbs.prbs7()
+        assert int(sequence.sum()) == 64
+        assert sequence.size - int(sequence.sum()) == 63
+
+    def test_prbs15_balance(self):
+        sequence = prbs.prbs15()
+        assert int(sequence.sum()) == 2 ** 14
+
+    def test_different_seeds_give_shifted_sequences(self):
+        a = prbs.prbs_sequence(7, 127, seed=0b1010101)
+        b = prbs.prbs_sequence(7, 127, seed=0b0110011)
+        assert not np.array_equal(a, b)
+        # Same multiset of runs: the sequences are cyclic shifts of each other.
+        assert int(a.sum()) == int(b.sum())
+
+    def test_invert_flag(self):
+        plain = prbs.prbs_sequence(7, 50)
+        inverted = prbs.prbs_sequence(7, 50, invert=True)
+        np.testing.assert_array_equal(plain ^ 1, inverted)
+
+    def test_reset_restores_sequence(self):
+        generator = prbs.PrbsGenerator(7)
+        first = generator.bits(20)
+        generator.reset()
+        np.testing.assert_array_equal(first, generator.bits(20))
+
+    def test_iteration_protocol(self):
+        generator = prbs.PrbsGenerator(7)
+        iterated = [bit for _, bit in zip(range(10), iter(generator))]
+        generator.reset()
+        np.testing.assert_array_equal(np.array(iterated), generator.bits(10))
+
+    def test_prbs31_is_inverted_convention(self):
+        bits = prbs.prbs31(1000)
+        assert bits.size == 1000
+        assert set(np.unique(bits)) <= {0, 1}
+
+    @given(st.sampled_from([7, 9, 11, 15]), st.integers(min_value=1, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_output_is_binary(self, order, length):
+        bits = prbs.prbs_sequence(order, length)
+        assert bits.dtype == np.uint8
+        assert set(np.unique(bits)) <= {0, 1}
+
+
+class TestRunLengthProperty:
+    def test_prbs7_max_run_is_seven(self):
+        from repro.datapath.cid import max_consecutive_identical_digits
+        # PRBS7 contains a run of 7 ones (and 6 zeros) per period.
+        sequence = prbs.prbs7()
+        assert max_consecutive_identical_digits(sequence) == 7
+
+    def test_prbs7_has_more_cid_than_8b10b(self):
+        # The paper notes PRBS7 "exhibits more consecutive identical digits
+        # than an 8bit/10bit encoded stream" (max 5).
+        from repro.datapath.cid import max_consecutive_identical_digits
+        assert max_consecutive_identical_digits(prbs.prbs7()) > 5

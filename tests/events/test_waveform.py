@@ -1,0 +1,88 @@
+"""Tests for waveform recording."""
+
+import numpy as np
+import pytest
+
+from repro.events.kernel import Simulator
+from repro.events.signal import Signal
+from repro.events.waveform import Trace, WaveformRecorder
+
+
+def make_clock(simulator, signal, period, cycles):
+    for index in range(cycles):
+        signal.assign(1, index * period + period / 2.0)
+        signal.assign(0, (index + 1) * period)
+
+
+class TestTrace:
+    def test_edges_extraction(self):
+        simulator = Simulator()
+        signal = Signal(simulator, "clk", initial=0)
+        recorder = WaveformRecorder()
+        trace = recorder.watch(signal)
+        make_clock(simulator, signal, 1.0e-9, 3)
+        simulator.run()
+        assert trace.edges("rising").size == 3
+        assert trace.edges("falling").size == 3
+        assert trace.edges("any").size == 6
+
+    def test_initial_value_is_not_an_edge(self):
+        simulator = Simulator()
+        signal = Signal(simulator, "s", initial=1)
+        recorder = WaveformRecorder()
+        trace = recorder.watch(signal)
+        simulator.run()
+        assert trace.edges("any").size == 0
+
+    def test_value_at_and_sample(self):
+        simulator = Simulator()
+        signal = Signal(simulator, "s", initial=0)
+        trace = WaveformRecorder().watch(signal)
+        signal.assign(1, 1.0e-9)
+        signal.assign(0, 3.0e-9)
+        simulator.run()
+        assert trace.value_at(0.5e-9) == 0
+        assert trace.value_at(2.0e-9) == 1
+        assert trace.value_at(4.0e-9) == 0
+        np.testing.assert_array_equal(trace.sample(np.array([0.5e-9, 2e-9, 4e-9])),
+                                      [0, 1, 0])
+
+    def test_intervals(self):
+        simulator = Simulator()
+        signal = Signal(simulator, "clk", initial=0)
+        trace = WaveformRecorder().watch(signal)
+        make_clock(simulator, signal, 2.0e-9, 4)
+        simulator.run()
+        np.testing.assert_allclose(trace.intervals("rising"), 2.0e-9)
+
+    def test_empty_trace_value_raises(self):
+        with pytest.raises(ValueError):
+            Trace("empty").value_at(0.0)
+
+    def test_unknown_polarity_rejected(self):
+        trace = Trace("t", [0.0, 1.0], [0, 1])
+        with pytest.raises(ValueError):
+            trace.edges("diagonal")
+
+
+class TestRecorder:
+    def test_watch_is_idempotent(self):
+        simulator = Simulator()
+        signal = Signal(simulator, "s", initial=0)
+        recorder = WaveformRecorder()
+        first = recorder.watch(signal)
+        second = recorder.watch(signal)
+        assert first is second
+
+    def test_lookup_by_name(self):
+        simulator = Simulator()
+        signal = Signal(simulator, "data", initial=0)
+        recorder = WaveformRecorder()
+        recorder.watch(signal, "alias")
+        assert "alias" in recorder
+        assert recorder["alias"].name == "alias"
+        assert recorder.names() == ["alias"]
+
+    def test_missing_trace_raises(self):
+        with pytest.raises(KeyError):
+            WaveformRecorder().trace("nope")

@@ -1,0 +1,110 @@
+"""Cross-level integration tests.
+
+The paper's methodological claim is that the statistical, behavioural and
+circuit levels of the flow agree with each other; these tests check exactly
+that consistency on conditions every level can reach.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cdr_channel import BehavioralCdrChannel
+from repro.core.config import CdrChannelConfig
+from repro.datapath.nrz import JitterSpec
+from repro.datapath.prbs import prbs7
+from repro.jitter.accumulation import OscillatorJitterBudget
+from repro.phasenoise.design import design_oscillator
+from repro.statistical.ber_model import CdrJitterBudget, GatedOscillatorBerModel
+from repro.statistical.montecarlo import simulate_ber
+
+
+class TestStatisticalVersusMonteCarlo:
+    @pytest.mark.parametrize("offset, sj_amplitude", [
+        (0.02, 0.8),
+        (0.05, 0.5),
+        (0.0, 1.0),
+    ])
+    def test_models_agree_at_measurable_ber(self, offset, sj_amplitude):
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=sj_amplitude,
+                                 sj_frequency_hz=1.25e9,
+                                 frequency_offset=offset)
+        analytic = GatedOscillatorBerModel(budget, grid_step_ui=2e-3).ber()
+        monte_carlo = simulate_ber(budget, n_bits=150_000,
+                                   rng=np.random.default_rng(42))
+        assert analytic > 1.0e-4  # within Monte-Carlo reach
+        assert monte_carlo.ber == pytest.approx(analytic, rel=0.2)
+
+
+class TestStatisticalVersusBehavioural:
+    def test_benign_conditions_are_error_free_in_both(self):
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=0.1, sj_frequency_hz=250.0e6)
+        statistical = GatedOscillatorBerModel(budget, grid_step_ui=4e-3).ber()
+        assert statistical < 1.0e-12
+
+        result = BehavioralCdrChannel(CdrChannelConfig.paper_nominal()).run(
+            prbs7(1000),
+            jitter=JitterSpec(dj_ui_pp=0.4, rj_ui_rms=0.021,
+                              sj_amplitude_ui_pp=0.1, sj_frequency_hz=250.0e6),
+            rng=np.random.default_rng(0))
+        # 1000 bits cannot resolve 1e-12, but an error-free run is consistent.
+        assert result.ber().errors <= 1
+
+    def test_gross_frequency_offset_fails_in_both(self):
+        # A 9 % slow oscillator overruns the end of the longest PRBS7 runs
+        # (7 x 0.09 > 0.5 UI), so both modelling levels must report errors.
+        offset = 0.09
+        from repro.datapath.cid import geometric_run_distribution
+        budget = CdrJitterBudget(dj_ui_pp=0.0, rj_ui_rms=0.0, frequency_offset=offset)
+        statistical = GatedOscillatorBerModel(
+            budget, run_lengths=geometric_run_distribution(7),
+            grid_step_ui=4e-3).ber()
+        assert statistical > 1.0e-4
+
+        config = CdrChannelConfig.paper_nominal().with_frequency_offset(offset)
+        behavioural = BehavioralCdrChannel(config).run(
+            prbs7(2000), jitter=JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0),
+            rng=np.random.default_rng(1)).ber()
+        assert behavioural.errors > 0
+
+    def test_improved_tap_recentres_eye_and_reduces_statistical_ber(self):
+        offset = 0.02
+        stress = CdrJitterBudget(sj_amplitude_ui_pp=0.3, sj_frequency_hz=1.25e9,
+                                 frequency_offset=offset)
+        stat_nominal = GatedOscillatorBerModel(stress, sampling_phase_ui=0.5,
+                                               grid_step_ui=4e-3).ber()
+        stat_improved = GatedOscillatorBerModel(stress, sampling_phase_ui=0.375,
+                                                grid_step_ui=4e-3).ber()
+        assert stat_improved < stat_nominal
+
+        jitter = JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0)
+        nominal = BehavioralCdrChannel(
+            CdrChannelConfig.paper_nominal().with_frequency_offset(offset)).run(
+            prbs7(1200), jitter=jitter, rng=np.random.default_rng(2))
+        improved = BehavioralCdrChannel(
+            CdrChannelConfig.paper_improved().with_frequency_offset(offset)).run(
+            prbs7(1200), jitter=jitter, rng=np.random.default_rng(2))
+        assert abs(improved.eye_diagram().metrics().eye_centre_ui) <= \
+            abs(nominal.eye_diagram().metrics().eye_centre_ui) + 0.02
+
+
+class TestPhaseNoiseVersusBehaviour:
+    def test_designed_oscillator_jitter_budget_holds_in_simulation(self):
+        """The sized oscillator's per-stage jitter keeps accumulated jitter < 0.01 UI."""
+        design = design_oscillator(budget=OscillatorJitterBudget())
+        # Convert kappa to the per-stage fractional jitter of the event model:
+        # per-period sigma = kappa * sqrt(T); per stage (8 per period, independent)
+        # sigma_stage = sigma_period / sqrt(8); fractional = sigma_stage / t_stage.
+        period = 1.0 / design.oscillation_frequency_hz
+        sigma_period = design.kappa * np.sqrt(period)
+        sigma_fraction = (sigma_period / np.sqrt(8.0)) / design.stage_delay_s
+
+        config = CdrChannelConfig.paper_nominal(jitter_sigma_fraction=float(sigma_fraction))
+        result = BehavioralCdrChannel(config).run(
+            prbs7(1500), jitter=JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0),
+            rng=np.random.default_rng(3))
+        phases = result.sampling_phase_ui()
+        in_bit = phases[(phases > 0.0) & (phases < 1.0)]
+        # The sampling-phase spread of 1-UI runs reflects the per-period jitter;
+        # it must stay well inside the 0.01 UI budget at CID 5.
+        assert in_bit.std() < 0.02
+        assert result.ber().errors == 0

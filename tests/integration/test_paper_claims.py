@@ -1,0 +1,90 @@
+"""End-to-end checks of the paper's headline claims.
+
+Each test corresponds to a sentence of the paper's abstract or conclusions and
+exercises the public API the way a user reproducing that claim would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CdrChannelConfig,
+    MultiChannelConfig,
+    MultiChannelReceiver,
+    run_design_flow,
+)
+from repro.phasenoise import channel_power_report, design_oscillator
+from repro.specs.infiniband import infiniband_mask
+from repro.statistical import (
+    CdrJitterBudget,
+    GatedOscillatorBerModel,
+    frequency_tolerance,
+    jitter_tolerance_curve,
+)
+
+
+class TestAbstractClaims:
+    def test_power_consumption_as_low_as_5mw_per_gbps(self):
+        """'...to achieve a power consumption as low as 5 mW/Gbit/s.'"""
+        report = channel_power_report(design_oscillator())
+        assert report.power_per_gbps_mw <= 5.0
+
+    def test_statistical_simulation_estimates_achievable_ber(self):
+        """'Statistical simulation is used to estimate the achievable bit error rate
+        in presence of phase and frequency errors...'"""
+        budget = CdrJitterBudget.paper_table1(sj_amplitude_ui_pp=0.2,
+                                              sj_frequency_hz=1.0e6,
+                                              frequency_offset=100.0e-6)
+        assert GatedOscillatorBerModel(budget, grid_step_ui=4e-3).ber() < 1.0e-12
+
+    def test_gated_oscillator_is_viable_with_frequency_and_phase_variations(self):
+        """'...the gated oscillator approach is a viable solution in presence of
+        frequency and phase variations.'"""
+        ftol = frequency_tolerance(grid_step_ui=4.0e-3, max_offset=0.05,
+                                   resolution=1e-3)
+        assert ftol.meets_specification(100.0)  # the +/-100 ppm application spec
+
+    def test_jitter_tolerance_above_infiniband_mask(self):
+        """Fig. 9: 'The targeted bit error rate of 1e-12 is much above the
+        specifications of Figure 5, especially for low-frequency jitter.'"""
+        mask = infiniband_mask()
+        frequencies = mask.frequencies_for_sweep(points_per_decade=1)
+        curve = jitter_tolerance_curve(frequencies, grid_step_ui=4.0e-3,
+                                       max_amplitude_ui_pp=20.0)
+        required = np.asarray(mask.amplitude_ui_pp(frequencies))
+        margins = curve.margin_to_mask(required)
+        assert np.all(margins > 0.0)
+        # 'especially for low-frequency jitter': the margin grows towards DC.
+        assert margins[0] > margins[-1]
+
+    def test_improved_sampling_point_reduces_ber(self):
+        """Section 3.3b / Fig. 17: the modified topology improves the BER."""
+        stress = CdrJitterBudget(sj_amplitude_ui_pp=0.3, sj_frequency_hz=1.25e9,
+                                 frequency_offset=0.01)
+        nominal = GatedOscillatorBerModel(stress, sampling_phase_ui=0.5,
+                                          grid_step_ui=4e-3).ber()
+        improved = GatedOscillatorBerModel(stress, sampling_phase_ui=0.375,
+                                           grid_step_ui=4e-3).ber()
+        assert improved < nominal / 10.0
+
+
+class TestSystemLevel:
+    def test_multi_channel_receiver_meets_target_ber(self):
+        """Figure 6: four matched channels biased from one shared PLL all work."""
+        receiver = MultiChannelReceiver(MultiChannelConfig(n_channels=4),
+                                        rng=np.random.default_rng(0))
+        report = receiver.statistical_report(grid_step_ui=4.0e-3)
+        assert report.all_channels_pass
+
+    def test_complete_design_flow_is_compliant(self):
+        """The paper's overall claim: the top-down flow produces a compliant design."""
+        report = run_design_flow(behavioural_bits=400, grid_step_ui=4.0e-3,
+                                 rng=np.random.default_rng(1))
+        assert report.compliance.overall_pass
+
+    def test_frequency_tolerance_well_beyond_100ppm_but_below_5_percent(self):
+        """Section 2.3 + Fig. 10: ppm-level offsets are fine, percent-level offsets
+        start to cost BER."""
+        ftol = frequency_tolerance(budget=CdrJitterBudget(), grid_step_ui=4.0e-3,
+                                   max_offset=0.1, resolution=1e-3)
+        assert 100.0 < ftol.symmetric_tolerance_ppm < 50_000.0

@@ -1,0 +1,82 @@
+"""Tests for open-loop oscillator jitter accumulation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.jitter import accumulation as acc
+
+
+class TestAccumulationLaw:
+    def test_sqrt_scaling(self):
+        kappa = 1.0e-8
+        sigma_1 = acc.accumulated_sigma_seconds(kappa, 1.0e-9)
+        sigma_4 = acc.accumulated_sigma_seconds(kappa, 4.0e-9)
+        assert sigma_4 == pytest.approx(2.0 * sigma_1)
+
+    def test_zero_time_gives_zero(self):
+        assert acc.accumulated_sigma_seconds(1e-8, 0.0) == 0.0
+
+    def test_ui_referred_accumulation(self):
+        kappa = acc.kappa_for_ui_budget(0.01, 5)
+        assert acc.accumulated_sigma_ui(kappa, 5.0) == pytest.approx(0.01, rel=1e-9)
+
+    @given(st.floats(min_value=1e-10, max_value=1e-6),
+           st.floats(min_value=1e-12, max_value=1e-6))
+    @settings(max_examples=30, deadline=None)
+    def test_accumulation_monotonic_in_time(self, kappa, elapsed):
+        assert acc.accumulated_sigma_seconds(kappa, 2 * elapsed) >= \
+            acc.accumulated_sigma_seconds(kappa, elapsed)
+
+
+class TestKappaConversions:
+    def test_per_cycle_round_trip(self):
+        kappa = acc.kappa_from_per_cycle_sigma(1.0e-13, 400.0e-12)
+        assert acc.per_cycle_sigma_from_kappa(kappa, 400.0e-12) == pytest.approx(1.0e-13)
+
+    def test_paper_budget_value(self):
+        # 0.01 UI rms over 5 bit periods at 2.5 Gbit/s: sigma = 4 ps over 2 ns.
+        kappa = acc.kappa_for_ui_budget()
+        assert kappa == pytest.approx(4.0e-12 / math.sqrt(2.0e-9), rel=1e-6)
+
+    def test_budget_round_trip(self):
+        kappa = acc.kappa_for_ui_budget(0.02, 7)
+        assert acc.ui_budget_from_kappa(kappa, 7) == pytest.approx(0.02, rel=1e-9)
+
+
+class TestOscillatorJitterBudget:
+    def test_paper_defaults(self):
+        budget = acc.OscillatorJitterBudget()
+        assert budget.budget_ui_rms == pytest.approx(acc.PAPER_CKJ_UI_RMS)
+        assert budget.cid == acc.PAPER_WORST_CASE_CID
+
+    def test_kappa_max_meets_budget(self):
+        budget = acc.OscillatorJitterBudget()
+        assert budget.satisfied_by(budget.kappa_max)
+        assert budget.satisfied_by(budget.kappa_max * 0.5)
+        assert not budget.satisfied_by(budget.kappa_max * 1.5)
+
+    def test_sigma_per_bit(self):
+        budget = acc.OscillatorJitterBudget(budget_ui_rms=0.01, cid=5)
+        assert budget.sigma_per_bit_ui == pytest.approx(0.01 / math.sqrt(5.0))
+
+    def test_sigma_at_position_grows_as_sqrt(self):
+        budget = acc.OscillatorJitterBudget()
+        sigmas = budget.sigma_at_position_ui(np.array([1, 4]))
+        assert sigmas[1] == pytest.approx(2.0 * sigmas[0])
+
+    def test_sigma_at_worst_position_equals_budget(self):
+        budget = acc.OscillatorJitterBudget(budget_ui_rms=0.01, cid=5)
+        assert float(budget.sigma_at_position_ui(5)) == pytest.approx(0.01)
+
+    def test_positions_must_be_positive(self):
+        with pytest.raises(ValueError):
+            acc.OscillatorJitterBudget().sigma_at_position_ui(0)
+
+    def test_higher_bit_rate_tightens_kappa(self):
+        slow = acc.OscillatorJitterBudget(bit_rate_hz=2.5e9)
+        fast = acc.OscillatorJitterBudget(bit_rate_hz=10.0e9)
+        assert fast.kappa_max < slow.kappa_max

@@ -1,0 +1,76 @@
+"""Tests for jitter decomposition and combination."""
+
+import numpy as np
+import pytest
+
+from repro.jitter import decomposition as dec
+
+
+class TestQScale:
+    def test_value_at_1e_12(self):
+        # The classic dual-Dirac Q value at BER 1e-12 is ~7.03.
+        assert dec.q_scale(1.0e-12) == pytest.approx(7.03, rel=0.01)
+
+    def test_monotonic_in_ber(self):
+        assert dec.q_scale(1.0e-15) > dec.q_scale(1.0e-12) > dec.q_scale(1.0e-9)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            dec.q_scale(0.0)
+
+
+class TestTotalJitter:
+    def test_table1_style_combination(self):
+        # DJ 0.4 UIpp and RJ 0.021 UIrms give TJ ~ 0.4 + 2*7.03*0.021 ~ 0.695 UI.
+        assert dec.total_jitter_pp(0.4, 0.021) == pytest.approx(0.695, abs=0.01)
+
+    def test_rj_only(self):
+        assert dec.total_jitter_pp(0.0, 0.021, ber=1e-12) == pytest.approx(0.295, abs=0.01)
+
+    def test_combine_rms(self):
+        assert dec.combine_rms(0.3, 0.4) == pytest.approx(0.5)
+
+    def test_combine_deterministic(self):
+        assert dec.combine_deterministic(0.1, 0.2, 0.05) == pytest.approx(0.35)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            dec.combine_rms(-0.1)
+
+
+class TestDualDiracDecomposition:
+    def test_pure_gaussian_population(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(0.0, 0.02, size=200000)
+        result = dec.decompose_dual_dirac(samples)
+        assert result.rj_rms_ui == pytest.approx(0.02, rel=0.1)
+        assert result.dj_pp_ui < 0.01
+
+    def test_dual_dirac_plus_gaussian(self):
+        rng = np.random.default_rng(1)
+        n = 200000
+        dirac = np.where(rng.random(n) < 0.5, -0.1, 0.1)
+        samples = dirac + rng.normal(0.0, 0.02, size=n)
+        result = dec.decompose_dual_dirac(samples)
+        assert result.dj_pp_ui == pytest.approx(0.2, rel=0.15)
+        assert result.rj_rms_ui == pytest.approx(0.02, rel=0.2)
+
+    def test_total_jitter_of_decomposition(self):
+        decomposition = dec.JitterDecomposition(dj_pp_ui=0.2, rj_rms_ui=0.02)
+        assert decomposition.total_jitter_pp_ui(1e-12) == pytest.approx(
+            0.2 + 2 * dec.q_scale(1e-12) * 0.02)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            dec.decompose_dual_dirac(np.zeros(10))
+
+    def test_invalid_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            dec.decompose_dual_dirac(np.random.default_rng(0).normal(size=1000),
+                                     tail_quantile=0.2)
+
+    def test_estimate_wrapper(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(0.0, 0.05, size=5000)
+        result = dec.estimate_rj_dj_from_samples(samples)
+        assert result.rj_rms_ui == pytest.approx(0.05, rel=0.2)

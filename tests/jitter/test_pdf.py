@@ -1,0 +1,163 @@
+"""Tests for the numerical PDF algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.jitter import pdf as pdfmod
+from repro.jitter.pdf import (
+    Pdf,
+    convolve_pdfs,
+    delta_pdf,
+    dual_dirac_pdf,
+    gaussian_pdf,
+    sinusoidal_pdf,
+    uniform_pdf,
+)
+
+
+class TestPdfConstruction:
+    def test_rejects_non_uniform_grid(self):
+        with pytest.raises(ValueError):
+            Pdf(np.array([0.0, 1.0, 3.0]), np.array([1.0, 1.0, 1.0]))
+
+    def test_rejects_negative_density(self):
+        with pytest.raises(ValueError):
+            Pdf(np.array([0.0, 1.0, 2.0]), np.array([1.0, -1.0, 1.0]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Pdf(np.array([0.0, 1.0]), np.array([1.0]))
+
+    def test_step_property(self):
+        p = uniform_pdf(1.0, step=0.01)
+        assert p.step == pytest.approx(0.01)
+
+
+class TestConstructors:
+    def test_delta_total_probability(self):
+        assert delta_pdf(0.3).total_probability == pytest.approx(1.0, rel=1e-6)
+
+    def test_uniform_moments(self):
+        p = uniform_pdf(0.4, step=1e-3)
+        assert p.mean() == pytest.approx(0.0, abs=1e-9)
+        assert p.std() == pytest.approx(0.4 / np.sqrt(12.0), rel=1e-2)
+        assert p.peak_to_peak() == pytest.approx(0.4, abs=0.01)
+
+    def test_gaussian_moments(self):
+        p = gaussian_pdf(0.021, step=1e-3)
+        assert p.mean() == pytest.approx(0.0, abs=1e-9)
+        assert p.std() == pytest.approx(0.021, rel=1e-2)
+
+    def test_gaussian_tail_probability(self):
+        p = gaussian_pdf(1.0, step=1e-3)
+        # P(X > 3 sigma) ~ 1.35e-3
+        assert p.probability_above(3.0) == pytest.approx(1.35e-3, rel=0.05)
+
+    def test_sinusoidal_moments(self):
+        p = sinusoidal_pdf(1.0, step=1e-3)
+        # A sinusoid of pp 1.0 (amplitude 0.5) has rms 0.3536.
+        assert p.std() == pytest.approx(0.5 / np.sqrt(2.0), rel=1e-2)
+        assert p.probability_above(0.51) == pytest.approx(0.0, abs=1e-9)
+
+    def test_sinusoidal_is_bathtub_shaped(self):
+        p = sinusoidal_pdf(1.0, step=1e-3)
+        centre_density = p.density[np.argmin(np.abs(p.grid))]
+        edge_density = p.density[np.argmin(np.abs(p.grid - 0.45))]
+        assert edge_density > centre_density
+
+    def test_dual_dirac_two_impulses(self):
+        p = dual_dirac_pdf(0.2, step=1e-3)
+        assert p.total_probability == pytest.approx(1.0, rel=1e-6)
+        assert p.std() == pytest.approx(0.1, rel=0.05)
+
+    def test_zero_width_collapses_to_delta(self):
+        assert uniform_pdf(0.0).std() == pytest.approx(0.0, abs=1e-6)
+        assert sinusoidal_pdf(0.0).std() == pytest.approx(0.0, abs=1e-6)
+        assert gaussian_pdf(0.0).std() == pytest.approx(0.0, abs=1e-6)
+
+
+class TestProbabilities:
+    def test_probability_below_and_above_are_complementary(self):
+        p = gaussian_pdf(0.1, step=1e-3)
+        assert p.probability_below(0.05) + p.probability_above(0.05) == pytest.approx(1.0, abs=1e-6)
+
+    def test_probability_below_far_left_is_zero(self):
+        assert gaussian_pdf(0.1).probability_below(-10.0) == 0.0
+
+    def test_probability_above_far_right_is_zero(self):
+        assert gaussian_pdf(0.1).probability_above(10.0) == 0.0
+
+    def test_uniform_cdf_midpoint(self):
+        p = uniform_pdf(0.4, step=1e-3)
+        assert p.probability_below(0.0) == pytest.approx(0.5, abs=0.01)
+        assert p.probability_below(0.1) == pytest.approx(0.75, abs=0.01)
+
+
+class TestTransformations:
+    def test_shift_moves_mean(self):
+        p = gaussian_pdf(0.05).shifted(0.3)
+        assert p.mean() == pytest.approx(0.3, abs=1e-3)
+
+    def test_scale_changes_std(self):
+        p = gaussian_pdf(0.05).scaled(2.0)
+        assert p.std() == pytest.approx(0.1, rel=0.02)
+
+    def test_negative_scale_mirrors(self):
+        p = uniform_pdf(0.2, centre=0.1).scaled(-1.0)
+        assert p.mean() == pytest.approx(-0.1, abs=2e-3)
+
+    def test_scale_zero_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_pdf(0.05).scaled(0.0)
+
+    def test_mirror_preserves_std(self):
+        p = gaussian_pdf(0.07)
+        assert p.mirrored().std() == pytest.approx(p.std(), rel=1e-6)
+
+
+class TestConvolution:
+    def test_convolution_adds_means(self):
+        a = gaussian_pdf(0.02, centre=0.1)
+        b = uniform_pdf(0.2, centre=-0.05)
+        c = convolve_pdfs(a, b)
+        assert c.mean() == pytest.approx(0.05, abs=2e-3)
+
+    def test_convolution_adds_variances(self):
+        a = gaussian_pdf(0.03)
+        b = gaussian_pdf(0.04)
+        c = a.convolve(b)
+        assert c.std() == pytest.approx(0.05, rel=0.02)
+
+    def test_convolution_normalised(self):
+        c = uniform_pdf(0.4).convolve(gaussian_pdf(0.02))
+        assert c.total_probability == pytest.approx(1.0, rel=1e-6)
+
+    def test_gaussian_convolution_matches_analytic_tail(self):
+        c = gaussian_pdf(0.03).convolve(gaussian_pdf(0.04))
+        from scipy.stats import norm
+        assert c.probability_above(0.2) == pytest.approx(norm.sf(0.2 / 0.05), rel=0.05)
+
+    def test_mixed_resolution_convolution(self):
+        a = gaussian_pdf(0.03, step=1e-3)
+        b = gaussian_pdf(0.04, step=2e-3)
+        assert a.convolve(b).std() == pytest.approx(0.05, rel=0.03)
+
+    @given(st.floats(min_value=0.01, max_value=0.2),
+           st.floats(min_value=0.01, max_value=0.2))
+    @settings(max_examples=20, deadline=None)
+    def test_variance_additivity_property(self, sigma_a, sigma_b):
+        a = gaussian_pdf(sigma_a, step=2e-3)
+        b = uniform_pdf(sigma_b, step=2e-3)
+        combined = a.convolve(b)
+        expected = np.sqrt(a.variance() + b.variance())
+        assert combined.std() == pytest.approx(expected, rel=0.05)
+
+
+class TestResampling:
+    def test_resample_preserves_shape(self):
+        p = gaussian_pdf(0.05, step=1e-3)
+        grid = np.arange(-0.5, 0.5, 2e-3)
+        q = p.resampled(grid)
+        assert q.std() == pytest.approx(p.std(), rel=0.05)
+        assert q.total_probability == pytest.approx(1.0, rel=1e-6)

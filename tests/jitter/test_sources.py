@@ -1,0 +1,149 @@
+"""Tests for time-domain jitter sources."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.jitter import sources
+from repro import units
+
+
+RNG = lambda seed=0: np.random.default_rng(seed)
+
+
+class TestNoJitter:
+    def test_zero_everything(self):
+        source = sources.NoJitter()
+        times = np.linspace(0.0, 1e-6, 100)
+        assert np.all(source.displacement_ui(times, RNG()) == 0.0)
+        assert source.rms_ui() == 0.0
+        assert source.peak_to_peak_ui() == 0.0
+
+
+class TestRandomJitter:
+    def test_statistics_match_sigma(self):
+        source = sources.RandomJitter(sigma_ui=0.02)
+        displacement = source.displacement_ui(np.zeros(200000), RNG(1))
+        assert displacement.std() == pytest.approx(0.02, rel=0.02)
+        assert abs(displacement.mean()) < 1e-3
+
+    def test_unbounded_peak_to_peak(self):
+        assert sources.RandomJitter(0.02).peak_to_peak_ui() == math.inf
+
+    def test_pdf_matches_time_domain(self):
+        source = sources.RandomJitter(sigma_ui=0.02)
+        assert source.pdf().std() == pytest.approx(0.02, rel=0.02)
+
+    def test_table1_default(self):
+        assert sources.RandomJitter().sigma_ui == pytest.approx(0.021)
+
+
+class TestDeterministicJitter:
+    def test_bounded_support(self):
+        source = sources.DeterministicJitter(0.4)
+        displacement = source.displacement_ui(np.zeros(100000), RNG(2))
+        assert abs(displacement).max() <= 0.2
+        assert displacement.std() == pytest.approx(0.4 / math.sqrt(12.0), rel=0.02)
+
+    def test_peak_to_peak(self):
+        assert sources.DeterministicJitter(0.4).peak_to_peak_ui() == pytest.approx(0.4)
+
+    def test_rms_formula(self):
+        assert sources.DeterministicJitter(0.4).rms_ui() == pytest.approx(
+            units.peak_to_peak_to_rms_uniform(0.4))
+
+
+class TestSinusoidalJitter:
+    def test_displacement_follows_sine(self):
+        source = sources.SinusoidalJitter(0.2, 10.0e6, phase_rad=0.0)
+        quarter_period = 1.0 / (4.0 * 10.0e6)
+        assert source.displacement_ui(np.array([quarter_period]), RNG())[0] == pytest.approx(0.1)
+        assert source.displacement_ui(np.array([0.0]), RNG())[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_bounded_amplitude(self):
+        source = sources.SinusoidalJitter(0.3, 1.0e6)
+        times = np.linspace(0.0, 1e-5, 10000)
+        assert abs(source.displacement_ui(times, RNG())).max() <= 0.15 + 1e-12
+
+    def test_rms(self):
+        assert sources.SinusoidalJitter(0.2, 1e6).rms_ui() == pytest.approx(
+            0.2 / (2.0 * math.sqrt(2.0)))
+
+    def test_relative_amplitude_low_frequency_vanishes(self):
+        source = sources.SinusoidalJitter(1.0, 1.0e3)
+        assert source.relative_amplitude_over_gap_ui_pp(5.0) < 1e-4
+
+    def test_relative_amplitude_peaks_at_half_bit_rate(self):
+        source = sources.SinusoidalJitter(1.0, units.DEFAULT_BIT_RATE / 2.0)
+        assert source.relative_amplitude_over_gap_ui_pp(1.0) == pytest.approx(2.0)
+
+    def test_relative_amplitude_nulls_at_bit_rate(self):
+        source = sources.SinusoidalJitter(1.0, units.DEFAULT_BIT_RATE)
+        assert source.relative_amplitude_over_gap_ui_pp(1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_requires_positive_frequency(self):
+        with pytest.raises(ValueError):
+            sources.SinusoidalJitter(0.1, 0.0)
+
+
+class TestBoundedUncorrelatedJitter:
+    def test_clipped_to_bound(self):
+        source = sources.BoundedUncorrelatedJitter(peak_to_peak_ui_pp=0.1, sigma_ui=0.2)
+        displacement = source.displacement_ui(np.zeros(50000), RNG(3))
+        assert abs(displacement).max() <= 0.05 + 1e-12
+
+    def test_pdf_is_normalised(self):
+        source = sources.BoundedUncorrelatedJitter(0.1, 0.03)
+        assert source.pdf().total_probability == pytest.approx(1.0, rel=1e-6)
+
+    def test_zero_sigma_gives_no_jitter(self):
+        source = sources.BoundedUncorrelatedJitter(0.1, 0.0)
+        assert np.all(source.displacement_ui(np.zeros(10), RNG()) == 0.0)
+
+
+class TestCompositeJitter:
+    def test_rms_adds_in_quadrature(self):
+        composite = sources.CompositeJitter((
+            sources.RandomJitter(0.03), sources.RandomJitter(0.04)))
+        assert composite.rms_ui() == pytest.approx(0.05)
+
+    def test_peak_to_peak_adds_linearly(self):
+        composite = sources.CompositeJitter((
+            sources.DeterministicJitter(0.3), sources.SinusoidalJitter(0.2, 1e6)))
+        assert composite.peak_to_peak_ui() == pytest.approx(0.5)
+
+    def test_displacement_is_sum(self):
+        a = sources.SinusoidalJitter(0.2, 10e6)
+        b = sources.SinusoidalJitter(0.1, 10e6)
+        composite = sources.CompositeJitter((a, b))
+        times = np.linspace(0, 1e-7, 50)
+        np.testing.assert_allclose(
+            composite.displacement_ui(times, RNG()),
+            a.displacement_ui(times, RNG()) + b.displacement_ui(times, RNG()))
+
+    def test_rejects_non_sources(self):
+        with pytest.raises(TypeError):
+            sources.CompositeJitter((1.0,))
+
+    def test_composite_pdf_variance(self):
+        composite = sources.CompositeJitter((
+            sources.DeterministicJitter(0.4), sources.RandomJitter(0.021)))
+        expected = math.sqrt((0.4 ** 2) / 12.0 + 0.021 ** 2)
+        assert composite.pdf().std() == pytest.approx(expected, rel=0.03)
+
+
+class TestTable1Factory:
+    def test_without_sj(self):
+        composite = sources.table1_jitter_sources()
+        assert len(composite.sources) == 2
+
+    def test_with_sj(self):
+        composite = sources.table1_jitter_sources(0.1, 250e6)
+        assert len(composite.sources) == 3
+        # The Gaussian component is unbounded, so the composite peak-to-peak is
+        # unbounded too; the bounded components alone sum to 0.4 + 0.1 UI.
+        assert composite.peak_to_peak_ui() == math.inf
+        bounded = sum(s.peak_to_peak_ui() for s in composite.sources
+                      if not isinstance(s, sources.RandomJitter))
+        assert bounded == pytest.approx(0.5)

@@ -1,0 +1,105 @@
+"""Tests for the top-down oscillator / channel power design solver."""
+
+import pytest
+
+from repro import units
+from repro.jitter.accumulation import OscillatorJitterBudget
+from repro.phasenoise.design import (
+    ChannelCellBudget,
+    StageLoadModel,
+    channel_power_report,
+    design_oscillator,
+)
+
+
+class TestStageLoadModel:
+    def test_load_grows_with_current(self):
+        load = StageLoadModel()
+        assert load.load_f(1e-3) > load.load_f(1e-4)
+
+    def test_fixed_part(self):
+        load = StageLoadModel(fixed_f=20e-15, per_ampere_f=0.0)
+        assert load.load_f(1e-3) == pytest.approx(20e-15)
+
+
+class TestChannelCellBudget:
+    def test_default_cell_count(self):
+        # 4 ring + 2 delay line + 2 edge detector + 2 sampler latches + 1 buffer.
+        assert ChannelCellBudget().total_cells == 11
+
+    def test_rejects_zero_cells(self):
+        with pytest.raises(ValueError):
+            ChannelCellBudget(oscillator_stages=0)
+
+
+class TestDesignOscillator:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return design_oscillator()
+
+    def test_frequency_is_bit_rate(self, design):
+        assert design.oscillation_frequency_hz == pytest.approx(units.DEFAULT_BIT_RATE)
+
+    def test_stage_delay_is_one_eighth_period(self, design):
+        assert design.stage_delay_s == pytest.approx(50.0e-12)
+
+    def test_meets_kappa_budget(self, design):
+        assert design.kappa <= design.kappa_budget
+
+    def test_speed_limited_at_2p5_gbps(self, design):
+        """At 2.5 Gbit/s the speed constraint, not phase noise, sets the current."""
+        assert design.speed_limited
+        assert not design.noise_limited
+
+    def test_accumulated_jitter_below_budget(self, design):
+        assert design.accumulated_jitter_ui_rms <= 0.01
+
+    def test_bias_current_is_hundreds_of_microamps(self, design):
+        assert 50e-6 < design.bias.tail_current_a < 500e-6
+
+    def test_phase_noise_reporting(self, design):
+        assert -120.0 < design.phase_noise_dbc(1.0e6) < -70.0
+
+    def test_noise_limited_with_tight_budget(self):
+        tight = OscillatorJitterBudget(budget_ui_rms=0.001)
+        design = design_oscillator(budget=tight)
+        assert design.noise_limited
+        assert design.kappa <= design.kappa_budget * 1.01
+
+    def test_unreachable_frequency_raises(self):
+        with pytest.raises(ValueError):
+            design_oscillator(bit_rate_hz=100.0e9)
+
+    def test_higher_rate_needs_more_current(self):
+        slow = design_oscillator(bit_rate_hz=1.25e9)
+        fast = design_oscillator(bit_rate_hz=3.125e9)
+        assert fast.bias.tail_current_a > slow.bias.tail_current_a
+
+
+class TestChannelPowerReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return channel_power_report()
+
+    def test_meets_paper_target(self, report):
+        """Headline claim: below 5 mW/Gbit/s per channel."""
+        assert report.power_per_gbps_mw < 5.0
+        assert report.meets_target()
+
+    def test_total_power_includes_amortised_pll(self, report):
+        assert report.total_power_w == pytest.approx(
+            report.channel_power_w + report.shared_pll_power_w / report.n_channels)
+
+    def test_channel_power_scales_with_cells(self):
+        small = channel_power_report(cells=ChannelCellBudget(output_buffers=1))
+        large = channel_power_report(cells=ChannelCellBudget(output_buffers=4))
+        assert large.channel_power_w > small.channel_power_w
+
+    def test_more_channels_amortise_pll_better(self):
+        few = channel_power_report(n_channels=2)
+        many = channel_power_report(n_channels=16)
+        assert many.power_per_gbps_mw < few.power_per_gbps_mw
+
+    def test_power_in_plausible_range(self, report):
+        # Per-channel power of a few milliwatts at 2.5 Gbit/s.
+        assert 1.0e-3 < report.total_power_w < 13.0e-3

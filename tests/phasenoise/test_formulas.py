@@ -1,0 +1,90 @@
+"""Tests for the Hajimiri / McNeill jitter formulas."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phasenoise import formulas as f
+
+
+def bias(current=200e-6, swing=0.4, supply=1.8):
+    return f.CmlStageBias.from_current_and_swing(current, swing, supply)
+
+
+class TestCmlStageBias:
+    def test_load_follows_from_swing(self):
+        b = bias(200e-6, 0.4)
+        assert b.load_resistance_ohm == pytest.approx(2000.0)
+        assert b.swing_v == pytest.approx(0.4)
+
+    def test_power(self):
+        assert bias(200e-6).power_w == pytest.approx(360.0e-6)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            f.CmlStageBias(tail_current_a=0.0, load_resistance_ohm=1e3, swing_v=0.4)
+
+
+class TestKappaFormulas:
+    def test_kappa_order_of_magnitude(self):
+        # A few-hundred-uA CML stage has kappa of a few 1e-8 sqrt(s).
+        kappa = f.kappa_hajimiri(bias())
+        assert 5.0e-9 < kappa < 1.0e-7
+
+    def test_kappa_decreases_with_current(self):
+        low = f.kappa_hajimiri(bias(50e-6))
+        high = f.kappa_hajimiri(bias(500e-6))
+        assert high < low
+
+    def test_kappa_scales_as_inverse_sqrt_current_at_fixed_swing(self):
+        # With R_L adjusted to keep the swing, kappa^2 ~ 1/I.
+        k1 = f.kappa_hajimiri(bias(100e-6))
+        k2 = f.kappa_hajimiri(bias(400e-6))
+        assert k1 / k2 == pytest.approx(2.0, rel=1e-6)
+
+    def test_kappa_decreases_with_swing(self):
+        small = f.kappa_hajimiri(bias(200e-6, swing=0.2))
+        large = f.kappa_hajimiri(bias(200e-6, swing=0.6))
+        assert large < small
+
+    def test_mcneill_tracks_hajimiri(self):
+        """Fig. 11: the two formulas agree within a small factor over the design space."""
+        for current in (50e-6, 200e-6, 1e-3):
+            ratio = f.kappa_mcneill(bias(current)) / f.kappa_hajimiri(bias(current))
+            assert 0.5 < ratio < 2.0
+
+    def test_temperature_dependence(self):
+        cold = f.kappa_hajimiri(bias(), temperature_k=250.0)
+        hot = f.kappa_hajimiri(bias(), temperature_k=400.0)
+        assert hot > cold
+
+    @given(st.floats(min_value=20e-6, max_value=5e-3))
+    @settings(max_examples=30, deadline=None)
+    def test_kappa_always_positive(self, current):
+        assert f.kappa_hajimiri(bias(current)) > 0.0
+
+
+class TestPhaseNoiseConversions:
+    def test_20db_per_decade(self):
+        kappa = 2.0e-8
+        l_1m = f.phase_noise_dbc_per_hz(kappa, 2.5e9, 1.0e6)
+        l_10m = f.phase_noise_dbc_per_hz(kappa, 2.5e9, 10.0e6)
+        assert l_1m - l_10m == pytest.approx(20.0, abs=0.01)
+
+    def test_round_trip(self):
+        kappa = 3.0e-8
+        noise = f.phase_noise_dbc_per_hz(kappa, 2.5e9, 1.0e6)
+        assert f.kappa_from_phase_noise(noise, 2.5e9, 1.0e6) == pytest.approx(kappa, rel=1e-9)
+
+    def test_typical_ring_oscillator_value(self):
+        # A 2.5 GHz ring with kappa ~2.5e-8 sits around -90 dBc/Hz at 1 MHz offset.
+        noise = f.phase_noise_dbc_per_hz(2.5e-8, 2.5e9, 1.0e6)
+        assert -105.0 < noise < -80.0
+
+    def test_zero_kappa_is_minus_infinity(self):
+        assert f.phase_noise_dbc_per_hz(0.0, 2.5e9, 1e6) == -math.inf
+
+    def test_period_jitter(self):
+        assert f.period_jitter_rms(2.0e-8, 2.5e9) == pytest.approx(
+            2.0e-8 * math.sqrt(400e-12))

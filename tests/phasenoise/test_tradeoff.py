@@ -1,0 +1,79 @@
+"""Tests for the phase-noise versus power trade-off sweep (Figure 11)."""
+
+import numpy as np
+import pytest
+
+from repro.jitter.accumulation import OscillatorJitterBudget
+from repro.phasenoise.tradeoff import minimum_power_for_budget, phase_noise_power_tradeoff
+
+
+class TestTradeoffSweep:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return phase_noise_power_tradeoff()
+
+    def test_sweep_has_points(self, curve):
+        assert len(curve.points) == 60
+
+    def test_kappa_decreases_with_power(self, curve):
+        kappas = curve.kappas_hajimiri
+        powers = curve.powers_w
+        order = np.argsort(powers)
+        assert np.all(np.diff(kappas[order]) <= 1e-18)
+
+    def test_mcneill_curve_tracks_hajimiri(self, curve):
+        ratio = curve.kappas_mcneill / curve.kappas_hajimiri
+        assert np.all((ratio > 0.5) & (ratio < 2.0))
+
+    def test_kappa_follows_inverse_sqrt_power(self, curve):
+        powers = curve.powers_w
+        kappas = curve.kappas_hajimiri
+        product = kappas * np.sqrt(powers)
+        assert np.allclose(product, product[0], rtol=1e-6)
+
+    def test_oscillator_power_is_four_stages(self, curve):
+        point = curve.points[0]
+        assert point.oscillator_power_w == pytest.approx(4.0 * point.stage_power_w)
+
+    def test_first_point_meeting_budget(self, curve):
+        budget = OscillatorJitterBudget()
+        point = curve.first_point_meeting(budget)
+        assert point is not None
+        assert point.meets_budget(budget)
+        # It is the cheapest such point in the sweep.
+        cheaper = [p for p in curve.points
+                   if p.oscillator_power_w < point.oscillator_power_w]
+        assert all(not p.meets_budget(budget) for p in cheaper)
+
+    def test_accumulated_jitter_column(self, curve):
+        budget = OscillatorJitterBudget()
+        for point in curve.points[::10]:
+            if point.meets_budget(budget):
+                assert point.accumulated_jitter_ui_rms <= budget.budget_ui_rms * 1.001
+
+
+class TestMinimumPower:
+    def test_meets_budget_exactly(self):
+        budget = OscillatorJitterBudget()
+        point = minimum_power_for_budget(budget)
+        assert point.kappa_hajimiri <= budget.kappa_max * 1.01
+        assert point.kappa_hajimiri >= budget.kappa_max * 0.9
+
+    def test_sub_milliwatt_for_paper_budget(self):
+        """The 0.01 UIrms @ CID 5 budget alone needs well under a milliwatt."""
+        point = minimum_power_for_budget(OscillatorJitterBudget())
+        assert point.oscillator_power_w < 1.0e-3
+
+    def test_tighter_budget_needs_more_power(self):
+        loose = minimum_power_for_budget(OscillatorJitterBudget(budget_ui_rms=0.02))
+        tight = minimum_power_for_budget(OscillatorJitterBudget(budget_ui_rms=0.005))
+        assert tight.oscillator_power_w > loose.oscillator_power_w
+
+    def test_unreachable_budget_raises(self):
+        with pytest.raises(ValueError):
+            minimum_power_for_budget(OscillatorJitterBudget(budget_ui_rms=1.0e-5),
+                                     current_bounds_a=(1e-6, 1e-4))
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_power_for_budget(current_bounds_a=(1e-3, 1e-6))

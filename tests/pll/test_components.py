@@ -1,0 +1,84 @@
+"""Tests for the PLL behavioural components."""
+
+import math
+
+import pytest
+
+from repro.pll.components import (
+    ChargePump,
+    CurrentControlledOscillator,
+    PhaseFrequencyDetector,
+    SecondOrderLoopFilter,
+)
+
+
+class TestPfd:
+    def test_linear_region(self):
+        pfd = PhaseFrequencyDetector()
+        assert pfd.phase_error(1.0, 0.4) == pytest.approx(0.6)
+
+    def test_clamps_to_two_pi(self):
+        pfd = PhaseFrequencyDetector()
+        assert pfd.phase_error(100.0, 0.0) == pytest.approx(2.0 * math.pi)
+        assert pfd.phase_error(0.0, 100.0) == pytest.approx(-2.0 * math.pi)
+
+    def test_gain(self):
+        assert PhaseFrequencyDetector(gain=2.0).phase_error(1.0, 0.0) == pytest.approx(2.0)
+
+
+class TestChargePump:
+    def test_current_proportional_to_error(self):
+        pump = ChargePump(pump_current_a=50e-6)
+        assert pump.output_current(2.0 * math.pi) == pytest.approx(50e-6)
+        assert pump.output_current(math.pi) == pytest.approx(25e-6)
+
+    def test_mismatch_scales_output(self):
+        pump = ChargePump(pump_current_a=50e-6, mismatch_fraction=0.1)
+        assert pump.output_current(2.0 * math.pi) == pytest.approx(55e-6)
+
+
+class TestLoopFilter:
+    def test_integrates_charge(self):
+        lf = SecondOrderLoopFilter(resistance_ohm=1e3, capacitance_f=100e-12,
+                                   ripple_capacitance_f=10e-12)
+        for _ in range(100):
+            lf.update(10e-6, 1e-9)
+        # Integrator: 10 uA * 100 ns / 100 pF = 10 mV, plus the proportional
+        # path 10 uA * 1 kOhm = 10 mV -> ~20 mV at the (settled) ripple node.
+        assert lf.control_voltage_v == pytest.approx(0.02, rel=0.15)
+
+    def test_reset(self):
+        lf = SecondOrderLoopFilter()
+        lf.update(1e-6, 1e-9)
+        lf.reset(0.0)
+        assert lf.control_voltage_v == 0.0
+
+    def test_control_current_via_transconductance(self):
+        lf = SecondOrderLoopFilter(transconductance_s=100e-6)
+        lf.reset(1.0)
+        assert lf.control_current_a() == pytest.approx(100e-6)
+
+
+class TestCco:
+    def test_frequency_at_midpoint(self):
+        cco = CurrentControlledOscillator()
+        assert cco.frequency_hz(cco.control_current_midpoint_a) == pytest.approx(2.5e9)
+
+    def test_gain(self):
+        cco = CurrentControlledOscillator()
+        assert cco.frequency_hz(cco.control_current_midpoint_a + 1e-6) == pytest.approx(
+            2.5e9 + 2e6)
+
+    def test_inverse_tuning(self):
+        cco = CurrentControlledOscillator()
+        current = cco.control_current_for(2.375e9)
+        assert cco.frequency_hz(current) == pytest.approx(2.375e9)
+
+    def test_zero_gain_cannot_be_tuned(self):
+        cco = CurrentControlledOscillator(gain_hz_per_a=0.0)
+        with pytest.raises(ValueError):
+            cco.control_current_for(2.6e9)
+
+    def test_frequency_clamped_positive(self):
+        cco = CurrentControlledOscillator()
+        assert cco.frequency_hz(-1.0) >= 1.0

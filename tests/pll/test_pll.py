@@ -1,0 +1,82 @@
+"""Tests for the shared PLL simulation and channel mismatch model."""
+
+import numpy as np
+import pytest
+
+from repro.pll.components import CurrentControlledOscillator
+from repro.pll.pll import ChannelBiasMismatch, PllConfig, SharedPll
+
+
+class TestConfig:
+    def test_target_frequency(self):
+        config = PllConfig(reference_frequency_hz=156.25e6, multiplication_factor=16)
+        assert config.target_frequency_hz == pytest.approx(2.5e9)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            PllConfig(reference_frequency_hz=0.0)
+
+
+class TestSharedPll:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return SharedPll().simulate(duration_s=20.0e-6, time_step_s=2.0e-9)
+
+    def test_locks_to_target_frequency(self, result):
+        assert abs(result.final_frequency_error) < 1.0e-3
+
+    def test_control_current_settles_near_midpoint(self, result):
+        # The CCO free-running frequency equals the target, so the control
+        # current settles at its midpoint (200 uA).
+        assert result.final_control_current_a == pytest.approx(200.0e-6, rel=0.05)
+
+    def test_lock_time_is_finite(self, result):
+        lock = result.lock_time_s(1.0e-3)
+        assert 0.0 < lock < 15.0e-6
+
+    def test_acquisition_starts_away_from_lock(self, result):
+        initial_error = abs(result.frequencies_hz[0] - result.target_frequency_hz)
+        final_error = abs(result.final_frequency_hz - result.target_frequency_hz)
+        assert initial_error > 10 * final_error
+
+    def test_locked_control_current_helper(self):
+        pll = SharedPll()
+        assert pll.locked_control_current_a() == pytest.approx(200.0e-6)
+
+    def test_off_frequency_reference(self):
+        config = PllConfig(reference_frequency_hz=156.25e6 * 1.0001)
+        result = SharedPll(config).simulate(duration_s=20.0e-6, time_step_s=2.0e-9)
+        assert result.final_frequency_hz == pytest.approx(config.target_frequency_hz,
+                                                          rel=1.0e-3)
+
+
+class TestChannelMismatch:
+    def test_offsets_have_requested_spread(self):
+        mismatch = ChannelBiasMismatch(mirror_gain_sigma=0.01,
+                                       oscillator_frequency_sigma=0.0)
+        cco = CurrentControlledOscillator()
+        offsets = mismatch.sample_channel_offsets(2000, 200e-6, cco,
+                                                  rng=np.random.default_rng(0))
+        # Mirror gain error translates through Kcco * Ic / f0 ~ 0.16 ppm/ppm here.
+        assert offsets.std() > 0.0
+        assert abs(offsets.mean()) < 3.0 * offsets.std() / np.sqrt(2000) + 1e-6
+
+    def test_zero_mismatch_gives_zero_offsets(self):
+        mismatch = ChannelBiasMismatch(mirror_gain_sigma=0.0,
+                                       oscillator_frequency_sigma=0.0)
+        offsets = mismatch.sample_channel_offsets(8, 200e-6,
+                                                  CurrentControlledOscillator(),
+                                                  rng=np.random.default_rng(1))
+        np.testing.assert_allclose(offsets, 0.0, atol=1e-12)
+
+    def test_oscillator_mismatch_dominates(self):
+        mismatch = ChannelBiasMismatch(mirror_gain_sigma=0.0,
+                                       oscillator_frequency_sigma=0.005)
+        offsets = mismatch.sample_channel_offsets(2000, 200e-6,
+                                                  CurrentControlledOscillator(),
+                                                  rng=np.random.default_rng(2))
+        assert offsets.std() == pytest.approx(0.005, rel=0.1)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            ChannelBiasMismatch(mirror_gain_sigma=-0.1)

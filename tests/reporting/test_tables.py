@@ -1,0 +1,70 @@
+"""Tests for the reporting helpers."""
+
+import pytest
+
+from repro.reporting.tables import Series, TextTable, format_engineering
+
+
+class TestFormatEngineering:
+    def test_milli(self):
+        assert format_engineering(12.5e-3, "W") == "12.5 mW"
+
+    def test_giga(self):
+        assert format_engineering(2.5e9, "Hz") == "2.5 GHz"
+
+    def test_unity(self):
+        assert format_engineering(5.0, "V") == "5 V"
+
+    def test_zero(self):
+        assert format_engineering(0.0, "A") == "0 A"
+
+    def test_femto(self):
+        assert format_engineering(25e-15, "F") == "25 fF"
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(headers=["name", "value"], title="Demo")
+        table.add_row("alpha", 1)
+        table.add_row("beta", 22)
+        text = table.render()
+        assert "Demo" in text
+        assert "alpha" in text
+        lines = text.splitlines()
+        assert len(lines) == 5  # title, header, rule, two rows
+
+    def test_row_length_checked(self):
+        table = TextTable(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_csv_export(self):
+        table = TextTable(headers=["a", "b"])
+        table.add_row(1, 2)
+        assert table.to_csv() == "a,b\n1,2\n"
+
+
+class TestSeries:
+    def test_add_and_render(self):
+        series = Series("BER vs amplitude", "amplitude_ui", "ber")
+        series.add(0.1, 1e-15)
+        series.add(0.2, 1e-9)
+        text = series.render()
+        assert "BER vs amplitude" in text
+        assert "1e-09" in text
+
+    def test_extend(self):
+        series = Series("s", "x", "y")
+        series.extend([1, 2, 3], [4, 5, 6])
+        assert len(series.points) == 3
+
+    def test_render_downsamples(self):
+        series = Series("s", "x", "y")
+        series.extend(range(1000), range(1000))
+        text = series.render(max_points=10)
+        assert len(text.splitlines()) < 120
+
+    def test_csv(self):
+        series = Series("s", "x", "y")
+        series.add(1.0, 2.0)
+        assert series.to_csv().splitlines()[0] == "x,y"

@@ -1,0 +1,74 @@
+"""Tests for the combined compliance report."""
+
+import numpy as np
+import pytest
+
+from repro.specs.compliance import check_compliance
+from repro.specs.infiniband import infiniband_mask
+from repro.statistical.ftol import FtolResult
+from repro.statistical.jtol import JtolCurve, JtolPoint
+
+
+def make_curve(frequencies, amplitudes, ber=1e-13):
+    points = tuple(JtolPoint(f, a, ber) for f, a in zip(frequencies, amplitudes))
+    return JtolCurve(points=points, target_ber=1e-12)
+
+
+class TestComplianceReport:
+    def test_all_pass(self):
+        mask = infiniband_mask()
+        frequencies = mask.frequencies_for_sweep(points_per_decade=2)
+        amplitudes = np.asarray(mask.amplitude_ui_pp(frequencies)) + 0.5
+        report = check_compliance(
+            make_curve(frequencies, amplitudes), mask,
+            FtolResult(positive_tolerance=0.01, negative_tolerance=-0.01,
+                       target_ber=1e-12),
+            power_mw_per_gbps=2.0,
+        )
+        assert report.jtol_pass
+        assert report.ftol_pass
+        assert report.power_pass
+        assert report.overall_pass
+        assert report.jtol_worst_margin_ui >= 0.49
+
+    def test_jtol_failure_detected(self):
+        mask = infiniband_mask()
+        frequencies = mask.frequencies_for_sweep(points_per_decade=2)
+        amplitudes = np.full(frequencies.size, 0.01)
+        report = check_compliance(
+            make_curve(frequencies, amplitudes), mask,
+            FtolResult(0.01, -0.01, 1e-12), power_mw_per_gbps=2.0)
+        assert not report.jtol_pass
+        assert not report.overall_pass
+
+    def test_ftol_failure_detected(self):
+        mask = infiniband_mask()
+        frequencies = mask.frequencies_for_sweep(points_per_decade=2)
+        amplitudes = np.asarray(mask.amplitude_ui_pp(frequencies)) + 0.5
+        report = check_compliance(
+            make_curve(frequencies, amplitudes), mask,
+            FtolResult(positive_tolerance=50e-6, negative_tolerance=-50e-6,
+                       target_ber=1e-12),
+            power_mw_per_gbps=2.0)
+        assert not report.ftol_pass
+
+    def test_power_failure_detected(self):
+        mask = infiniband_mask()
+        frequencies = mask.frequencies_for_sweep(points_per_decade=2)
+        amplitudes = np.asarray(mask.amplitude_ui_pp(frequencies)) + 0.5
+        report = check_compliance(
+            make_curve(frequencies, amplitudes), mask,
+            FtolResult(0.01, -0.01, 1e-12), power_mw_per_gbps=7.5)
+        assert not report.power_pass
+        assert "FAIL" in "\n".join(report.summary_lines())
+
+    def test_summary_lines_format(self):
+        mask = infiniband_mask()
+        frequencies = mask.frequencies_for_sweep(points_per_decade=2)
+        amplitudes = np.asarray(mask.amplitude_ui_pp(frequencies)) + 0.5
+        report = check_compliance(
+            make_curve(frequencies, amplitudes), mask,
+            FtolResult(0.01, -0.01, 1e-12), power_mw_per_gbps=2.0)
+        lines = report.summary_lines()
+        assert len(lines) == 4
+        assert lines[-1].startswith("Overall")

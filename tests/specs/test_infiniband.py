@@ -1,0 +1,61 @@
+"""Tests for the InfiniBand jitter-tolerance mask."""
+
+import numpy as np
+import pytest
+
+from repro.specs.infiniband import (
+    INFINIBAND_FREQUENCY_TOLERANCE_PPM,
+    INFINIBAND_TARGET_BER,
+    JitterToleranceMask,
+    infiniband_mask,
+)
+
+
+class TestMaskShape:
+    @pytest.fixture(scope="class")
+    def mask(self):
+        return infiniband_mask()
+
+    def test_constants(self):
+        assert INFINIBAND_FREQUENCY_TOLERANCE_PPM == 100.0
+        assert INFINIBAND_TARGET_BER == 1.0e-12
+
+    def test_high_frequency_floor(self, mask):
+        assert mask.amplitude_ui_pp(50.0e6) == pytest.approx(0.15)
+
+    def test_low_frequency_slope_is_20db_per_decade(self, mask):
+        corner = mask.corner_frequency_hz
+        assert mask.amplitude_ui_pp(corner / 10.0) == pytest.approx(1.5, rel=1e-6)
+
+    def test_low_frequency_cap(self, mask):
+        assert mask.amplitude_ui_pp(1.0) == pytest.approx(1.5)
+
+    def test_monotonically_non_increasing(self, mask):
+        frequencies = np.logspace(3, 7, 50)
+        amplitudes = mask.amplitude_ui_pp(frequencies)
+        assert np.all(np.diff(amplitudes) <= 1e-12)
+
+    def test_scalar_and_array_interfaces(self, mask):
+        scalar = mask.amplitude_ui_pp(1.0e6)
+        array = mask.amplitude_ui_pp(np.array([1.0e6]))
+        assert scalar == pytest.approx(float(array[0]))
+
+    def test_rejects_non_positive_frequency(self, mask):
+        with pytest.raises(ValueError):
+            mask.amplitude_ui_pp(0.0)
+
+    def test_sweep_frequencies_within_mask_domain(self, mask):
+        frequencies = mask.frequencies_for_sweep()
+        assert frequencies[0] >= 1.0e4
+        assert frequencies[-1] <= mask.bit_rate_hz / 100.0 * 1.01
+
+    def test_compliance_check(self, mask):
+        frequencies = np.array([1.0e5, 1.0e6, 1.0e7])
+        required = mask.amplitude_ui_pp(frequencies)
+        assert mask.check_compliance(frequencies, np.asarray(required) + 0.1)
+        assert not mask.check_compliance(frequencies, np.asarray(required) - 0.05)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            JitterToleranceMask(corner_frequency_hz=1e6, floor_ui_pp=0.2,
+                                low_frequency_cap_ui_pp=0.1)

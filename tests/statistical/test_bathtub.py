@@ -1,0 +1,63 @@
+"""Tests for bathtub-curve analysis."""
+
+import numpy as np
+import pytest
+
+from repro.statistical.bathtub import BathtubCurve, bathtub_curve, eye_opening_ui, optimum_sampling_phase
+from repro.statistical.ber_model import CdrJitterBudget
+
+GRID = 4.0e-3
+
+
+class TestBathtubCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=0.2, sj_frequency_hz=1.0e9)
+        return bathtub_curve(budget=budget, grid_step_ui=GRID,
+                             phases_ui=np.arange(0.05, 1.0, 0.05))
+
+    def test_right_wall_dominates(self, curve):
+        # Gated-oscillator eye: the trigger-aligned (left) side is clean while
+        # the late (right) side carries the accumulated jitter, so the BER wall
+        # is on the right — the asymmetry of the paper's Figure 14.
+        centre = curve.ber[len(curve.ber) // 2]
+        assert curve.ber[-1] > centre
+        assert curve.ber[0] <= centre + 1e-15
+
+    def test_eye_opening_positive(self, curve):
+        assert curve.eye_opening_ui(1.0e-12) > 0.2
+
+    def test_eye_edges_are_ordered(self, curve):
+        left = curve.left_edge_ui(1e-12)
+        right = curve.right_edge_ui(1e-12)
+        assert left < right
+        assert right <= 0.95
+
+    def test_optimum_is_early_in_the_bit(self, curve):
+        phase, ber = curve.optimum()
+        assert 0.0 < phase <= 0.5
+        assert ber == curve.ber.min()
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            BathtubCurve(np.array([0.1, 0.2]), np.array([1e-3]))
+
+    def test_closed_eye_reports_zero(self):
+        budget = CdrJitterBudget(dj_ui_pp=1.5, rj_ui_rms=0.2)
+        curve = bathtub_curve(budget=budget, grid_step_ui=GRID,
+                              phases_ui=np.arange(0.1, 1.0, 0.1))
+        assert curve.eye_opening_ui(1e-12) == 0.0
+        assert np.isnan(curve.left_edge_ui(1e-12))
+
+
+class TestHelpers:
+    def test_eye_opening_wrapper(self):
+        opening = eye_opening_ui(1.0e-12, grid_step_ui=GRID)
+        assert 0.3 < opening <= 1.0
+
+    def test_optimum_sampling_phase_under_offset_is_early(self):
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=0.3, sj_frequency_hz=1.0e9,
+                                 frequency_offset=0.02)
+        phase, _ = optimum_sampling_phase(budget=budget, resolution_ui=0.05,
+                                          grid_step_ui=GRID)
+        assert phase < 0.5

@@ -1,0 +1,57 @@
+"""Tests for frequency-tolerance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.statistical.ber_model import CdrJitterBudget
+from repro.statistical.ftol import FtolResult, ber_vs_frequency_offset, frequency_tolerance
+
+GRID = 4.0e-3
+
+
+class TestBerVsOffset:
+    def test_ber_grows_with_offset_magnitude(self):
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=0.3, sj_frequency_hz=1.0e9)
+        offsets = np.array([0.0, 0.02, 0.05])
+        bers = ber_vs_frequency_offset(offsets, budget=budget, grid_step_ui=GRID)
+        assert bers[0] <= bers[1] <= bers[2]
+        assert bers[2] > bers[0]
+
+    def test_shape_preserved(self):
+        bers = ber_vs_frequency_offset(np.array([[0.0, 0.01], [0.02, 0.03]]),
+                                       grid_step_ui=GRID)
+        assert bers.shape == (2, 2)
+
+
+class TestFrequencyTolerance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return frequency_tolerance(grid_step_ui=GRID, max_offset=0.1, resolution=1e-3)
+
+    def test_meets_100ppm_specification(self, result):
+        """Section 2.3: the design must tolerate the +/-100 ppm application spec."""
+        assert result.meets_specification(100.0)
+
+    def test_tolerances_are_positive(self, result):
+        assert result.positive_tolerance > 0.0
+        assert result.negative_tolerance < 0.0
+
+    def test_ppm_properties(self, result):
+        assert result.positive_tolerance_ppm == pytest.approx(
+            result.positive_tolerance * 1e6)
+        assert result.negative_tolerance_ppm >= 0.0
+        assert result.symmetric_tolerance_ppm == min(result.positive_tolerance_ppm,
+                                                     result.negative_tolerance_ppm)
+
+    def test_stressed_budget_reduces_tolerance(self, result):
+        stressed = frequency_tolerance(
+            budget=CdrJitterBudget(sj_amplitude_ui_pp=0.4, sj_frequency_hz=1.0e9),
+            grid_step_ui=GRID, max_offset=0.1, resolution=1e-3)
+        assert stressed.symmetric_tolerance_ppm < result.symmetric_tolerance_ppm
+
+    def test_hopeless_budget_gives_zero(self):
+        hopeless = frequency_tolerance(
+            budget=CdrJitterBudget(dj_ui_pp=1.5, rj_ui_rms=0.1),
+            grid_step_ui=GRID, max_offset=0.05, resolution=1e-3)
+        assert hopeless.positive_tolerance == 0.0
+        assert not hopeless.meets_specification()

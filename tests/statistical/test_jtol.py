@@ -1,0 +1,91 @@
+"""Tests for jitter-tolerance analysis."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.specs.infiniband import infiniband_mask
+from repro.statistical.ber_model import CdrJitterBudget
+from repro.statistical.jtol import (
+    JtolCurve,
+    JtolPoint,
+    ber_vs_sinusoidal_jitter,
+    jitter_tolerance_at_frequency,
+    jitter_tolerance_curve,
+)
+
+GRID = 4.0e-3
+
+
+class TestBerSurface:
+    def test_surface_shape(self):
+        frequencies = np.array([1.0e6, 1.0e9])
+        amplitudes = np.array([0.1, 0.5])
+        surface = ber_vs_sinusoidal_jitter(frequencies, amplitudes, grid_step_ui=GRID)
+        assert surface.shape == (2, 2)
+
+    def test_ber_grows_with_amplitude(self):
+        frequencies = np.array([1.0e9])
+        amplitudes = np.array([0.1, 0.4, 0.8])
+        surface = ber_vs_sinusoidal_jitter(frequencies, amplitudes, grid_step_ui=GRID)
+        column = surface[:, 0]
+        assert column[0] <= column[1] <= column[2]
+
+    def test_low_frequency_column_is_benign(self):
+        frequencies = np.array([1.0e5, 1.25e9])
+        amplitudes = np.array([0.5])
+        surface = ber_vs_sinusoidal_jitter(frequencies, amplitudes, grid_step_ui=GRID)
+        assert surface[0, 0] < 1.0e-12
+        assert surface[0, 1] > surface[0, 0]
+
+
+class TestToleranceSearch:
+    def test_low_frequency_tolerance_is_large(self):
+        point = jitter_tolerance_at_frequency(1.0e5, grid_step_ui=GRID,
+                                              max_amplitude_ui_pp=20.0)
+        assert point.amplitude_ui_pp >= 5.0
+
+    def test_high_frequency_tolerance_is_finite(self):
+        point = jitter_tolerance_at_frequency(1.0e9, grid_step_ui=GRID)
+        assert 0.0 < point.amplitude_ui_pp < 1.0
+        assert point.ber_at_amplitude <= 1.0e-12
+
+    def test_tolerance_decreases_with_frequency(self):
+        low = jitter_tolerance_at_frequency(2.5e6, grid_step_ui=GRID,
+                                            max_amplitude_ui_pp=20.0)
+        high = jitter_tolerance_at_frequency(1.25e9, grid_step_ui=GRID,
+                                             max_amplitude_ui_pp=20.0)
+        assert high.amplitude_ui_pp < low.amplitude_ui_pp
+
+    def test_impossible_budget_returns_zero(self):
+        # If the baseline jitter alone already fails, the tolerance is zero.
+        budget = CdrJitterBudget(dj_ui_pp=1.2, rj_ui_rms=0.1)
+        point = jitter_tolerance_at_frequency(1.0e6, budget=budget, grid_step_ui=GRID)
+        assert point.amplitude_ui_pp == 0.0
+
+
+class TestCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        frequencies = np.array([1.0e5, 2.0e6, 2.5e7])
+        return jitter_tolerance_curve(frequencies, grid_step_ui=GRID,
+                                      max_amplitude_ui_pp=20.0)
+
+    def test_curve_length(self, curve):
+        assert len(curve.points) == 3
+        assert curve.frequencies_hz.size == 3
+
+    def test_curve_passes_infiniband_mask(self, curve):
+        """Fig. 9 claim: tolerance is well above the InfiniBand mask (no offset)."""
+        mask = infiniband_mask()
+        required = mask.amplitude_ui_pp(curve.frequencies_hz)
+        assert curve.passes_mask(np.asarray(required))
+
+    def test_margin_computation(self, curve):
+        mask_values = np.full(3, 0.15)
+        margins = curve.margin_to_mask(mask_values)
+        np.testing.assert_allclose(margins, curve.amplitudes_ui_pp - 0.15)
+
+    def test_margin_requires_matching_shape(self, curve):
+        with pytest.raises(ValueError):
+            curve.margin_to_mask(np.array([0.1, 0.2]))

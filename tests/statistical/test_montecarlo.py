@@ -1,0 +1,62 @@
+"""Tests for the Monte-Carlo cross-check of the analytic BER model."""
+
+import numpy as np
+import pytest
+
+from repro.statistical.ber_model import CdrJitterBudget, GatedOscillatorBerModel
+from repro.statistical.montecarlo import MonteCarloResult, simulate_ber
+
+
+class TestMonteCarloResult:
+    def test_ber_computation(self):
+        assert MonteCarloResult(errors=5, trials=1000).ber == pytest.approx(5e-3)
+
+    def test_empty_result_is_nan(self):
+        assert np.isnan(MonteCarloResult(errors=0, trials=0).ber)
+
+    def test_confidence_interval_contains_estimate(self):
+        result = MonteCarloResult(errors=100, trials=10000)
+        low, high = result.confidence_interval()
+        assert low < result.ber < high
+
+    def test_consistency_check(self):
+        result = MonteCarloResult(errors=100, trials=10000)
+        assert result.consistent_with(0.01)
+        assert not result.consistent_with(0.10)
+
+
+class TestSimulation:
+    def test_no_jitter_gives_no_errors(self):
+        budget = CdrJitterBudget(dj_ui_pp=0.0, rj_ui_rms=0.0, osc_sigma_ui_per_bit=0.0)
+        result = simulate_ber(budget, n_bits=10000, rng=np.random.default_rng(0))
+        assert result.errors == 0
+
+    def test_agrees_with_analytic_model_at_high_stress(self):
+        """The Monte-Carlo experiment and the PDF convolution model must agree."""
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=0.8, sj_frequency_hz=1.25e9,
+                                 frequency_offset=0.02)
+        analytic = GatedOscillatorBerModel(budget, grid_step_ui=2e-3).ber()
+        monte_carlo = simulate_ber(budget, n_bits=200_000, rng=np.random.default_rng(1))
+        assert monte_carlo.consistent_with(analytic, z=4.0)
+        assert monte_carlo.ber == pytest.approx(analytic, rel=0.15)
+
+    def test_agreement_under_pure_offset_stress(self):
+        budget = CdrJitterBudget(frequency_offset=0.08)
+        analytic = GatedOscillatorBerModel(budget, grid_step_ui=2e-3).ber()
+        monte_carlo = simulate_ber(budget, n_bits=200_000, rng=np.random.default_rng(2))
+        assert monte_carlo.ber == pytest.approx(analytic, rel=0.2)
+
+    def test_improved_sampling_phase_reduces_errors(self):
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=0.6, sj_frequency_hz=1.25e9,
+                                 frequency_offset=0.02)
+        nominal = simulate_ber(budget, n_bits=150_000, sampling_phase_ui=0.5,
+                               rng=np.random.default_rng(3))
+        improved = simulate_ber(budget, n_bits=150_000, sampling_phase_ui=0.375,
+                                rng=np.random.default_rng(3))
+        assert improved.errors < nominal.errors
+
+    def test_reproducible_with_seed(self):
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=0.7, sj_frequency_hz=1.25e9)
+        a = simulate_ber(budget, n_bits=50_000, rng=np.random.default_rng(7))
+        b = simulate_ber(budget, n_bits=50_000, rng=np.random.default_rng(7))
+        assert a.errors == b.errors

@@ -1,0 +1,60 @@
+"""Tests for Gaussian tail utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.statistical import qfunc
+
+
+class TestQFunction:
+    def test_q_of_zero_is_half(self):
+        assert qfunc.q_function(0.0) == pytest.approx(0.5)
+
+    def test_known_value(self):
+        assert qfunc.q_function(7.034) == pytest.approx(1.0e-12, rel=0.05)
+
+    def test_array_input(self):
+        values = qfunc.q_function(np.array([0.0, 1.0, 2.0]))
+        assert values.shape == (3,)
+        assert values[0] == pytest.approx(0.5)
+
+    def test_far_tail_remains_finite(self):
+        assert 0.0 < qfunc.q_function(30.0) < 1.0e-100
+
+    @given(st.floats(min_value=-5, max_value=5), st.floats(min_value=0.01, max_value=5))
+    @settings(max_examples=30, deadline=None)
+    def test_monotonically_decreasing(self, x, dx):
+        assert qfunc.q_function(x + dx) < qfunc.q_function(x)
+
+
+class TestInverseQ:
+    def test_round_trip(self):
+        for p in (0.3, 1e-3, 1e-9, 1e-12):
+            assert qfunc.q_function(qfunc.inverse_q_function(p)) == pytest.approx(p, rel=1e-6)
+
+    def test_sigma_margin_at_1e12(self):
+        assert qfunc.sigma_margin_for_ber(1.0e-12) == pytest.approx(7.03, rel=0.01)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            qfunc.inverse_q_function(0.0)
+        with pytest.raises(ValueError):
+            qfunc.inverse_q_function(1.0)
+
+
+class TestHelpers:
+    def test_ber_from_snr_margin(self):
+        assert qfunc.ber_from_snr_margin(7.034e-2, 1.0e-2) == pytest.approx(1e-12, rel=0.05)
+
+    def test_ber_from_snr_margin_rejects_zero_sigma(self):
+        with pytest.raises(ValueError):
+            qfunc.ber_from_snr_margin(0.1, 0.0)
+
+    def test_log10_ber_floor(self):
+        assert qfunc.log10_ber(0.0, floor=1e-30) == pytest.approx(-30.0)
+        assert qfunc.log10_ber(1e-12) == pytest.approx(-12.0)
+
+    def test_log10_ber_array(self):
+        out = qfunc.log10_ber(np.array([1e-3, 1e-6]))
+        np.testing.assert_allclose(out, [-3.0, -6.0])

@@ -1,0 +1,100 @@
+"""Tests for the shared argument-validation helpers."""
+
+import math
+
+import pytest
+
+from repro import _validation as v
+
+
+class TestRequireFinite:
+    def test_accepts_finite(self):
+        assert v.require_finite("x", 3.5) == 3.5
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            v.require_finite("x", math.nan)
+
+    def test_rejects_infinity(self):
+        with pytest.raises(ValueError):
+            v.require_finite("x", math.inf)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert v.require_positive("x", 1e-12) == 1e-12
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            v.require_positive("x", 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            v.require_positive("x", -1.0)
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert v.require_non_negative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            v.require_non_negative("x", -1e-9)
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds(self):
+        assert v.require_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds_reject_edges(self):
+        with pytest.raises(ValueError):
+            v.require_in_range("x", 1.0, 0.0, 1.0, inclusive=False)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            v.require_in_range("x", 2.0, 0.0, 1.0)
+
+
+class TestRequireProbabilityAndFraction:
+    def test_probability_bounds(self):
+        assert v.require_probability("p", 0.0) == 0.0
+        assert v.require_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            v.require_probability("p", 1.5)
+
+    def test_fraction_excludes_one(self):
+        assert v.require_fraction("f", 0.999) == 0.999
+        with pytest.raises(ValueError):
+            v.require_fraction("f", 1.0)
+
+
+class TestRequireInt:
+    def test_accepts_int(self):
+        assert v.require_int("n", 5) == 5
+
+    def test_accepts_integral_float(self):
+        assert v.require_int("n", 5.0) == 5
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            v.require_int("n", True)
+
+    def test_rejects_fractional(self):
+        with pytest.raises(TypeError):
+            v.require_int("n", 2.5)
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            v.require_positive_int("n", 0)
+
+
+class TestRequireBinarySequence:
+    def test_accepts_bits(self):
+        assert v.require_binary_sequence("bits", [0, 1, 1, 0]) == [0, 1, 1, 0]
+
+    def test_accepts_bools(self):
+        assert v.require_binary_sequence("bits", [True, False]) == [1, 0]
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValueError, match=r"bits\[1\]"):
+            v.require_binary_sequence("bits", [0, 2])
