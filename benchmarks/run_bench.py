@@ -1,0 +1,161 @@
+"""Fast-path performance tracker: times the headline sweeps on both backends.
+
+Runs the fig09-style BER-vs-SJ sweep, the fig10-style BER-vs-frequency-offset
+sweep and the fig14 eye simulation end-to-end with the event-kernel backend
+and the vectorized fast path, checks that the two agree bit-for-bit (the
+sweeps run zero-gate-jitter configurations), and writes wall times plus
+speedups to ``BENCH_fastpath.json`` at the repository root so the perf
+trajectory is tracked from PR to PR.
+
+Run with:  PYTHONPATH=src python benchmarks/run_bench.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import numpy as np
+
+from repro.core.config import CdrChannelConfig
+from repro.datapath.nrz import JitterSpec
+from repro.datapath.prbs import prbs7
+from repro.gates.ring import GccoParameters
+from repro.sweep import BACKENDS, ber_vs_frequency_offset_sweep, ber_vs_sj_sweep
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+
+BASE_JITTER = JitterSpec(dj_ui_pp=0.2, rj_ui_rms=0.01, sj_phase_rad=np.pi / 2)
+SJ_FIG14 = JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0,
+                      sj_amplitude_ui_pp=0.10, sj_frequency_hz=250.0e6)
+
+
+def _timed(function):
+    start = time.perf_counter()
+    value = function()
+    return value, time.perf_counter() - start
+
+
+def bench_fig09_sj_sweep(n_bits: int) -> dict:
+    """Figure 9 companion: BER-vs-SJ surface, both backends."""
+    frequencies = np.array([1.0e-3, 1.0e-2, 0.3]) * 2.5e9
+    amplitudes = np.array([0.1, 0.6, 1.0])
+
+    def sweep(backend: str):
+        return ber_vs_sj_sweep(frequencies, amplitudes, base_jitter=BASE_JITTER,
+                               n_bits=n_bits, backend=backend, seed=9, workers=1)
+
+    fast, fast_s = _timed(lambda: sweep("fast"))
+    event, event_s = _timed(lambda: sweep("event"))
+    assert np.array_equal(fast.errors, event.errors), "backend divergence!"
+    return {
+        "grid_points": int(frequencies.size * amplitudes.size),
+        "n_bits_per_point": n_bits,
+        "event_s": round(event_s, 3),
+        "fast_s": round(fast_s, 3),
+        "speedup": round(event_s / fast_s, 2),
+        "identical_error_counts": True,
+        "total_errors": int(fast.total_errors),
+    }
+
+
+def bench_fig10_offset_sweep(n_bits: int) -> dict:
+    """Figure 10 companion: BER versus channel frequency offset."""
+    offsets = np.array([0.0, 0.005, 0.01, 0.02, 0.05])
+
+    def sweep(backend: str):
+        return ber_vs_frequency_offset_sweep(offsets, jitter=BASE_JITTER,
+                                             n_bits=n_bits, backend=backend,
+                                             seed=9, workers=1)
+
+    fast, fast_s = _timed(lambda: sweep("fast"))
+    event, event_s = _timed(lambda: sweep("event"))
+    assert np.array_equal(fast.errors, event.errors), "backend divergence!"
+    return {
+        "grid_points": int(offsets.size),
+        "n_bits_per_point": n_bits,
+        "event_s": round(event_s, 3),
+        "fast_s": round(fast_s, 3),
+        "speedup": round(event_s / fast_s, 2),
+        "identical_error_counts": True,
+        "total_errors": int(fast.total_errors),
+    }
+
+
+def bench_fig14_eye(n_bits: int) -> dict:
+    """Figure 14 condition: PRBS7 eye with a 5 % slow oscillator."""
+    config = CdrChannelConfig(
+        oscillator=GccoParameters(jitter_sigma_fraction=0.0),
+        frequency_offset=2.5e9 / 2.375e9 - 1.0,
+    )
+    bits = prbs7(n_bits)
+
+    def run(backend: str):
+        channel = BACKENDS[backend](config)
+        result = channel.run(bits, jitter=SJ_FIG14, rng=np.random.default_rng(14))
+        return result.eye_diagram().metrics(), result.ber().errors
+
+    (fast_eye, fast_errors), fast_s = _timed(lambda: run("fast"))
+    (event_eye, event_errors), event_s = _timed(lambda: run("event"))
+    assert fast_errors == event_errors, "backend divergence!"
+    assert fast_eye.n_crossings == event_eye.n_crossings
+    return {
+        "n_bits": n_bits,
+        "event_s": round(event_s, 3),
+        "fast_s": round(fast_s, 3),
+        "speedup": round(event_s / fast_s, 2),
+        "identical_error_counts": True,
+        "eye_opening_ui": round(fast_eye.eye_opening_ui, 4),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller bit budgets (CI smoke run)")
+    arguments = parser.parse_args()
+    scale = 1 if arguments.quick else 2
+
+    print("timing fig09 BER-vs-SJ sweep (event vs fast)...")
+    fig09 = bench_fig09_sj_sweep(n_bits=1000 * scale)
+    print(f"  event {fig09['event_s']}s  fast {fig09['fast_s']}s  "
+          f"speedup {fig09['speedup']}x")
+    print("timing fig10 BER-vs-offset sweep...")
+    fig10 = bench_fig10_offset_sweep(n_bits=1000 * scale)
+    print(f"  event {fig10['event_s']}s  fast {fig10['fast_s']}s  "
+          f"speedup {fig10['speedup']}x")
+    print("timing fig14 eye simulation...")
+    fig14 = bench_fig14_eye(n_bits=2000 * scale)
+    print(f"  event {fig14['event_s']}s  fast {fig14['fast_s']}s  "
+          f"speedup {fig14['speedup']}x")
+
+    payload = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": {
+            "fig09_ber_vs_sj_sweep": fig09,
+            "fig10_ber_vs_offset_sweep": fig10,
+            "fig14_eye_prbs7": fig14,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+    slowest = min(entry["speedup"] for entry in payload["benchmarks"].values())
+    if fig09["speedup"] < 5.0:
+        print(f"WARNING: fig09 speedup {fig09['speedup']}x below the 5x target")
+        return 1
+    print(f"all speedups >= {slowest}x (fig09 target: >= 5x) — OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,15 +1,21 @@
-"""Jitter- and frequency-tolerance study with the statistical model.
+"""Jitter- and frequency-tolerance study: statistical model + time domain.
 
 Sweeps sinusoidal-jitter amplitude/frequency (the paper's Figures 9/10) and
 frequency offset, for both the nominal and the improved sampling tap, and
 compares the resulting tolerance against the InfiniBand mask (Figure 5).
+The final section re-runs the BER-vs-SJ and jitter-tolerance sweeps in the
+time domain through :mod:`repro.sweep` (fast-path backend, parallel workers)
+— the measured companion of the analytic surfaces.
 
-Run with:  python examples/jitter_tolerance_sweep.py
+Run with:  python examples/jitter_tolerance_sweep.py [--backend event|fast]
 """
+
+import argparse
 
 import numpy as np
 
 from repro import units
+from repro.datapath.nrz import JitterSpec
 from repro.reporting import Series, TextTable
 from repro.specs import infiniband_mask
 from repro.statistical import (
@@ -20,6 +26,7 @@ from repro.statistical import (
     frequency_tolerance,
     jitter_tolerance_curve,
 )
+from repro.sweep import ber_vs_sj_sweep, jitter_tolerance_sweep
 
 GRID = 4.0e-3
 
@@ -73,10 +80,41 @@ def frequency_tolerance_study() -> None:
           f"(specification: +/-100 ppm)")
 
 
+def time_domain_sweeps(backend: str) -> None:
+    """Measured BER-vs-SJ surface and tolerance via the parallel sweep runner."""
+    base = JitterSpec(dj_ui_pp=0.2, rj_ui_rms=0.01, sj_phase_rad=np.pi / 2)
+    normalised = np.array([1e-3, 1e-2, 0.3])
+    amplitudes = np.array([0.1, 0.6, 1.0])
+    surface = ber_vs_sj_sweep(
+        normalised * units.DEFAULT_BIT_RATE, amplitudes, base_jitter=base,
+        n_bits=1500, backend=backend, seed=9)
+    table = TextTable(
+        headers=["SJ amplitude [UIpp]"] + [f"f/fb={f:g}" for f in normalised],
+        title=f"Time-domain bit errors over 1500 PRBS7 bits ({backend} backend)")
+    for row, amplitude in enumerate(amplitudes):
+        table.add_row(f"{amplitude:.1f}",
+                      *[str(int(surface.errors[row, col]))
+                        for col in range(surface.errors.shape[1])])
+    print(table.render())
+
+    tolerance = jitter_tolerance_sweep(
+        np.array([2.5e5, 2.5e7, 7.5e8]), base_jitter=base, n_bits=800,
+        backend=backend, seed=5, max_amplitude_ui_pp=8.0, target_errors=1)
+    series = Series("Measured SJ tolerance (<=1 error / 800 bits)",
+                    "frequency_hz", "amplitude_ui_pp")
+    series.extend(tolerance.frequencies_hz, tolerance.amplitudes_ui_pp)
+    print(series.render())
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=("event", "fast"), default="fast",
+                        help="time-domain channel backend (default: fast)")
+    arguments = parser.parse_args()
     ber_surface()
     tolerance_vs_mask()
     frequency_tolerance_study()
+    time_domain_sweeps(arguments.backend)
 
 
 if __name__ == "__main__":

@@ -39,15 +39,22 @@ def main() -> None:
     print(table.render())
     print(f"all channels meet 1e-12: {report.all_channels_pass}\n")
 
-    # --- behavioural cross-check -------------------------------------------
-    behavioural = receiver.behavioural_run(n_bits=800)
+    # --- behavioural cross-check (fast-path backend) ------------------------
+    behavioural = receiver.behavioural_run(n_bits=800, backend="fast")
     table = TextTable(headers=["channel", "errors", "bits", "lane skew [UI]"],
-                      title="Behavioural run (800 PRBS7 bits per channel)")
+                      title="Behavioural run (800 PRBS7 bits per channel, fast backend)")
     for index, measurement in enumerate(behavioural.measurements):
         table.add_row(index, measurement.errors, measurement.compared_bits,
                       f"{behavioural.lane_skews_ui[index]:.1f}")
     print(table.render())
     print(f"aggregate behavioural BER: {behavioural.aggregate_ber:.2e}\n")
+
+    # --- parallel lane sweep through the sweep runner ------------------------
+    from repro.sweep import multichannel_sweep
+    sweep = multichannel_sweep(config, n_bits=800, backend="fast", seed=2026)
+    print(f"parallel sweep (SeedSequence-spawned lanes): "
+          f"errors per lane {sweep.errors.tolist()}, "
+          f"aggregate BER {sweep.aggregate_ber:.2e}\n")
 
     # --- elastic buffer towards the system clock ----------------------------
     stats = ElasticBuffer.simulate_clock_domains(

@@ -27,7 +27,7 @@ from ..gates.cml import CmlTiming
 from ..gates.ring import GatedRingOscillator
 from ..gates.storage import CmlFlipFlop
 from .config import CdrChannelConfig
-from .edge_detector import EdgeDetector
+from .edge_detector import GATE_DELAY_S, EdgeDetector
 
 __all__ = ["BehavioralSimulationResult", "BehavioralCdrChannel"]
 
@@ -59,7 +59,7 @@ class BehavioralSimulationResult:
         Edge-detector delay line plus the dummy gate that re-times DDIN; used
         to map each sampling decision back to the transmitted bit it decides.
         """
-        return self.config.edge_detector_delay_s + 25.0e-12
+        return self.config.edge_detector_delay_s + GATE_DELAY_S
 
     def decisions_per_bit(self) -> tuple[np.ndarray, np.ndarray]:
         """Map every sampling decision to a transmitted-bit index.
@@ -74,7 +74,7 @@ class BehavioralSimulationResult:
         indices = np.floor(relative).astype(np.int64)
         return indices, self.sampled_bits
 
-    def ber(self, max_offset: int = 8) -> BerMeasurement:
+    def ber(self) -> BerMeasurement:
         """Per-bit error measurement using timing-based alignment.
 
         Every sampling decision is attributed to the transmitted bit whose
@@ -83,7 +83,9 @@ class BehavioralSimulationResult:
         frequency offset), or decided more than once with the wrong final
         value counts as one error.  This matches the per-bit semantics of the
         statistical model and is immune to the catastrophic misalignment a
-        bit slip causes in sequence-alignment BER counting.
+        bit slip causes in sequence-alignment BER counting.  Timing-based
+        attribution needs no alignment search, so unlike :meth:`sequence_ber`
+        there is no ``max_offset`` parameter.
         """
         n_bits = int(self.transmitted_bits.size)
         if n_bits == 0:
@@ -207,9 +209,9 @@ class BehavioralCdrChannel:
             rng=rng,
         )
         data_in = Signal(simulator, "din", initial=0)
-        for edge_time, bit_index in zip(stream.edge_times_s, stream.edge_bit_index):
-            value = int(stream.bits[bit_index])
-            simulator.call_at(float(edge_time), lambda v=value: data_in.force(v))
+        # Batch stimulus injection: one self-rescheduling driver instead of a
+        # closure plus heap entry per data edge.
+        data_in.drive(stream.edge_times_s, stream.bits[stream.edge_bit_index])
 
         # --- channel hardware -------------------------------------------------
         edge_detector = EdgeDetector(

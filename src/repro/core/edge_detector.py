@@ -19,7 +19,12 @@ from ..gates.cml import CmlTiming
 from ..gates.delay_line import DelayLine
 from ..gates.logic import BufferGate, Xnor2Gate
 
-__all__ = ["EdgeDetector"]
+__all__ = ["GATE_DELAY_S", "EdgeDetector"]
+
+#: Propagation delay of the XNOR gate and of the dummy data buffer (identical
+#: CML cells).  Shared by the behavioural pipeline-delay bookkeeping and the
+#: fast path, which must mirror this value exactly to stay equivalent.
+GATE_DELAY_S = 25.0e-12
 
 
 class EdgeDetector:
@@ -49,7 +54,7 @@ class EdgeDetector:
         *,
         total_delay_s: float,
         n_cells: int = 3,
-        gate_delay_s: float = 25.0e-12,
+        gate_delay_s: float = GATE_DELAY_S,
         jitter_sigma_fraction: float = 0.0,
         rng: np.random.Generator | None = None,
         name: str = "edge_detector",

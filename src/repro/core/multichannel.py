@@ -30,6 +30,7 @@ from .._validation import require_non_negative, require_positive, require_positi
 from ..analysis.ber_counter import BerMeasurement
 from ..datapath.nrz import JitterSpec
 from ..datapath.prbs import PrbsGenerator
+from ..fastpath.backends import make_channel
 from ..pll.components import CurrentControlledOscillator
 from ..pll.pll import ChannelBiasMismatch, PllConfig, SharedPll
 from ..statistical.ber_model import CdrJitterBudget, GatedOscillatorBerModel
@@ -203,8 +204,15 @@ class MultiChannelReceiver:
         *,
         jitter: JitterSpec | None = None,
         prbs_order: int = 7,
+        backend: str = "event",
     ) -> MultiChannelBehaviouralReport:
-        """Event-driven simulation of every channel with independent PRBS data."""
+        """Time-domain simulation of every channel with independent PRBS data.
+
+        *backend* selects the channel model: ``"event"`` (the event-kernel
+        reference, default) or ``"fast"`` (the vectorized fast path, which
+        on the default zero-gate-jitter configs produces identical results).
+        For parallel lane execution use :func:`repro.sweep.multichannel_sweep`.
+        """
         config = self.config
         require_positive_int("n_bits", n_bits)
         offsets = self.channel_frequency_offsets()
@@ -216,7 +224,7 @@ class MultiChannelReceiver:
             generator = PrbsGenerator(prbs_order, seed=(index + 1))
             bits = generator.bits(n_bits)
             channel_config = config.channel.with_frequency_offset(float(offsets[index]))
-            channel = BehavioralCdrChannel(channel_config)
+            channel = make_channel(channel_config, backend)
             result = channel.run(
                 bits,
                 jitter=jitter,

@@ -114,6 +114,22 @@ class RunLengthDistribution:
         weights = lengths * probs
         return weights / weights.sum()
 
+    def flattened_position_weights(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flatten the joint (run length, position) distribution to arrays.
+
+        Returns ``(run_lengths, positions, weights)`` with one entry per
+        valid ``(k, i)`` pair (``1 <= i <= k <= max_run``), ordered run-major
+        — the layout Monte-Carlo sampling and vectorised BER evaluation index
+        into directly instead of rebuilding Python pair lists per call.
+        """
+        joint = self.position_in_run_weights()
+        max_run = self.max_run
+        runs = np.repeat(np.arange(1, max_run + 1), np.arange(1, max_run + 1))
+        positions = np.concatenate(
+            [np.arange(1, k + 1) for k in range(1, max_run + 1)])
+        weights = joint[runs - 1, positions - 1]
+        return runs, positions, weights
+
     def position_in_run_weights(self) -> np.ndarray:
         """Joint probability P(run length = k, position in run = i) per bit.
 

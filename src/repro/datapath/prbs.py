@@ -119,12 +119,61 @@ class PrbsGenerator:
         return out
 
     def bits(self, count: int) -> np.ndarray:
-        """Return the next *count* bits as a uint8 numpy array."""
+        """Return the next *count* bits as a uint8 numpy array.
+
+        Generation is word-stepped rather than bit-stepped: the output
+        sequence of a Fibonacci LFSR with taps ``(a, b)`` satisfies
+        ``o[t] = o[t-a] ^ o[t-b]``, and because squaring over GF(2) is linear
+        (``(x^a + x^b + 1)^(2^s) = x^(a<<s) + x^(b<<s) + 1``) it equally
+        satisfies every power-of-two dilation of that recurrence.  After a
+        scalar bootstrap of the first ``order`` bits, each pass doubles the
+        usable dilation and fills up to ``b << s`` bits with one vectorized
+        XOR — O(log n) numpy passes for n bits instead of n Python steps.
+        The register state is updated so scalar and vectorized generation
+        interleave freely.
+        """
         count = require_positive_int("count", count)
-        out = np.empty(count, dtype=np.uint8)
-        for i in range(count):
-            out[i] = self.next_bit()
-        return out
+        order = self.order
+        if count <= 2 * order:
+            out = np.empty(count, dtype=np.uint8)
+            for i in range(count):
+                out[i] = self.next_bit()
+            return out
+
+        raw = np.empty(count, dtype=np.uint8)
+        # Scalar bootstrap: the first `order` raw feedback bits.
+        state = self._state
+        mask = self._mask
+        shift_a = self._tap_a - 1
+        shift_b = self._tap_b - 1
+        for i in range(order):
+            feedback = ((state >> shift_a) ^ (state >> shift_b)) & 1
+            state = ((state << 1) | feedback) & mask
+            raw[i] = feedback
+
+        # Leapfrog: o[t] = o[t - (a << s)] ^ o[t - (b << s)] for t >= a << s.
+        filled = order
+        tap_a, tap_b = self._tap_a, self._tap_b
+        while filled < count:
+            dilation = 0
+            while (tap_a << (dilation + 1)) <= filled:
+                dilation += 1
+            step_a = tap_a << dilation
+            step_b = tap_b << dilation
+            length = min(count - filled, step_b)
+            np.bitwise_xor(
+                raw[filled - step_a: filled - step_a + length],
+                raw[filled - step_b: filled - step_b + length],
+                out=raw[filled: filled + length],
+            )
+            filled += length
+
+        # Register after `count` steps holds the newest `order` feedback bits.
+        tail = raw[count - order:].astype(np.uint64)[::-1]
+        self._state = int((tail << np.arange(order, dtype=np.uint64)).sum())
+        if self.invert:
+            return np.bitwise_xor(raw, np.uint8(1))
+        return raw
 
     def __iter__(self) -> Iterator[int]:
         while True:

@@ -68,6 +68,9 @@ class Process:
     the generator returns.
     """
 
+    __slots__ = ("_simulator", "_generator", "name", "finished",
+                 "_pending_unsubscribe")
+
     def __init__(self, simulator: "Simulator", generator: Generator, name: str = "") -> None:
         self._simulator = simulator
         self._generator = generator

@@ -38,13 +38,22 @@ class _Transaction:
 
 
 class Signal:
-    """A simulated signal (wire) with transport-delay scheduling."""
+    """A simulated signal (wire) with transport-delay scheduling.
+
+    Subscribers are stored as a tuple: dispatch in :meth:`_notify` iterates
+    the immutable snapshot directly (no defensive copy per event), and
+    subscription changes replace the tuple — the hot path is ``_notify``,
+    which runs on every value change of every signal in a simulation.
+    """
+
+    __slots__ = ("_simulator", "name", "_value", "_subscribers", "_pending",
+                 "last_event_time_s")
 
     def __init__(self, simulator: Simulator, name: str, initial=0) -> None:
         self._simulator = simulator
         self.name = name
         self._value = initial
-        self._subscribers: list[Callable[["Signal", float], None]] = []
+        self._subscribers: tuple[Callable[["Signal", float], None], ...] = ()
         self._pending: list[_Transaction] = []
         self.last_event_time_s: float | None = None
 
@@ -68,13 +77,15 @@ class Signal:
 
         Returns a function that unsubscribes the callback.
         """
-        self._subscribers.append(callback)
+        self._subscribers = self._subscribers + (callback,)
 
         def unsubscribe() -> None:
+            subscribers = list(self._subscribers)
             try:
-                self._subscribers.remove(callback)
+                subscribers.remove(callback)
             except ValueError:
-                pass
+                return
+            self._subscribers = tuple(subscribers)
 
         return unsubscribe
 
@@ -102,6 +113,35 @@ class Signal:
             self.last_event_time_s = self._simulator.now
             self._notify()
 
+    def drive(self, times_s, values) -> None:
+        """Batch stimulus injection: force each value at its absolute time.
+
+        Equivalent to one ``call_at(t, lambda: force(v))`` per sample but
+        with a single self-rescheduling callback instead of a closure and a
+        heap entry per edge — the stimulus costs one pending event however
+        long the drive pattern is.  Times must be non-decreasing and not in
+        the past.
+        """
+        times_list = [float(t) for t in times_s]
+        values_list = [int(v) for v in values]
+        if len(times_list) != len(values_list):
+            raise SimulationError("drive() needs equally long times and values")
+        if not times_list:
+            return
+        if any(later < earlier
+               for earlier, later in zip(times_list, times_list[1:])):
+            raise SimulationError("drive() times must be non-decreasing")
+        index = 0
+
+        def fire() -> None:
+            nonlocal index
+            self.force(values_list[index])
+            index += 1
+            if index < len(times_list):
+                self._simulator.call_at(times_list[index], fire)
+
+        self._simulator.call_at(times_list[0], fire)
+
     def _apply(self, transaction: _Transaction) -> None:
         if transaction in self._pending:
             self._pending.remove(transaction)
@@ -114,8 +154,11 @@ class Signal:
         self._notify()
 
     def _notify(self) -> None:
-        for callback in list(self._subscribers):
-            callback(self, self._simulator.now)
+        # The tuple is an immutable snapshot: callbacks that (un)subscribe
+        # during dispatch replace it without affecting this iteration.
+        now = self._simulator.now
+        for callback in self._subscribers:
+            callback(self, now)
 
     # -- helpers -------------------------------------------------------------
 

@@ -19,9 +19,15 @@ from .signal import Signal
 __all__ = ["Trace", "WaveformRecorder"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Trace:
-    """Recorded history of a single signal."""
+    """Recorded history of a single signal.
+
+    Storage is either growable lists (the live recorder appends on every
+    event) or pre-built numpy arrays (the fast path wraps its edge arrays
+    directly); all analysis helpers go through :meth:`as_arrays` and accept
+    both.
+    """
 
     name: str
     times_s: list[float] = field(default_factory=list)

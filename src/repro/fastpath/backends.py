@@ -1,0 +1,31 @@
+"""Channel-backend registry: the event-kernel reference and the fast path.
+
+Lives beside the engines (below the sweep layer) so both
+:mod:`repro.core.multichannel` and :mod:`repro.sweep` can import it
+downward without a cycle.
+"""
+
+from __future__ import annotations
+
+from ..core.cdr_channel import BehavioralCdrChannel
+from ..core.config import CdrChannelConfig
+from .engine import FastCdrChannel
+
+__all__ = ["BACKENDS", "make_channel"]
+
+#: Channel simulation backends, by name.
+BACKENDS = {
+    "event": BehavioralCdrChannel,
+    "fast": FastCdrChannel,
+}
+
+
+def make_channel(config: CdrChannelConfig | None = None, backend: str = "fast"):
+    """Instantiate a channel model for *backend* (``"event"`` or ``"fast"``)."""
+    try:
+        factory = BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {sorted(BACKENDS)}"
+        ) from None
+    return factory(config)

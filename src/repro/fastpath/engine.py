@@ -1,0 +1,367 @@
+"""Fast-path (vectorized) simulation of one gated-oscillator CDR channel.
+
+:class:`FastCdrChannel` is a drop-in replacement for
+:class:`~repro.core.cdr_channel.BehavioralCdrChannel`: same ``run``
+signature, same :class:`~repro.core.cdr_channel.BehavioralSimulationResult`
+output.  Instead of dispatching per-edge events through the
+:mod:`repro.events` kernel, it exploits the structure of the fixed topology:
+
+* With constant per-gate delays, VHDL transport assignment never cancels
+  anything (every gate schedules outputs in increasing time order), so every
+  combinational gate is a **pure delay plus value-change filter**.  The delay
+  line, the XNOR edge detector and the dummy data gate therefore reduce to
+  elementwise array shifts of the stimulus edge times — computed with the
+  same floating-point operation order as the event kernel, so the resulting
+  edge times are bit-for-bit identical.
+* The edge-detector output EDET toggles at every event of either XNOR input
+  (a single-input change always toggles an XOR), so its waveform is just the
+  sorted merge of the data-edge and delayed-data-edge time arrays.
+* The gated ring collapses to a recurrence on the **first stage only**: the
+  inverter chain re-times stage-0 transitions by one stage delay each, so the
+  feedback and both clock taps are shifted copies of the stage-0 change
+  stream.  A tight three-stream merge loop (EDET toggles, ring feedback,
+  pending stage-0 applies) reproduces the kernel's scheduling — including
+  transport cancellation, which *can* fire on stage 0 when a gating-input
+  skew is configured — at a few machine operations per event instead of a
+  heap transaction.
+* The decision flip-flop samples the delayed data at every rising clock
+  edge, so the decisions are one ``searchsorted`` away.
+
+With per-gate delay jitter enabled the same passes apply with per-event
+Gaussian draws folded into the delays; the draw *order* differs from the
+event kernel's, so jittered runs agree statistically but not sample-for-
+sample (see PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import require_positive_int
+from ..core.cdr_channel import BehavioralSimulationResult
+from ..core.config import CdrChannelConfig
+from ..core.edge_detector import GATE_DELAY_S
+from ..datapath.nrz import JitterSpec, generate_edge_times
+from .traces import ArrayRecorder, array_trace
+
+__all__ = ["FastCdrChannel"]
+
+_INF = float("inf")
+
+
+def _jittered(times: np.ndarray, delay_s: float, sigma: float,
+              rng: np.random.Generator | None) -> np.ndarray:
+    """Shift *times* by one gate delay, with optional per-event Gaussian jitter."""
+    if sigma > 0.0 and rng is not None and times.size:
+        draws = delay_s * (1.0 + rng.normal(0.0, sigma, size=times.size))
+        return times + np.maximum(draws, 1.0e-15)
+    return times + delay_s
+
+
+def _drop_coincident(times: np.ndarray, *companions: np.ndarray) -> tuple[np.ndarray, ...]:
+    """Drop pairs of exactly coincident events (they cancel via transport).
+
+    Two stimulus edges at the identical float time toggle the data twice in
+    the same instant; the second transport assignment cancels the first, so
+    downstream gates see nothing.  Extremely rare (requires the jitter clip
+    in :func:`generate_edge_times` to collapse two edges exactly).
+    """
+    if times.size < 2:
+        return (times, *companions)
+    equal = times[1:] == times[:-1]
+    if not np.any(equal):
+        return (times, *companions)
+    keep = np.ones(times.size, dtype=bool)
+    index = 0
+    while index < times.size - 1:
+        if keep[index] and times[index + 1] == times[index]:
+            keep[index] = keep[index + 1] = False
+            index += 2
+        else:
+            index += 1
+    return (times[keep], *[c[keep] for c in companions])
+
+
+def _ring_recurrence(
+    edet_times: np.ndarray,
+    *,
+    t_gate: float,
+    t_feedback: float,
+    t_stage: float,
+    duration_s: float,
+    n_stages: int,
+    sigma: float,
+    rng: np.random.Generator | None,
+    improved_tap: bool,
+) -> tuple[list[float], list[int]]:
+    """Run the gated-ring recurrence; return the selected clock-tap events.
+
+    Three event sources are merged in time order, mirroring the kernel:
+
+    * EDET toggles (precomputed, alternating from the initial high level),
+    * ring-feedback events (last-stage transitions, i.e. stage-0 changes
+      re-timed through ``n_stages - 1`` inverters),
+    * pending stage-0 transport applies.
+
+    Each EDET or feedback event re-evaluates ``AND(feedback, EDET)`` and
+    schedules a stage-0 apply one (gating- or feedback-input) delay later,
+    cancelling any pending apply at or after that time — exact transport
+    semantics.  A stage-0 apply that actually changes the value emits the
+    inverter-chain events and the clock-tap samples.
+    """
+    n_inverters = n_stages - 1
+    # Tap positions along the chain (number of inversions in front of them).
+    improved_hops = n_stages - 2
+    last_parity = n_inverters & 1
+    improved_parity = improved_hops & 1
+
+    edet = edet_times.tolist()
+    n_edet = len(edet)
+    i_edet = 0
+    gate_level = 1
+
+    # Pending stage-0 applies (parallel time/value lists, FIFO head pointer).
+    p0_t: list[float] = []
+    p0_v: list[int] = []
+    h0 = 0
+    # Feedback (last-stage) events.
+    fb_t: list[float] = []
+    fb_v: list[int] = []
+    hf = 0
+
+    clock_t: list[float] = []
+    clock_v: list[int] = []
+
+    v0 = 0
+    v_last = (n_stages - 1) & 1
+
+    jitter = sigma > 0.0 and rng is not None
+    if jitter:
+        buffer = rng.standard_normal(4096)
+        buf_i = 0
+
+        def draw() -> float:
+            nonlocal buffer, buf_i
+            if buf_i >= buffer.size:
+                buffer = rng.standard_normal(4096)
+                buf_i = 0
+            value = buffer[buf_i]
+            buf_i += 1
+            return value
+
+        def delay(base: float) -> float:
+            scaled = base * (1.0 + sigma * draw())
+            return scaled if scaled > 1.0e-15 else 1.0e-15
+    else:
+        def delay(base: float) -> float:
+            return base
+
+    def push0(time_s: float, value: int) -> None:
+        # Transport semantics: cancel pending applies at or after time_s.
+        nonlocal h0
+        while len(p0_t) > h0 and p0_t[-1] >= time_s:
+            p0_t.pop()
+            p0_v.pop()
+        p0_t.append(time_s)
+        p0_v.append(value)
+
+    # Time zero: every ring gate is kicked via evaluate_now(); only the first
+    # stage produces a change (the inverters are already consistent).
+    push0(0.0 + delay(t_feedback), v_last & gate_level)
+
+    while True:
+        t_e = edet[i_edet] if i_edet < n_edet else _INF
+        t_0 = p0_t[h0] if h0 < len(p0_t) else _INF
+        t_f = fb_t[hf] if hf < len(fb_t) else _INF
+
+        if t_0 <= t_e and t_0 <= t_f:
+            if t_0 > duration_s:
+                break
+            value = p0_v[h0]
+            h0 += 1
+            if value != v0:
+                v0 = value
+                # Propagate through the inverter chain; record the tap.
+                time_s = t_0
+                for hop in range(n_inverters):
+                    time_s = time_s + delay(t_stage)
+                    if improved_tap and hop == improved_hops - 1:
+                        clock_t.append(time_s)
+                        clock_v.append(value ^ improved_parity)
+                new_last = value ^ last_parity
+                if not improved_tap:
+                    # Nominal tap: inverted last stage.
+                    clock_t.append(time_s)
+                    clock_v.append(1 - new_last)
+                fb_t.append(time_s)
+                fb_v.append(new_last)
+        elif t_f <= t_e:
+            if t_f > duration_s:
+                break
+            v_last = fb_v[hf]
+            hf += 1
+            push0(t_f + delay(t_feedback), v_last & gate_level)
+        else:
+            if t_e > duration_s or t_e == _INF:
+                break
+            gate_level = 1 - gate_level
+            i_edet += 1
+            push0(t_e + delay(t_gate), v_last & gate_level)
+
+    return clock_t, clock_v
+
+
+class FastCdrChannel:
+    """Vectorized fast-path model of one CDR channel.
+
+    Drop-in for :class:`~repro.core.cdr_channel.BehavioralCdrChannel`; on
+    configurations without per-gate delay jitter the returned result is
+    bit-for-bit identical to the event kernel's (same float sample times,
+    same decisions, same traces).
+    """
+
+    #: Backend name used by the sweep layer.
+    backend = "fast"
+
+    def __init__(self, config: CdrChannelConfig | None = None) -> None:
+        self.config = config or CdrChannelConfig()
+
+    def run(
+        self,
+        bits: np.ndarray,
+        *,
+        jitter: JitterSpec | None = None,
+        data_rate_offset_ppm: float = 0.0,
+        rng: np.random.Generator | None = None,
+        settle_bits: int = 4,
+    ) -> BehavioralSimulationResult:
+        """Simulate the channel; same contract as ``BehavioralCdrChannel.run``."""
+        config = self.config
+        bits = np.asarray(bits, dtype=np.uint8)
+        require_positive_int("number of bits", int(bits.size))
+        rng = rng or np.random.default_rng()
+
+        # --- stimulus (identical draws to the event path) -------------------
+        start_time = settle_bits * config.unit_interval_s
+        stream = generate_edge_times(
+            bits,
+            bit_rate_hz=config.bit_rate_hz,
+            jitter=jitter or JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0, sj_amplitude_ui_pp=0.0),
+            data_rate_offset_ppm=data_rate_offset_ppm,
+            start_time_s=start_time,
+            rng=rng,
+        )
+        duration = start_time + stream.duration_s + 4.0 * config.unit_interval_s
+        gate_sigma = config.gate_jitter_sigma_fraction
+        gate_rng = rng if gate_sigma > 0.0 else None
+
+        edge_times = stream.edge_times_s
+        edge_values = stream.bits[stream.edge_bit_index].astype(np.int64)
+        prop_times, prop_values = _drop_coincident(edge_times, edge_values)
+
+        # --- edge detector: delay line, XNOR, dummy gate --------------------
+        cell_delay = config.edge_detector_delay_s / config.edge_detector_cells
+        line_times = prop_times
+        for _cell in range(config.edge_detector_cells):
+            line_times = _jittered(line_times, cell_delay, gate_sigma, gate_rng)
+        ddin_times = _jittered(line_times, GATE_DELAY_S, gate_sigma, gate_rng)
+        edet_side_a = _jittered(prop_times, GATE_DELAY_S, gate_sigma, gate_rng)
+        edet_side_b = _jittered(line_times, GATE_DELAY_S, gate_sigma, gate_rng)
+        edet_times = np.sort(np.concatenate((edet_side_a, edet_side_b)))
+
+        # --- gated ring oscillator -----------------------------------------
+        parameters = config.oscillator
+        control_current = parameters.control_current_midpoint_a
+        if parameters.gain_hz_per_a > 0.0:
+            control_current = parameters.control_current_midpoint_a + (
+                config.oscillator_frequency_hz
+                - parameters.free_running_frequency_hz
+            ) / parameters.gain_hz_per_a
+        stage_delay = parameters.stage_delay_at(parameters.control_current_midpoint_a)
+        scale = parameters.stage_delay_at(control_current) / stage_delay
+        # Same op order as CmlTiming.delay_for_input followed by delay_scale.
+        t_feedback = (stage_delay + 0.0) * scale
+        t_gate = (stage_delay + parameters.gating_input_skew_s) * scale
+        t_stage = stage_delay * scale
+
+        clock_t, clock_v = _ring_recurrence(
+            edet_times,
+            t_gate=t_gate,
+            t_feedback=t_feedback,
+            t_stage=t_stage,
+            duration_s=duration,
+            n_stages=parameters.n_stages,
+            sigma=parameters.jitter_sigma_fraction,
+            rng=rng if parameters.jitter_sigma_fraction > 0.0 else None,
+            improved_tap=config.improved_sampling,
+        )
+        clock_times = np.asarray(clock_t, dtype=float)
+        clock_values = np.asarray(clock_v, dtype=np.int64)
+        # Inverter-chain events past the run horizon never execute in the
+        # event kernel (run_until stops there), so they produce no decision.
+        horizon = clock_times <= duration
+        clock_times = clock_times[horizon]
+        clock_values = clock_values[horizon]
+
+        # --- sampler: decide DDIN at every rising clock edge ----------------
+        rising = clock_values == 1
+        sample_times = clock_times[rising]
+        indices = np.searchsorted(ddin_times, sample_times, side="left") - 1
+        sampled = np.zeros(sample_times.size, dtype=np.uint8)
+        in_range = indices >= 0
+        sampled[in_range] = prop_values[indices[in_range]].astype(np.uint8)
+
+        # --- traces (match the event recorder, clipped to the run horizon) --
+        initial_clock = (parameters.n_stages - 2) & 1 if config.improved_sampling \
+            else 1 - ((parameters.n_stages - 1) & 1)
+        dout_times, dout_values = self._dout_events(
+            sample_times, sampled, config.sampler_delay_s, gate_sigma, gate_rng)
+        recorder = ArrayRecorder({
+            "din": array_trace("din", edge_times, edge_values),
+            "ddin": self._clipped("ddin", ddin_times, prop_values, duration),
+            "edet": array_trace(
+                "edet",
+                edet_times[edet_times <= duration],
+                # Value after the i-th toggle, alternating from the initial 1.
+                np.arange(np.count_nonzero(edet_times <= duration)) & 1,
+                initial_value=1,
+            ),
+            "clock": self._clipped("clock", clock_times, clock_values, duration,
+                                   initial_value=initial_clock),
+            "dout": self._clipped("dout", dout_times, dout_values, duration),
+        })
+
+        valid = sample_times >= start_time
+        return BehavioralSimulationResult(
+            config=config,
+            transmitted_bits=bits,
+            stream=stream,
+            recorder=recorder,
+            sample_times_s=sample_times[valid],
+            sampled_bits=sampled[valid],
+            duration_s=duration,
+        )
+
+    @staticmethod
+    def _clipped(name: str, times: np.ndarray, values: np.ndarray,
+                 duration_s: float, *, initial_value: int = 0):
+        mask = times <= duration_s
+        return array_trace(name, times[mask], values[mask], initial_value=initial_value)
+
+    @staticmethod
+    def _dout_events(sample_times: np.ndarray, sampled: np.ndarray,
+                     clock_to_q_s: float, sigma: float,
+                     rng: np.random.Generator | None
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """DOUT transitions: decisions re-timed by the clock-to-Q delay.
+
+        The flip-flop assigns its output on every rising edge; only actual
+        value changes produce events (the transport apply filters the rest).
+        """
+        if sample_times.size == 0:
+            return np.zeros(0), np.zeros(0, dtype=np.int64)
+        values = sampled.astype(np.int64)
+        previous = np.concatenate(([0], values[:-1]))
+        changed = values != previous
+        times = _jittered(sample_times, clock_to_q_s, sigma, rng)
+        return times[changed], values[changed]

@@ -1,0 +1,53 @@
+"""Array-backed waveform traces for the fast-path engine.
+
+The event-driven flow records waveforms through a
+:class:`~repro.events.waveform.WaveformRecorder` that subscribes to signals;
+the fast path already *has* every edge as a numpy array, so it wraps those
+arrays in the same :class:`~repro.events.waveform.Trace` objects (whose
+analysis helpers all go through ``as_arrays`` and therefore accept ndarray
+storage) and exposes them through a recorder with the same ``trace(name)``
+surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..events.waveform import Trace
+
+__all__ = ["array_trace", "ArrayRecorder"]
+
+
+def array_trace(name: str, times_s: np.ndarray, values: np.ndarray,
+                *, initial_time_s: float = 0.0, initial_value: int = 0) -> Trace:
+    """Build a :class:`Trace` from edge arrays, prepending the initial sample.
+
+    The event-driven recorder stores the signal value at watch time as the
+    first point of every trace; the fast path reproduces that so edge
+    extraction (which skips the first point) behaves identically.
+    """
+    times = np.concatenate(([float(initial_time_s)], np.asarray(times_s, dtype=float)))
+    vals = np.concatenate(([int(initial_value)],
+                           np.asarray(values, dtype=np.int64)))
+    return Trace(name=name, times_s=times, values=vals)
+
+
+class ArrayRecorder:
+    """Duck-typed stand-in for :class:`WaveformRecorder` holding fixed traces."""
+
+    def __init__(self, traces: dict[str, Trace]) -> None:
+        self._traces = dict(traces)
+
+    def trace(self, name: str) -> Trace:
+        """Return the trace recorded under *name* (KeyError if unknown)."""
+        return self._traces[name]
+
+    def __getitem__(self, name: str) -> Trace:
+        return self._traces[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._traces
+
+    def names(self) -> list[str]:
+        """Names of all recorded traces."""
+        return sorted(self._traces)

@@ -241,44 +241,48 @@ class GatedOscillatorBerModel:
             pdf = pdf.convolve(sinusoidal_pdf(relative_sj, step))
         return pdf
 
-    def _sampling_mean_ui(self, position: int) -> float:
-        """Mean sampling instant of the *position*-th bit of a run (UI after trigger)."""
+    def _sampling_means_ui(self, positions: np.ndarray) -> np.ndarray:
+        """Mean sampling instant of each run *position* (UI after the trigger)."""
         phi = self.sampling_phase_ui + self.static_phase_error_ui
-        return (position - 1 + phi) * (1.0 + self.budget.frequency_offset)
+        return (positions - 1 + phi) * (1.0 + self.budget.frequency_offset)
 
-    def _sampling_sigma_ui(self, position: int) -> float:
-        """RMS accumulated oscillator jitter at the *position*-th sampling edge."""
-        return self.budget.osc_sigma_ui_per_bit * math.sqrt(position)
+    def _sampling_sigmas_ui(self, positions: np.ndarray) -> np.ndarray:
+        """RMS accumulated oscillator jitter at each run position's sampling edge."""
+        return self.budget.osc_sigma_ui_per_bit * np.sqrt(positions.astype(float))
 
-    def _right_error_probability(self, position: int, run_length: int,
-                                 boundary_pdf: Pdf) -> float:
-        """P(sampling edge of bit *position* overshoots the end of a run of *run_length*)."""
-        mean = self._sampling_mean_ui(position)
-        sigma = self._sampling_sigma_ui(position)
-        threshold = float(run_length)
+    def _right_error_probabilities(self, positions: np.ndarray, run_length: int,
+                                   boundary_pdf: Pdf) -> np.ndarray:
+        """Vectorised right-overshoot probability for every run *position* at once."""
+        means = self._sampling_means_ui(positions)
+        sigmas = self._sampling_sigmas_ui(positions)
         # Error when  mean + G > run_length + J_end  <=>  G - J_end > run_length - mean.
-        margin = threshold - mean
+        margins = float(run_length) - means
         grid = boundary_pdf.grid
         density = boundary_pdf.density
-        if sigma > 0.0:
-            tail = q_function((margin + grid) / sigma)
+        if self.budget.osc_sigma_ui_per_bit > 0.0:
+            tails = q_function((margins[:, None] + grid[None, :]) / sigmas[:, None])
         else:
-            tail = (grid < -margin).astype(float)
-        probability = float(np.sum(density * tail) * boundary_pdf.step)
-        return float(np.clip(probability, 0.0, 1.0))
+            tails = (grid[None, :] < -margins[:, None]).astype(float)
+        probabilities = np.sum(density * tails, axis=1) * boundary_pdf.step
+        return np.clip(probabilities, 0.0, 1.0)
 
-    def _left_error_probability(self, position: int) -> float:
-        """P(sampling edge of bit *position* lands before the run-start transition)."""
-        mean = self._sampling_mean_ui(position)
-        sigma = self._sampling_sigma_ui(position)
-        if sigma <= 0.0:
-            return 1.0 if mean < 0.0 else 0.0
-        return float(q_function(mean / sigma))
+    def _left_error_probabilities(self, positions: np.ndarray) -> np.ndarray:
+        """Vectorised before-run-start probability for every run *position* at once."""
+        means = self._sampling_means_ui(positions)
+        if self.budget.osc_sigma_ui_per_bit <= 0.0:
+            return (means < 0.0).astype(float)
+        return np.asarray(q_function(means / self._sampling_sigmas_ui(positions)),
+                          dtype=float)
 
     # -- public API ----------------------------------------------------------
 
     def ber_breakdown(self) -> BerBreakdown:
-        """Evaluate the BER and return its decomposition by mechanism and run length."""
+        """Evaluate the BER and return its decomposition by mechanism and run length.
+
+        The position loop inside each run length is vectorised: every run of
+        length ``k`` shares one boundary PDF, and the per-position overshoot
+        integrals collapse to one ``(k, grid)`` broadcast against it.
+        """
         joint = self.run_lengths.position_in_run_weights()
         max_run = self.run_lengths.max_run
 
@@ -289,17 +293,15 @@ class GatedOscillatorBerModel:
 
         for k in range(1, max_run + 1):
             boundary_pdf = self._edge_pair_pdf(float(k))
-            run_contribution = 0.0
-            for i in range(1, k + 1):
-                weight = joint[k - 1, i - 1]
-                if weight <= 0.0:
-                    continue
-                p_right = self._right_error_probability(i, k, boundary_pdf)
-                p_left = self._left_error_probability(i)
-                p_bit = min(1.0, p_right + p_left)
-                run_contribution += weight * p_bit
-                total_right += weight * p_right
-                total_left += weight * p_left
+            positions = np.arange(1, k + 1)
+            weights = joint[k - 1, :k]
+            p_right = self._right_error_probabilities(positions, k, boundary_pdf)
+            p_left = self._left_error_probabilities(positions)
+            p_bit = np.minimum(1.0, p_right + p_left)
+            active = weights > 0.0
+            run_contribution = float(np.sum(weights[active] * p_bit[active]))
+            total_right += float(np.sum(weights[active] * p_right[active]))
+            total_left += float(np.sum(weights[active] * p_left[active]))
             per_run[k] = run_contribution
             total += run_contribution
 

@@ -74,21 +74,16 @@ def simulate_ber(
     rng = rng or np.random.default_rng()
     n_bits = require_positive_int("n_bits", n_bits)
 
-    joint = run_lengths.position_in_run_weights()
     max_run = run_lengths.max_run
-    # Flatten the joint (run length, position) distribution for vectorised sampling.
-    pairs: list[tuple[int, int]] = []
-    weights: list[float] = []
-    for k in range(1, max_run + 1):
-        for i in range(1, k + 1):
-            pairs.append((k, i))
-            weights.append(joint[k - 1, i - 1])
-    weights_array = np.asarray(weights, dtype=float)
+    # Flattened joint (run length, position) distribution, precomputed as
+    # arrays (run-major, matching the historical pair ordering so seeded
+    # draws are unchanged).
+    all_runs, all_positions, weights_array = run_lengths.flattened_position_weights()
     weights_array = weights_array / weights_array.sum()
 
-    pair_indices = rng.choice(len(pairs), size=n_bits, p=weights_array)
-    run_k = np.array([pairs[j][0] for j in range(len(pairs))])[pair_indices]
-    pos_i = np.array([pairs[j][1] for j in range(len(pairs))])[pair_indices]
+    pair_indices = rng.choice(all_runs.size, size=n_bits, p=weights_array)
+    run_k = all_runs[pair_indices]
+    pos_i = all_positions[pair_indices]
 
     phi = sampling_phase_ui + static_phase_error_ui
     sampling_mean = (pos_i - 1 + phi) * (1.0 + budget.frequency_offset)

@@ -1,0 +1,42 @@
+"""Parallel, deterministically seeded time-domain sweeps over CDR channels.
+
+This package is the production sweep layer on top of the two channel
+backends (:class:`~repro.core.cdr_channel.BehavioralCdrChannel` — the
+event-kernel reference — and :class:`~repro.fastpath.FastCdrChannel` — the
+vectorized fast path):
+
+* :mod:`repro.sweep.runner` — a process-pool task runner whose per-task
+  random streams come from ``np.random.SeedSequence.spawn``, so results are
+  identical for any worker count (including serial execution);
+* :mod:`repro.sweep.sweeps` — the paper's headline sweeps (BER versus
+  sinusoidal jitter, BER versus frequency offset, time-domain jitter
+  tolerance, multi-channel receiver) with a ``backend="event"|"fast"``
+  switch.
+"""
+
+from .runner import SweepRunner, map_tasks
+from .sweeps import (
+    BACKENDS,
+    BerSurfaceResult,
+    JitterToleranceResult,
+    MultichannelSweepResult,
+    ber_vs_frequency_offset_sweep,
+    ber_vs_sj_sweep,
+    jitter_tolerance_sweep,
+    make_channel,
+    multichannel_sweep,
+)
+
+__all__ = [
+    "SweepRunner",
+    "map_tasks",
+    "BACKENDS",
+    "BerSurfaceResult",
+    "JitterToleranceResult",
+    "MultichannelSweepResult",
+    "ber_vs_frequency_offset_sweep",
+    "ber_vs_sj_sweep",
+    "jitter_tolerance_sweep",
+    "make_channel",
+    "multichannel_sweep",
+]

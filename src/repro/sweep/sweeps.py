@@ -1,0 +1,402 @@
+"""Time-domain CDR sweeps with selectable backend and parallel execution.
+
+Every sweep here drives full channel simulations (transmitted bits in,
+decisions out) over a parameter grid, using either the event-kernel
+reference (``backend="event"``) or the vectorized fast path
+(``backend="fast"``).  On configurations without per-gate delay jitter the
+two backends produce **identical error counts** (see
+``tests/fastpath/test_equivalence.py``), so the fast path is the default
+and the event backend remains the arbiter for spot checks.
+
+The statistical counterparts (analytic BER at 1e-12 and below) live in
+:mod:`repro.statistical`; these time-domain sweeps complement them exactly
+as the paper's VHDL runs complement its Matlab model — they confirm the
+moderate-BER region and produce waveform-level diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_positive, require_positive_int
+from ..core.config import PAPER_JITTER_SPEC, CdrChannelConfig
+from ..core.multichannel import MultiChannelConfig, MultiChannelReceiver
+from ..datapath.nrz import JitterSpec
+from ..datapath.prbs import prbs_sequence
+from ..fastpath.backends import BACKENDS, make_channel
+from .runner import map_tasks
+
+__all__ = [
+    "BACKENDS",
+    "make_channel",
+    "BerSurfaceResult",
+    "JitterToleranceResult",
+    "MultichannelSweepResult",
+    "ber_vs_sj_sweep",
+    "ber_vs_frequency_offset_sweep",
+    "jitter_tolerance_sweep",
+    "multichannel_sweep",
+]
+
+# --- single-point worker -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ChannelTask:
+    """One sweep point: a channel configuration plus stimulus description."""
+
+    config: CdrChannelConfig
+    jitter: JitterSpec
+    n_bits: int
+    prbs_order: int
+    data_rate_offset_ppm: float
+    backend: str
+
+
+def _measure_point(task: _ChannelTask, rng: np.random.Generator
+                   ) -> tuple[int, int]:
+    """Simulate one point; return ``(errors, compared_bits)``."""
+    bits = prbs_sequence(task.prbs_order, task.n_bits)
+    channel = make_channel(task.config, task.backend)
+    result = channel.run(
+        bits,
+        jitter=task.jitter,
+        data_rate_offset_ppm=task.data_rate_offset_ppm,
+        rng=rng,
+    )
+    measurement = result.ber()
+    return measurement.errors, measurement.compared_bits
+
+
+# --- BER surfaces -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BerSurfaceResult:
+    """Measured BER surface over a 2-D sweep grid.
+
+    ``errors[row, col]`` / ``compared[row, col]`` hold the error and
+    compared-bit counts of grid point ``(rows[row], columns[col])``.
+    """
+
+    rows: np.ndarray
+    columns: np.ndarray
+    errors: np.ndarray
+    compared: np.ndarray
+    backend: str
+    n_bits: int
+
+    @property
+    def ber(self) -> np.ndarray:
+        """Measured BER per grid point (NaN where nothing was compared)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(self.compared > 0, self.errors / self.compared, np.nan)
+
+    @property
+    def total_errors(self) -> int:
+        """Total error count over the grid."""
+        return int(self.errors.sum())
+
+
+def _grid_result(rows: np.ndarray, columns: np.ndarray, outcomes: list,
+                 backend: str, n_bits: int) -> BerSurfaceResult:
+    errors = np.array([o[0] for o in outcomes], dtype=np.int64)
+    compared = np.array([o[1] for o in outcomes], dtype=np.int64)
+    shape = (rows.size, columns.size)
+    return BerSurfaceResult(
+        rows=rows,
+        columns=columns,
+        errors=errors.reshape(shape),
+        compared=compared.reshape(shape),
+        backend=backend,
+        n_bits=n_bits,
+    )
+
+
+def ber_vs_sj_sweep(
+    frequencies_hz: np.ndarray,
+    amplitudes_ui_pp: np.ndarray,
+    *,
+    config: CdrChannelConfig | None = None,
+    base_jitter: JitterSpec | None = None,
+    n_bits: int = 2000,
+    prbs_order: int = 7,
+    backend: str = "fast",
+    seed: int | None = 0,
+    workers: int | None = None,
+) -> BerSurfaceResult:
+    """Time-domain BER versus sinusoidal-jitter frequency and amplitude.
+
+    The time-domain companion of the paper's Figure 9/10 statistical surface:
+    rows are amplitudes, columns frequencies, exactly as plotted there.
+    """
+    config = config or CdrChannelConfig()
+    base_jitter = base_jitter or PAPER_JITTER_SPEC
+    frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+    amplitudes_ui_pp = np.asarray(amplitudes_ui_pp, dtype=float)
+    require_positive_int("n_bits", n_bits)
+
+    tasks = [
+        _ChannelTask(
+            config=config,
+            jitter=base_jitter.with_sinusoidal(float(amplitude), float(frequency)),
+            n_bits=n_bits,
+            prbs_order=prbs_order,
+            data_rate_offset_ppm=0.0,
+            backend=backend,
+        )
+        for amplitude in amplitudes_ui_pp
+        for frequency in frequencies_hz
+    ]
+    outcomes = map_tasks(_measure_point, tasks, seed=seed, workers=workers)
+    return _grid_result(amplitudes_ui_pp, frequencies_hz, outcomes, backend, n_bits)
+
+
+def ber_vs_frequency_offset_sweep(
+    frequency_offsets: np.ndarray,
+    *,
+    config: CdrChannelConfig | None = None,
+    jitter: JitterSpec | None = None,
+    n_bits: int = 2000,
+    prbs_order: int = 7,
+    backend: str = "fast",
+    seed: int | None = 0,
+    workers: int | None = None,
+) -> BerSurfaceResult:
+    """Time-domain BER versus channel-oscillator frequency offset (Figure 10).
+
+    *frequency_offsets* are relative offsets (0.01 = 1 %); the result grid is
+    one row (a single jitter condition) by ``len(frequency_offsets)`` columns.
+    """
+    config = config or CdrChannelConfig()
+    jitter = jitter or PAPER_JITTER_SPEC
+    frequency_offsets = np.asarray(frequency_offsets, dtype=float)
+    require_positive_int("n_bits", n_bits)
+
+    tasks = [
+        _ChannelTask(
+            config=config.with_frequency_offset(float(offset)),
+            jitter=jitter,
+            n_bits=n_bits,
+            prbs_order=prbs_order,
+            data_rate_offset_ppm=0.0,
+            backend=backend,
+        )
+        for offset in frequency_offsets
+    ]
+    outcomes = map_tasks(_measure_point, tasks, seed=seed, workers=workers)
+    return _grid_result(np.array([0.0]), frequency_offsets, outcomes, backend, n_bits)
+
+
+# --- jitter tolerance ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _JtolTask:
+    """One jitter-tolerance frequency point (amplitude search inside)."""
+
+    config: CdrChannelConfig
+    base_jitter: JitterSpec
+    frequency_hz: float
+    n_bits: int
+    prbs_order: int
+    backend: str
+    max_amplitude_ui_pp: float
+    tolerance_ui: float
+    target_errors: int
+
+
+@dataclass(frozen=True)
+class JitterToleranceResult:
+    """Measured (error-free) sinusoidal-jitter tolerance per frequency."""
+
+    frequencies_hz: np.ndarray
+    amplitudes_ui_pp: np.ndarray
+    n_bits: int
+    backend: str
+
+    def passes_mask(self, mask_amplitudes_ui_pp: np.ndarray) -> bool:
+        """True when the tolerance clears a mask evaluated at the same frequencies."""
+        mask = np.asarray(mask_amplitudes_ui_pp, dtype=float)
+        return bool(np.all(self.amplitudes_ui_pp >= mask))
+
+
+def _errors_at(task: _JtolTask, amplitude: float, rng: np.random.Generator) -> int:
+    jitter = task.base_jitter.with_sinusoidal(amplitude, task.frequency_hz)
+    bits = prbs_sequence(task.prbs_order, task.n_bits)
+    channel = make_channel(task.config, task.backend)
+    result = channel.run(bits, jitter=jitter, rng=rng)
+    return result.ber().errors
+
+
+def _search_tolerance(task: _JtolTask, rng: np.random.Generator) -> float:
+    """Largest error-free SJ amplitude at one frequency (expand + bisect).
+
+    Every trial draws a child generator deterministically from the task
+    stream, so the search is reproducible regardless of how many trials the
+    bracketing phase needs.
+    """
+    def passes(amplitude: float) -> bool:
+        child = np.random.default_rng(rng.integers(0, 2**63))
+        return _errors_at(task, float(amplitude), child) <= task.target_errors
+
+    maximum = task.max_amplitude_ui_pp
+    low = 0.0
+    if not passes(low):
+        return 0.0
+    high = min(0.05, maximum)
+    # Expand geometrically; every amplitude reported as tolerated has been
+    # tested, including the cap itself.
+    while passes(high):
+        low = high
+        if high >= maximum:
+            return maximum
+        high = min(2.0 * high, maximum)
+    while (high - low) > task.tolerance_ui:
+        middle = 0.5 * (low + high)
+        if passes(middle):
+            low = middle
+        else:
+            high = middle
+    return low
+
+
+def jitter_tolerance_sweep(
+    frequencies_hz: np.ndarray,
+    *,
+    config: CdrChannelConfig | None = None,
+    base_jitter: JitterSpec | None = None,
+    n_bits: int = 2000,
+    prbs_order: int = 7,
+    backend: str = "fast",
+    seed: int | None = 0,
+    workers: int | None = None,
+    max_amplitude_ui_pp: float = 20.0,
+    tolerance_ui: float = 0.05,
+    target_errors: int = 0,
+) -> JitterToleranceResult:
+    """Time-domain jitter-tolerance curve (error-count criterion at *n_bits*).
+
+    The measured analogue of :func:`repro.statistical.jitter_tolerance_curve`:
+    instead of the analytic 1e-12 criterion it searches the largest amplitude
+    at which a full *n_bits* run makes at most *target_errors* bit errors.
+    Note that at the full Table 1 deterministic jitter (0.4 UIpp) even zero
+    sinusoidal jitter occasionally truncates a synchronisation pulse, so a
+    strict zero-error criterion can report zero tolerance — pass a milder
+    *base_jitter* or a small *target_errors* allowance for curve shapes.
+    """
+    config = config or CdrChannelConfig()
+    base_jitter = base_jitter or PAPER_JITTER_SPEC
+    frequencies_hz = np.asarray(frequencies_hz, dtype=float)
+    require_positive("max_amplitude_ui_pp", max_amplitude_ui_pp)
+
+    tasks = [
+        _JtolTask(
+            config=config,
+            base_jitter=base_jitter,
+            frequency_hz=float(frequency),
+            n_bits=n_bits,
+            prbs_order=prbs_order,
+            backend=backend,
+            max_amplitude_ui_pp=max_amplitude_ui_pp,
+            tolerance_ui=tolerance_ui,
+            target_errors=target_errors,
+        )
+        for frequency in frequencies_hz
+    ]
+    amplitudes = map_tasks(_search_tolerance, tasks, seed=seed, workers=workers)
+    return JitterToleranceResult(
+        frequencies_hz=frequencies_hz,
+        amplitudes_ui_pp=np.asarray(amplitudes, dtype=float),
+        n_bits=n_bits,
+        backend=backend,
+    )
+
+
+# --- multi-channel receiver ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _MultichannelTask:
+    """One receiver lane: its mismatched config plus stimulus description."""
+
+    config: CdrChannelConfig
+    jitter: JitterSpec
+    n_bits: int
+    prbs_order: int
+    prbs_seed: int
+    backend: str
+
+
+def _measure_lane(task: _MultichannelTask, rng: np.random.Generator
+                  ) -> tuple[int, int]:
+    bits = prbs_sequence(task.prbs_order, task.n_bits, seed=task.prbs_seed)
+    channel = make_channel(task.config, task.backend)
+    result = channel.run(bits, jitter=task.jitter, rng=rng)
+    measurement = result.ber()
+    return measurement.errors, measurement.compared_bits
+
+
+@dataclass(frozen=True)
+class MultichannelSweepResult:
+    """Per-lane error counts of a parallel multi-channel receiver run."""
+
+    frequency_offsets: np.ndarray
+    lane_skews_ui: np.ndarray
+    errors: np.ndarray
+    compared: np.ndarray
+    backend: str
+
+    @property
+    def aggregate_ber(self) -> float:
+        """Aggregate BER over all lanes."""
+        total = int(self.compared.sum())
+        return float(self.errors.sum()) / total if total else float("nan")
+
+
+def multichannel_sweep(
+    config: MultiChannelConfig | None = None,
+    *,
+    n_bits: int = 2000,
+    jitter: JitterSpec | None = None,
+    prbs_order: int = 7,
+    backend: str = "fast",
+    seed: int | None = 0,
+    workers: int | None = None,
+) -> MultichannelSweepResult:
+    """Simulate every lane of the multi-channel receiver, one task per lane.
+
+    The shared-PLL bias distribution and lane-mismatch sampling happen once
+    in the parent (seeded from the root seed) so the per-lane tasks are
+    plain channel simulations that parallelise freely.
+    """
+    config = config or MultiChannelConfig()
+    jitter = jitter or PAPER_JITTER_SPEC
+    require_positive_int("n_bits", n_bits)
+
+    receiver = MultiChannelReceiver(
+        config, rng=np.random.default_rng(np.random.SeedSequence(seed)))
+    offsets = receiver.channel_frequency_offsets()
+    skews = receiver.lane_skews_ui()
+
+    tasks = [
+        _MultichannelTask(
+            config=config.channel.with_frequency_offset(float(offsets[index])),
+            jitter=jitter,
+            n_bits=n_bits,
+            prbs_order=prbs_order,
+            prbs_seed=index + 1,
+            backend=backend,
+        )
+        for index in range(config.n_channels)
+    ]
+    outcomes = map_tasks(_measure_lane, tasks, seed=seed, workers=workers)
+    return MultichannelSweepResult(
+        frequency_offsets=np.asarray(offsets, dtype=float),
+        lane_skews_ui=np.asarray(skews, dtype=float),
+        errors=np.array([o[0] for o in outcomes], dtype=np.int64),
+        compared=np.array([o[1] for o in outcomes], dtype=np.int64),
+        backend=backend,
+    )

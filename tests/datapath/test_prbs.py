@@ -96,3 +96,38 @@ class TestRunLengthProperty:
         # than an 8bit/10bit encoded stream" (max 5).
         from repro.datapath.cid import max_consecutive_identical_digits
         assert max_consecutive_identical_digits(prbs.prbs7()) > 5
+
+
+class TestVectorizedGeneration:
+    """Word-stepped numpy generation must be bit-exact with the scalar LFSR."""
+
+    @pytest.mark.parametrize("order", sorted(prbs.PRBS_TAPS))
+    def test_matches_scalar_lfsr(self, order):
+        scalar = prbs.PrbsGenerator(order)
+        vector = prbs.PrbsGenerator(order)
+        expected = np.array([scalar.next_bit() for _ in range(2000)], dtype=np.uint8)
+        np.testing.assert_array_equal(vector.bits(2000), expected)
+        assert vector.state == scalar.state
+
+    @pytest.mark.parametrize("order", [7, 9, 15])
+    def test_state_supports_interleaved_generation(self, order):
+        split = prbs.PrbsGenerator(order, seed=0b1011)
+        whole = prbs.PrbsGenerator(order, seed=0b1011)
+        pieces = np.concatenate([split.bits(3), split.bits(500), split.bits(7),
+                                 np.array([split.next_bit()], dtype=np.uint8)])
+        np.testing.assert_array_equal(pieces, whole.bits(511))
+
+    def test_invert_applies_to_vectorized_path(self):
+        plain = prbs.PrbsGenerator(7).bits(800)
+        inverted = prbs.PrbsGenerator(7, invert=True).bits(800)
+        np.testing.assert_array_equal(plain ^ 1, inverted)
+
+    @pytest.mark.parametrize("order", [7, 9])
+    def test_full_period_preserved(self, order):
+        period = prbs.sequence_period(order)
+        two_periods = prbs.PrbsGenerator(order).bits(2 * period)
+        np.testing.assert_array_equal(two_periods[:period], two_periods[period:])
+        # Maximal length: no shorter cycle divides the period.
+        first = two_periods[:period]
+        assert not any(np.array_equal(first, np.roll(first, shift))
+                       for shift in range(1, 8))

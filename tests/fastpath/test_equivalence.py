@@ -1,0 +1,148 @@
+"""Fast-path versus event-kernel equivalence suite.
+
+On configurations without per-gate delay jitter the fast path must be an
+*exact* replica of the event kernel: identical floating-point sample times,
+identical bit decisions, identical BER counts, identical traces and eye
+metrics, on every seeded run of the corpus — across data-jitter mixes
+(DJ / RJ / SJ), transmitter ppm offsets, channel frequency offsets, both
+sampling taps and the edge-detector blanking corner.
+
+With gate jitter enabled the fast path draws statistically identical but
+not draw-for-draw identical jitter, so only distribution-level agreement is
+asserted there.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cdr_channel import BehavioralCdrChannel
+from repro.core.config import CdrChannelConfig
+from repro.datapath.nrz import JitterSpec
+from repro.datapath.prbs import prbs7
+from repro.fastpath import FastCdrChannel
+from repro.gates.ring import GccoParameters
+
+NO_GATE_JITTER = GccoParameters(jitter_sigma_fraction=0.0)
+BASE = CdrChannelConfig(oscillator=NO_GATE_JITTER)
+FIG14_OFFSET = 2.5e9 / 2.375e9 - 1.0
+
+NO_JITTER = JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0)
+DJ_RJ = JitterSpec(dj_ui_pp=0.3, rj_ui_rms=0.02)
+SJ_ONLY = JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0,
+                     sj_amplitude_ui_pp=0.1, sj_frequency_hz=250.0e6)
+HEAVY = JitterSpec(dj_ui_pp=0.4, rj_ui_rms=0.021,
+                   sj_amplitude_ui_pp=0.3, sj_frequency_hz=1.25e9)
+
+#: (label, config, jitter, transmitter ppm) corners of the equivalence corpus.
+CORPUS = [
+    ("clean", BASE, NO_JITTER, 0.0),
+    ("dj_rj", BASE, DJ_RJ, 0.0),
+    ("sj", BASE, SJ_ONLY, 0.0),
+    ("heavy", BASE, HEAVY, 0.0),
+    ("ppm_plus", BASE, DJ_RJ, 300.0),
+    ("ppm_minus", BASE.with_frequency_offset(-0.02), DJ_RJ, -200.0),
+    ("fig14_offset", BASE.with_frequency_offset(FIG14_OFFSET), SJ_ONLY, 0.0),
+    ("blanking", BASE.with_frequency_offset(FIG14_OFFSET).with_edge_detector_delay(0.85),
+     NO_JITTER, 0.0),
+    ("improved_tap", CdrChannelConfig(oscillator=NO_GATE_JITTER, improved_sampling=True),
+     DJ_RJ, 0.0),
+    ("gating_skew", CdrChannelConfig(
+        oscillator=GccoParameters(jitter_sigma_fraction=0.0, gating_input_skew_s=5.0e-12)),
+     DJ_RJ, 0.0),
+]
+
+
+def run_both(config, jitter, ppm, seed=1, n=500):
+    bits = prbs7(n)
+    event = BehavioralCdrChannel(config).run(
+        bits, jitter=jitter, data_rate_offset_ppm=ppm,
+        rng=np.random.default_rng(seed))
+    fast = FastCdrChannel(config).run(
+        bits, jitter=jitter, data_rate_offset_ppm=ppm,
+        rng=np.random.default_rng(seed))
+    return event, fast
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("label,config,jitter,ppm",
+                             CORPUS, ids=[c[0] for c in CORPUS])
+    def test_decisions_and_ber_match_exactly(self, label, config, jitter, ppm):
+        event, fast = run_both(config, jitter, ppm)
+        np.testing.assert_array_equal(event.sample_times_s, fast.sample_times_s)
+        np.testing.assert_array_equal(event.sampled_bits, fast.sampled_bits)
+        event_ber, fast_ber = event.ber(), fast.ber()
+        assert event_ber.errors == fast_ber.errors
+        assert event_ber.compared_bits == fast_ber.compared_bits
+        assert event.missed_bits() == fast.missed_bits()
+
+    @pytest.mark.parametrize("label,config,jitter,ppm",
+                             CORPUS[:4], ids=[c[0] for c in CORPUS[:4]])
+    def test_traces_match_exactly(self, label, config, jitter, ppm):
+        event, fast = run_both(config, jitter, ppm)
+        for name in ("din", "ddin", "edet", "clock", "dout"):
+            np.testing.assert_array_equal(
+                event.trace(name).edges("any"), fast.trace(name).edges("any"),
+                err_msg=f"trace {name!r} diverged")
+
+    def test_eye_metrics_match_exactly(self):
+        config = BASE.with_frequency_offset(FIG14_OFFSET)
+        event, fast = run_both(config, SJ_ONLY, 0.0, n=1000)
+        em = event.eye_diagram().metrics()
+        fm = fast.eye_diagram().metrics()
+        assert em.n_crossings == fm.n_crossings
+        assert em.eye_opening_ui == fm.eye_opening_ui
+        assert em.left_edge_std_ui == fm.left_edge_std_ui
+        assert em.right_edge_std_ui == fm.right_edge_std_ui
+
+    def test_sampling_phase_matches_exactly(self):
+        event, fast = run_both(BASE, DJ_RJ, 0.0)
+        np.testing.assert_array_equal(event.sampling_phase_ui(),
+                                      fast.sampling_phase_ui())
+
+    def test_sequence_ber_matches(self):
+        event, fast = run_both(BASE, DJ_RJ, 0.0)
+        assert event.sequence_ber().errors == fast.sequence_ber().errors
+
+    def test_different_seeds_differ(self):
+        """Guard against the corpus accidentally comparing constants."""
+        _, fast_a = run_both(BASE, DJ_RJ, 0.0, seed=1)
+        _, fast_b = run_both(BASE, DJ_RJ, 0.0, seed=2)
+        assert not np.array_equal(fast_a.sample_times_s, fast_b.sample_times_s)
+
+
+class TestJitteredStatisticalAgreement:
+    """With per-gate jitter the backends agree in distribution, not per draw."""
+
+    def test_clean_recovery_with_gate_jitter(self):
+        config = CdrChannelConfig.paper_nominal()
+        event, fast = run_both(config, NO_JITTER, 0.0, n=600)
+        assert event.ber().errors == 0
+        assert fast.ber().errors == 0
+
+    def test_improved_tap_with_gate_jitter(self):
+        config = CdrChannelConfig.paper_improved()
+        _, fast = run_both(config, NO_JITTER, 0.0, n=600)
+        assert fast.ber().errors == 0
+        phases = fast.sampling_phase_ui()
+        in_bit = phases[(phases > 0) & (phases < 1)]
+        assert np.median(in_bit) == pytest.approx(0.375, abs=0.03)
+
+    def test_fig14_eye_asymmetry_reproduced(self):
+        config = CdrChannelConfig.figure14_condition()
+        _, fast = run_both(config, SJ_ONLY, 0.0, n=1500)
+        metrics = fast.eye_diagram().metrics()
+        assert metrics.right_edge_std_ui > metrics.left_edge_std_ui
+
+    def test_gate_jitter_spreads_recovered_clock(self):
+        _, clean = run_both(BASE, NO_JITTER, 0.0, n=600)
+        _, jittered = run_both(CdrChannelConfig.paper_nominal(), NO_JITTER, 0.0, n=600)
+        clean_periods = np.diff(clean.trace("clock").edges("rising"))
+        jittered_periods = np.diff(jittered.trace("clock").edges("rising"))
+        assert jittered_periods.std() > clean_periods.std()
+
+    def test_fast_path_reproducible_with_seed(self):
+        config = CdrChannelConfig.paper_nominal()
+        _, a = run_both(config, DJ_RJ, 0.0, seed=5)
+        _, b = run_both(config, DJ_RJ, 0.0, seed=5)
+        np.testing.assert_array_equal(a.sample_times_s, b.sample_times_s)
+        np.testing.assert_array_equal(a.sampled_bits, b.sampled_bits)

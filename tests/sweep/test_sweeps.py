@@ -1,0 +1,109 @@
+"""Behaviour of the time-domain sweeps and their backend switch."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CdrChannelConfig
+from repro.datapath.nrz import JitterSpec
+from repro.sweep import (
+    ber_vs_frequency_offset_sweep,
+    ber_vs_sj_sweep,
+    jitter_tolerance_sweep,
+    make_channel,
+    multichannel_sweep,
+)
+
+MILD = JitterSpec(dj_ui_pp=0.2, rj_ui_rms=0.01, sj_phase_rad=np.pi / 2)
+FREQS = np.array([2.5e6, 7.5e8])
+AMPS = np.array([0.1, 1.0])
+
+
+class TestBackendSwitch:
+    def test_make_channel_backends(self):
+        from repro.core.cdr_channel import BehavioralCdrChannel
+        from repro.fastpath import FastCdrChannel
+        assert isinstance(make_channel(backend="event"), BehavioralCdrChannel)
+        assert isinstance(make_channel(backend="fast"), FastCdrChannel)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_channel(backend="warp")
+
+    def test_backends_count_identical_errors(self):
+        """Zero-gate-jitter configs: both backends give the same error counts."""
+        fast = ber_vs_sj_sweep(FREQS, AMPS, base_jitter=MILD, n_bits=600,
+                               backend="fast", seed=7, workers=1)
+        event = ber_vs_sj_sweep(FREQS, AMPS, base_jitter=MILD, n_bits=600,
+                                backend="event", seed=7, workers=1)
+        np.testing.assert_array_equal(fast.errors, event.errors)
+        np.testing.assert_array_equal(fast.compared, event.compared)
+
+
+class TestBerSurfaces:
+    def test_surface_shape_and_counts(self):
+        result = ber_vs_sj_sweep(FREQS, AMPS, base_jitter=MILD, n_bits=500,
+                                 seed=0, workers=1)
+        assert result.errors.shape == (AMPS.size, FREQS.size)
+        assert np.all(result.compared > 400)
+        assert np.all(result.errors >= 0)
+
+    def test_worker_count_does_not_change_results(self):
+        serial = ber_vs_sj_sweep(FREQS, AMPS, base_jitter=MILD, n_bits=500,
+                                 seed=3, workers=1)
+        pooled = ber_vs_sj_sweep(FREQS, AMPS, base_jitter=MILD, n_bits=500,
+                                 seed=3, workers=3)
+        np.testing.assert_array_equal(serial.errors, pooled.errors)
+
+    def test_large_near_rate_sj_errors(self):
+        """1.0 UIpp SJ at 0.3 fb must break a 500-bit run; 0.1 UIpp must not."""
+        result = ber_vs_sj_sweep(np.array([7.5e8]), np.array([0.1, 1.0]),
+                                 base_jitter=MILD, n_bits=500, seed=1, workers=1)
+        assert result.errors[1, 0] > result.errors[0, 0]
+
+    def test_frequency_offset_sweep_degrades_with_offset(self):
+        result = ber_vs_frequency_offset_sweep(
+            np.array([0.0, 0.05]), jitter=MILD, n_bits=600, seed=2, workers=1)
+        assert result.errors.shape == (1, 2)
+        assert result.errors[0, 1] >= result.errors[0, 0]
+
+    def test_ber_property(self):
+        result = ber_vs_frequency_offset_sweep(
+            np.array([0.0]), jitter=MILD, n_bits=400, seed=2, workers=1)
+        assert result.ber.shape == (1, 1)
+        assert 0.0 <= result.ber[0, 0] <= 1.0
+
+
+class TestJitterTolerance:
+    def test_low_frequency_tolerance_exceeds_near_rate(self):
+        """The gated oscillator tolerates slow jitter far better than fast."""
+        result = jitter_tolerance_sweep(
+            np.array([2.5e5, 7.5e8]), base_jitter=MILD, n_bits=400,
+            seed=5, workers=1, max_amplitude_ui_pp=4.0, target_errors=1)
+        low, near_rate = result.amplitudes_ui_pp
+        assert low > near_rate
+
+    def test_deterministic_across_workers(self):
+        kwargs = dict(base_jitter=MILD, n_bits=300, seed=5,
+                      max_amplitude_ui_pp=2.0, target_errors=1)
+        serial = jitter_tolerance_sweep(np.array([2.5e6]), workers=1, **kwargs)
+        pooled = jitter_tolerance_sweep(np.array([2.5e6]), workers=2, **kwargs)
+        np.testing.assert_array_equal(serial.amplitudes_ui_pp,
+                                      pooled.amplitudes_ui_pp)
+
+
+class TestMultichannel:
+    def test_lane_counts_and_determinism(self):
+        result = multichannel_sweep(n_bits=400, jitter=MILD, seed=11, workers=1)
+        again = multichannel_sweep(n_bits=400, jitter=MILD, seed=11, workers=2)
+        assert result.errors.shape == (4,)
+        np.testing.assert_array_equal(result.errors, again.errors)
+        np.testing.assert_array_equal(result.frequency_offsets,
+                                      again.frequency_offsets)
+        assert 0.0 <= result.aggregate_ber <= 1.0
+
+    def test_backends_agree(self):
+        fast = multichannel_sweep(n_bits=400, jitter=MILD, seed=11,
+                                  workers=1, backend="fast")
+        event = multichannel_sweep(n_bits=400, jitter=MILD, seed=11,
+                                   workers=1, backend="event")
+        np.testing.assert_array_equal(fast.errors, event.errors)
