@@ -7,6 +7,11 @@ The package mirrors the paper's top-down flow:
 * :mod:`repro.phasenoise` — oscillator jitter budgeting and power design,
 * :mod:`repro.events`, :mod:`repro.gates`, :mod:`repro.core` — the behavioural
   (event-driven) gate-level model of the gated-oscillator CDR,
+* :mod:`repro.fastpath` — the vectorized production engine (exact event-kernel
+  equivalence on zero-gate-jitter configurations),
+* :mod:`repro.link` — the waveform-level link front end (lossy channel,
+  TX/RX equalization, ISI, edge extraction) feeding both engines,
+* :mod:`repro.sweep` — deterministic parallel sweeps over either backend,
 * :mod:`repro.circuit` — the circuit-level (transistor-like) transient substrate,
 * :mod:`repro.datapath`, :mod:`repro.jitter`, :mod:`repro.pll`, :mod:`repro.specs`,
   :mod:`repro.analysis`, :mod:`repro.reporting` — supporting substrates.

@@ -1,8 +1,10 @@
 """Timing / jitter measurement utilities for simulated waveforms.
 
-Provides time-interval-error (TIE) extraction, period-jitter statistics and
-duty-cycle measurement, so that the behavioural and circuit-level simulations
-can be characterised with the same vocabulary as the specification (Table 1).
+Provides threshold-crossing extraction (shared by the circuit-level transient
+analyser and the waveform-level link front end), time-interval-error (TIE)
+extraction, period-jitter statistics and duty-cycle measurement, so that the
+behavioural and circuit-level simulations can be characterised with the same
+vocabulary as the specification (Table 1).
 """
 
 from __future__ import annotations
@@ -15,11 +17,65 @@ from .._validation import require_positive
 
 __all__ = [
     "TimingStatistics",
+    "threshold_crossings",
     "time_interval_error",
     "period_jitter",
     "duty_cycle",
     "measure_frequency",
 ]
+
+
+def threshold_crossings(times_s: np.ndarray, waveform: np.ndarray, *,
+                        threshold: float = 0.0,
+                        kind: str = "any") -> np.ndarray:
+    """Interpolated times at which *waveform* crosses *threshold*.
+
+    This is the single crossing-time routine shared by the circuit-level
+    transient result (:mod:`repro.circuit.transient`) and the link front
+    end's edge extraction (:mod:`repro.link.edges`).
+
+    Parameters
+    ----------
+    times_s:
+        Sample times (monotone; intervals need not be uniform).
+    waveform:
+        Sampled values, same length as *times_s*.
+    threshold:
+        Crossing level.
+    kind:
+        ``"rising"`` (below-to-at-or-above), ``"falling"``
+        (above-to-at-or-below) or ``"any"`` (either direction).
+
+    Returns the crossing instants, linearly interpolated inside the sample
+    step that brackets each crossing.
+    """
+    times = np.asarray(times_s, dtype=float).ravel()
+    values = np.asarray(waveform, dtype=float).ravel()
+    if times.shape != values.shape:
+        raise ValueError("times_s and waveform must have equal length")
+    if times.size < 2:
+        return np.zeros(0)
+    previous = values[:-1] - threshold
+    current = values[1:] - threshold
+    rising = (previous < 0.0) & (current >= 0.0)
+    falling = (previous > 0.0) & (current <= 0.0)
+    if kind == "rising":
+        mask = rising
+    elif kind == "falling":
+        mask = falling
+    elif kind == "any":
+        mask = rising | falling
+    else:
+        raise ValueError(f"kind must be 'rising', 'falling' or 'any', got {kind!r}")
+    indices = np.flatnonzero(mask)
+    if indices.size == 0:
+        return np.zeros(0)
+    t0 = times[indices]
+    dt = times[indices + 1] - times[indices]
+    denominator = current[indices] - previous[indices]
+    fraction = np.where(np.abs(denominator) > 0.0,
+                        -previous[indices] / denominator, 0.5)
+    return t0 + fraction * dt
 
 
 @dataclass(frozen=True)

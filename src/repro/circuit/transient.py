@@ -29,6 +29,7 @@ from .. import units
 from .._validation import require_positive, require_positive_int
 from ..analysis.eye import EyeDiagram
 from ..analysis.ber_counter import BerMeasurement, align_and_count
+from ..analysis.timing import threshold_crossings
 from ..datapath.nrz import JitterSpec, NrzEdgeStream, generate_edge_times
 from .cml_stage import CmlStageDesign, design_cml_stage
 
@@ -121,31 +122,11 @@ class CircuitSimulationResult:
 
 
 def _rising_crossings(times: np.ndarray, waveform: np.ndarray) -> np.ndarray:
-    previous = waveform[:-1]
-    current = waveform[1:]
-    mask = (previous < 0.0) & (current >= 0.0)
-    indices = np.flatnonzero(mask)
-    if indices.size == 0:
-        return np.zeros(0)
-    # Linear interpolation of the crossing instant inside the step.
-    t0 = times[indices]
-    dt = times[indices + 1] - times[indices]
-    fraction = -previous[indices] / (current[indices] - previous[indices])
-    return t0 + fraction * dt
+    return threshold_crossings(times, waveform, kind="rising")
 
 
 def _all_crossings(times: np.ndarray, waveform: np.ndarray) -> np.ndarray:
-    previous = waveform[:-1]
-    current = waveform[1:]
-    mask = ((previous < 0.0) & (current >= 0.0)) | ((previous > 0.0) & (current <= 0.0))
-    indices = np.flatnonzero(mask)
-    if indices.size == 0:
-        return np.zeros(0)
-    t0 = times[indices]
-    dt = times[indices + 1] - times[indices]
-    denominator = current[indices] - previous[indices]
-    fraction = np.where(np.abs(denominator) > 0.0, -previous[indices] / denominator, 0.5)
-    return t0 + fraction * dt
+    return threshold_crossings(times, waveform, kind="any")
 
 
 def measure_free_running_frequency(config: "CircuitCdrConfig",

@@ -173,6 +173,7 @@ class BehavioralCdrChannel:
         data_rate_offset_ppm: float = 0.0,
         rng: np.random.Generator | None = None,
         settle_bits: int = 4,
+        stream: NrzEdgeStream | None = None,
     ) -> BehavioralSimulationResult:
         """Simulate the channel for the given transmitted bit sequence.
 
@@ -189,6 +190,11 @@ class BehavioralCdrChannel:
         settle_bits:
             Idle unit intervals simulated before the first bit so the ring
             reaches steady oscillation.
+        stream:
+            Pre-built edge stream (e.g. from :class:`repro.link.LinkPath`).
+            When given, *jitter*, *data_rate_offset_ppm* and *settle_bits*
+            are ignored — the stream already encodes them — and *bits* must
+            match ``stream.bits``.
         """
         config = self.config
         bits = np.asarray(bits, dtype=np.uint8)
@@ -199,16 +205,21 @@ class BehavioralCdrChannel:
         recorder = WaveformRecorder()
 
         # --- stimulus -------------------------------------------------------
-        start_time = settle_bits * config.unit_interval_s
-        stream = generate_edge_times(
-            bits,
-            bit_rate_hz=config.bit_rate_hz,
-            jitter=jitter or JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0, sj_amplitude_ui_pp=0.0),
-            data_rate_offset_ppm=data_rate_offset_ppm,
-            start_time_s=start_time,
-            rng=rng,
-        )
-        data_in = Signal(simulator, "din", initial=0)
+        if stream is None:
+            start_time = settle_bits * config.unit_interval_s
+            stream = generate_edge_times(
+                bits,
+                bit_rate_hz=config.bit_rate_hz,
+                jitter=jitter or JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0, sj_amplitude_ui_pp=0.0),
+                data_rate_offset_ppm=data_rate_offset_ppm,
+                start_time_s=start_time,
+                rng=rng,
+            )
+        else:
+            if not np.array_equal(stream.bits, bits):
+                raise ValueError("bits must match the provided stream's bits")
+            start_time = stream.start_time_s
+        data_in = Signal(simulator, "din", initial=int(stream.initial_level))
         # Batch stimulus injection: one self-rescheduling driver instead of a
         # closure plus heap entry per data edge.
         data_in.drive(stream.edge_times_s, stream.bits[stream.edge_bit_index])

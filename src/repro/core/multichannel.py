@@ -30,7 +30,6 @@ from .._validation import require_non_negative, require_positive, require_positi
 from ..analysis.ber_counter import BerMeasurement
 from ..datapath.nrz import JitterSpec
 from ..datapath.prbs import PrbsGenerator
-from ..fastpath.backends import make_channel
 from ..pll.components import CurrentControlledOscillator
 from ..pll.pll import ChannelBiasMismatch, PllConfig, SharedPll
 from ..statistical.ber_model import CdrJitterBudget, GatedOscillatorBerModel
@@ -217,6 +216,11 @@ class MultiChannelReceiver:
         require_positive_int("n_bits", n_bits)
         offsets = self.channel_frequency_offsets()
         skews = self.lane_skews_ui()
+
+        # Deferred import: repro.fastpath imports repro.core back, and
+        # `import repro.fastpath` as the entry point would find this
+        # module's names only after both packages finish initialising.
+        from ..fastpath.backends import make_channel
 
         results: list[BehavioralSimulationResult] = []
         measurements: list[BerMeasurement] = []

@@ -30,6 +30,7 @@ __all__ = [
     "generate_edge_times",
     "edge_stream_from_bits",
     "ideal_edge_times",
+    "jitter_displacements_ui",
     "waveform_from_edges",
 ]
 
@@ -145,6 +146,33 @@ def ideal_edge_times(bits: np.ndarray | list[int], bit_period_s: float,
     return edge_times.astype(float), transitions.astype(np.int64)
 
 
+def jitter_displacements_ui(edge_times_s: np.ndarray, jitter: JitterSpec,
+                            rng: np.random.Generator) -> np.ndarray:
+    """Per-edge displacement (UI) drawn from a :class:`JitterSpec`.
+
+    The draw order (DJ uniform, RJ Gaussian, SJ evaluated at the ideal edge
+    times) is part of the reproducibility contract: both CDR backends and the
+    link front end compose jitter through this one routine, so the same
+    generator state yields the same displaced edges everywhere.
+    """
+    edge_times_s = np.asarray(edge_times_s, dtype=float)
+    displacement_ui = np.zeros(edge_times_s.size, dtype=float)
+    if edge_times_s.size == 0:
+        return displacement_ui
+    if jitter.dj_ui_pp > 0.0:
+        displacement_ui += rng.uniform(
+            -0.5 * jitter.dj_ui_pp, 0.5 * jitter.dj_ui_pp, size=edge_times_s.size
+        )
+    if jitter.rj_ui_rms > 0.0:
+        displacement_ui += rng.normal(0.0, jitter.rj_ui_rms, size=edge_times_s.size)
+    if jitter.sj_amplitude_ui_pp > 0.0:
+        omega = 2.0 * np.pi * jitter.sj_frequency_hz
+        displacement_ui += 0.5 * jitter.sj_amplitude_ui_pp * np.sin(
+            omega * edge_times_s + jitter.sj_phase_rad
+        )
+    return displacement_ui
+
+
 def generate_edge_times(
     bits: np.ndarray | list[int],
     *,
@@ -184,18 +212,7 @@ def generate_edge_times(
     )
 
     if edge_times.size:
-        displacement_ui = np.zeros(edge_times.size, dtype=float)
-        if jitter.dj_ui_pp > 0.0:
-            displacement_ui += rng.uniform(
-                -0.5 * jitter.dj_ui_pp, 0.5 * jitter.dj_ui_pp, size=edge_times.size
-            )
-        if jitter.rj_ui_rms > 0.0:
-            displacement_ui += rng.normal(0.0, jitter.rj_ui_rms, size=edge_times.size)
-        if jitter.sj_amplitude_ui_pp > 0.0:
-            omega = 2.0 * np.pi * jitter.sj_frequency_hz
-            displacement_ui += 0.5 * jitter.sj_amplitude_ui_pp * np.sin(
-                omega * edge_times + jitter.sj_phase_rad
-            )
+        displacement_ui = jitter_displacements_ui(edge_times, jitter, rng)
         edge_times = edge_times + displacement_ui * nominal_period
         # Jitter must never re-order edges; clip any crossing to preserve the
         # causal edge order (extremely rare with realistic specifications).

@@ -41,7 +41,7 @@ from .._validation import require_positive_int
 from ..core.cdr_channel import BehavioralSimulationResult
 from ..core.config import CdrChannelConfig
 from ..core.edge_detector import GATE_DELAY_S
-from ..datapath.nrz import JitterSpec, generate_edge_times
+from ..datapath.nrz import JitterSpec, NrzEdgeStream, generate_edge_times
 from .traces import ArrayRecorder, array_trace
 
 __all__ = ["FastCdrChannel"]
@@ -234,6 +234,7 @@ class FastCdrChannel:
         data_rate_offset_ppm: float = 0.0,
         rng: np.random.Generator | None = None,
         settle_bits: int = 4,
+        stream: NrzEdgeStream | None = None,
     ) -> BehavioralSimulationResult:
         """Simulate the channel; same contract as ``BehavioralCdrChannel.run``."""
         config = self.config
@@ -242,15 +243,20 @@ class FastCdrChannel:
         rng = rng or np.random.default_rng()
 
         # --- stimulus (identical draws to the event path) -------------------
-        start_time = settle_bits * config.unit_interval_s
-        stream = generate_edge_times(
-            bits,
-            bit_rate_hz=config.bit_rate_hz,
-            jitter=jitter or JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0, sj_amplitude_ui_pp=0.0),
-            data_rate_offset_ppm=data_rate_offset_ppm,
-            start_time_s=start_time,
-            rng=rng,
-        )
+        if stream is None:
+            start_time = settle_bits * config.unit_interval_s
+            stream = generate_edge_times(
+                bits,
+                bit_rate_hz=config.bit_rate_hz,
+                jitter=jitter or JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0, sj_amplitude_ui_pp=0.0),
+                data_rate_offset_ppm=data_rate_offset_ppm,
+                start_time_s=start_time,
+                rng=rng,
+            )
+        else:
+            if not np.array_equal(stream.bits, bits):
+                raise ValueError("bits must match the provided stream's bits")
+            start_time = stream.start_time_s
         duration = start_time + stream.duration_s + 4.0 * config.unit_interval_s
         gate_sigma = config.gate_jitter_sigma_fraction
         gate_rng = rng if gate_sigma > 0.0 else None

@@ -1,0 +1,73 @@
+"""Waveform-level link front end: lossy channel + equalization → CDR edges.
+
+The paper abstracts the receiver's input jitter into Table 1; this package
+grounds it physically.  A transmitted bit sequence passes through a
+parameterized lossy channel (:mod:`~repro.link.channel`), optional TX/RX
+equalization (:mod:`~repro.link.equalization`), fast pulse-response ISI
+superposition (:mod:`~repro.link.isi`) and threshold-crossing extraction
+(:mod:`~repro.link.edges`), producing the
+:class:`~repro.datapath.nrz.NrzEdgeStream` the existing CDR engines —
+event kernel and fast path alike — consume unmodified.  Residual random /
+sinusoidal jitter from a :class:`~repro.datapath.nrz.JitterSpec` composes
+on top, so every Table 1 scenario remains expressible while deterministic
+jitter now *emerges* from channel ISI.
+
+Quick start::
+
+    from repro.link import LinkCdrChannel, LinkConfig, LossyLineChannel, RxCtle
+    from repro.datapath import prbs_sequence
+
+    link = LinkConfig(channel=LossyLineChannel.for_loss_at_nyquist(6.0),
+                      rx_ctle=RxCtle(peaking_db=6.0))
+    result = LinkCdrChannel(link, backend="fast").run(
+        prbs_sequence(7, 2000), pattern_period=127)
+    print(result.ber().ber)
+"""
+
+from .timebase import LinkTimebase
+from .channel import (
+    ButterworthChannel,
+    ChannelModel,
+    IdealChannel,
+    LossyLineChannel,
+    SinglePoleChannel,
+)
+from .equalization import DfeAdaptation, LmsDfe, RxCtle, TxFfe
+from .isi import (
+    nrz_symbol_levels,
+    superpose_circular,
+    superpose_linear,
+    upsample_symbols,
+)
+from .edges import (
+    circular_transition_positions,
+    edge_stream_from_waveform,
+    match_crossings_ui,
+    pattern_displacements_ui,
+)
+from .path import LinkCdrChannel, LinkConfig, LinkPath, stream_eye_diagram
+
+__all__ = [
+    "LinkTimebase",
+    "ChannelModel",
+    "IdealChannel",
+    "SinglePoleChannel",
+    "ButterworthChannel",
+    "LossyLineChannel",
+    "TxFfe",
+    "RxCtle",
+    "LmsDfe",
+    "DfeAdaptation",
+    "nrz_symbol_levels",
+    "upsample_symbols",
+    "superpose_circular",
+    "superpose_linear",
+    "circular_transition_positions",
+    "match_crossings_ui",
+    "pattern_displacements_ui",
+    "edge_stream_from_waveform",
+    "LinkCdrChannel",
+    "LinkConfig",
+    "LinkPath",
+    "stream_eye_diagram",
+]

@@ -1,0 +1,229 @@
+"""Link equalization: TX FFE (de-emphasis), RX CTLE, and an LMS-adapted DFE.
+
+Three standard serial-link equalizer stages, kept behavioural:
+
+* :class:`TxFfe` — a symbol-spaced feed-forward filter applied to the
+  transmitted symbols (transmit de-emphasis).  Taps are normalised to unit
+  peak power (``sum |c_k| = 1``), the usual transmitter swing constraint.
+* :class:`RxCtle` — a continuous-time linear equalizer: one zero and two
+  poles, parameterized by the path bandwidth, the peaking frequency and the
+  peaking magnitude (the construction PyBERT's ``make_ctle`` uses),
+  normalised to unity DC gain so *peaking_db* is boost above DC.
+* :class:`LmsDfe` — a one-tap-per-UI decision-feedback equalizer adapted by
+  the sign-sign-free LMS recursion over the (periodic) training pattern,
+  the adaptive-equalizer idiom of QAMpy's DSP layer.  Its feedback is
+  rendered as a piecewise-constant waveform subtracted from the received
+  trace, so the downstream threshold-crossing extraction sees its effect.
+
+All three are frozen dataclasses and pickle across the sweep runner's
+process pool.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .._validation import require_non_negative, require_positive, require_positive_int
+
+__all__ = ["TxFfe", "RxCtle", "LmsDfe", "DfeAdaptation"]
+
+
+@dataclass(frozen=True)
+class TxFfe:
+    """Symbol-spaced transmit feed-forward equalizer (de-emphasis).
+
+    Attributes
+    ----------
+    taps:
+        FIR coefficients at UI spacing, pre-cursor first.
+    main_cursor:
+        Index of the main tap inside *taps* (taps before it are
+        pre-cursors, after it post-cursors).
+    """
+
+    taps: tuple[float, ...] = (1.0,)
+    main_cursor: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.taps:
+            raise ValueError("TxFfe needs at least one tap")
+        if not 0 <= self.main_cursor < len(self.taps):
+            raise ValueError("main_cursor must index into taps")
+        if sum(abs(tap) for tap in self.taps) <= 0.0:
+            raise ValueError("TxFfe taps must not all be zero")
+
+    @classmethod
+    def de_emphasis(cls, pre_db: float = 0.0, post_db: float = 3.5) -> "TxFfe":
+        """Build a classic (pre, main, post) de-emphasis filter.
+
+        *pre_db* / *post_db* are the de-emphasis depths: the ratio (in dB)
+        between the full swing and the swing of a repeated bit.  Taps are
+        normalised to unit peak power.
+        """
+        require_non_negative("pre_db", pre_db)
+        require_non_negative("post_db", post_db)
+        # De-emphasis depth d dB <=> tap magnitude (1 - r) / 2 with
+        # r = 10^(-d/20) the steady-state/peak swing ratio.
+        pre = 0.5 * (1.0 - 10.0 ** (-pre_db / 20.0))
+        post = 0.5 * (1.0 - 10.0 ** (-post_db / 20.0))
+        taps = (-pre, 1.0 - pre - post, -post)
+        if pre == 0.0:
+            return cls(taps=taps[1:], main_cursor=0).normalized()
+        return cls(taps=taps, main_cursor=1).normalized()
+
+    def normalized(self) -> "TxFfe":
+        """Return a copy scaled so ``sum |c_k| = 1`` (unit peak swing)."""
+        scale = sum(abs(tap) for tap in self.taps)
+        return replace(self, taps=tuple(tap / scale for tap in self.taps))
+
+    def apply_to_symbols(self, symbols: np.ndarray) -> np.ndarray:
+        """Filter a (circular) symbol sequence with the tap vector.
+
+        The sequence is treated as one period of a repeating pattern, so
+        the convolution wraps — consistent with the circular ISI
+        superposition in :mod:`repro.link.isi`.
+        """
+        symbols = np.asarray(symbols, dtype=float)
+        result = np.zeros_like(symbols)
+        for offset, tap in enumerate(self.taps):
+            result += tap * np.roll(symbols, offset - self.main_cursor)
+        return result
+
+    def frequency_response(self, frequencies_hz: np.ndarray,
+                           unit_interval_s: float) -> np.ndarray:
+        """Complex response of the symbol-spaced FIR at the given frequencies."""
+        require_positive("unit_interval_s", unit_interval_s)
+        frequency = np.asarray(frequencies_hz, dtype=float)
+        response = np.zeros(frequency.shape, dtype=complex)
+        for offset, tap in enumerate(self.taps):
+            delay = (offset - self.main_cursor) * unit_interval_s
+            response += tap * np.exp(-2j * math.pi * frequency * delay)
+        return response
+
+
+@dataclass(frozen=True)
+class RxCtle:
+    """Receiver continuous-time linear equalizer (peaking filter).
+
+    One zero, two poles:
+
+        ``H(s) = -(p1 p2 / z) (s - z) / ((s - p1)(s - p2))``
+
+    with ``p1`` at the peaking frequency, ``p2`` at the signal-path
+    bandwidth and the zero placed ``peaking_db`` below ``p1``.  The DC gain
+    is exactly one, so the response *boosts* frequencies near the peaking
+    frequency by up to ~*peaking_db* — re-opening an ISI-closed eye.  With
+    ``peaking_db = 0`` the response degenerates to the plain one-pole
+    bandwidth roll-off of the unequalized path.
+    """
+
+    peaking_db: float = 6.0
+    peak_frequency_hz: float = 1.25e9
+    bandwidth_hz: float = 7.5e9
+
+    def __post_init__(self) -> None:
+        require_non_negative("peaking_db", self.peaking_db)
+        require_positive("peak_frequency_hz", self.peak_frequency_hz)
+        require_positive("bandwidth_hz", self.bandwidth_hz)
+        if self.bandwidth_hz <= self.peak_frequency_hz:
+            raise ValueError("bandwidth_hz must exceed peak_frequency_hz")
+
+    def with_peaking(self, peaking_db: float) -> "RxCtle":
+        """Return a copy with a different peaking magnitude."""
+        return replace(self, peaking_db=peaking_db)
+
+    def frequency_response(self, frequencies_hz: np.ndarray) -> np.ndarray:
+        s = 2j * math.pi * np.asarray(frequencies_hz, dtype=float)
+        p1 = -2.0 * math.pi * self.peak_frequency_hz
+        p2 = -2.0 * math.pi * self.bandwidth_hz
+        zero = p1 / (10.0 ** (self.peaking_db / 20.0))
+        return -(p1 * p2 / zero) * (s - zero) / ((s - p1) * (s - p2))
+
+
+@dataclass(frozen=True)
+class DfeAdaptation:
+    """Converged state of an LMS DFE adaptation run."""
+
+    weights: np.ndarray
+    error_rms_per_epoch: np.ndarray
+
+    @property
+    def converged(self) -> bool:
+        """True when the final epoch no longer reduced the error meaningfully."""
+        errors = self.error_rms_per_epoch
+        if errors.size < 2:
+            return False
+        return bool(errors[-1] <= errors[-2] * 1.05)
+
+
+@dataclass(frozen=True)
+class LmsDfe:
+    """Decision-feedback equalizer with LMS tap adaptation.
+
+    The DFE subtracts, over each unit interval, a weighted sum of the
+    previous symbol decisions from the received waveform — cancelling
+    post-cursor ISI that linear equalization cannot remove without noise
+    amplification.  Taps are adapted data-aided on the periodic training
+    pattern:
+
+        ``e_k = (y_k - sum_i w_i s_{k-i}) - s_k``
+        ``w_i <- w_i + mu * e_k * s_{k-i}``
+    """
+
+    n_taps: int = 2
+    step_size: float = 0.02
+    n_epochs: int = 40
+
+    def __post_init__(self) -> None:
+        require_positive_int("n_taps", self.n_taps)
+        require_positive("step_size", self.step_size)
+        require_positive_int("n_epochs", self.n_epochs)
+
+    def adapt(self, ui_samples: np.ndarray, symbols: np.ndarray) -> DfeAdaptation:
+        """LMS-adapt the feedback taps on one period of training data.
+
+        Parameters
+        ----------
+        ui_samples:
+            Received waveform sampled once per UI (at the bit centres).
+        symbols:
+            The transmitted symbol levels (±1), same length, treated as
+            circular (one period of the repeating pattern).
+        """
+        samples = np.asarray(ui_samples, dtype=float).ravel()
+        levels = np.asarray(symbols, dtype=float).ravel()
+        if samples.shape != levels.shape:
+            raise ValueError("ui_samples and symbols must have equal length")
+        if samples.size <= self.n_taps:
+            raise ValueError("need more than n_taps training symbols")
+        weights = np.zeros(self.n_taps)
+        error_rms = np.zeros(self.n_epochs)
+        for epoch in range(self.n_epochs):
+            squared = 0.0
+            for k in range(samples.size):
+                history = levels[(k - 1 - np.arange(self.n_taps)) % levels.size]
+                corrected = samples[k] - float(weights @ history)
+                error = corrected - levels[k]
+                weights += self.step_size * error * history
+                squared += error * error
+            error_rms[epoch] = math.sqrt(squared / samples.size)
+        return DfeAdaptation(weights=weights, error_rms_per_epoch=error_rms)
+
+    def feedback_waveform(self, symbols: np.ndarray, weights: np.ndarray,
+                          samples_per_ui: int) -> np.ndarray:
+        """Piecewise-constant feedback to subtract from the received trace.
+
+        Over unit interval ``k`` the DFE subtracts
+        ``sum_i w_i s_{k-i}`` (circular symbol indexing), rendered here on
+        the waveform grid so edge extraction sees the corrected trace.
+        """
+        require_positive_int("samples_per_ui", samples_per_ui)
+        levels = np.asarray(symbols, dtype=float).ravel()
+        weights = np.asarray(weights, dtype=float).ravel()
+        feedback = np.zeros(levels.size)
+        for offset, weight in enumerate(weights, start=1):
+            feedback += weight * np.roll(levels, offset)
+        return np.repeat(feedback, samples_per_ui)

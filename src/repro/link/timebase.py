@@ -1,0 +1,77 @@
+"""Shared sampling grid of the waveform-level link path.
+
+Everything in :mod:`repro.link` — channel responses, equalizer responses,
+ISI superposition, threshold-crossing extraction — is computed on one
+uniform grid described by :class:`LinkTimebase`: ``samples_per_ui`` samples
+per unit interval at the nominal bit rate.
+
+The grid uses the **midpoint convention**: sample ``i`` represents the
+waveform value at ``(i + 0.5) * sample_period``.  An NRZ transition at a
+bit boundary then falls exactly halfway between the two bracketing samples,
+so linear interpolation of the threshold crossing recovers the boundary
+time exactly — the property the ideal-channel round-trip test
+(``tests/link/test_edges.py``) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+from .._validation import require_positive, require_positive_int
+
+__all__ = ["LinkTimebase"]
+
+
+@dataclass(frozen=True)
+class LinkTimebase:
+    """Uniform sampling grid shared by all link-path computations.
+
+    Attributes
+    ----------
+    bit_rate_hz:
+        Nominal data rate; one unit interval is ``1 / bit_rate_hz``.
+    samples_per_ui:
+        Samples per unit interval.  32 resolves crossing times to
+        ~0.016 UI before interpolation; the interpolated resolution is far
+        finer on band-limited waveforms.
+    """
+
+    bit_rate_hz: float = units.DEFAULT_BIT_RATE
+    samples_per_ui: int = 32
+
+    def __post_init__(self) -> None:
+        require_positive("bit_rate_hz", self.bit_rate_hz)
+        require_positive_int("samples_per_ui", self.samples_per_ui)
+
+    @property
+    def unit_interval_s(self) -> float:
+        """Nominal bit period."""
+        return 1.0 / self.bit_rate_hz
+
+    @property
+    def sample_period_s(self) -> float:
+        """Spacing of the sampling grid."""
+        return self.unit_interval_s / self.samples_per_ui
+
+    @property
+    def nyquist_frequency_hz(self) -> float:
+        """Half the bit rate — the fundamental of the 0101... pattern."""
+        return 0.5 * self.bit_rate_hz
+
+    def n_samples(self, n_ui: int) -> int:
+        """Number of grid samples spanning *n_ui* unit intervals."""
+        require_positive_int("n_ui", n_ui)
+        return n_ui * self.samples_per_ui
+
+    def time_axis_s(self, n_ui: int, start_time_s: float = 0.0) -> np.ndarray:
+        """Midpoint sample times covering *n_ui* unit intervals."""
+        count = self.n_samples(n_ui)
+        return start_time_s + (np.arange(count) + 0.5) * self.sample_period_s
+
+    def frequencies_hz(self, n_samples: int) -> np.ndarray:
+        """Real-FFT frequency grid matching an *n_samples*-point waveform."""
+        require_positive_int("n_samples", n_samples)
+        return np.fft.rfftfreq(n_samples, d=self.sample_period_s)

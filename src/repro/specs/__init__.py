@@ -4,7 +4,9 @@ from .infiniband import (
     INFINIBAND_FREQUENCY_TOLERANCE_PPM,
     INFINIBAND_TARGET_BER,
     JitterToleranceMask,
+    ReceiverEyeMask,
     infiniband_mask,
+    infiniband_rx_eye_mask,
 )
 from .compliance import ComplianceReport, check_compliance
 
@@ -12,7 +14,9 @@ __all__ = [
     "INFINIBAND_FREQUENCY_TOLERANCE_PPM",
     "INFINIBAND_TARGET_BER",
     "JitterToleranceMask",
+    "ReceiverEyeMask",
     "infiniband_mask",
+    "infiniband_rx_eye_mask",
     "ComplianceReport",
     "check_compliance",
 ]

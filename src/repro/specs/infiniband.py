@@ -28,7 +28,9 @@ from .._validation import require_positive
 
 __all__ = [
     "JitterToleranceMask",
+    "ReceiverEyeMask",
     "infiniband_mask",
+    "infiniband_rx_eye_mask",
     "INFINIBAND_FREQUENCY_TOLERANCE_PPM",
     "INFINIBAND_TARGET_BER",
 ]
@@ -97,6 +99,49 @@ class JitterToleranceMask:
         """True when the measured tolerance meets the mask at every frequency."""
         required = self.amplitude_ui_pp(np.asarray(frequencies_hz, dtype=float))
         return bool(np.all(np.asarray(tolerated_ui_pp, dtype=float) >= required))
+
+
+@dataclass(frozen=True)
+class ReceiverEyeMask:
+    """Horizontal receiver eye template at the specification BER.
+
+    The specification bounds the total jitter at the receiver pins: data
+    transitions must stay within *x1_ui* of their bit boundary, leaving a
+    transition-free window of at least ``1 - 2 * x1_ui`` around the
+    sampling instant.  Judged against the waveform-level eye the link
+    front end produces (:func:`repro.link.stream_eye_diagram`).
+    """
+
+    x1_ui: float
+    target_ber: float = INFINIBAND_TARGET_BER
+
+    def __post_init__(self) -> None:
+        require_positive("x1_ui", self.x1_ui)
+        if self.x1_ui >= 0.5:
+            raise ValueError("x1_ui must be below half a unit interval")
+
+    @property
+    def minimum_opening_ui(self) -> float:
+        """Smallest compliant horizontal eye opening."""
+        return 1.0 - 2.0 * self.x1_ui
+
+    def margin_ui(self, eye_opening_ui: float) -> float:
+        """Opening margin against the mask (negative = violation)."""
+        return float(eye_opening_ui) - self.minimum_opening_ui
+
+    def passes(self, eye_opening_ui: float) -> bool:
+        """True when the measured eye opening meets the template."""
+        return self.margin_ui(eye_opening_ui) >= 0.0
+
+
+def infiniband_rx_eye_mask() -> ReceiverEyeMask:
+    """The InfiniBand 2.5 Gbit/s receiver eye template.
+
+    The specification's receiver jitter-tolerance budget allows a total
+    jitter of 0.70 UI peak-to-peak at 1e-12, i.e. transitions within
+    0.35 UI of the bit boundary and a 0.30 UI minimum eye opening.
+    """
+    return ReceiverEyeMask(x1_ui=0.35)
 
 
 def infiniband_mask(bit_rate_hz: float = units.DEFAULT_BIT_RATE) -> JitterToleranceMask:

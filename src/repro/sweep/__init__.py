@@ -17,11 +17,16 @@ vectorized fast path):
 from .runner import SweepRunner, map_tasks
 from .sweeps import (
     BACKENDS,
+    LINK_RESIDUAL_JITTER_SPEC,
     BerSurfaceResult,
+    EqualizationAblationResult,
     JitterToleranceResult,
     MultichannelSweepResult,
+    ber_vs_channel_loss_sweep,
+    ber_vs_ctle_peaking_sweep,
     ber_vs_frequency_offset_sweep,
     ber_vs_sj_sweep,
+    equalization_ablation_sweep,
     jitter_tolerance_sweep,
     make_channel,
     multichannel_sweep,
@@ -31,11 +36,16 @@ __all__ = [
     "SweepRunner",
     "map_tasks",
     "BACKENDS",
+    "LINK_RESIDUAL_JITTER_SPEC",
     "BerSurfaceResult",
+    "EqualizationAblationResult",
     "JitterToleranceResult",
     "MultichannelSweepResult",
+    "ber_vs_channel_loss_sweep",
+    "ber_vs_ctle_peaking_sweep",
     "ber_vs_frequency_offset_sweep",
     "ber_vs_sj_sweep",
+    "equalization_ablation_sweep",
     "jitter_tolerance_sweep",
     "make_channel",
     "multichannel_sweep",

@@ -24,21 +24,33 @@ from .._validation import require_positive, require_positive_int
 from ..core.config import PAPER_JITTER_SPEC, CdrChannelConfig
 from ..core.multichannel import MultiChannelConfig, MultiChannelReceiver
 from ..datapath.nrz import JitterSpec
-from ..datapath.prbs import prbs_sequence
+from ..datapath.prbs import prbs_sequence, sequence_period
 from ..fastpath.backends import BACKENDS, make_channel
+from ..link import LinkConfig, LinkPath, LmsDfe, LossyLineChannel, RxCtle, TxFfe
 from .runner import map_tasks
 
 __all__ = [
     "BACKENDS",
     "make_channel",
+    "LINK_RESIDUAL_JITTER_SPEC",
     "BerSurfaceResult",
     "JitterToleranceResult",
     "MultichannelSweepResult",
+    "EqualizationAblationResult",
     "ber_vs_sj_sweep",
     "ber_vs_frequency_offset_sweep",
+    "ber_vs_channel_loss_sweep",
+    "ber_vs_ctle_peaking_sweep",
+    "equalization_ablation_sweep",
     "jitter_tolerance_sweep",
     "multichannel_sweep",
 ]
+
+#: Residual transmitter jitter of the link sweeps: Table 1's random jitter,
+#: with the deterministic component now *emerging* from channel ISI instead
+#: of being stipulated.
+LINK_RESIDUAL_JITTER_SPEC = JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.021,
+                                       sj_amplitude_ui_pp=0.0)
 
 # --- single-point worker -----------------------------------------------------
 
@@ -396,6 +408,213 @@ def multichannel_sweep(
     return MultichannelSweepResult(
         frequency_offsets=np.asarray(offsets, dtype=float),
         lane_skews_ui=np.asarray(skews, dtype=float),
+        errors=np.array([o[0] for o in outcomes], dtype=np.int64),
+        compared=np.array([o[1] for o in outcomes], dtype=np.int64),
+        backend=backend,
+    )
+
+
+# --- link-path sweeps ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _LinkTask:
+    """One link-driven sweep point: link config + CDR config + stimulus."""
+
+    link: LinkConfig
+    config: CdrChannelConfig
+    jitter: JitterSpec
+    n_bits: int
+    prbs_order: int
+    backend: str
+
+
+def _measure_link_point(task: _LinkTask, rng: np.random.Generator
+                        ) -> tuple[int, int]:
+    """Simulate one link-driven point; return ``(errors, compared_bits)``."""
+    bits = prbs_sequence(task.prbs_order, task.n_bits)
+    stream = LinkPath(task.link).transmit(
+        bits,
+        jitter=task.jitter,
+        rng=rng,
+        pattern_period=sequence_period(task.prbs_order),
+    )
+    channel = make_channel(task.config, task.backend)
+    measurement = channel.run(bits, rng=rng, stream=stream).ber()
+    return measurement.errors, measurement.compared_bits
+
+
+def _default_equalized_link() -> LinkConfig:
+    """The sweeps' reference equalizer line-up (FFE de-emphasis + CTLE)."""
+    return LinkConfig(tx_ffe=TxFfe.de_emphasis(post_db=3.5),
+                      rx_ctle=RxCtle(peaking_db=6.0))
+
+
+def ber_vs_channel_loss_sweep(
+    loss_db_values: np.ndarray,
+    *,
+    link: LinkConfig | None = None,
+    config: CdrChannelConfig | None = None,
+    jitter: JitterSpec | None = None,
+    n_bits: int = 2000,
+    prbs_order: int = 7,
+    backend: str = "fast",
+    seed: int | None = 0,
+    workers: int | None = None,
+) -> BerSurfaceResult:
+    """Time-domain BER versus channel loss at Nyquist (dB).
+
+    Each sweep point rebuilds the *link* template around a
+    :class:`~repro.link.LossyLineChannel` scaled to the requested Nyquist
+    loss; the per-point pulse response and pattern displacement table are
+    computed once and reused for the whole bit stream.  The result grid is
+    one row by ``len(loss_db_values)`` columns.
+    """
+    config = config or CdrChannelConfig()
+    link = link or LinkConfig()
+    jitter = jitter or LINK_RESIDUAL_JITTER_SPEC
+    loss_db_values = np.asarray(loss_db_values, dtype=float)
+    require_positive_int("n_bits", n_bits)
+
+    tasks = [
+        _LinkTask(
+            link=link.with_channel(LossyLineChannel.for_loss_at_nyquist(
+                float(loss_db), link.timebase.bit_rate_hz)),
+            config=config,
+            jitter=jitter,
+            n_bits=n_bits,
+            prbs_order=prbs_order,
+            backend=backend,
+        )
+        for loss_db in loss_db_values
+    ]
+    outcomes = map_tasks(_measure_link_point, tasks, seed=seed, workers=workers)
+    return _grid_result(np.array([0.0]), loss_db_values, outcomes, backend, n_bits)
+
+
+def ber_vs_ctle_peaking_sweep(
+    peaking_db_values: np.ndarray,
+    *,
+    loss_db: float = 14.0,
+    link: LinkConfig | None = None,
+    config: CdrChannelConfig | None = None,
+    jitter: JitterSpec | None = None,
+    n_bits: int = 2000,
+    prbs_order: int = 7,
+    backend: str = "fast",
+    seed: int | None = 0,
+    workers: int | None = None,
+) -> BerSurfaceResult:
+    """Time-domain BER versus CTLE peaking (dB) at a fixed channel loss.
+
+    The equalizer-design companion of the loss sweep: the channel is fixed
+    (*loss_db* at Nyquist) and the receiver's CTLE peaking magnitude is
+    swept, exposing the under-/over-equalization trade-off.
+    """
+    config = config or CdrChannelConfig()
+    link = link or LinkConfig()
+    jitter = jitter or LINK_RESIDUAL_JITTER_SPEC
+    peaking_db_values = np.asarray(peaking_db_values, dtype=float)
+    require_positive_int("n_bits", n_bits)
+    channel = LossyLineChannel.for_loss_at_nyquist(
+        float(loss_db), link.timebase.bit_rate_hz)
+    base_ctle = link.rx_ctle or RxCtle()
+
+    tasks = [
+        _LinkTask(
+            link=link.with_channel(channel).with_equalization(
+                tx_ffe=link.tx_ffe,
+                rx_ctle=base_ctle.with_peaking(float(peaking_db)),
+                dfe=link.dfe,
+            ),
+            config=config,
+            jitter=jitter,
+            n_bits=n_bits,
+            prbs_order=prbs_order,
+            backend=backend,
+        )
+        for peaking_db in peaking_db_values
+    ]
+    outcomes = map_tasks(_measure_link_point, tasks, seed=seed, workers=workers)
+    return _grid_result(np.array([float(loss_db)]), peaking_db_values, outcomes,
+                        backend, n_bits)
+
+
+@dataclass(frozen=True)
+class EqualizationAblationResult:
+    """Error counts of the same channel under different equalizer line-ups."""
+
+    labels: tuple[str, ...]
+    loss_db: float
+    errors: np.ndarray
+    compared: np.ndarray
+    backend: str
+
+    @property
+    def ber(self) -> np.ndarray:
+        """Measured BER per line-up (NaN where nothing was compared)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(self.compared > 0, self.errors / self.compared, np.nan)
+
+    def as_dict(self) -> dict[str, float]:
+        """``{line-up label: BER}`` for reporting."""
+        return {label: float(value)
+                for label, value in zip(self.labels, self.ber)}
+
+
+def equalization_ablation_sweep(
+    loss_db: float = 14.0,
+    *,
+    link: LinkConfig | None = None,
+    config: CdrChannelConfig | None = None,
+    jitter: JitterSpec | None = None,
+    dfe: LmsDfe | None = None,
+    n_bits: int = 2000,
+    prbs_order: int = 7,
+    backend: str = "fast",
+    seed: int | None = 0,
+    workers: int | None = None,
+) -> EqualizationAblationResult:
+    """BER of one lossy channel under progressively richer equalization.
+
+    Runs the same channel unequalized, FFE-only, CTLE-only, FFE+CTLE and
+    (when *dfe* is given) FFE+CTLE+DFE — one parallel task per line-up —
+    demonstrating the eye reopening stage by stage.
+    """
+    config = config or CdrChannelConfig()
+    template = link or _default_equalized_link()
+    jitter = jitter or LINK_RESIDUAL_JITTER_SPEC
+    require_positive_int("n_bits", n_bits)
+    channel = LossyLineChannel.for_loss_at_nyquist(
+        float(loss_db), template.timebase.bit_rate_hz)
+    ffe = template.tx_ffe or TxFfe.de_emphasis(post_db=3.5)
+    ctle = template.rx_ctle or RxCtle(peaking_db=6.0)
+
+    lineups: list[tuple[str, TxFfe | None, RxCtle | None, LmsDfe | None]] = [
+        ("unequalized", None, None, None),
+        ("ffe", ffe, None, None),
+        ("ctle", None, ctle, None),
+        ("ffe+ctle", ffe, ctle, None),
+    ]
+    if dfe is not None:
+        lineups.append(("ffe+ctle+dfe", ffe, ctle, dfe))
+
+    tasks = [
+        _LinkTask(
+            link=template.with_channel(channel).with_equalization(
+                tx_ffe=task_ffe, rx_ctle=task_ctle, dfe=task_dfe),
+            config=config,
+            jitter=jitter,
+            n_bits=n_bits,
+            prbs_order=prbs_order,
+            backend=backend,
+        )
+        for _label, task_ffe, task_ctle, task_dfe in lineups
+    ]
+    outcomes = map_tasks(_measure_link_point, tasks, seed=seed, workers=workers)
+    return EqualizationAblationResult(
+        labels=tuple(label for label, *_rest in lineups),
+        loss_db=float(loss_db),
         errors=np.array([o[0] for o in outcomes], dtype=np.int64),
         compared=np.array([o[1] for o in outcomes], dtype=np.int64),
         backend=backend,

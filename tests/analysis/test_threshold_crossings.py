@@ -1,0 +1,55 @@
+"""Tests for the shared threshold-crossing routine.
+
+One routine serves both the circuit-level transient result and the link
+front end's edge extraction; these tests pin its interpolation semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timing import threshold_crossings
+
+
+class TestThresholdCrossings:
+    def test_linear_interpolation_of_crossing_instant(self):
+        times = np.array([0.0, 1.0, 2.0])
+        values = np.array([-1.0, 1.0, -1.0])
+        rising = threshold_crossings(times, values, kind="rising")
+        falling = threshold_crossings(times, values, kind="falling")
+        assert rising == pytest.approx([0.5])
+        assert falling == pytest.approx([1.5])
+
+    def test_any_merges_both_directions(self):
+        times = np.linspace(0.0, 3.0 * np.pi, 3001)
+        crossings = threshold_crossings(times, np.sin(times), kind="any")
+        assert crossings == pytest.approx([np.pi, 2.0 * np.pi], abs=1e-3)
+
+    def test_nonzero_threshold(self):
+        times = np.array([0.0, 1.0])
+        values = np.array([0.0, 1.0])
+        crossings = threshold_crossings(times, values, threshold=0.25,
+                                        kind="rising")
+        assert crossings == pytest.approx([0.25])
+
+    def test_touching_from_above_counts_as_falling(self):
+        # Mirrors the transient analyser's original semantics: reaching the
+        # threshold exactly counts as a crossing.
+        times = np.array([0.0, 1.0, 2.0])
+        values = np.array([1.0, 0.0, 1.0])
+        falling = threshold_crossings(times, values, kind="falling")
+        assert falling == pytest.approx([1.0])
+
+    def test_no_crossings_and_validation(self):
+        assert threshold_crossings(np.array([0.0, 1.0]),
+                                   np.array([1.0, 2.0])).size == 0
+        assert threshold_crossings(np.array([0.0]), np.array([1.0])).size == 0
+        with pytest.raises(ValueError):
+            threshold_crossings(np.array([0.0, 1.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            threshold_crossings(np.array([0.0, 1.0]), np.array([-1.0, 1.0]),
+                                kind="sideways")
+
+    def test_nonuniform_time_steps(self):
+        times = np.array([0.0, 3.0])
+        values = np.array([-1.0, 2.0])
+        assert threshold_crossings(times, values) == pytest.approx([1.0])

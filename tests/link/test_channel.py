@@ -1,0 +1,93 @@
+"""Tests for the lossy-channel models (frequency and time domain)."""
+
+import numpy as np
+import pytest
+
+from repro.link import (
+    ButterworthChannel,
+    IdealChannel,
+    LinkTimebase,
+    LossyLineChannel,
+    SinglePoleChannel,
+)
+
+
+class TestIdealChannel:
+    def test_unity_response(self):
+        channel = IdealChannel()
+        f = np.linspace(0.0, 5e9, 11)
+        assert np.allclose(channel.frequency_response(f), 1.0)
+
+    def test_pulse_response_is_rectangle(self):
+        timebase = LinkTimebase()
+        pulse = IdealChannel().pulse_response(timebase, n_ui=16)
+        spu = timebase.samples_per_ui
+        assert pulse[:spu] == pytest.approx(np.ones(spu), abs=1e-9)
+        assert pulse[spu:] == pytest.approx(np.zeros(pulse.size - spu), abs=1e-9)
+
+
+class TestSinglePole:
+    def test_half_power_at_cutoff(self):
+        channel = SinglePoleChannel(cutoff_hz=1.0e9)
+        assert channel.loss_db(1.0e9) == pytest.approx(3.0103, rel=1e-3)
+
+    def test_loss_monotone_in_frequency(self):
+        channel = SinglePoleChannel(cutoff_hz=1.0e9)
+        losses = channel.loss_db(np.array([0.5e9, 1.0e9, 2.0e9, 4.0e9]))
+        assert np.all(np.diff(losses) > 0.0)
+
+
+class TestButterworth:
+    def test_unity_dc_gain(self):
+        for order in (1, 2, 3, 4):
+            channel = ButterworthChannel(cutoff_hz=2.0e9, order=order)
+            response = channel.frequency_response(np.array([0.0]))
+            assert abs(response[0]) == pytest.approx(1.0, rel=1e-9)
+
+    def test_3db_at_cutoff_any_order(self):
+        for order in (1, 2, 3):
+            channel = ButterworthChannel(cutoff_hz=2.0e9, order=order)
+            assert channel.loss_db(2.0e9) == pytest.approx(3.0103, rel=1e-3)
+
+    def test_higher_order_rolls_off_faster(self):
+        f = 8.0e9
+        losses = [ButterworthChannel(cutoff_hz=2.0e9, order=n).loss_db(f)
+                  for n in (1, 2, 3)]
+        assert losses[0] < losses[1] < losses[2]
+
+
+class TestLossyLine:
+    def test_loss_increases_with_frequency_and_length(self):
+        line = LossyLineChannel(length_m=1.0)
+        losses = line.loss_db(np.array([0.1e9, 0.5e9, 1.25e9, 2.5e9]))
+        assert np.all(np.diff(losses) > 0.0)
+        longer = line.with_length(2.0)
+        assert longer.loss_db(1.25e9) == pytest.approx(2.0 * line.loss_db(1.25e9),
+                                                       rel=1e-6)
+
+    def test_for_loss_at_nyquist_hits_target(self):
+        for target in (3.0, 8.0, 15.0):
+            line = LossyLineChannel.for_loss_at_nyquist(target, 2.5e9)
+            assert line.loss_db(1.25e9) == pytest.approx(target, rel=1e-6)
+
+    def test_bulk_delay_stripped(self):
+        # The pulse response must peak within a few UI of the launch, not
+        # after the multi-UI flight time of the physical line.
+        timebase = LinkTimebase()
+        line = LossyLineChannel.for_loss_at_nyquist(10.0, 2.5e9)
+        pulse = line.pulse_response(timebase, n_ui=64)
+        peak_ui = np.argmax(pulse) / timebase.samples_per_ui
+        assert peak_ui < 4.0
+
+    def test_propagation_constant_positive_attenuation(self):
+        line = LossyLineChannel()
+        gamma, impedance = line.propagation_constant(np.array([1.0e9]))
+        assert gamma.real[0] > 0.0
+        assert impedance.real[0] > 0.0
+
+    def test_pulse_energy_decreases_with_loss(self):
+        timebase = LinkTimebase()
+        peaks = [np.max(LossyLineChannel.for_loss_at_nyquist(loss, 2.5e9)
+                        .pulse_response(timebase, n_ui=64))
+                 for loss in (2.0, 8.0, 14.0)]
+        assert peaks[0] > peaks[1] > peaks[2]
