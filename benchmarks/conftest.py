@@ -35,3 +35,23 @@ def save_result(results_dir):
         return path
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def save_sweep_result(results_dir):
+    """Return a writer ``save(result)`` for engine sweep results.
+
+    Persists a :class:`repro.experiments.SweepResult` as lossless JSON
+    (``<name>.json``, reloadable with ``SweepResult.load``) plus a
+    long-format CSV companion — the serialized engine output replaces the
+    hand-formatted text files the sweep benchmarks used to write.
+    """
+
+    def _save(result, name: str | None = None) -> Path:
+        stem = name or result.name
+        path = results_dir / f"{stem}.json"
+        result.save(path)
+        (results_dir / f"{stem}.csv").write_text(result.to_csv())
+        return path
+
+    return _save

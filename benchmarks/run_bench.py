@@ -1,13 +1,18 @@
 """Fast-path performance tracker: times the headline sweeps on both backends.
 
 Runs the fig09-style BER-vs-SJ sweep, the fig10-style BER-vs-frequency-offset
-sweep and the fig14 eye simulation end-to-end with the event-kernel backend
-and the vectorized fast path, checks that the two agree bit-for-bit (the
-sweeps run zero-gate-jitter configurations), and writes wall times plus
-speedups to ``BENCH_fastpath.json`` at the repository root so the perf
-trajectory is tracked from PR to PR.
+sweep, the fig14 eye simulation and the link BER-vs-loss sweep end-to-end
+with the event-kernel backend and the vectorized fast path, checks that the
+two agree bit-for-bit (the sweeps run zero-gate-jitter configurations), and
+writes wall times plus speedups to ``BENCH_fastpath.json`` at the repository
+root so the perf trajectory is tracked from PR to PR.  The sweep entries
+embed the engine's serialized :class:`repro.experiments.SweepResult`, so the
+measured grids are reloadable (``SweepResult.from_dict``) without re-running.
 
-Run with:  PYTHONPATH=src python benchmarks/run_bench.py [--quick]
+The run *fails* (exit code 1) when any benchmark's fastpath speedup drops
+below the floor (default 5x, ``--floor``) — the regression gate CI relies on.
+
+Run with:  PYTHONPATH=src python benchmarks/run_bench.py [--quick] [--floor X]
 """
 
 from __future__ import annotations
@@ -70,6 +75,7 @@ def bench_fig09_sj_sweep(n_bits: int) -> dict:
         "speedup": round(event_s / fast_s, 2),
         "identical_error_counts": True,
         "total_errors": int(fast.total_errors),
+        "sweep_result": fast.source.to_dict(),
     }
 
 
@@ -88,6 +94,7 @@ def bench_fig10_offset_sweep(n_bits: int) -> dict:
     return {
         "grid_points": int(offsets.size),
         "n_bits_per_point": n_bits,
+        "sweep_result": fast.source.to_dict(),
         "event_s": round(event_s, 3),
         "fast_s": round(fast_s, 3),
         "speedup": round(event_s / fast_s, 2),
@@ -146,6 +153,7 @@ def bench_link_ber_vs_loss(n_bits: int) -> dict:
     return {
         "grid_points": int(losses.size),
         "n_bits_per_point": n_bits,
+        "sweep_result": fast.source.to_dict(),
         "event_s": round(event_s, 3),
         "fast_s": round(fast_s, 3),
         "speedup": round(event_s / fast_s, 2),
@@ -158,6 +166,8 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="smaller bit budgets (CI smoke run)")
+    parser.add_argument("--floor", type=float, default=5.0,
+                        help="minimum acceptable fastpath speedup (default 5)")
     arguments = parser.parse_args()
     scale = 1 if arguments.quick else 2
 
@@ -191,11 +201,16 @@ def main() -> int:
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")
 
-    slowest = min(entry["speedup"] for entry in payload["benchmarks"].values())
-    if fig09["speedup"] < 5.0:
-        print(f"WARNING: fig09 speedup {fig09['speedup']}x below the 5x target")
+    floor = arguments.floor
+    below = {name: entry["speedup"]
+             for name, entry in payload["benchmarks"].items()
+             if entry["speedup"] < floor}
+    if below:
+        for name, speedup in sorted(below.items()):
+            print(f"FAIL: {name} speedup {speedup}x below the {floor}x floor")
         return 1
-    print(f"all speedups >= {slowest}x (fig09 target: >= 5x) — OK")
+    slowest = min(entry["speedup"] for entry in payload["benchmarks"].values())
+    print(f"all speedups >= {slowest}x (floor: >= {floor}x) — OK")
     return 0
 
 

@@ -5,7 +5,6 @@ offset, quantifying where the T/8-earlier tap pays off (slow oscillator) and
 confirming it never costs more than it gains in the paper's operating region.
 """
 
-import numpy as np
 
 from repro.reporting.tables import TextTable
 from repro.statistical.ber_model import (

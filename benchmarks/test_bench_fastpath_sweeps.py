@@ -6,12 +6,17 @@ sweep *shapes* in the time domain through :mod:`repro.sweep` with the
 vectorized fast-path backend, confirming the moderate-BER region the paper
 verifies with VHDL simulation — and exercising the ``backend`` switch that
 keeps the event kernel as the equivalence reference.
+
+Each benchmark persists the engine's serializable
+:class:`~repro.experiments.SweepResult` (JSON + CSV) into
+``benchmarks/results/`` instead of hand-formatted text, so the numbers can
+be reloaded losslessly with ``SweepResult.load``.
 """
 
 import numpy as np
 
 from repro.datapath.nrz import JitterSpec
-from repro.reporting.tables import TextTable
+from repro.experiments import SweepResult
 from repro.sweep import ber_vs_frequency_offset_sweep, ber_vs_sj_sweep
 
 #: Base jitter: milder than Table 1 so the 1500-bit runs sit near the
@@ -26,29 +31,14 @@ OFFSETS = np.array([0.0, 0.01, 0.05])
 N_BITS = 1500
 
 
-def render_surface(result, title: str, columns, row_header: str) -> str:
-    table = TextTable(
-        headers=[row_header] + [f"{c:g}" for c in columns],
-        title=title,
-    )
-    for row in range(result.errors.shape[0]):
-        label = f"{result.rows[row]:.2f}" if result.rows.size > 1 else "-"
-        table.add_row(label, *[f"{int(result.errors[row, col])}"
-                               for col in range(result.errors.shape[1])])
-    return table.render()
-
-
-def test_bench_fastpath_ber_vs_sj(benchmark, save_result):
+def test_bench_fastpath_ber_vs_sj(benchmark, save_sweep_result):
     result = benchmark.pedantic(
         lambda: ber_vs_sj_sweep(
             FREQUENCIES, AMPLITUDES_UI_PP, base_jitter=BASE_JITTER,
             n_bits=N_BITS, backend="fast", seed=9, workers=1),
         rounds=1, iterations=1)
-    save_result(
-        "fastpath_ber_vs_sj",
-        render_surface(result, "Time-domain BER-vs-SJ errors (fast backend, "
-                               f"{N_BITS} PRBS7 bits/point)",
-                       NORMALISED_FREQUENCIES, "SJ amplitude [UIpp] \\ f/fb"))
+    path = save_sweep_result(result.source, "fastpath_ber_vs_sj")
+    assert SweepResult.load(path).equals(result.source)
 
     # Low-frequency SJ is common mode: the re-phased oscillator tracks it
     # error-free.  (At 1.0 UIpp the displacement peaks at exactly +/-0.5 UI,
@@ -61,24 +51,20 @@ def test_bench_fastpath_ber_vs_sj(benchmark, save_result):
     assert np.all(np.diff(result.errors[:, -1]) >= 0)
 
 
-def test_bench_fastpath_ber_vs_offset(benchmark, save_result):
+def test_bench_fastpath_ber_vs_offset(benchmark, save_sweep_result):
     result = benchmark.pedantic(
         lambda: ber_vs_frequency_offset_sweep(
             OFFSETS, jitter=BASE_JITTER, n_bits=N_BITS,
             backend="fast", seed=9, workers=1),
         rounds=1, iterations=1)
-    save_result(
-        "fastpath_ber_vs_offset",
-        render_surface(result, "Time-domain BER-vs-frequency-offset errors "
-                               f"(fast backend, {N_BITS} PRBS7 bits/point)",
-                       OFFSETS, "\\ frequency offset"))
+    save_sweep_result(result.source, "fastpath_ber_vs_offset")
 
     # A 5 % slow oscillator erodes the late side of long runs: strictly
     # worse than the on-frequency case.
     assert result.errors[0, -1] >= result.errors[0, 0]
 
 
-def test_bench_fastpath_matches_event_backend(benchmark, save_result):
+def test_bench_fastpath_matches_event_backend(benchmark, save_sweep_result):
     """One grid point cross-checked against the event kernel, end to end."""
     def both():
         fast = ber_vs_sj_sweep(
@@ -92,6 +78,6 @@ def test_bench_fastpath_matches_event_backend(benchmark, save_result):
     fast, event = benchmark.pedantic(both, rounds=1, iterations=1)
     assert np.array_equal(fast.errors, event.errors)
     assert np.array_equal(fast.compared, event.compared)
-    save_result("fastpath_backend_crosscheck",
-                f"fast errors={fast.errors.tolist()} "
-                f"event errors={event.errors.tolist()} (identical)")
+    assert fast.source.point_backends == ("fast",)
+    assert event.source.point_backends == ("event",)
+    save_sweep_result(fast.source, "fastpath_backend_crosscheck")

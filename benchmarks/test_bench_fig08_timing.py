@@ -31,7 +31,6 @@ def simulate_single_edge():
 
 def render(config, result) -> str:
     ui = config.unit_interval_s
-    start = result.stream.start_time_s
     table = TextTable(headers=["signal", "event", "time [UI after first DIN edge]"],
                       title="Figure 8: GCCO timing around one data edge")
     din_edge = result.trace("din").edges("rising")[0]

@@ -11,7 +11,7 @@ everywhere inside the InfiniBand mask's frequency range.
 import numpy as np
 
 from repro import units
-from repro.reporting.tables import Series, TextTable
+from repro.reporting.tables import TextTable
 from repro.statistical.ber_model import CdrJitterBudget
 from repro.statistical.jtol import ber_vs_sinusoidal_jitter
 

@@ -3,11 +3,14 @@
 Sweeps sinusoidal-jitter amplitude/frequency (the paper's Figures 9/10) and
 frequency offset, for both the nominal and the improved sampling tap, and
 compares the resulting tolerance against the InfiniBand mask (Figure 5).
-The final section re-runs the BER-vs-SJ and jitter-tolerance sweeps in the
-time domain through :mod:`repro.sweep` (fast-path backend, parallel workers)
-— the measured companion of the analytic surfaces.
+The final section runs the same studies in the time domain through the
+declarative :mod:`repro.experiments` engine: a frozen ``ScenarioSpec`` plus
+``ParameterAxis`` objects describe each study, ``run_grid`` /
+``run_tolerance_search`` execute it on the deterministic parallel pool, and
+the serializable ``SweepResult`` renders straight through
+:mod:`repro.reporting` — the measured companion of the analytic surfaces.
 
-Run with:  python examples/jitter_tolerance_sweep.py [--backend event|fast]
+Run with:  python examples/jitter_tolerance_sweep.py [--backend auto|event|fast]
 """
 
 import argparse
@@ -16,6 +19,15 @@ import numpy as np
 
 from repro import units
 from repro.datapath.nrz import JitterSpec
+from repro.experiments import (
+    ParameterAxis,
+    ScenarioSpec,
+    StimulusSpec,
+    ToleranceSearch,
+    run_grid,
+    run_tolerance_search,
+)
+from repro.fastpath.backends import AUTO_BACKEND, BACKENDS
 from repro.reporting import Series, TextTable
 from repro.specs import infiniband_mask
 from repro.statistical import (
@@ -26,7 +38,6 @@ from repro.statistical import (
     frequency_tolerance,
     jitter_tolerance_curve,
 )
-from repro.sweep import ber_vs_sj_sweep, jitter_tolerance_sweep
 
 GRID = 4.0e-3
 
@@ -75,41 +86,57 @@ def frequency_tolerance_study() -> None:
     print(table.render())
 
     ftol = frequency_tolerance(grid_step_ui=GRID, max_offset=0.1, resolution=5e-4)
-    print(f"Frequency tolerance (Table 1 jitter only): "
+    print("Frequency tolerance (Table 1 jitter only): "
           f"+{ftol.positive_tolerance_ppm:.0f} / -{ftol.negative_tolerance_ppm:.0f} ppm "
-          f"(specification: +/-100 ppm)")
+          "(specification: +/-100 ppm)")
 
 
 def time_domain_sweeps(backend: str) -> None:
-    """Measured BER-vs-SJ surface and tolerance via the parallel sweep runner."""
-    base = JitterSpec(dj_ui_pp=0.2, rj_ui_rms=0.01, sj_phase_rad=np.pi / 2)
+    """Measured BER-vs-SJ surface and tolerance as declarative studies."""
+    base = JitterSpec(dj_ui_pp=0.2, rj_ui_rms=0.01)
     normalised = np.array([1e-3, 1e-2, 0.3])
-    amplitudes = np.array([0.1, 0.6, 1.0])
-    surface = ber_vs_sj_sweep(
-        normalised * units.DEFAULT_BIT_RATE, amplitudes, base_jitter=base,
-        n_bits=1500, backend=backend, seed=9)
-    table = TextTable(
-        headers=["SJ amplitude [UIpp]"] + [f"f/fb={f:g}" for f in normalised],
-        title=f"Time-domain bit errors over 1500 PRBS7 bits ({backend} backend)")
-    for row, amplitude in enumerate(amplitudes):
-        table.add_row(f"{amplitude:.1f}",
-                      *[str(int(surface.errors[row, col]))
-                        for col in range(surface.errors.shape[1])])
-    print(table.render())
 
-    tolerance = jitter_tolerance_sweep(
-        np.array([2.5e5, 2.5e7, 7.5e8]), base_jitter=base, n_bits=800,
-        backend=backend, seed=5, max_amplitude_ui_pp=8.0, target_errors=1)
-    series = Series("Measured SJ tolerance (<=1 error / 800 bits)",
-                    "frequency_hz", "amplitude_ui_pp")
-    series.extend(tolerance.frequencies_hz, tolerance.amplitudes_ui_pp)
-    print(series.render())
+    # One frozen scenario + axes fully describe the study; the engine
+    # resolves the backend per point (``auto`` keeps the fast path while
+    # the configuration stays exactly equivalent) and runs the grid on
+    # the deterministic parallel pool.
+    scenario = ScenarioSpec(
+        stimulus=StimulusSpec(kind="prbs", n_bits=1500, prbs_order=7),
+        jitter=base,
+        backend=backend,
+    )
+    surface = run_grid(
+        scenario,
+        [ParameterAxis("sj_amplitude_ui_pp", (0.1, 0.6, 1.0)),
+         ParameterAxis("sj_frequency_hz",
+                       tuple(normalised * units.DEFAULT_BIT_RATE))],
+        name="Time-domain bit errors over 1500 PRBS7 bits",
+        seed=9)
+    print(TextTable.from_sweep_result(
+        surface,
+        title=f"{surface.name} (backend={backend} -> "
+              f"{surface.point_backends[0]})").render())
+
+    tolerance = run_tolerance_search(
+        ScenarioSpec(stimulus=StimulusSpec(kind="prbs", n_bits=800),
+                     jitter=base, backend=backend),
+        [ParameterAxis("sj_frequency_hz", (2.5e5, 2.5e7, 7.5e8))],
+        ToleranceSearch(axis="sj_amplitude_ui_pp", maximum=8.0,
+                        target_errors=1),
+        name="Measured SJ tolerance (<=1 error / 800 bits)",
+        seed=5)
+    print(Series.from_sweep_result(tolerance, "sj_amplitude_ui_pp").render())
+    # The engine result serializes losslessly — e.g. for the benchmark
+    # harness: tolerance.save("jtol.json"); SweepResult.load("jtol.json").
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--backend", choices=("event", "fast"), default="fast",
-                        help="time-domain channel backend (default: fast)")
+    parser.add_argument("--backend",
+                        choices=sorted(BACKENDS) + [AUTO_BACKEND],
+                        default=AUTO_BACKEND,
+                        help="time-domain channel backend (default: auto, "
+                             "resolved per scenario by the registry)")
     arguments = parser.parse_args()
     ber_surface()
     tolerance_vs_mask()

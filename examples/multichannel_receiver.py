@@ -52,7 +52,7 @@ def main() -> None:
     # --- parallel lane sweep through the sweep runner ------------------------
     from repro.sweep import multichannel_sweep
     sweep = multichannel_sweep(config, n_bits=800, backend="fast", seed=2026)
-    print(f"parallel sweep (SeedSequence-spawned lanes): "
+    print("parallel sweep (SeedSequence-spawned lanes): "
           f"errors per lane {sweep.errors.tolist()}, "
           f"aggregate BER {sweep.aggregate_ber:.2e}\n")
 
@@ -63,7 +63,7 @@ def main() -> None:
         read_rate_hz=250.0e6,                    # system byte clock
         depth=16,
     )
-    print(f"Elastic buffer (depth 16, +100 ppm): occupancy "
+    print("Elastic buffer (depth 16, +100 ppm): occupancy "
           f"{stats.min_occupancy}..{stats.max_occupancy}, slips {stats.slips}")
 
 

@@ -10,11 +10,10 @@ clock-aligned eye diagram (the paper's Figures 14 and 16).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from .. import units
 from .._validation import require_positive_int
 from ..analysis.ber_counter import BerMeasurement, align_and_count
 from ..analysis.eye import EyeDiagram

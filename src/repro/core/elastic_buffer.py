@@ -12,9 +12,8 @@ the overflow statistics matter for the system-level specification.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-import numpy as np
 
 from .._validation import require_positive, require_positive_int
 

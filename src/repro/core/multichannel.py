@@ -30,10 +30,9 @@ from .._validation import require_non_negative, require_positive, require_positi
 from ..analysis.ber_counter import BerMeasurement
 from ..datapath.nrz import JitterSpec
 from ..datapath.prbs import PrbsGenerator
-from ..pll.components import CurrentControlledOscillator
 from ..pll.pll import ChannelBiasMismatch, PllConfig, SharedPll
 from ..statistical.ber_model import CdrJitterBudget, GatedOscillatorBerModel
-from .cdr_channel import BehavioralCdrChannel, BehavioralSimulationResult
+from .cdr_channel import BehavioralSimulationResult
 from .config import CdrChannelConfig
 
 __all__ = [
@@ -207,9 +206,11 @@ class MultiChannelReceiver:
     ) -> MultiChannelBehaviouralReport:
         """Time-domain simulation of every channel with independent PRBS data.
 
-        *backend* selects the channel model: ``"event"`` (the event-kernel
-        reference, default) or ``"fast"`` (the vectorized fast path, which
-        on the default zero-gate-jitter configs produces identical results).
+        *backend* resolves through the capability registry
+        (:func:`repro.fastpath.backends.resolve_backend`): ``"event"`` is
+        the event-kernel reference (default), ``"fast"`` the vectorized
+        fast path (identical results on zero-gate-jitter configs), and
+        ``"auto"`` picks the fastest exactly-equivalent backend per lane.
         For parallel lane execution use :func:`repro.sweep.multichannel_sweep`.
         """
         config = self.config
@@ -220,7 +221,7 @@ class MultiChannelReceiver:
         # Deferred import: repro.fastpath imports repro.core back, and
         # `import repro.fastpath` as the entry point would find this
         # module's names only after both packages finish initialising.
-        from ..fastpath.backends import make_channel
+        from ..fastpath.backends import resolve_backend
 
         results: list[BehavioralSimulationResult] = []
         measurements: list[BerMeasurement] = []
@@ -228,7 +229,7 @@ class MultiChannelReceiver:
             generator = PrbsGenerator(prbs_order, seed=(index + 1))
             bits = generator.bits(n_bits)
             channel_config = config.channel.with_frequency_offset(float(offsets[index]))
-            channel = make_channel(channel_config, backend)
+            channel = resolve_backend(channel_config, backend).factory(channel_config)
             result = channel.run(
                 bits,
                 jitter=jitter,

@@ -150,7 +150,7 @@ class Encoder8b10b:
             if byte_value not in _K_CODES_RD_NEG:
                 raise EncodingError(
                     f"{symbol_name(byte_value, control=True)} is not a valid "
-                    f"control character"
+                    "control character"
                 )
             code = _K_CODES_RD_NEG[byte_value]
             if self.running_disparity > 0:

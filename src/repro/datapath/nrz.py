@@ -17,7 +17,7 @@ and event-driven simulators consume, applying
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -20,8 +20,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Generator, Iterable
+from dataclasses import dataclass
+from typing import Callable, Generator
 
 from .._validation import require_non_negative
 

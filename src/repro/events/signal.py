@@ -10,7 +10,7 @@ model of the gated CCO (Figure 12).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable
 
 from .._validation import require_non_negative
 from .kernel import SimulationError, Simulator

@@ -1,0 +1,65 @@
+"""Declarative experiment engine: scenarios in, serializable results out.
+
+Every parameter study of the reproduction is described, not programmed: a
+frozen :class:`ScenarioSpec` (stimulus, optional jitter injection, optional
+:class:`~repro.link.LinkConfig` front end, CDR configuration, measurement
+plan, backend request) plus one :class:`ParameterAxis` per swept dimension
+fully define a study, and one generic engine executes it::
+
+    from repro.experiments import ParameterAxis, ScenarioSpec, run_grid
+
+    result = run_grid(
+        ScenarioSpec(),                       # paper-nominal scenario
+        [ParameterAxis("frequency_offset", (0.0, 0.01, 0.05))],
+        name="ber_vs_offset", seed=0)
+    print(result.to_table().render())
+    result.save("ber_vs_offset.json")         # lossless round-trip
+
+Execution runs on the deterministic :mod:`repro.sweep.runner` pool (same
+results at any worker count); the backend of every resolved point goes
+through the capability registry in :mod:`repro.fastpath.backends`, so
+``backend="auto"`` picks the fastest exactly-equivalent engine per point.
+The seven public sweeps in :mod:`repro.sweep` are thin wrappers over this
+package; new studies should start from a spec, not a pipeline.
+"""
+
+from .spec import (
+    AXIS_APPLICATORS,
+    STIMULUS_KINDS,
+    EqualizerLineup,
+    LaneSpec,
+    MeasurementPlan,
+    ParameterAxis,
+    ScenarioSpec,
+    StimulusSpec,
+    apply_axis,
+    register_axis,
+)
+from .results import AxisResult, SweepResult
+from .engine import (
+    ToleranceSearch,
+    resolve_grid,
+    run_grid,
+    run_tolerance_search,
+    simulate_scenario,
+)
+
+__all__ = [
+    "AXIS_APPLICATORS",
+    "STIMULUS_KINDS",
+    "AxisResult",
+    "EqualizerLineup",
+    "LaneSpec",
+    "MeasurementPlan",
+    "ParameterAxis",
+    "ScenarioSpec",
+    "StimulusSpec",
+    "SweepResult",
+    "ToleranceSearch",
+    "apply_axis",
+    "register_axis",
+    "resolve_grid",
+    "run_grid",
+    "run_tolerance_search",
+    "simulate_scenario",
+]

@@ -1,0 +1,308 @@
+"""Generic grid / search execution of declarative scenarios.
+
+One engine replaces the per-sweep pipelines: a study is a base
+:class:`~repro.experiments.spec.ScenarioSpec` plus
+:class:`~repro.experiments.spec.ParameterAxis` objects, and
+
+* :func:`run_grid` measures every point of their cartesian grid,
+* :func:`run_tolerance_search` finds, per grid point, the largest value of
+  one extra axis that still passes an error-count criterion (the
+  jitter-tolerance shape),
+
+both on the deterministic :func:`repro.sweep.runner.map_tasks` pool —
+per-point random streams come from a spawned SeedSequence tree, so any
+worker count produces identical results.  The backend of every resolved
+point goes through :func:`repro.fastpath.backends.resolve_backend`, so
+``backend="auto"`` picks the fastest exactly-equivalent engine per point
+and a forced backend fails loudly when the configuration demands a
+capability it lacks.
+
+The per-point execution (:func:`simulate_scenario`) is deliberately
+identical, call for call and random draw for random draw, to what the
+legacy hand-rolled sweep workers did — the seven public sweeps in
+:mod:`repro.sweep.sweeps` are thin wrappers over this engine and return
+bit-identical numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import require_positive
+from ..fastpath.backends import BACKENDS, resolve_backend
+from ..link import LinkPath
+from .results import AxisResult, SweepResult
+from .spec import ParameterAxis, ScenarioSpec, apply_axis
+
+__all__ = [
+    "ToleranceSearch",
+    "simulate_scenario",
+    "resolve_grid",
+    "run_grid",
+    "run_tolerance_search",
+]
+
+
+# --- single-point execution ---------------------------------------------------
+
+
+def simulate_scenario(spec: ScenarioSpec, rng: np.random.Generator,
+                      backend: str | None = None):
+    """Run one scenario; returns a ``BehavioralSimulationResult``.
+
+    *backend* overrides the spec's request with an already-resolved concrete
+    name (the engine resolves once per point in the parent process); by
+    default the spec's own request is resolved here.  Either way the
+    registry's capability enforcement applies — forcing a backend the
+    configuration rules out raises, it never silently diverges.
+    """
+    if backend is None:
+        backend = resolve_backend(spec.config, spec.backend).name
+    bits = spec.stimulus.bits()
+    channel = BACKENDS[backend].create(spec.config)
+    if spec.link is not None:
+        stream = LinkPath(spec.link).transmit(
+            bits,
+            jitter=spec.jitter,
+            data_rate_offset_ppm=spec.data_rate_offset_ppm,
+            rng=rng,
+            pattern_period=spec.stimulus.pattern_period,
+        )
+        return channel.run(bits, rng=rng, stream=stream)
+    return channel.run(
+        bits,
+        jitter=spec.jitter,
+        data_rate_offset_ppm=spec.data_rate_offset_ppm,
+        rng=rng,
+    )
+
+
+@dataclass(frozen=True)
+class _PointTask:
+    """One resolved grid point: the scenario plus its concrete backend."""
+
+    spec: ScenarioSpec
+    backend: str
+
+
+def _measure_point(task: _PointTask, rng: np.random.Generator) -> tuple:
+    """Pool worker: simulate one point, return its measurements.
+
+    Returns ``(errors, compared, eye metrics or None, retained result or
+    None)`` according to the scenario's measurement plan.
+    """
+    result = simulate_scenario(task.spec, rng, backend=task.backend)
+    measurement = result.ber()
+    plan = task.spec.measurement
+    eye = None
+    if plan.eye:
+        metrics = result.eye_diagram().metrics()
+        eye = {
+            "eye_opening_ui": float(metrics.eye_opening_ui),
+            "eye_centre_ui": float(metrics.eye_centre_ui),
+            "n_crossings": float(metrics.n_crossings),
+        }
+    detail = result if plan.retain == "results" else None
+    return measurement.errors, measurement.compared_bits, eye, detail
+
+
+# --- grid execution -----------------------------------------------------------
+
+
+def resolve_grid(spec: ScenarioSpec, axes: tuple[ParameterAxis, ...]
+                 ) -> list[ScenarioSpec]:
+    """Every grid-point scenario, row-major (first axis outermost)."""
+    axes = tuple(axes)
+    points = []
+    for combination in itertools.product(*(axis.values for axis in axes)):
+        point = spec
+        for axis, value in zip(axes, combination):
+            point = apply_axis(point, axis.name, value)
+        points.append(point)
+    return points
+
+
+def _axis_results(axes: tuple[ParameterAxis, ...]) -> tuple[AxisResult, ...]:
+    return tuple(
+        AxisResult(name=axis.name, labels=axis.value_labels(),
+                   values=axis.numeric_values())
+        for axis in axes)
+
+
+def run_grid(
+    spec: ScenarioSpec,
+    axes: tuple[ParameterAxis, ...] | list[ParameterAxis],
+    *,
+    name: str = "sweep",
+    seed: int | None = 0,
+    workers: int | None = None,
+    metadata: dict | None = None,
+) -> SweepResult:
+    """Measure every point of the axes' cartesian grid.
+
+    Each point's scenario is the base *spec* with the axis values applied
+    in order; its backend is resolved through the capability registry
+    before anything runs, so an impossible forced backend fails before the
+    pool spins up.  Metric grids are shaped ``tuple(len(a) for a in axes)``.
+    """
+    # Deferred import: repro.sweep.sweeps wraps this engine, so importing
+    # the runner through the repro.sweep package at module scope would be
+    # circular when repro.experiments is imported first.
+    from ..sweep.runner import map_tasks
+
+    axes = tuple(axes)
+    points = resolve_grid(spec, axes)
+    tasks = [
+        _PointTask(point, resolve_backend(point.config, point.backend).name)
+        for point in points
+    ]
+    outcomes = map_tasks(_measure_point, tasks, seed=seed, workers=workers)
+
+    shape = tuple(len(axis) for axis in axes)
+    metrics: dict[str, np.ndarray] = {
+        "errors": np.array([o[0] for o in outcomes], dtype=np.int64),
+        "compared": np.array([o[1] for o in outcomes], dtype=np.int64),
+    }
+    if outcomes and outcomes[0][2] is not None:
+        for key in outcomes[0][2]:
+            metrics[key] = np.array([o[2][key] for o in outcomes], dtype=float)
+    for key, flat in metrics.items():
+        metrics[key] = flat.reshape(shape)
+    details = tuple(o[3] for o in outcomes) \
+        if spec.measurement.retain == "results" else None
+
+    return SweepResult(
+        name=name,
+        axes=_axis_results(axes),
+        metrics=metrics,
+        backend=spec.backend,
+        point_backends=tuple(task.backend for task in tasks),
+        n_bits=spec.stimulus.n_bits,
+        seed=seed,
+        metadata=dict(metadata or {}),
+        details=details,
+    )
+
+
+# --- tolerance search ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ToleranceSearch:
+    """Largest passing value of one axis under an error-count criterion.
+
+    Attributes
+    ----------
+    axis:
+        The registered axis searched at every grid point (default: the
+        sinusoidal-jitter amplitude, the paper's jitter-tolerance axis).
+    maximum:
+        Search cap; a point tolerating the cap itself reports the cap.
+    resolution:
+        Bisection stops when the bracket is narrower than this.
+    target_errors:
+        Pass criterion: at most this many bit errors per run.
+    """
+
+    axis: str = "sj_amplitude_ui_pp"
+    maximum: float = 20.0
+    resolution: float = 0.05
+    target_errors: int = 0
+
+    def __post_init__(self) -> None:
+        require_positive("maximum", self.maximum)
+        require_positive("resolution", self.resolution)
+
+
+@dataclass(frozen=True)
+class _SearchTask:
+    """One search point: the scenario, its backend, and the search shape."""
+
+    spec: ScenarioSpec
+    backend: str
+    search: ToleranceSearch
+
+
+def _search_point(task: _SearchTask, rng: np.random.Generator) -> float:
+    """Pool worker: expand-and-bisect the largest passing axis value.
+
+    Every trial draws a child generator deterministically from the task
+    stream, so the search is reproducible regardless of how many trials
+    the bracketing phase needs.
+    """
+    search = task.search
+
+    def passes(value: float) -> bool:
+        child = np.random.default_rng(rng.integers(0, 2**63))
+        point = apply_axis(task.spec, search.axis, float(value))
+        result = simulate_scenario(point, child, backend=task.backend)
+        return result.ber().errors <= search.target_errors
+
+    maximum = search.maximum
+    low = 0.0
+    if not passes(low):
+        return 0.0
+    high = min(0.05, maximum)
+    # Expand geometrically; every value reported as tolerated has been
+    # tested, including the cap itself.
+    while passes(high):
+        low = high
+        if high >= maximum:
+            return maximum
+        high = min(2.0 * high, maximum)
+    while (high - low) > search.resolution:
+        middle = 0.5 * (low + high)
+        if passes(middle):
+            low = middle
+        else:
+            high = middle
+    return low
+
+
+def run_tolerance_search(
+    spec: ScenarioSpec,
+    axes: tuple[ParameterAxis, ...] | list[ParameterAxis],
+    search: ToleranceSearch,
+    *,
+    name: str = "tolerance",
+    seed: int | None = 0,
+    workers: int | None = None,
+    metadata: dict | None = None,
+) -> SweepResult:
+    """Per grid point, the largest *search.axis* value that still passes.
+
+    The single metric grid is named after the search axis (e.g.
+    ``"sj_amplitude_ui_pp"``) and holds the tolerance in that axis's own
+    units at every point of *axes* (typically one frequency axis, giving
+    the classic jitter-tolerance curve).
+    """
+    from ..sweep.runner import map_tasks  # deferred: see run_grid
+
+    axes = tuple(axes)
+    points = resolve_grid(spec, axes)
+    tasks = [
+        _SearchTask(point, resolve_backend(point.config, point.backend).name,
+                    search)
+        for point in points
+    ]
+    amplitudes = map_tasks(_search_point, tasks, seed=seed, workers=workers)
+
+    shape = tuple(len(axis) for axis in axes)
+    info = {"search_axis": search.axis, "maximum": search.maximum,
+            "resolution": search.resolution,
+            "target_errors": search.target_errors}
+    info.update(metadata or {})
+    return SweepResult(
+        name=name,
+        axes=_axis_results(axes),
+        metrics={search.axis:
+                 np.asarray(amplitudes, dtype=float).reshape(shape)},
+        backend=spec.backend,
+        point_backends=tuple(task.backend for task in tasks),
+        n_bits=spec.stimulus.n_bits,
+        seed=seed,
+        metadata=info,
+    )

@@ -15,9 +15,20 @@ enabled it draws statistically identical but not draw-for-draw identical
 jitter, so only distributions (not individual decisions) match.
 """
 
-from .backends import BACKENDS, make_channel
+from .backends import (
+    AUTO_BACKEND,
+    BACKENDS,
+    CAP_GATE_JITTER,
+    BackendSpec,
+    make_channel,
+    register_backend,
+    required_capabilities,
+    resolve_backend,
+)
 from .engine import FastCdrChannel
 from .traces import ArrayRecorder, array_trace
 
-__all__ = ["BACKENDS", "make_channel", "FastCdrChannel", "ArrayRecorder",
+__all__ = ["AUTO_BACKEND", "BACKENDS", "CAP_GATE_JITTER", "BackendSpec",
+           "make_channel", "register_backend", "required_capabilities",
+           "resolve_backend", "FastCdrChannel", "ArrayRecorder",
            "array_trace"]

@@ -20,7 +20,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy import special
 
 from .._validation import require_non_negative, require_positive
 
@@ -227,8 +226,6 @@ def sinusoidal_pdf(peak_to_peak: float, step: float = DEFAULT_GRID_STEP_UI,
     amplitude = 0.5 * peak_to_peak
     grid = _symmetric_grid(amplitude + 2.0 * step, step) + centre
     x = grid - centre
-    inside = np.abs(x) < amplitude
-    density = np.zeros_like(grid)
     # Evaluate the analytic CDF difference per cell to avoid the integrable
     # singularities at +/- amplitude.
     left_edges = np.clip(x - 0.5 * step, -amplitude, amplitude)
@@ -236,7 +233,6 @@ def sinusoidal_pdf(peak_to_peak: float, step: float = DEFAULT_GRID_STEP_UI,
     cdf_left = 0.5 + np.arcsin(left_edges / amplitude) / np.pi
     cdf_right = 0.5 + np.arcsin(right_edges / amplitude) / np.pi
     density = (cdf_right - cdf_left) / step
-    del inside
     return Pdf(grid, density).normalised()
 
 

@@ -30,7 +30,7 @@ from .. import units
 from .._validation import require_positive_int
 from ..analysis.eye import EyeDiagram
 from ..datapath.nrz import JitterSpec, NrzEdgeStream, ideal_edge_times, jitter_displacements_ui
-from ..fastpath.backends import make_channel
+from ..fastpath.backends import AUTO_BACKEND, resolve_backend
 from ..jitter.decomposition import JitterDecomposition, combine_deterministic, decompose_dual_dirac
 from ..statistical.ber_model import CdrJitterBudget
 from .channel import ChannelModel, IdealChannel, pulse_through_response
@@ -300,13 +300,20 @@ class LinkCdrChannel:
     backend unmodified.  On zero-gate-jitter configurations the two
     backends stay exactly equivalent behind the link, because they consume
     the identical pre-built stream.
+
+    *backend* goes through the capability registry
+    (:func:`repro.fastpath.backends.resolve_backend`): the default
+    ``"auto"`` picks the fastest exactly-equivalent backend for *config*,
+    and forcing a backend that cannot honour the configuration raises a
+    ``ValueError``.  ``self.backend`` holds the resolved concrete name.
     """
 
     def __init__(self, link: LinkConfig | LinkPath | None = None,
-                 config=None, backend: str = "fast") -> None:
+                 config=None, backend: str = AUTO_BACKEND) -> None:
         self.path = link if isinstance(link, LinkPath) else LinkPath(link)
-        self.cdr = make_channel(config, backend)
-        self.backend = backend
+        spec = resolve_backend(config, backend)
+        self.cdr = spec.factory(config)
+        self.backend = spec.name
 
     def run(self, bits: np.ndarray, *, jitter: JitterSpec | None = None,
             data_rate_offset_ppm: float = 0.0,

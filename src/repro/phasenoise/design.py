@@ -20,7 +20,7 @@ paper's headline metric (< 5 mW/Gbit/s).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .. import units
 from .._validation import require_non_negative, require_positive, require_positive_int

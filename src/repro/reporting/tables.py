@@ -4,6 +4,11 @@ The benchmarks regenerate every table and figure of the paper as *text*
 (aligned tables and ``(x, y)`` series) so the reproduction can be compared to
 the paper without a plotting dependency.  CSV export is provided for anyone
 who wants to plot the series elsewhere.
+
+Engine output plugs in directly: :meth:`TextTable.from_sweep_result` and
+:meth:`Series.from_sweep_result` render a
+:class:`repro.experiments.SweepResult` (accepted duck-typed, so this module
+stays a dependency-free leaf below the experiments layer).
 """
 
 from __future__ import annotations
@@ -42,6 +47,14 @@ class TextTable:
     headers: Sequence[str]
     rows: list[Sequence[str]] = field(default_factory=list)
     title: str = ""
+
+    @classmethod
+    def from_sweep_result(cls, result, title: str | None = None) -> "TextTable":
+        """Long-format table of a :class:`repro.experiments.SweepResult`.
+
+        One row per grid point: axis labels followed by every metric.
+        """
+        return result.to_table(title)
 
     def add_row(self, *cells) -> None:
         """Append a row; cells are converted to strings."""
@@ -89,6 +102,12 @@ class Series:
     x_label: str
     y_label: str
     points: list[tuple[float, float]] = field(default_factory=list)
+
+    @classmethod
+    def from_sweep_result(cls, result, metric: str = "errors",
+                          name: str | None = None) -> "Series":
+        """One metric of a 1-D :class:`repro.experiments.SweepResult` as a curve."""
+        return result.to_series(metric, name)
 
     def add(self, x: float, y: float) -> None:
         """Append one point."""

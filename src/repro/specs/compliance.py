@@ -7,7 +7,7 @@ one-look verdict for a candidate design.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -10,11 +10,11 @@ the underlying BER surface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from .._validation import require_positive, require_positive_int, require_probability
+from .._validation import require_positive, require_probability
 from ..datapath.cid import RunLengthDistribution
 from .ber_model import CdrJitterBudget, GatedOscillatorBerModel, NOMINAL_SAMPLING_PHASE_UI
 

@@ -1,17 +1,20 @@
 """Parallel, deterministically seeded time-domain sweeps over CDR channels.
 
-This package is the production sweep layer on top of the two channel
-backends (:class:`~repro.core.cdr_channel.BehavioralCdrChannel` — the
-event-kernel reference — and :class:`~repro.fastpath.FastCdrChannel` — the
-vectorized fast path):
-
 * :mod:`repro.sweep.runner` — a process-pool task runner whose per-task
   random streams come from ``np.random.SeedSequence.spawn``, so results are
-  identical for any worker count (including serial execution);
+  identical for any worker count (including serial execution); it is the
+  execution substrate of the :mod:`repro.experiments` engine.
 * :mod:`repro.sweep.sweeps` — the paper's headline sweeps (BER versus
-  sinusoidal jitter, BER versus frequency offset, time-domain jitter
-  tolerance, multi-channel receiver) with a ``backend="event"|"fast"``
-  switch.
+  sinusoidal jitter / frequency offset / channel loss / CTLE peaking,
+  equalization ablation, time-domain jitter tolerance, multi-channel
+  receiver), each a thin wrapper building a declarative
+  :class:`~repro.experiments.ScenarioSpec` study and running it on the
+  generic engine.  The ``backend`` argument (``"event"``, ``"fast"`` or
+  ``"auto"``) resolves through the capability registry in
+  :mod:`repro.fastpath.backends`.
+
+New studies should target :mod:`repro.experiments` directly; these
+wrappers exist for the paper's named figures and for API stability.
 """
 
 from .runner import SweepRunner, map_tasks

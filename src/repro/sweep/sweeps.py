@@ -1,12 +1,16 @@
-"""Time-domain CDR sweeps with selectable backend and parallel execution.
+"""The paper's headline sweeps as thin wrappers over ``repro.experiments``.
 
-Every sweep here drives full channel simulations (transmitted bits in,
-decisions out) over a parameter grid, using either the event-kernel
-reference (``backend="event"``) or the vectorized fast path
-(``backend="fast"``).  On configurations without per-gate delay jitter the
-two backends produce **identical error counts** (see
-``tests/fastpath/test_equivalence.py``), so the fast path is the default
-and the event backend remains the arbiter for spot checks.
+Every public sweep here is now a declarative study: it builds a frozen
+:class:`~repro.experiments.ScenarioSpec` plus
+:class:`~repro.experiments.ParameterAxis` objects and hands them to the
+generic engine (:func:`repro.experiments.run_grid` /
+:func:`repro.experiments.run_tolerance_search`), which executes the grid on
+the deterministic parallel runner and resolves the backend per point
+through the capability registry.  Signatures and numeric results are
+unchanged from the hand-rolled pipelines they replace (covered by
+``tests/experiments/test_wrappers.py``); the familiar result classes are
+kept, each carrying the engine's serializable
+:class:`~repro.experiments.SweepResult` in its ``source`` field.
 
 The statistical counterparts (analytic BER at 1e-12 and below) live in
 :mod:`repro.statistical`; these time-domain sweeps complement them exactly
@@ -16,18 +20,27 @@ moderate-BER region and produce waveform-level diagnostics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from .._validation import require_positive, require_positive_int
+from .._validation import require_positive
 from ..core.config import PAPER_JITTER_SPEC, CdrChannelConfig
 from ..core.multichannel import MultiChannelConfig, MultiChannelReceiver
 from ..datapath.nrz import JitterSpec
-from ..datapath.prbs import prbs_sequence, sequence_period
+from ..experiments import (
+    EqualizerLineup,
+    LaneSpec,
+    ParameterAxis,
+    ScenarioSpec,
+    StimulusSpec,
+    SweepResult,
+    ToleranceSearch,
+    run_grid,
+    run_tolerance_search,
+)
 from ..fastpath.backends import BACKENDS, make_channel
-from ..link import LinkConfig, LinkPath, LmsDfe, LossyLineChannel, RxCtle, TxFfe
-from .runner import map_tasks
+from ..link import LinkConfig, LmsDfe, LossyLineChannel, RxCtle, TxFfe
 
 __all__ = [
     "BACKENDS",
@@ -52,37 +65,8 @@ __all__ = [
 LINK_RESIDUAL_JITTER_SPEC = JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.021,
                                        sj_amplitude_ui_pp=0.0)
 
-# --- single-point worker -----------------------------------------------------
 
-
-@dataclass(frozen=True)
-class _ChannelTask:
-    """One sweep point: a channel configuration plus stimulus description."""
-
-    config: CdrChannelConfig
-    jitter: JitterSpec
-    n_bits: int
-    prbs_order: int
-    data_rate_offset_ppm: float
-    backend: str
-
-
-def _measure_point(task: _ChannelTask, rng: np.random.Generator
-                   ) -> tuple[int, int]:
-    """Simulate one point; return ``(errors, compared_bits)``."""
-    bits = prbs_sequence(task.prbs_order, task.n_bits)
-    channel = make_channel(task.config, task.backend)
-    result = channel.run(
-        bits,
-        jitter=task.jitter,
-        data_rate_offset_ppm=task.data_rate_offset_ppm,
-        rng=rng,
-    )
-    measurement = result.ber()
-    return measurement.errors, measurement.compared_bits
-
-
-# --- BER surfaces -------------------------------------------------------------
+# --- result classes -----------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -91,6 +75,8 @@ class BerSurfaceResult:
 
     ``errors[row, col]`` / ``compared[row, col]`` hold the error and
     compared-bit counts of grid point ``(rows[row], columns[col])``.
+    ``source`` is the engine's serializable result (JSON/CSV export,
+    per-point backend resolution).
     """
 
     rows: np.ndarray
@@ -99,6 +85,7 @@ class BerSurfaceResult:
     compared: np.ndarray
     backend: str
     n_bits: int
+    source: SweepResult | None = field(default=None, repr=False, compare=False)
 
     @property
     def ber(self) -> np.ndarray:
@@ -112,19 +99,95 @@ class BerSurfaceResult:
         return int(self.errors.sum())
 
 
-def _grid_result(rows: np.ndarray, columns: np.ndarray, outcomes: list,
-                 backend: str, n_bits: int) -> BerSurfaceResult:
-    errors = np.array([o[0] for o in outcomes], dtype=np.int64)
-    compared = np.array([o[1] for o in outcomes], dtype=np.int64)
+@dataclass(frozen=True)
+class JitterToleranceResult:
+    """Measured (error-free) sinusoidal-jitter tolerance per frequency."""
+
+    frequencies_hz: np.ndarray
+    amplitudes_ui_pp: np.ndarray
+    n_bits: int
+    backend: str
+    source: SweepResult | None = field(default=None, repr=False, compare=False)
+
+    def passes_mask(self, mask_amplitudes_ui_pp: np.ndarray) -> bool:
+        """True when the tolerance clears a mask evaluated at the same frequencies."""
+        mask = np.asarray(mask_amplitudes_ui_pp, dtype=float)
+        return bool(np.all(self.amplitudes_ui_pp >= mask))
+
+
+@dataclass(frozen=True)
+class MultichannelSweepResult:
+    """Per-lane error counts of a parallel multi-channel receiver run."""
+
+    frequency_offsets: np.ndarray
+    lane_skews_ui: np.ndarray
+    errors: np.ndarray
+    compared: np.ndarray
+    backend: str
+    source: SweepResult | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def aggregate_ber(self) -> float:
+        """Aggregate BER over all lanes."""
+        total = int(self.compared.sum())
+        return float(self.errors.sum()) / total if total else float("nan")
+
+
+@dataclass(frozen=True)
+class EqualizationAblationResult:
+    """Error counts of the same channel under different equalizer line-ups."""
+
+    labels: tuple[str, ...]
+    loss_db: float
+    errors: np.ndarray
+    compared: np.ndarray
+    backend: str
+    source: SweepResult | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def ber(self) -> np.ndarray:
+        """Measured BER per line-up (NaN where nothing was compared)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(self.compared > 0, self.errors / self.compared, np.nan)
+
+    def as_dict(self) -> dict[str, float]:
+        """``{line-up label: BER}`` for reporting."""
+        return {label: float(value)
+                for label, value in zip(self.labels, self.ber)}
+
+
+# --- scenario assembly helpers ------------------------------------------------
+
+
+def _stimulus(n_bits: int, prbs_order: int, seed: int | None = None
+              ) -> StimulusSpec:
+    return StimulusSpec(kind="prbs", n_bits=n_bits, prbs_order=prbs_order,
+                        seed=seed)
+
+
+def _sinusoidal_base(jitter: JitterSpec) -> JitterSpec:
+    """Base jitter of an SJ-swept scenario: amplitude/frequency come from
+    the axes, and the phase resets to zero exactly as
+    :meth:`~repro.datapath.nrz.JitterSpec.with_sinusoidal` does."""
+    return jitter.with_sinusoidal(0.0, 0.0)
+
+
+def _surface(result: SweepResult, rows: np.ndarray, columns: np.ndarray,
+             backend: str, n_bits: int) -> BerSurfaceResult:
+    """Reshape an engine result onto the legacy (rows, columns) grid."""
     shape = (rows.size, columns.size)
     return BerSurfaceResult(
         rows=rows,
         columns=columns,
-        errors=errors.reshape(shape),
-        compared=compared.reshape(shape),
+        errors=result.metric("errors").reshape(shape),
+        compared=result.metric("compared").reshape(shape),
         backend=backend,
         n_bits=n_bits,
+        source=result,
     )
+
+
+# --- BER surfaces -------------------------------------------------------------
 
 
 def ber_vs_sj_sweep(
@@ -148,22 +211,20 @@ def ber_vs_sj_sweep(
     base_jitter = base_jitter or PAPER_JITTER_SPEC
     frequencies_hz = np.asarray(frequencies_hz, dtype=float)
     amplitudes_ui_pp = np.asarray(amplitudes_ui_pp, dtype=float)
-    require_positive_int("n_bits", n_bits)
 
-    tasks = [
-        _ChannelTask(
-            config=config,
-            jitter=base_jitter.with_sinusoidal(float(amplitude), float(frequency)),
-            n_bits=n_bits,
-            prbs_order=prbs_order,
-            data_rate_offset_ppm=0.0,
-            backend=backend,
-        )
-        for amplitude in amplitudes_ui_pp
-        for frequency in frequencies_hz
-    ]
-    outcomes = map_tasks(_measure_point, tasks, seed=seed, workers=workers)
-    return _grid_result(amplitudes_ui_pp, frequencies_hz, outcomes, backend, n_bits)
+    spec = ScenarioSpec(
+        stimulus=_stimulus(n_bits, prbs_order),
+        jitter=_sinusoidal_base(base_jitter),
+        config=config,
+        backend=backend,
+    )
+    result = run_grid(
+        spec,
+        [ParameterAxis("sj_amplitude_ui_pp", amplitudes_ui_pp),
+         ParameterAxis("sj_frequency_hz", frequencies_hz)],
+        name="ber_vs_sj", seed=seed, workers=workers,
+    )
+    return _surface(result, amplitudes_ui_pp, frequencies_hz, backend, n_bits)
 
 
 def ber_vs_frequency_offset_sweep(
@@ -185,94 +246,22 @@ def ber_vs_frequency_offset_sweep(
     config = config or CdrChannelConfig()
     jitter = jitter or PAPER_JITTER_SPEC
     frequency_offsets = np.asarray(frequency_offsets, dtype=float)
-    require_positive_int("n_bits", n_bits)
 
-    tasks = [
-        _ChannelTask(
-            config=config.with_frequency_offset(float(offset)),
-            jitter=jitter,
-            n_bits=n_bits,
-            prbs_order=prbs_order,
-            data_rate_offset_ppm=0.0,
-            backend=backend,
-        )
-        for offset in frequency_offsets
-    ]
-    outcomes = map_tasks(_measure_point, tasks, seed=seed, workers=workers)
-    return _grid_result(np.array([0.0]), frequency_offsets, outcomes, backend, n_bits)
+    spec = ScenarioSpec(
+        stimulus=_stimulus(n_bits, prbs_order),
+        jitter=jitter,
+        config=config,
+        backend=backend,
+    )
+    result = run_grid(
+        spec,
+        [ParameterAxis("frequency_offset", frequency_offsets)],
+        name="ber_vs_frequency_offset", seed=seed, workers=workers,
+    )
+    return _surface(result, np.array([0.0]), frequency_offsets, backend, n_bits)
 
 
 # --- jitter tolerance ---------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class _JtolTask:
-    """One jitter-tolerance frequency point (amplitude search inside)."""
-
-    config: CdrChannelConfig
-    base_jitter: JitterSpec
-    frequency_hz: float
-    n_bits: int
-    prbs_order: int
-    backend: str
-    max_amplitude_ui_pp: float
-    tolerance_ui: float
-    target_errors: int
-
-
-@dataclass(frozen=True)
-class JitterToleranceResult:
-    """Measured (error-free) sinusoidal-jitter tolerance per frequency."""
-
-    frequencies_hz: np.ndarray
-    amplitudes_ui_pp: np.ndarray
-    n_bits: int
-    backend: str
-
-    def passes_mask(self, mask_amplitudes_ui_pp: np.ndarray) -> bool:
-        """True when the tolerance clears a mask evaluated at the same frequencies."""
-        mask = np.asarray(mask_amplitudes_ui_pp, dtype=float)
-        return bool(np.all(self.amplitudes_ui_pp >= mask))
-
-
-def _errors_at(task: _JtolTask, amplitude: float, rng: np.random.Generator) -> int:
-    jitter = task.base_jitter.with_sinusoidal(amplitude, task.frequency_hz)
-    bits = prbs_sequence(task.prbs_order, task.n_bits)
-    channel = make_channel(task.config, task.backend)
-    result = channel.run(bits, jitter=jitter, rng=rng)
-    return result.ber().errors
-
-
-def _search_tolerance(task: _JtolTask, rng: np.random.Generator) -> float:
-    """Largest error-free SJ amplitude at one frequency (expand + bisect).
-
-    Every trial draws a child generator deterministically from the task
-    stream, so the search is reproducible regardless of how many trials the
-    bracketing phase needs.
-    """
-    def passes(amplitude: float) -> bool:
-        child = np.random.default_rng(rng.integers(0, 2**63))
-        return _errors_at(task, float(amplitude), child) <= task.target_errors
-
-    maximum = task.max_amplitude_ui_pp
-    low = 0.0
-    if not passes(low):
-        return 0.0
-    high = min(0.05, maximum)
-    # Expand geometrically; every amplitude reported as tolerated has been
-    # tested, including the cap itself.
-    while passes(high):
-        low = high
-        if high >= maximum:
-            return maximum
-        high = min(2.0 * high, maximum)
-    while (high - low) > task.tolerance_ui:
-        middle = 0.5 * (low + high)
-        if passes(middle):
-            low = middle
-        else:
-            high = middle
-    return low
 
 
 def jitter_tolerance_sweep(
@@ -304,68 +293,31 @@ def jitter_tolerance_sweep(
     frequencies_hz = np.asarray(frequencies_hz, dtype=float)
     require_positive("max_amplitude_ui_pp", max_amplitude_ui_pp)
 
-    tasks = [
-        _JtolTask(
-            config=config,
-            base_jitter=base_jitter,
-            frequency_hz=float(frequency),
-            n_bits=n_bits,
-            prbs_order=prbs_order,
-            backend=backend,
-            max_amplitude_ui_pp=max_amplitude_ui_pp,
-            tolerance_ui=tolerance_ui,
-            target_errors=target_errors,
-        )
-        for frequency in frequencies_hz
-    ]
-    amplitudes = map_tasks(_search_tolerance, tasks, seed=seed, workers=workers)
+    spec = ScenarioSpec(
+        stimulus=_stimulus(n_bits, prbs_order),
+        jitter=_sinusoidal_base(base_jitter),
+        config=config,
+        backend=backend,
+    )
+    result = run_tolerance_search(
+        spec,
+        [ParameterAxis("sj_frequency_hz", frequencies_hz)],
+        ToleranceSearch(axis="sj_amplitude_ui_pp",
+                        maximum=max_amplitude_ui_pp,
+                        resolution=tolerance_ui,
+                        target_errors=target_errors),
+        name="jitter_tolerance", seed=seed, workers=workers,
+    )
     return JitterToleranceResult(
         frequencies_hz=frequencies_hz,
-        amplitudes_ui_pp=np.asarray(amplitudes, dtype=float),
+        amplitudes_ui_pp=result.metric("sj_amplitude_ui_pp").reshape(-1),
         n_bits=n_bits,
         backend=backend,
+        source=result,
     )
 
 
 # --- multi-channel receiver ----------------------------------------------------
-
-
-@dataclass(frozen=True)
-class _MultichannelTask:
-    """One receiver lane: its mismatched config plus stimulus description."""
-
-    config: CdrChannelConfig
-    jitter: JitterSpec
-    n_bits: int
-    prbs_order: int
-    prbs_seed: int
-    backend: str
-
-
-def _measure_lane(task: _MultichannelTask, rng: np.random.Generator
-                  ) -> tuple[int, int]:
-    bits = prbs_sequence(task.prbs_order, task.n_bits, seed=task.prbs_seed)
-    channel = make_channel(task.config, task.backend)
-    result = channel.run(bits, jitter=task.jitter, rng=rng)
-    measurement = result.ber()
-    return measurement.errors, measurement.compared_bits
-
-
-@dataclass(frozen=True)
-class MultichannelSweepResult:
-    """Per-lane error counts of a parallel multi-channel receiver run."""
-
-    frequency_offsets: np.ndarray
-    lane_skews_ui: np.ndarray
-    errors: np.ndarray
-    compared: np.ndarray
-    backend: str
-
-    @property
-    def aggregate_ber(self) -> float:
-        """Aggregate BER over all lanes."""
-        total = int(self.compared.sum())
-        return float(self.errors.sum()) / total if total else float("nan")
 
 
 def multichannel_sweep(
@@ -386,62 +338,41 @@ def multichannel_sweep(
     """
     config = config or MultiChannelConfig()
     jitter = jitter or PAPER_JITTER_SPEC
-    require_positive_int("n_bits", n_bits)
 
     receiver = MultiChannelReceiver(
         config, rng=np.random.default_rng(np.random.SeedSequence(seed)))
     offsets = receiver.channel_frequency_offsets()
     skews = receiver.lane_skews_ui()
 
-    tasks = [
-        _MultichannelTask(
-            config=config.channel.with_frequency_offset(float(offsets[index])),
-            jitter=jitter,
-            n_bits=n_bits,
-            prbs_order=prbs_order,
-            prbs_seed=index + 1,
-            backend=backend,
-        )
+    spec = ScenarioSpec(
+        stimulus=_stimulus(n_bits, prbs_order),
+        jitter=jitter,
+        config=config.channel,
+        backend=backend,
+    )
+    lanes = tuple(
+        LaneSpec(index=index,
+                 frequency_offset=float(offsets[index]),
+                 stimulus_seed=index + 1,
+                 lane_skew_ui=float(skews[index]))
         for index in range(config.n_channels)
-    ]
-    outcomes = map_tasks(_measure_lane, tasks, seed=seed, workers=workers)
+    )
+    result = run_grid(
+        spec,
+        [ParameterAxis("lane", lanes)],
+        name="multichannel", seed=seed, workers=workers,
+    )
     return MultichannelSweepResult(
         frequency_offsets=np.asarray(offsets, dtype=float),
         lane_skews_ui=np.asarray(skews, dtype=float),
-        errors=np.array([o[0] for o in outcomes], dtype=np.int64),
-        compared=np.array([o[1] for o in outcomes], dtype=np.int64),
+        errors=result.metric("errors").reshape(-1),
+        compared=result.metric("compared").reshape(-1),
         backend=backend,
+        source=result,
     )
 
 
 # --- link-path sweeps ----------------------------------------------------------
-
-
-@dataclass(frozen=True)
-class _LinkTask:
-    """One link-driven sweep point: link config + CDR config + stimulus."""
-
-    link: LinkConfig
-    config: CdrChannelConfig
-    jitter: JitterSpec
-    n_bits: int
-    prbs_order: int
-    backend: str
-
-
-def _measure_link_point(task: _LinkTask, rng: np.random.Generator
-                        ) -> tuple[int, int]:
-    """Simulate one link-driven point; return ``(errors, compared_bits)``."""
-    bits = prbs_sequence(task.prbs_order, task.n_bits)
-    stream = LinkPath(task.link).transmit(
-        bits,
-        jitter=task.jitter,
-        rng=rng,
-        pattern_period=sequence_period(task.prbs_order),
-    )
-    channel = make_channel(task.config, task.backend)
-    measurement = channel.run(bits, rng=rng, stream=stream).ber()
-    return measurement.errors, measurement.compared_bits
 
 
 def _default_equalized_link() -> LinkConfig:
@@ -474,22 +405,20 @@ def ber_vs_channel_loss_sweep(
     link = link or LinkConfig()
     jitter = jitter or LINK_RESIDUAL_JITTER_SPEC
     loss_db_values = np.asarray(loss_db_values, dtype=float)
-    require_positive_int("n_bits", n_bits)
 
-    tasks = [
-        _LinkTask(
-            link=link.with_channel(LossyLineChannel.for_loss_at_nyquist(
-                float(loss_db), link.timebase.bit_rate_hz)),
-            config=config,
-            jitter=jitter,
-            n_bits=n_bits,
-            prbs_order=prbs_order,
-            backend=backend,
-        )
-        for loss_db in loss_db_values
-    ]
-    outcomes = map_tasks(_measure_link_point, tasks, seed=seed, workers=workers)
-    return _grid_result(np.array([0.0]), loss_db_values, outcomes, backend, n_bits)
+    spec = ScenarioSpec(
+        stimulus=_stimulus(n_bits, prbs_order),
+        jitter=jitter,
+        config=config,
+        link=link,
+        backend=backend,
+    )
+    result = run_grid(
+        spec,
+        [ParameterAxis("channel_loss_db", loss_db_values)],
+        name="ber_vs_channel_loss", seed=seed, workers=workers,
+    )
+    return _surface(result, np.array([0.0]), loss_db_values, backend, n_bits)
 
 
 def ber_vs_ctle_peaking_sweep(
@@ -515,51 +444,24 @@ def ber_vs_ctle_peaking_sweep(
     link = link or LinkConfig()
     jitter = jitter or LINK_RESIDUAL_JITTER_SPEC
     peaking_db_values = np.asarray(peaking_db_values, dtype=float)
-    require_positive_int("n_bits", n_bits)
     channel = LossyLineChannel.for_loss_at_nyquist(
         float(loss_db), link.timebase.bit_rate_hz)
-    base_ctle = link.rx_ctle or RxCtle()
 
-    tasks = [
-        _LinkTask(
-            link=link.with_channel(channel).with_equalization(
-                tx_ffe=link.tx_ffe,
-                rx_ctle=base_ctle.with_peaking(float(peaking_db)),
-                dfe=link.dfe,
-            ),
-            config=config,
-            jitter=jitter,
-            n_bits=n_bits,
-            prbs_order=prbs_order,
-            backend=backend,
-        )
-        for peaking_db in peaking_db_values
-    ]
-    outcomes = map_tasks(_measure_link_point, tasks, seed=seed, workers=workers)
-    return _grid_result(np.array([float(loss_db)]), peaking_db_values, outcomes,
-                        backend, n_bits)
-
-
-@dataclass(frozen=True)
-class EqualizationAblationResult:
-    """Error counts of the same channel under different equalizer line-ups."""
-
-    labels: tuple[str, ...]
-    loss_db: float
-    errors: np.ndarray
-    compared: np.ndarray
-    backend: str
-
-    @property
-    def ber(self) -> np.ndarray:
-        """Measured BER per line-up (NaN where nothing was compared)."""
-        with np.errstate(invalid="ignore", divide="ignore"):
-            return np.where(self.compared > 0, self.errors / self.compared, np.nan)
-
-    def as_dict(self) -> dict[str, float]:
-        """``{line-up label: BER}`` for reporting."""
-        return {label: float(value)
-                for label, value in zip(self.labels, self.ber)}
+    spec = ScenarioSpec(
+        stimulus=_stimulus(n_bits, prbs_order),
+        jitter=jitter,
+        config=config,
+        link=link.with_channel(channel),
+        backend=backend,
+    )
+    result = run_grid(
+        spec,
+        [ParameterAxis("ctle_peaking_db", peaking_db_values)],
+        name="ber_vs_ctle_peaking", seed=seed, workers=workers,
+        metadata={"loss_db": float(loss_db)},
+    )
+    return _surface(result, np.array([float(loss_db)]), peaking_db_values,
+                    backend, n_bits)
 
 
 def equalization_ablation_sweep(
@@ -584,38 +486,39 @@ def equalization_ablation_sweep(
     config = config or CdrChannelConfig()
     template = link or _default_equalized_link()
     jitter = jitter or LINK_RESIDUAL_JITTER_SPEC
-    require_positive_int("n_bits", n_bits)
     channel = LossyLineChannel.for_loss_at_nyquist(
         float(loss_db), template.timebase.bit_rate_hz)
     ffe = template.tx_ffe or TxFfe.de_emphasis(post_db=3.5)
     ctle = template.rx_ctle or RxCtle(peaking_db=6.0)
 
-    lineups: list[tuple[str, TxFfe | None, RxCtle | None, LmsDfe | None]] = [
-        ("unequalized", None, None, None),
-        ("ffe", ffe, None, None),
-        ("ctle", None, ctle, None),
-        ("ffe+ctle", ffe, ctle, None),
+    lineups = [
+        EqualizerLineup("unequalized"),
+        EqualizerLineup("ffe", tx_ffe=ffe),
+        EqualizerLineup("ctle", rx_ctle=ctle),
+        EqualizerLineup("ffe+ctle", tx_ffe=ffe, rx_ctle=ctle),
     ]
     if dfe is not None:
-        lineups.append(("ffe+ctle+dfe", ffe, ctle, dfe))
+        lineups.append(EqualizerLineup("ffe+ctle+dfe", tx_ffe=ffe,
+                                       rx_ctle=ctle, dfe=dfe))
 
-    tasks = [
-        _LinkTask(
-            link=template.with_channel(channel).with_equalization(
-                tx_ffe=task_ffe, rx_ctle=task_ctle, dfe=task_dfe),
-            config=config,
-            jitter=jitter,
-            n_bits=n_bits,
-            prbs_order=prbs_order,
-            backend=backend,
-        )
-        for _label, task_ffe, task_ctle, task_dfe in lineups
-    ]
-    outcomes = map_tasks(_measure_link_point, tasks, seed=seed, workers=workers)
-    return EqualizationAblationResult(
-        labels=tuple(label for label, *_rest in lineups),
-        loss_db=float(loss_db),
-        errors=np.array([o[0] for o in outcomes], dtype=np.int64),
-        compared=np.array([o[1] for o in outcomes], dtype=np.int64),
+    spec = ScenarioSpec(
+        stimulus=_stimulus(n_bits, prbs_order),
+        jitter=jitter,
+        config=config,
+        link=template.with_channel(channel),
         backend=backend,
+    )
+    result = run_grid(
+        spec,
+        [ParameterAxis("equalization", tuple(lineups))],
+        name="equalization_ablation", seed=seed, workers=workers,
+        metadata={"loss_db": float(loss_db)},
+    )
+    return EqualizationAblationResult(
+        labels=tuple(lineup.label for lineup in lineups),
+        loss_db=float(loss_db),
+        errors=result.metric("errors").reshape(-1),
+        compared=result.metric("compared").reshape(-1),
+        backend=backend,
+        source=result,
     )

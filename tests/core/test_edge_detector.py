@@ -1,6 +1,5 @@
 """Tests for the gate-level edge detector."""
 
-import numpy as np
 import pytest
 
 from repro.events.kernel import Simulator

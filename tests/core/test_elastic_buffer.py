@@ -1,6 +1,5 @@
 """Tests for the elastic buffer."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.elastic_buffer import ElasticBuffer

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.events.kernel import Process, SimulationError, Simulator, WaitFor, WaitOn
+from repro.events.kernel import SimulationError, Simulator, WaitFor, WaitOn
 from repro.events.signal import Signal
 
 

@@ -1,0 +1,179 @@
+"""Generic engine behaviour: grids, searches, backend resolution, plans."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import CdrChannelConfig
+from repro.datapath.nrz import JitterSpec
+from repro.experiments import (
+    MeasurementPlan,
+    ParameterAxis,
+    ScenarioSpec,
+    StimulusSpec,
+    ToleranceSearch,
+    resolve_grid,
+    run_grid,
+    run_tolerance_search,
+    simulate_scenario,
+)
+
+MILD = JitterSpec(dj_ui_pp=0.2, rj_ui_rms=0.01)
+BASE = ScenarioSpec(stimulus=StimulusSpec(n_bits=400), jitter=MILD)
+AMPLITUDE_AXIS = ParameterAxis("sj_amplitude_ui_pp", (0.1, 1.0))
+FREQUENCY_AXIS = ParameterAxis("sj_frequency_hz", (2.5e6, 7.5e8))
+
+
+class TestResolveGrid:
+    def test_row_major_product(self):
+        points = resolve_grid(BASE, (AMPLITUDE_AXIS, FREQUENCY_AXIS))
+        assert len(points) == 4
+        assert points[0].jitter.sj_amplitude_ui_pp == 0.1
+        assert points[0].jitter.sj_frequency_hz == 2.5e6
+        assert points[1].jitter.sj_frequency_hz == 7.5e8  # inner axis fastest
+        assert points[2].jitter.sj_amplitude_ui_pp == 1.0
+
+    def test_no_axes_is_single_point(self):
+        assert resolve_grid(BASE, ()) == [BASE]
+
+
+class TestRunGrid:
+    def test_matches_manual_simulation(self):
+        """The engine is exactly per-point simulation on spawned seeds."""
+        result = run_grid(BASE, [FREQUENCY_AXIS], seed=3, workers=1)
+        children = np.random.SeedSequence(3).spawn(2)
+        for index, point in enumerate(resolve_grid(BASE, (FREQUENCY_AXIS,))):
+            manual = simulate_scenario(
+                point, np.random.default_rng(children[index])).ber()
+            assert result.metric("errors")[index] == manual.errors
+            assert result.metric("compared")[index] == manual.compared_bits
+
+    def test_deterministic_across_worker_counts(self):
+        serial = run_grid(BASE, [AMPLITUDE_AXIS, FREQUENCY_AXIS],
+                          seed=5, workers=1)
+        pooled = run_grid(BASE, [AMPLITUDE_AXIS, FREQUENCY_AXIS],
+                          seed=5, workers=3)
+        np.testing.assert_array_equal(serial.metric("errors"),
+                                      pooled.metric("errors"))
+
+    def test_grid_shape_follows_axes(self):
+        result = run_grid(BASE, [AMPLITUDE_AXIS, FREQUENCY_AXIS],
+                          seed=0, workers=1)
+        assert result.shape == (2, 2)
+        assert result.metric("errors").shape == (2, 2)
+        assert len(result.point_backends) == 4
+
+    def test_auto_resolves_fast_on_clean_config(self):
+        result = run_grid(BASE, [FREQUENCY_AXIS], seed=0, workers=1)
+        assert result.backend == "auto"
+        assert result.point_backends == ("fast", "fast")
+
+    def test_auto_resolves_event_under_gate_jitter(self):
+        spec = ScenarioSpec(
+            stimulus=StimulusSpec(n_bits=200),
+            jitter=MILD,
+            config=CdrChannelConfig(gate_jitter_sigma_fraction=0.01),
+        )
+        result = run_grid(spec, [FREQUENCY_AXIS], seed=0, workers=1)
+        assert result.point_backends == ("event", "event")
+
+    def test_simulate_scenario_enforces_capabilities(self):
+        """Even a pre-resolved backend override cannot silently diverge."""
+        spec = ScenarioSpec(
+            stimulus=StimulusSpec(n_bits=200),
+            config=CdrChannelConfig(gate_jitter_sigma_fraction=0.01),
+        )
+        with pytest.raises(ValueError, match="per-gate-delay-jitter"):
+            simulate_scenario(spec, np.random.default_rng(0), backend="fast")
+
+    def test_forced_fast_under_gate_jitter_fails_before_running(self):
+        spec = ScenarioSpec(
+            stimulus=StimulusSpec(n_bits=200),
+            config=CdrChannelConfig(gate_jitter_sigma_fraction=0.01),
+            backend="fast",
+        )
+        with pytest.raises(ValueError, match="per-gate-delay-jitter"):
+            run_grid(spec, [FREQUENCY_AXIS], seed=0, workers=1)
+
+    def test_mixed_resolution_per_point(self):
+        """An axis that turns gate jitter on flips the resolved backend."""
+        from dataclasses import replace
+
+        from repro.experiments import register_axis
+        from repro.experiments.spec import AXIS_APPLICATORS
+
+        @register_axis("gate_jitter_sigma_fraction")
+        def _apply(spec, value):
+            return replace(spec, config=replace(
+                spec.config, gate_jitter_sigma_fraction=float(value)))
+
+        try:
+            result = run_grid(
+                ScenarioSpec(stimulus=StimulusSpec(n_bits=200), jitter=MILD),
+                [ParameterAxis("gate_jitter_sigma_fraction", (0.0, 0.01))],
+                seed=0, workers=1)
+            assert result.point_backends == ("fast", "event")
+        finally:
+            del AXIS_APPLICATORS["gate_jitter_sigma_fraction"]
+
+    def test_backends_agree_through_the_engine(self):
+        from dataclasses import replace
+        fast = run_grid(replace(BASE, backend="fast"),
+                        [FREQUENCY_AXIS], seed=2, workers=1)
+        event = run_grid(replace(BASE, backend="event"),
+                         [FREQUENCY_AXIS], seed=2, workers=1)
+        np.testing.assert_array_equal(fast.metric("errors"),
+                                      event.metric("errors"))
+
+    def test_eye_measurement_plan(self):
+        from dataclasses import replace
+        spec = replace(BASE, measurement=MeasurementPlan(eye=True))
+        result = run_grid(spec, [FREQUENCY_AXIS], seed=0, workers=1)
+        assert result.metric("eye_opening_ui").shape == (2,)
+        assert np.all(result.metric("eye_opening_ui") > 0.0)
+        assert np.all(result.metric("n_crossings") > 0)
+
+    def test_retain_results_plan(self):
+        from dataclasses import replace
+        spec = replace(BASE, measurement=MeasurementPlan(retain="results"))
+        result = run_grid(spec, [FREQUENCY_AXIS], seed=0, workers=1)
+        assert result.details is not None and len(result.details) == 2
+        assert result.details[0].ber().errors == result.metric("errors")[0]
+
+    def test_result_round_trips(self):
+        from repro.experiments import SweepResult
+        result = run_grid(BASE, [AMPLITUDE_AXIS, FREQUENCY_AXIS],
+                          seed=1, workers=1)
+        assert SweepResult.from_json(result.to_json()).equals(result)
+
+
+class TestToleranceSearch:
+    def test_search_finds_larger_low_frequency_tolerance(self):
+        result = run_tolerance_search(
+            BASE,
+            [ParameterAxis("sj_frequency_hz", (2.5e5, 7.5e8))],
+            ToleranceSearch(maximum=4.0, target_errors=1),
+            seed=5, workers=1)
+        low, near_rate = result.metric("sj_amplitude_ui_pp")
+        assert low > near_rate
+
+    def test_deterministic_across_worker_counts(self):
+        search = ToleranceSearch(maximum=2.0, target_errors=1)
+        axis = [ParameterAxis("sj_frequency_hz", (2.5e6,))]
+        serial = run_tolerance_search(BASE, axis, search, seed=5, workers=1)
+        pooled = run_tolerance_search(BASE, axis, search, seed=5, workers=2)
+        np.testing.assert_array_equal(serial.metric("sj_amplitude_ui_pp"),
+                                      pooled.metric("sj_amplitude_ui_pp"))
+
+    def test_metadata_records_search_settings(self):
+        result = run_tolerance_search(
+            BASE, [ParameterAxis("sj_frequency_hz", (2.5e6,))],
+            ToleranceSearch(maximum=1.0, target_errors=2), seed=0, workers=1)
+        assert result.metadata["search_axis"] == "sj_amplitude_ui_pp"
+        assert result.metadata["maximum"] == 1.0
+        assert result.metadata["target_errors"] == 2
+
+    def test_invalid_search_settings_rejected(self):
+        with pytest.raises(ValueError):
+            ToleranceSearch(maximum=0.0)
+        with pytest.raises(ValueError):
+            ToleranceSearch(resolution=-1.0)

@@ -1,0 +1,162 @@
+"""SweepResult serialization: JSON round-trip, CSV, reporting views."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import AxisResult, SweepResult
+from repro.reporting.tables import Series, TextTable
+
+
+def _result(**overrides) -> SweepResult:
+    values = dict(
+        name="demo",
+        axes=(
+            AxisResult("amplitude", labels=("0.1", "0.3"),
+                       values=np.array([0.1, 0.3])),
+            AxisResult("frequency", labels=("1e+06", "1e+08"),
+                       values=np.array([1.0e6, 1.0e8])),
+        ),
+        metrics={
+            "errors": np.array([[0, 2], [5, 7]], dtype=np.int64),
+            "compared": np.array([[598, 598], [598, 598]], dtype=np.int64),
+        },
+        backend="auto",
+        point_backends=("fast", "fast", "event", "fast"),
+        n_bits=600,
+        seed=7,
+        metadata={"note": "unit-test"},
+    )
+    values.update(overrides)
+    return SweepResult(**values)
+
+
+class TestConstruction:
+    def test_shape_and_points(self):
+        result = _result()
+        assert result.shape == (2, 2)
+        assert result.n_points == 4
+
+    def test_flat_metrics_are_reshaped(self):
+        result = _result(metrics={
+            "errors": np.arange(4, dtype=np.int64),
+            "compared": np.full(4, 100, dtype=np.int64)})
+        assert result.metric("errors").shape == (2, 2)
+
+    def test_point_backend_count_enforced(self):
+        with pytest.raises(ValueError, match="per-point backends"):
+            _result(point_backends=("fast",))
+
+    def test_unknown_metric_is_helpful(self):
+        with pytest.raises(KeyError, match="available"):
+            _result().metric("latency")
+
+    def test_ber_grid(self):
+        ber = _result().ber
+        np.testing.assert_allclose(ber[0, 1], 2 / 598)
+
+    def test_ber_nan_where_nothing_compared(self):
+        result = _result(metrics={
+            "errors": np.zeros((2, 2), dtype=np.int64),
+            "compared": np.zeros((2, 2), dtype=np.int64)})
+        assert np.all(np.isnan(result.ber))
+
+
+class TestJsonRoundTrip:
+    def test_lossless(self):
+        result = _result()
+        restored = SweepResult.from_json(result.to_json())
+        assert restored.equals(result)
+        assert restored.metric("errors").dtype == np.int64
+
+    def test_float_metrics_survive_exactly(self):
+        # repr-based JSON floats round-trip IEEE doubles losslessly.
+        tolerance = np.array([[0.1 + 0.2, 3.45], [1.0 / 3.0, 0.35]])
+        result = _result(metrics={"errors": np.zeros((2, 2), dtype=np.int64),
+                                  "compared": np.ones((2, 2), dtype=np.int64),
+                                  "amplitude_ui_pp": tolerance})
+        restored = SweepResult.from_json(result.to_json())
+        np.testing.assert_array_equal(
+            restored.metric("amplitude_ui_pp"), tolerance)
+
+    def test_structured_axis_round_trips(self):
+        result = _result(
+            axes=(AxisResult("equalization", labels=("ffe", "ctle", "both",
+                                                     "none")),),
+            metrics={"errors": np.zeros(4, dtype=np.int64),
+                     "compared": np.ones(4, dtype=np.int64)})
+        restored = SweepResult.from_json(result.to_json())
+        assert restored.axes[0].values is None
+        assert restored.axes[0].labels == ("ffe", "ctle", "both", "none")
+
+    def test_save_load(self, tmp_path):
+        result = _result()
+        path = result.save(tmp_path / "demo.json")
+        assert SweepResult.load(path).equals(result)
+
+    def test_details_not_serialized(self):
+        result = _result(details=(object(),) * 4)
+        restored = SweepResult.from_json(result.to_json())
+        assert restored.details is None
+        assert restored.equals(result)  # equality ignores details
+
+
+class TestTabularViews:
+    def test_csv_long_format(self):
+        csv = _result().to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "amplitude,frequency,compared,errors,backend"
+        assert len(lines) == 5
+        assert lines[1] == "0.1,1e+06,598,0,fast"
+        assert lines[3].endswith(",event")
+
+    def test_table_view(self):
+        table = _result().to_table()
+        assert isinstance(table, TextTable)
+        assert table.title == "demo"
+        assert len(table.rows) == 4
+
+    def test_series_squeezes_singleton_axes(self):
+        result = _result(
+            axes=(AxisResult("row", labels=("0",), values=np.array([0.0])),
+                  AxisResult("loss_db", labels=("6", "14"),
+                             values=np.array([6.0, 14.0]))),
+            metrics={"errors": np.array([[0, 3]], dtype=np.int64),
+                     "compared": np.array([[498, 498]], dtype=np.int64)},
+            point_backends=("fast", "fast"))
+        series = result.to_series("errors")
+        assert isinstance(series, Series)
+        assert series.points == [(6.0, 0.0), (14.0, 3.0)]
+
+    def test_series_rejects_two_long_axes(self):
+        with pytest.raises(ValueError, match="non-singleton"):
+            _result().to_series("errors")
+
+    def test_series_rejects_zero_axis_result(self):
+        result = _result(
+            axes=(),
+            metrics={"errors": np.array(3, dtype=np.int64),
+                     "compared": np.array(100, dtype=np.int64)},
+            point_backends=("fast",))
+        with pytest.raises(ValueError, match="no axes"):
+            result.to_series("errors")
+
+    def test_series_rejects_structured_axis(self):
+        result = _result(
+            axes=(AxisResult("equalization", labels=("a", "b", "c", "d")),),
+            metrics={"errors": np.zeros(4, dtype=np.int64),
+                     "compared": np.ones(4, dtype=np.int64)})
+        with pytest.raises(ValueError, match="numeric"):
+            result.to_series("errors")
+
+
+class TestAxisResult:
+    def test_label_value_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            AxisResult("x", labels=("a",), values=np.array([1.0, 2.0]))
+
+    def test_round_trip(self):
+        axis = AxisResult("x", labels=("1", "2"), values=np.array([1.0, 2.0]))
+        restored = AxisResult.from_dict(axis.to_dict())
+        assert restored.name == axis.name
+        assert restored.labels == axis.labels
+        np.testing.assert_array_equal(restored.values, axis.values)

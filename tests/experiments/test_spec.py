@@ -1,0 +1,160 @@
+"""Scenario descriptions: stimuli, axes, applicator registry."""
+
+import numpy as np
+import pytest
+
+from repro.datapath.encoding8b10b import max_run_length
+from repro.datapath.nrz import JitterSpec
+from repro.datapath.prbs import prbs_sequence, sequence_period
+from repro.experiments import (
+    AXIS_APPLICATORS,
+    EqualizerLineup,
+    LaneSpec,
+    MeasurementPlan,
+    ParameterAxis,
+    ScenarioSpec,
+    StimulusSpec,
+    apply_axis,
+    register_axis,
+)
+from repro.link import LinkConfig, RxCtle
+
+
+class TestStimulusSpec:
+    def test_prbs_bits_match_datapath(self):
+        stimulus = StimulusSpec(kind="prbs", n_bits=300, prbs_order=7)
+        np.testing.assert_array_equal(stimulus.bits(), prbs_sequence(7, 300))
+        assert stimulus.pattern_period == sequence_period(7)
+
+    def test_prbs_seed_decorrelates(self):
+        a = StimulusSpec(n_bits=200, seed=1).bits()
+        b = StimulusSpec(n_bits=200, seed=2).bits()
+        assert not np.array_equal(a, b)
+
+    def test_cid_stress_run_length(self):
+        stimulus = StimulusSpec(kind="cid_stress", n_bits=256, max_run=8)
+        bits = stimulus.bits()
+        assert bits.size == 256
+        assert max_run_length(bits) == 8
+
+    def test_cid_pattern_period(self):
+        assert StimulusSpec(kind="cid_stress", n_bits=256,
+                            max_run=8).pattern_period == 32
+        # Streams shorter than one period are aperiodic.
+        assert StimulusSpec(kind="cid_stress", n_bits=16,
+                            max_run=8).pattern_period is None
+
+    def test_encoded8b10b_is_run_length_limited(self):
+        stimulus = StimulusSpec(kind="encoded8b10b", n_bits=500)
+        bits = stimulus.bits()
+        assert bits.size == 500
+        assert max_run_length(bits) <= 5  # 8b/10b guarantee
+        assert stimulus.pattern_period is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown stimulus kind"):
+            StimulusSpec(kind="sinewave")
+
+    def test_invalid_n_bits_rejected(self):
+        with pytest.raises(ValueError):
+            StimulusSpec(n_bits=0)
+
+
+class TestMeasurementPlan:
+    def test_defaults(self):
+        plan = MeasurementPlan()
+        assert plan.eye is False
+        assert plan.retain == "none"
+
+    def test_unknown_retention_rejected(self):
+        with pytest.raises(ValueError, match="retention"):
+            MeasurementPlan(retain="everything")
+
+
+class TestParameterAxis:
+    def test_values_become_tuple(self):
+        axis = ParameterAxis("sj_amplitude_ui_pp", np.array([0.1, 0.2]))
+        assert axis.values == (0.1, 0.2)
+        assert len(axis) == 2
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            ParameterAxis("sj_amplitude_ui_pp", ())
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="labels"):
+            ParameterAxis("sj_amplitude_ui_pp", (0.1, 0.2), labels=("one",))
+
+    def test_numeric_values(self):
+        axis = ParameterAxis("frequency_offset", (0.0, 0.01))
+        np.testing.assert_allclose(axis.numeric_values(), [0.0, 0.01])
+
+    def test_structured_axis_has_no_numeric_values(self):
+        axis = ParameterAxis("equalization", (EqualizerLineup("a"),))
+        assert axis.numeric_values() is None
+        assert axis.value_labels() == ("a",)
+
+    def test_lane_labels(self):
+        axis = ParameterAxis("lane", (LaneSpec(0, 0.0), LaneSpec(1, 0.01)))
+        assert axis.value_labels() == ("lane0", "lane1")
+
+
+class TestApplicators:
+    BASE = ScenarioSpec(jitter=JitterSpec(dj_ui_pp=0.1, rj_ui_rms=0.01))
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown parameter axis"):
+            apply_axis(self.BASE, "warp_factor", 9)
+
+    def test_sj_axes_compose(self):
+        spec = apply_axis(self.BASE, "sj_amplitude_ui_pp", 0.5)
+        spec = apply_axis(spec, "sj_frequency_hz", 1.0e6)
+        assert spec.jitter.sj_amplitude_ui_pp == 0.5
+        assert spec.jitter.sj_frequency_hz == 1.0e6
+        assert spec.jitter.dj_ui_pp == 0.1  # untouched components survive
+
+    def test_frequency_offset_axis(self):
+        spec = apply_axis(self.BASE, "frequency_offset", 0.02)
+        assert spec.config.frequency_offset == 0.02
+
+    def test_edge_detector_delay_axis(self):
+        spec = apply_axis(self.BASE, "edge_detector_delay_ui", 0.8)
+        assert spec.config.edge_detector_delay_ui == 0.8
+
+    def test_channel_loss_axis_creates_link(self):
+        spec = apply_axis(self.BASE, "channel_loss_db", 12.0)
+        assert spec.link is not None
+        nyquist = spec.link.timebase.bit_rate_hz / 2.0
+        response = spec.link.channel.frequency_response(np.array([nyquist]))
+        np.testing.assert_allclose(
+            -20.0 * np.log10(np.abs(response[0])), 12.0, rtol=1e-6)
+
+    def test_ctle_peaking_axis(self):
+        base = ScenarioSpec(link=LinkConfig(rx_ctle=RxCtle(peaking_db=2.0)))
+        spec = apply_axis(base, "ctle_peaking_db", 9.0)
+        assert spec.link.rx_ctle.peaking_db == 9.0
+
+    def test_equalization_axis_replaces_lineup(self):
+        lineup = EqualizerLineup("ctle", rx_ctle=RxCtle(peaking_db=4.0))
+        spec = apply_axis(self.BASE, "equalization", lineup)
+        assert spec.link.rx_ctle.peaking_db == 4.0
+        assert spec.link.tx_ffe is None
+
+    def test_lane_axis_sets_offset_and_seed(self):
+        lane = LaneSpec(index=2, frequency_offset=0.003, stimulus_seed=3)
+        spec = apply_axis(self.BASE, "lane", lane)
+        assert spec.config.frequency_offset == 0.003
+        assert spec.stimulus.seed == 3
+
+    def test_register_axis_extends_registry(self):
+        @register_axis("n_bits")
+        def _apply_n_bits(spec, value):
+            from dataclasses import replace
+            return replace(spec, stimulus=replace(spec.stimulus,
+                                                  n_bits=int(value)))
+
+        try:
+            spec = apply_axis(self.BASE, "n_bits", 123)
+            assert spec.stimulus.n_bits == 123
+        finally:
+            del AXIS_APPLICATORS["n_bits"]

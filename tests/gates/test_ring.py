@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import units
 from repro.events.kernel import Simulator
 from repro.events.signal import Signal
 from repro.events.waveform import WaveformRecorder

@@ -1,7 +1,6 @@
 """Tests for the CML latch and flip-flop."""
 
 import numpy as np
-import pytest
 
 from repro.events.kernel import Simulator
 from repro.events.signal import Signal

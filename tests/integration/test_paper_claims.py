@@ -5,7 +5,6 @@ exercises the public API the way a user reproducing that claim would.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     CdrChannelConfig,

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.jitter import pdf as pdfmod
 from repro.jitter.pdf import (
     Pdf,
     convolve_pdfs,

@@ -9,7 +9,8 @@ from repro.jitter import sources
 from repro import units
 
 
-RNG = lambda seed=0: np.random.default_rng(seed)
+def RNG(seed=0):
+    return np.random.default_rng(seed)
 
 
 class TestNoJitter:

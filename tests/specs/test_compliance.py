@@ -1,7 +1,6 @@
 """Tests for the combined compliance report."""
 
 import numpy as np
-import pytest
 
 from repro.specs.compliance import check_compliance
 from repro.specs.infiniband import infiniband_mask

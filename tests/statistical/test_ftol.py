@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.statistical.ber_model import CdrJitterBudget
-from repro.statistical.ftol import FtolResult, ber_vs_frequency_offset, frequency_tolerance
+from repro.statistical.ftol import ber_vs_frequency_offset, frequency_tolerance
 
 GRID = 4.0e-3
 

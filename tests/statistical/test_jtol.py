@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import units
 from repro.specs.infiniband import infiniband_mask
 from repro.statistical.ber_model import CdrJitterBudget
 from repro.statistical.jtol import (

@@ -1,6 +1,5 @@
 """Determinism and fallback behaviour of the parallel sweep runner."""
 
-import numpy as np
 import pytest
 
 from repro.sweep.runner import SweepRunner, map_tasks

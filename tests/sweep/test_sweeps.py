@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.config import CdrChannelConfig
 from repro.datapath.nrz import JitterSpec
 from repro.sweep import (
     ber_vs_frequency_offset_sweep,
