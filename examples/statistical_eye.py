@@ -1,0 +1,121 @@
+"""Statistical eye study: BER contours, crosstalk, and the bit-true cross-check.
+
+Demonstrates the `repro.link.stateye` solver end to end:
+
+1. The BER(phase, threshold) surface of an equalized lossy link, rendered
+   as eye contours at several target BERs — the sub-1e-12 region no
+   bit-true run can reach.
+2. Eye closure under FEXT crosstalk: horizontal/vertical openings versus
+   aggressor amplitude, next to the bit-true error counts of the same
+   scenario (`ber_vs_aggressor_sweep` — one declarative study, two views).
+3. The cross-validation corner: at a deliberately harsh oscillator
+   frequency offset the bit-true backends count errors in 20k bits, and
+   the statistical eye reproduces that BER within a factor of two while
+   solving ~1e9x faster than bit-true extrapolation to 1e-12 would be.
+
+Run with:  PYTHONPATH=src python examples/statistical_eye.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.config import CdrChannelConfig
+from repro.datapath.cid import measured_run_distribution
+from repro.datapath.prbs import prbs_sequence
+from repro.gates.ring import GccoParameters
+from repro.link import (
+    LinkCdrChannel,
+    LinkConfig,
+    LossyLineChannel,
+    RxCtle,
+    TxFfe,
+    statistical_eye,
+)
+from repro.reporting import TextTable
+from repro.statistical.ber_model import CdrJitterBudget
+from repro.sweep import ber_vs_aggressor_sweep
+
+LOSS_DB = 10.0
+N_BITS = 20000
+
+
+def equalized_link(**overrides) -> LinkConfig:
+    values = dict(
+        channel=LossyLineChannel.for_loss_at_nyquist(LOSS_DB),
+        tx_ffe=TxFfe.de_emphasis(post_db=3.5),
+        rx_ctle=RxCtle(peaking_db=6.0),
+    )
+    values.update(overrides)
+    return LinkConfig(**values)
+
+
+def contour_study() -> None:
+    print(f"=== Statistical eye of the equalized {LOSS_DB:.0f} dB link ===")
+    start = time.perf_counter()
+    eye = statistical_eye(equalized_link())
+    elapsed = time.perf_counter() - start
+    table = TextTable(["target BER", "horizontal opening", "vertical opening"])
+    for target in (1.0e-6, 1.0e-9, 1.0e-12, 1.0e-15):
+        table.add_row(f"{target:.0e}",
+                      f"{eye.horizontal_opening_ui(target):.3f} UI",
+                      f"{eye.vertical_opening(target):.2f}")
+    print(table.render())
+    phase, ber = eye.best_operating_point()
+    print(f"best operating point: phase {phase:.3f} UI, BER {ber:.2e}")
+    print(f"solved {eye.ber.size} (phase, threshold) points in {elapsed*1e3:.1f} ms\n")
+
+
+def crosstalk_study() -> None:
+    print("=== Eye closure under FEXT crosstalk (statistical + bit-true) ===")
+    amplitudes = np.array([0.0, 0.1, 0.2, 0.3, 0.4])
+    result = ber_vs_aggressor_sweep(amplitudes, loss_db=LOSS_DB,
+                                    n_bits=4000, seed=7)
+    table = TextTable(["aggressor", "bit-true errors", "stateye BER",
+                       "H opening", "V opening"])
+    for index, amplitude in enumerate(amplitudes):
+        table.add_row(f"{amplitude:.2f}",
+                      str(int(result.errors[index])),
+                      f"{result.stateye_ber[index]:.2e}",
+                      f"{result.stateye_horizontal_ui[index]:.3f} UI",
+                      f"{result.stateye_vertical[index]:.2f}")
+    print(table.render())
+    print("openings shrink monotonically; bit-true errors appear "
+          "once the statistical eye collapses\n")
+
+
+def cross_validation_study() -> None:
+    print("=== Cross-validation: statistical eye vs bit-true backends ===")
+    offset = 0.12
+    config = CdrChannelConfig(
+        oscillator=GccoParameters(jitter_sigma_fraction=0.0),
+        frequency_offset=offset)
+    channel = LinkCdrChannel(equalized_link(), config=config, backend="fast")
+    measurement = channel.run(prbs_sequence(7, N_BITS),
+                              rng=np.random.default_rng(3),
+                              pattern_period=127).ber()
+    measured = measurement.errors / measurement.compared_bits
+
+    budget = CdrJitterBudget(dj_ui_pp=0.0, rj_ui_rms=0.0,
+                             osc_sigma_ui_per_bit=0.0,
+                             frequency_offset=offset)
+    eye = statistical_eye(
+        equalized_link(), budget=budget,
+        run_lengths=measured_run_distribution(prbs_sequence(7, 127),
+                                              max_run=7))
+    predicted = eye.ber_at(0.5, 0.0)
+    table = TextTable(["view", "BER"])
+    table.add_row(f"bit-true fast backend ({N_BITS} bits)", f"{measured:.3e}")
+    table.add_row("statistical eye (analytic)", f"{predicted:.3e}")
+    print(table.render())
+    print(f"agreement ratio: {predicted / measured:.2f} (criterion: within 2x)")
+
+
+def main() -> None:
+    contour_study()
+    crosstalk_study()
+    cross_validation_study()
+
+
+if __name__ == "__main__":
+    main()

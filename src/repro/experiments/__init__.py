@@ -26,6 +26,8 @@ package; new studies should start from a spec, not a pipeline.
 from .spec import (
     AXIS_APPLICATORS,
     STIMULUS_KINDS,
+    CrosstalkAggressor,
+    CrosstalkSpec,
     EqualizerLineup,
     LaneSpec,
     MeasurementPlan,
@@ -42,12 +44,15 @@ from .engine import (
     run_grid,
     run_tolerance_search,
     simulate_scenario,
+    statistical_eye_measurement,
 )
 
 __all__ = [
     "AXIS_APPLICATORS",
     "STIMULUS_KINDS",
     "AxisResult",
+    "CrosstalkAggressor",
+    "CrosstalkSpec",
     "EqualizerLineup",
     "LaneSpec",
     "MeasurementPlan",
@@ -62,4 +67,5 @@ __all__ = [
     "run_grid",
     "run_tolerance_search",
     "simulate_scenario",
+    "statistical_eye_measurement",
 ]

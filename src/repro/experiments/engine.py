@@ -27,19 +27,24 @@ bit-identical numbers.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import units
 from .._validation import require_positive
+from ..datapath.cid import geometric_run_distribution
 from ..fastpath.backends import BACKENDS, resolve_backend
-from ..link import LinkPath
+from ..link import LinkPath, statistical_eye
+from ..statistical.ber_model import CdrJitterBudget
 from .results import AxisResult, SweepResult
 from .spec import ParameterAxis, ScenarioSpec, apply_axis
 
 __all__ = [
     "ToleranceSearch",
     "simulate_scenario",
+    "statistical_eye_measurement",
     "resolve_grid",
     "run_grid",
     "run_tolerance_search",
@@ -80,6 +85,67 @@ def simulate_scenario(spec: ScenarioSpec, rng: np.random.Generator,
     )
 
 
+def statistical_eye_measurement(spec: ScenarioSpec) -> dict[str, float]:
+    """Solve the analytic statistical eye of one scenario point.
+
+    The scenario's link configuration (channel, equalizers, crosstalk
+    population) feeds :func:`repro.link.statistical_eye`; the timing
+    budget carries the scenario's *injected* transmitter jitter
+    (DJ/RJ/SJ — channel DDJ emerges from the ISI cursor PDF instead), the
+    oscillator-versus-data relative frequency error (CDR offset composed
+    with the transmitter's ppm error), and the scenario oscillator's
+    accumulated per-bit jitter; the run-length statistics follow the
+    stimulus kind.  Returns the ``stateye_*`` metrics recorded per point.
+    """
+    if spec.link is None:
+        raise ValueError(
+            "MeasurementPlan(statistical_eye=True) requires a link front "
+            "end: the statistical eye is solved from the pulse response")
+    jitter = spec.jitter
+    # Per-stage delay jitter accumulates over the 2*n_stages stage
+    # traversals of one oscillation period: sigma_bit = fraction/sqrt(2N) UI.
+    oscillator = spec.config.oscillator
+    osc_sigma_ui = oscillator.jitter_sigma_fraction \
+        / math.sqrt(2.0 * oscillator.n_stages)
+    # The model's eps is the oscillator period error relative to the
+    # *incoming* data period: a slow oscillator (config offset) and a fast
+    # transmitter (positive ppm) compound.
+    relative_offset = (1.0 + spec.config.frequency_offset) \
+        * (1.0 + units.ppm_to_fraction(spec.data_rate_offset_ppm)) - 1.0
+    # A zero SJ frequency means the bit-true path injects no sinusoidal
+    # displacement at all, so the budget's SJ term must vanish with it (the
+    # placeholder frequency below only keeps the budget constructor happy).
+    sj_frequency = jitter.sj_frequency_hz if jitter is not None else 0.0
+    sj_amplitude = jitter.sj_amplitude_ui_pp \
+        if jitter is not None and sj_frequency > 0.0 else 0.0
+    budget = CdrJitterBudget(
+        dj_ui_pp=jitter.dj_ui_pp if jitter is not None else 0.0,
+        rj_ui_rms=jitter.rj_ui_rms if jitter is not None else 0.0,
+        sj_amplitude_ui_pp=sj_amplitude,
+        sj_frequency_hz=sj_frequency if sj_frequency > 0.0 else 100.0e6,
+        osc_sigma_ui_per_bit=osc_sigma_ui,
+        frequency_offset=relative_offset,
+        bit_rate_hz=spec.config.bit_rate_hz,
+    )
+    if spec.stimulus.kind == "prbs":
+        max_run = spec.stimulus.prbs_order
+    elif spec.stimulus.kind == "cid_stress":
+        max_run = spec.stimulus.max_run
+    else:  # encoded8b10b: the code guarantees CID <= 5
+        max_run = 5
+    eye = statistical_eye(
+        spec.link,
+        budget=budget,
+        run_lengths=geometric_run_distribution(max_run=max_run),
+    )
+    target = spec.measurement.target_ber
+    return {
+        "stateye_ber": eye.ber_at(0.5, 0.0),
+        "stateye_horizontal_ui": eye.horizontal_opening_ui(target),
+        "stateye_vertical": eye.vertical_opening(target),
+    }
+
+
 @dataclass(frozen=True)
 class _PointTask:
     """One resolved grid point: the scenario plus its concrete backend."""
@@ -91,22 +157,24 @@ class _PointTask:
 def _measure_point(task: _PointTask, rng: np.random.Generator) -> tuple:
     """Pool worker: simulate one point, return its measurements.
 
-    Returns ``(errors, compared, eye metrics or None, retained result or
+    Returns ``(errors, compared, extra metrics or None, retained result or
     None)`` according to the scenario's measurement plan.
     """
     result = simulate_scenario(task.spec, rng, backend=task.backend)
     measurement = result.ber()
     plan = task.spec.measurement
-    eye = None
+    extras = {}
     if plan.eye:
         metrics = result.eye_diagram().metrics()
-        eye = {
+        extras.update({
             "eye_opening_ui": float(metrics.eye_opening_ui),
             "eye_centre_ui": float(metrics.eye_centre_ui),
             "n_crossings": float(metrics.n_crossings),
-        }
+        })
+    if plan.statistical_eye:
+        extras.update(statistical_eye_measurement(task.spec))
     detail = result if plan.retain == "results" else None
-    return measurement.errors, measurement.compared_bits, eye, detail
+    return measurement.errors, measurement.compared_bits, extras or None, detail
 
 
 # --- grid execution -----------------------------------------------------------
@@ -155,6 +223,13 @@ def run_grid(
 
     axes = tuple(axes)
     points = resolve_grid(spec, axes)
+    if spec.measurement.statistical_eye:
+        # Fail before the pool spins up, like backend resolution does.
+        for point in points:
+            if point.link is None:
+                raise ValueError(
+                    "MeasurementPlan(statistical_eye=True) requires every "
+                    "grid point to carry a link front end")
     tasks = [
         _PointTask(point, resolve_backend(point.config, point.backend).name)
         for point in points

@@ -26,7 +26,111 @@ import numpy as np
 
 from ..reporting.tables import Series, TextTable
 
-__all__ = ["AxisResult", "SweepResult"]
+__all__ = ["AxisResult", "SweepResult", "measured_ber"]
+
+
+def measured_ber(errors: np.ndarray, compared: np.ndarray) -> np.ndarray:
+    """Element-wise measured BER with NaN where nothing was compared.
+
+    The one shared guard for every errors/compared grid pair — the engine
+    result and the legacy sweep result classes all delegate here.
+    """
+    errors = np.asarray(errors)
+    compared = np.asarray(compared)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(compared > 0, errors / compared, np.nan)
+
+
+# -- portable non-finite encoding --------------------------------------------
+#
+# ``json.dumps`` happily emits the bare tokens ``NaN`` / ``Infinity`` for
+# non-finite floats (a tolerance search that never passed, an eye metric of a
+# closed eye, a BER with zero compared bits).  Those tokens are not RFC 8259
+# JSON — strict parsers (and every non-Python consumer) reject them — so the
+# serialization layer encodes them portably and decodes them on load:
+#
+# * inside *float-typed metric/axis arrays* non-finite entries become the
+#   strings ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"`` (unambiguous there —
+#   the declared dtype says every entry is a float, and numpy parses the
+#   tokens right back);
+# * inside *metadata* (where strings are legitimate values) a non-finite
+#   float becomes the tagged object ``{"__nonfinite__": "NaN"}``, so a
+#   genuine ``"NaN"`` string survives the round-trip untouched.
+#
+# All ``to_json`` output is therefore strictly valid JSON
+# (``allow_nan=False`` enforces it), and the round-trip stays lossless.
+
+_NONFINITE_TOKENS = {
+    "NaN": float("nan"),
+    "Infinity": float("inf"),
+    "-Infinity": float("-inf"),
+}
+
+_NONFINITE_TAG = "__nonfinite__"
+_LITERAL_TAG = "__literal__"
+
+
+def _is_tagged(value: dict) -> bool:
+    return set(value) == {_NONFINITE_TAG} or set(value) == {_LITERAL_TAG}
+
+
+def _encode_float(value: float) -> float | str:
+    if np.isnan(value):
+        return "NaN"
+    if value == float("inf"):
+        return "Infinity"
+    if value == float("-inf"):
+        return "-Infinity"
+    return value
+
+
+def _encode_float_array(values: np.ndarray) -> list:
+    """``ndarray.tolist()`` with non-finite floats as sentinel strings."""
+    if np.all(np.isfinite(values)):
+        return values.tolist()
+
+    def encode(node):
+        if isinstance(node, list):
+            return [encode(child) for child in node]
+        return _encode_float(node)
+
+    return encode(values.tolist())
+
+
+def _encode_json_value(value):
+    """Recursively tag non-finite floats in metadata payloads.
+
+    A non-finite float becomes ``{"__nonfinite__": <token>}`` so that
+    legitimate metadata *strings* like ``"NaN"`` stay distinguishable; a
+    genuine metadata dict that happens to look like a tag is escaped as
+    ``{"__literal__": <encoded dict>}``, keeping the round-trip lossless
+    for every input.
+    """
+    if isinstance(value, dict):
+        encoded = {key: _encode_json_value(child)
+                   for key, child in value.items()}
+        if _is_tagged(value):
+            return {_LITERAL_TAG: encoded}
+        return encoded
+    if isinstance(value, (list, tuple)):
+        return [_encode_json_value(child) for child in value]
+    if isinstance(value, float) and not np.isfinite(value):
+        return {_NONFINITE_TAG: _encode_float(value)}
+    return value
+
+
+def _decode_json_value(value):
+    """Inverse of :func:`_encode_json_value` (tagged objects back to values)."""
+    if isinstance(value, dict):
+        if set(value) == {_NONFINITE_TAG} and value[_NONFINITE_TAG] in _NONFINITE_TOKENS:
+            return _NONFINITE_TOKENS[value[_NONFINITE_TAG]]
+        if set(value) == {_LITERAL_TAG} and isinstance(value[_LITERAL_TAG], dict):
+            return {key: _decode_json_value(child)
+                    for key, child in value[_LITERAL_TAG].items()}
+        return {key: _decode_json_value(child) for key, child in value.items()}
+    if isinstance(value, list):
+        return [_decode_json_value(child) for child in value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -62,11 +166,12 @@ class AxisResult:
         return len(self.labels)
 
     def to_dict(self) -> dict:
-        """JSON-safe representation."""
+        """JSON-safe representation (non-finite values sentinel-encoded)."""
         return {
             "name": self.name,
             "labels": list(self.labels),
-            "values": None if self.values is None else self.values.tolist(),
+            "values": None if self.values is None
+            else _encode_float_array(self.values),
         }
 
     @classmethod
@@ -163,27 +268,37 @@ class SweepResult:
     @property
     def ber(self) -> np.ndarray:
         """Measured BER per grid point (NaN where nothing was compared)."""
-        errors = self.metric("errors")
-        compared = self.metric("compared")
-        with np.errstate(invalid="ignore", divide="ignore"):
-            return np.where(compared > 0, errors / compared, np.nan)
+        return measured_ber(self.metric("errors"), self.metric("compared"))
 
     # -- JSON -----------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-safe representation (lossless for the metric arrays)."""
+        """JSON-safe representation (lossless for the metric arrays).
+
+        Non-finite floats are encoded portably so the serialization is
+        strict RFC 8259 JSON: metric grids and axis values use the
+        sentinel strings ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"``
+        (unambiguous inside float-typed arrays), metadata uses tagged
+        ``{"__nonfinite__": ...}`` objects (so genuine metadata strings
+        like ``"NaN"`` survive).  :meth:`from_dict` decodes both back to
+        floats.
+        """
         return {
             "name": self.name,
             "axes": [axis.to_dict() for axis in self.axes],
             "metrics": {
-                name: {"dtype": str(grid.dtype), "values": grid.tolist()}
+                name: {
+                    "dtype": str(grid.dtype),
+                    "values": _encode_float_array(grid)
+                    if np.issubdtype(grid.dtype, np.floating) else grid.tolist(),
+                }
                 for name, grid in self.metrics.items()
             },
             "backend": self.backend,
             "point_backends": list(self.point_backends),
             "n_bits": self.n_bits,
             "seed": self.seed,
-            "metadata": dict(self.metadata),
+            "metadata": _encode_json_value(dict(self.metadata)),
         }
 
     @classmethod
@@ -201,12 +316,17 @@ class SweepResult:
             point_backends=tuple(payload["point_backends"]),
             n_bits=int(payload["n_bits"]),
             seed=payload["seed"],
-            metadata=dict(payload.get("metadata", {})),
+            metadata=_decode_json_value(dict(payload.get("metadata", {}))),
         )
 
     def to_json(self, indent: int | None = 1) -> str:
-        """Serialize to JSON text (floats survive exactly via repr)."""
-        return json.dumps(self.to_dict(), indent=indent)
+        """Serialize to strict RFC 8259 JSON text (floats survive exactly via repr).
+
+        Non-finite values travel as sentinel strings (see :meth:`to_dict`);
+        ``allow_nan=False`` guarantees no bare ``NaN`` / ``Infinity`` token
+        can ever reach a non-Python consumer.
+        """
+        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
 
     @classmethod
     def from_json(cls, text: str) -> "SweepResult":

@@ -20,17 +20,27 @@ from typing import Any, Callable
 
 import numpy as np
 
-from .._validation import require_non_negative, require_positive_int
+from .._validation import require_in_range, require_non_negative, require_positive_int
 from ..core.config import CdrChannelConfig
 from ..datapath.encoding8b10b import encode_bytes
 from ..datapath.nrz import JitterSpec
 from ..datapath.prbs import prbs_sequence, sequence_period
-from ..link import LinkConfig, LmsDfe, LossyLineChannel, RxCtle, TxFfe
+from ..link import (
+    CrosstalkAggressor,
+    CrosstalkSpec,
+    LinkConfig,
+    LmsDfe,
+    LossyLineChannel,
+    RxCtle,
+    TxFfe,
+)
 
 __all__ = [
     "STIMULUS_KINDS",
     "StimulusSpec",
     "MeasurementPlan",
+    "CrosstalkAggressor",
+    "CrosstalkSpec",
     "EqualizerLineup",
     "LaneSpec",
     "ScenarioSpec",
@@ -121,17 +131,26 @@ class MeasurementPlan:
     """What each grid point measures and retains.
 
     BER (error / compared-bit counts) is always measured.  ``eye`` adds
-    clock-aligned eye metrics per point; ``retain`` selects the trace
-    retention policy — ``"none"`` keeps only the measurements (cheap,
-    pickles across the pool), ``"results"`` additionally returns every
-    point's full ``BehavioralSimulationResult`` (waveform traces included)
-    in :attr:`repro.experiments.SweepResult.details`.
+    clock-aligned eye metrics per point; ``statistical_eye`` solves the
+    analytic :func:`repro.link.statistical_eye` of the point's link
+    configuration (requires a link front end) and records its BER at the
+    nominal operating point plus the horizontal/vertical eye openings at
+    ``target_ber`` — the sub-1e-12 companion of the bit-true counts.
+    ``retain`` selects the trace retention policy — ``"none"`` keeps only
+    the measurements (cheap, pickles across the pool), ``"results"``
+    additionally returns every point's full ``BehavioralSimulationResult``
+    (waveform traces included) in
+    :attr:`repro.experiments.SweepResult.details`.
     """
 
     eye: bool = False
+    statistical_eye: bool = False
+    target_ber: float = 1.0e-12
     retain: str = "none"
 
     def __post_init__(self) -> None:
+        require_in_range("target_ber", self.target_ber, 0.0, 1.0,
+                         inclusive=False)
         if self.retain not in ("none", "results"):
             raise ValueError(
                 f"unknown retention policy {self.retain!r}; "
@@ -340,6 +359,21 @@ def _apply_ctle_peaking(spec: ScenarioSpec, value) -> ScenarioSpec:
         rx_ctle=base_ctle.with_peaking(float(value)),
         dfe=link.dfe,
     ))
+
+
+@register_axis("aggressor_amplitude")
+def _apply_aggressor_amplitude(spec: ScenarioSpec, value) -> ScenarioSpec:
+    """Set every crosstalk aggressor's coupling amplitude to *value*.
+
+    A scenario without an aggressor population gets a single FEXT
+    aggressor, so ``ParameterAxis("aggressor_amplitude", ...)`` works on
+    any link-driven spec out of the box.
+    """
+    require_non_negative("aggressor_amplitude", float(value))
+    link = _link_of(spec)
+    crosstalk = link.crosstalk or CrosstalkSpec.single_fext(0.0)
+    return replace(spec, link=link.with_crosstalk(
+        crosstalk.with_amplitude(float(value))))
 
 
 @register_axis("equalization")

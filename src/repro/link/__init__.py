@@ -45,7 +45,9 @@ from .edges import (
     match_crossings_ui,
     pattern_displacements_ui,
 )
+from .crosstalk import AGGRESSOR_KINDS, CrosstalkAggressor, CrosstalkSpec
 from .path import LinkCdrChannel, LinkConfig, LinkPath, stream_eye_diagram
+from .stateye import StatisticalEye, StatisticalEyeSolver, statistical_eye
 
 __all__ = [
     "LinkTimebase",
@@ -66,8 +68,14 @@ __all__ = [
     "match_crossings_ui",
     "pattern_displacements_ui",
     "edge_stream_from_waveform",
+    "AGGRESSOR_KINDS",
+    "CrosstalkAggressor",
+    "CrosstalkSpec",
     "LinkCdrChannel",
     "LinkConfig",
     "LinkPath",
     "stream_eye_diagram",
+    "StatisticalEye",
+    "StatisticalEyeSolver",
+    "statistical_eye",
 ]

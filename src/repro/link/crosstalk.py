@@ -1,0 +1,183 @@
+"""Crosstalk aggressors (FEXT / NEXT) coupling into the victim link.
+
+A dense channel (the paper's multi-channel receiver context) never runs a
+lane in isolation: neighbouring transmitters couple into the victim pair.
+This module models each aggressor by its **coupled pulse response** at the
+victim receiver — the voltage the victim sampler sees when the aggressor
+transmits one isolated bit — and two consumers build on it:
+
+* the bit-true path (:class:`~repro.link.LinkPath`) superposes the
+  aggressor's own PRBS waveform onto the victim waveform before edge
+  extraction, so crosstalk shows up as real edge displacement / eye
+  closure in time-domain simulation;
+* the statistical eye solver (:mod:`repro.link.stateye`) treats every
+  aggressor cursor as an independent ±c voltage contribution and convolves
+  the resulting PDF into the victim's ISI distribution.
+
+The coupling transfer function is behavioural: inductive/capacitive
+coupling grows with frequency up to the coupling corner (a first-order
+high-pass), and a **FEXT** aggressor additionally traverses the victim
+channel to the far end (so its coupled pulse is dispersed and attenuated
+like the victim signal), while a **NEXT** aggressor couples straight back
+into the near-end receiver.  ``amplitude`` scales the *peak* of the
+coupled pulse after the full coupling path (including the victim's CTLE
+when one is in line), so it reads directly in victim-swing units: an
+``amplitude=0.1`` aggressor can close the vertical eye by at most ~0.2
+(±0.1 around each rail).
+
+Everything is a frozen dataclass, picklable across the sweep pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .._validation import require_non_negative, require_positive, require_positive_int
+from ..datapath.prbs import prbs_sequence
+from .channel import ChannelModel, pulse_through_response
+from .isi import nrz_symbol_levels
+from .timebase import LinkTimebase
+
+__all__ = [
+    "AGGRESSOR_KINDS",
+    "CrosstalkAggressor",
+    "CrosstalkSpec",
+]
+
+#: Supported coupling topologies.
+AGGRESSOR_KINDS = ("fext", "next")
+
+
+@dataclass(frozen=True)
+class CrosstalkAggressor:
+    """One crosstalk aggressor coupling into the victim receiver.
+
+    Attributes
+    ----------
+    amplitude:
+        Peak amplitude of the coupled single-bit pulse at the victim
+        sampler, in units of the victim swing (0 disables the aggressor
+        exactly — its pulse and waveform are identically zero).
+    kind:
+        ``"fext"`` (far-end: the coupled wave traverses the victim channel)
+        or ``"next"`` (near-end: it couples straight into the receiver).
+    coupling_corner_hz:
+        Corner frequency of the first-order high-pass coupling response;
+        coupling grows with frequency below it and flattens above.
+    prbs_order / seed:
+        The aggressor's own (bit-true) data pattern: a maximal-length PRBS
+        decorrelated from the victim stimulus by its LFSR seed.
+    """
+
+    amplitude: float
+    kind: str = "fext"
+    coupling_corner_hz: float = 1.25e9
+    prbs_order: int = 7
+    seed: int | None = 0x2A
+
+    def __post_init__(self) -> None:
+        require_non_negative("amplitude", self.amplitude)
+        if self.kind not in AGGRESSOR_KINDS:
+            raise ValueError(
+                f"unknown aggressor kind {self.kind!r}; expected one of "
+                f"{list(AGGRESSOR_KINDS)}")
+        require_positive("coupling_corner_hz", self.coupling_corner_hz)
+        require_positive_int("prbs_order", self.prbs_order)
+
+    def with_amplitude(self, amplitude: float) -> "CrosstalkAggressor":
+        """Return a copy with the coupling amplitude replaced."""
+        return replace(self, amplitude=amplitude)
+
+    def coupling_response(self, frequencies_hz: np.ndarray,
+                          victim_channel: ChannelModel | None = None
+                          ) -> np.ndarray:
+        """Unnormalised coupling transfer function at *frequencies_hz*.
+
+        The first-order high-pass models the derivative nature of
+        inductive/capacitive coupling; a FEXT aggressor is additionally
+        filtered by the *victim_channel* it rides to the far end.
+        """
+        frequency = np.asarray(frequencies_hz, dtype=float)
+        ratio = 1j * frequency / self.coupling_corner_hz
+        response = ratio / (1.0 + ratio)
+        if self.kind == "fext" and victim_channel is not None:
+            response = response * victim_channel.frequency_response(frequency)
+        return response
+
+    def pulse_response(self, timebase: LinkTimebase, n_ui: int,
+                       victim_channel: ChannelModel | None = None,
+                       rx_response: np.ndarray | None = None) -> np.ndarray:
+        """Coupled single-bit pulse at the victim sampler on the circular grid.
+
+        *rx_response* is the victim receiver's linear response (CTLE)
+        sampled on ``timebase.frequencies_hz(n_samples(n_ui))``; the pulse
+        is normalised so its peak magnitude equals :attr:`amplitude`
+        *after* that response, making the amplitude read directly in
+        victim-swing units at the sampler.
+        """
+        count = timebase.n_samples(n_ui)
+        if self.amplitude == 0.0:
+            return np.zeros(count)
+        response = self.coupling_response(
+            timebase.frequencies_hz(count), victim_channel)
+        if rx_response is not None:
+            response = response * rx_response
+        pulse = pulse_through_response(response, timebase, n_ui)
+        peak = float(np.max(np.abs(pulse)))
+        if peak <= 0.0:
+            return np.zeros(count)
+        return pulse * (self.amplitude / peak)
+
+    def pattern_bits(self, n_bits: int) -> np.ndarray:
+        """The aggressor's transmitted bit pattern, tiled to *n_bits*."""
+        require_positive_int("n_bits", n_bits)
+        return prbs_sequence(self.prbs_order, n_bits, seed=self.seed)
+
+    def symbol_levels(self, n_bits: int) -> np.ndarray:
+        """±1 NRZ levels of :meth:`pattern_bits` (bit-true waveform drive)."""
+        return nrz_symbol_levels(self.pattern_bits(n_bits))
+
+
+@dataclass(frozen=True)
+class CrosstalkSpec:
+    """The aggressor population of one victim lane (picklable sweep unit)."""
+
+    aggressors: tuple[CrosstalkAggressor, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "aggressors", tuple(self.aggressors))
+
+    def __len__(self) -> int:
+        return len(self.aggressors)
+
+    @property
+    def is_silent(self) -> bool:
+        """True when no aggressor couples any energy (all amplitudes zero)."""
+        return all(a.amplitude == 0.0 for a in self.aggressors)
+
+    @classmethod
+    def single_fext(cls, amplitude: float, **parameters) -> "CrosstalkSpec":
+        """One FEXT aggressor — the default configuration of the sweeps."""
+        return cls((CrosstalkAggressor(amplitude, kind="fext", **parameters),))
+
+    @classmethod
+    def single_next(cls, amplitude: float, **parameters) -> "CrosstalkSpec":
+        """One NEXT aggressor."""
+        return cls((CrosstalkAggressor(amplitude, kind="next", **parameters),))
+
+    @classmethod
+    def uniform(cls, n_aggressors: int, amplitude: float,
+                kind: str = "fext") -> "CrosstalkSpec":
+        """*n_aggressors* equal-amplitude aggressors with decorrelated seeds."""
+        require_positive_int("n_aggressors", n_aggressors)
+        return cls(tuple(
+            CrosstalkAggressor(amplitude, kind=kind, seed=0x2A + 17 * index)
+            for index in range(n_aggressors)))
+
+    def with_amplitude(self, amplitude: float) -> "CrosstalkSpec":
+        """Every aggressor's amplitude set to *amplitude* (the sweep axis)."""
+        return CrosstalkSpec(tuple(
+            aggressor.with_amplitude(amplitude)
+            for aggressor in self.aggressors))

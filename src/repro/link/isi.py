@@ -49,11 +49,11 @@ def _folded_pulse(pulse: np.ndarray, length: int) -> np.ndarray:
         padded = np.zeros(length)
         padded[:pulse.size] = pulse
         return padded
-    folded = np.zeros(length)
-    for start in range(0, pulse.size, length):
-        chunk = pulse[start:start + length]
-        folded[:chunk.size] += chunk
-    return folded
+    # Pad to a whole number of turns, then sum the turns in one pass.
+    turns = -(-pulse.size // length)
+    padded = np.zeros(turns * length)
+    padded[:pulse.size] = pulse
+    return padded.reshape(turns, length).sum(axis=0)
 
 
 def superpose_circular(symbols: np.ndarray, pulse: np.ndarray,

@@ -34,6 +34,7 @@ from ..fastpath.backends import AUTO_BACKEND, resolve_backend
 from ..jitter.decomposition import JitterDecomposition, combine_deterministic, decompose_dual_dirac
 from ..statistical.ber_model import CdrJitterBudget
 from .channel import ChannelModel, IdealChannel, pulse_through_response
+from .crosstalk import CrosstalkSpec
 from .edges import circular_transition_positions, pattern_displacements_ui
 from .equalization import DfeAdaptation, LmsDfe, RxCtle, TxFfe
 from .isi import nrz_symbol_levels, superpose_circular
@@ -58,6 +59,11 @@ class LinkConfig:
     tx_ffe / rx_ctle / dfe:
         Optional equalizer stages; ``None`` disables a stage (the
         equalization-ablation axis of the sweeps).
+    crosstalk:
+        Optional FEXT/NEXT aggressor population; each aggressor's own PRBS
+        waveform is superposed onto the received victim waveform before
+        edge extraction (``None`` or all-zero amplitudes leave the
+        waveform bit-identical to the crosstalk-free path).
     timebase:
         Waveform sampling grid.
     settle_ui:
@@ -69,6 +75,7 @@ class LinkConfig:
     tx_ffe: TxFfe | None = None
     rx_ctle: RxCtle | None = None
     dfe: LmsDfe | None = None
+    crosstalk: CrosstalkSpec | None = None
     timebase: LinkTimebase = field(default_factory=LinkTimebase)
     settle_ui: int = 4
 
@@ -85,6 +92,10 @@ class LinkConfig:
         """Return a copy with the equalizer line-up replaced."""
         return replace(self, tx_ffe=tx_ffe, rx_ctle=rx_ctle, dfe=dfe)
 
+    def with_crosstalk(self, crosstalk: CrosstalkSpec | None) -> "LinkConfig":
+        """Return a copy with the aggressor population replaced."""
+        return replace(self, crosstalk=crosstalk)
+
 
 class LinkPath:
     """Waveform-level link simulation producing CDR-ready edge streams."""
@@ -93,6 +104,7 @@ class LinkPath:
         self.config = config or LinkConfig()
         self._pulse_cache: dict[int, np.ndarray] = {}
         self._pattern_cache: dict[bytes, tuple[np.ndarray, DfeAdaptation | None]] = {}
+        self._crosstalk_cache: dict[int, np.ndarray] = {}
         #: DFE training state behind the most recent displacement-table
         #: lookup (cached alongside the table, so it tracks cache hits too).
         self.last_dfe_adaptation: DfeAdaptation | None = None
@@ -128,6 +140,54 @@ class LinkPath:
         self._pulse_cache[count] = pulse
         return pulse
 
+    def _rx_linear_response(self, count: int) -> np.ndarray | None:
+        """The receiver's linear (CTLE) response on the *count*-sample grid."""
+        if self.config.rx_ctle is None:
+            return None
+        return self.config.rx_ctle.frequency_response(
+            self.config.timebase.frequencies_hz(count))
+
+    def aggressor_pulse_responses(self, n_ui: int) -> list[np.ndarray]:
+        """Coupled single-bit pulse of every aggressor at the victim sampler.
+
+        Each pulse has traversed the aggressor's coupling path (FEXT rides
+        the victim channel, NEXT couples straight in) and the victim's CTLE,
+        on the shared circular grid — the cursor source for both the
+        bit-true waveform superposition and the statistical eye solver.
+        """
+        config = self.config
+        if config.crosstalk is None:
+            return []
+        count = config.timebase.n_samples(n_ui)
+        rx_response = self._rx_linear_response(count)
+        return [
+            aggressor.pulse_response(config.timebase, n_ui,
+                                     victim_channel=config.channel,
+                                     rx_response=rx_response)
+            for aggressor in config.crosstalk.aggressors
+        ]
+
+    def crosstalk_waveform(self, n_ui: int) -> np.ndarray:
+        """Summed steady-state aggressor waveform over one *n_ui* period.
+
+        Every aggressor transmits its own decorrelated PRBS pattern (tiled
+        to the victim pattern period, so the circular steady-state model
+        stays exact); cached per grid length like the pulse response.
+        """
+        cached = self._crosstalk_cache.get(n_ui)
+        if cached is not None:
+            return cached
+        config = self.config
+        waveform = np.zeros(config.timebase.n_samples(n_ui))
+        if config.crosstalk is not None and not config.crosstalk.is_silent:
+            pulses = self.aggressor_pulse_responses(n_ui)
+            for aggressor, pulse in zip(config.crosstalk.aggressors, pulses):
+                waveform += superpose_circular(
+                    aggressor.symbol_levels(n_ui), pulse,
+                    config.timebase.samples_per_ui)
+        self._crosstalk_cache[n_ui] = waveform
+        return waveform
+
     # -- waveform synthesis ---------------------------------------------------
 
     def received_pattern_waveform(self, pattern_bits: np.ndarray
@@ -137,8 +197,10 @@ class LinkPath:
         Returns ``(time_axis_s, waveform)`` over one period (time axis
         starts at the pattern's first bit, midpoint convention).  The
         transmitted symbols pass through the FFE (circularly), the
-        channel/CTLE pulse response superposes them, and an optional DFE —
-        trained data-aided on the pattern — subtracts its feedback.
+        channel/CTLE pulse response superposes them, crosstalk aggressors
+        add their coupled waveforms, and an optional DFE — trained
+        data-aided on the pattern (crosstalk included, as a real adaptive
+        receiver would) — subtracts its feedback.
         """
         config = self.config
         timebase = config.timebase
@@ -149,6 +211,8 @@ class LinkPath:
             else config.tx_ffe.apply_to_symbols(levels)
         pulse = self.equalized_pulse_response(int(bits.size))
         waveform = superpose_circular(symbols, pulse, timebase.samples_per_ui)
+        if config.crosstalk is not None and not config.crosstalk.is_silent:
+            waveform = waveform + self.crosstalk_waveform(int(bits.size))
         self.last_dfe_adaptation = None
         if config.dfe is not None:
             spu = timebase.samples_per_ui

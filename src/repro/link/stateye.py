@@ -1,0 +1,388 @@
+"""Statistical eye solver: pulse-response cursor PDFs × the analytic BER model.
+
+Bit-true simulation cannot reach the paper's 1e-12 BER target — counting
+ten errors there needs ~1e13 bits.  The statistical (StatEye/PyBERT-class)
+approach gets there analytically:
+
+1. **Cursor enumeration** — the victim's full single-bit response (TX FFE ×
+   channel × RX CTLE, minus the trained DFE feedback) is sampled at every
+   candidate sampling phase inside the unit interval; every cursor except
+   the main one contributes ``±c_k`` to the sampled voltage depending on
+   the (equiprobable) neighbouring bit.
+2. **Voltage-PDF convolution** — the per-cursor two-point distributions are
+   convolved on a fixed voltage grid (the amplitude-domain analogue of the
+   time-domain PDF calculus in :mod:`repro.jitter.pdf`), giving the exact
+   ISI amplitude distribution at each phase.
+3. **Crosstalk superposition** — each FEXT/NEXT aggressor
+   (:mod:`repro.link.crosstalk`) contributes its own independent cursor
+   set, convolved into the same PDF.
+4. **Timing × amplitude combination** — the amplitude error probability
+   (wrong side of the decision threshold) is combined with the
+   gated-oscillator timing error probability
+   (:class:`repro.statistical.GatedOscillatorBerModel` at the same
+   sampling phase — one cached model serves the whole phase scan) into the
+   ``BER(phase, threshold)`` surface.
+
+The result is a :class:`StatisticalEye`: the full surface plus contour
+extraction and horizontal/vertical eye openings at a target BER — the
+million-point BER-contour workload bit-by-bit simulation cannot touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .._validation import require_positive, require_positive_int, require_probability
+from ..datapath.cid import RunLengthDistribution
+from ..jitter.pdf import Pdf
+from ..statistical.ber_model import CdrJitterBudget, GatedOscillatorBerModel
+from .isi import superpose_circular
+from .path import LinkConfig, LinkPath
+
+__all__ = [
+    "StatisticalEye",
+    "StatisticalEyeSolver",
+    "statistical_eye",
+]
+
+
+#: Cursor magnitudes below this (in victim-swing units) are numerical FFT
+#: residue, not ISI — snapped to zero like the edge extractor's ``snap_ui``.
+_CURSOR_SNAP = 1.0e-9
+
+
+def _shifted(pmf: np.ndarray, bins: int) -> np.ndarray:
+    """*pmf* translated by *bins* grid cells (mass beyond the edge drops)."""
+    if bins == 0:
+        return pmf
+    result = np.zeros_like(pmf)
+    if bins > 0:
+        result[bins:] = pmf[:-bins]
+    else:
+        result[:bins] = pmf[-bins:]
+    return result
+
+
+def _two_point_convolve(pmf: np.ndarray, shift_bins: float) -> np.ndarray:
+    """Convolve *pmf* with ``0.5·δ(+c) + 0.5·δ(−c)`` for ``c = shift_bins``.
+
+    *shift_bins* is a (non-negative) real number of grid cells.  An
+    off-grid impulse is split across the two adjacent bins with the weight
+    chosen to preserve its **second moment** exactly (the pair is
+    symmetric, so the mean is zero by construction): with ``c`` between
+    bins ``m`` and ``m+1``, weight ``w = (c² − m²) / (2m + 1)`` gives
+    ``(1−w)·m² + w·(m+1)² = c²``.  Cursors far below the grid step thus
+    contribute their exact mean-square spread instead of being rounded
+    away, and the total ISI variance is exact on any grid.
+    """
+    if shift_bins == 0.0:
+        return pmf
+    whole = int(np.floor(shift_bins))
+    weight = (shift_bins * shift_bins - whole * whole) / (2.0 * whole + 1.0)
+    result = np.zeros_like(pmf)
+    for bins, mass in ((whole, 1.0 - weight), (whole + 1, weight)):
+        if mass <= 0.0:
+            continue
+        result += (0.5 * mass) * (_shifted(pmf, bins) + _shifted(pmf, -bins))
+    return result
+
+
+@dataclass(frozen=True)
+class StatisticalEye:
+    """The solved statistical eye: a BER(phase, threshold) surface.
+
+    Attributes
+    ----------
+    phases_ui:
+        Sampling phases inside the unit interval (midpoint grid samples).
+    thresholds:
+        Decision-threshold voltage grid (victim swing units, 0 = slicer
+        midpoint).
+    ber:
+        ``(len(phases_ui), len(thresholds))`` total BER surface —
+        amplitude and timing error mechanisms combined (union bound,
+        clipped at 1).
+    timing_ber:
+        Phase-only timing error probability (the analytic CDR model).
+    amplitude_ber:
+        Amplitude-only error probability surface.
+    main_cursor:
+        Main-cursor voltage at each phase (the eye rail position).
+    noise_pmf:
+        Per-phase probability mass of the ISI + crosstalk (+ Gaussian
+        amplitude noise) voltage distribution on :attr:`thresholds`.
+    """
+
+    phases_ui: np.ndarray
+    thresholds: np.ndarray
+    ber: np.ndarray
+    timing_ber: np.ndarray
+    amplitude_ber: np.ndarray
+    main_cursor: np.ndarray
+    noise_pmf: np.ndarray = field(repr=False)
+
+    @property
+    def phase_step_ui(self) -> float:
+        """Spacing of the phase scan."""
+        return float(self.phases_ui[1] - self.phases_ui[0])
+
+    def noise_pdf(self, phase_ui: float) -> Pdf:
+        """ISI + crosstalk voltage distribution at the phase nearest *phase_ui*.
+
+        Returned as a :class:`repro.jitter.pdf.Pdf` on the voltage grid, so
+        the whole time-domain PDF calculus (moments, tail probabilities,
+        further convolution) applies to the amplitude domain too.
+        """
+        index = int(np.argmin(np.abs(self.phases_ui - float(phase_ui))))
+        step = float(self.thresholds[1] - self.thresholds[0])
+        return Pdf(self.thresholds, self.noise_pmf[index] / step)
+
+    def ber_at(self, phase_ui: float = 0.5, threshold: float = 0.0) -> float:
+        """Total BER at one (sampling phase, decision threshold) point."""
+        index = int(np.argmin(np.abs(self.phases_ui - float(phase_ui))))
+        return float(np.interp(float(threshold), self.thresholds,
+                               self.ber[index]))
+
+    def best_operating_point(self, threshold: float = 0.0) -> tuple[float, float]:
+        """``(phase_ui, ber)`` of the minimum-BER phase at *threshold*."""
+        column = int(np.argmin(np.abs(self.thresholds - float(threshold))))
+        index = int(np.argmin(self.ber[:, column]))
+        return float(self.phases_ui[index]), float(self.ber[index, column])
+
+    def contour(self, target_ber: float = 1.0e-12
+                ) -> tuple[np.ndarray, np.ndarray]:
+        """Eye contour at *target_ber*: per phase, the passing threshold band.
+
+        Returns ``(lower, upper)`` threshold arrays over :attr:`phases_ui`;
+        ``NaN`` where no threshold meets the target (closed eye).
+        """
+        require_probability("target_ber", target_ber)
+        passing = self.ber <= target_ber
+        lower = np.full(self.phases_ui.size, np.nan)
+        upper = np.full(self.phases_ui.size, np.nan)
+        for index in range(self.phases_ui.size):
+            columns = np.flatnonzero(passing[index])
+            if columns.size:
+                lower[index] = self.thresholds[columns[0]]
+                upper[index] = self.thresholds[columns[-1]]
+        return lower, upper
+
+    def horizontal_opening_ui(self, target_ber: float = 1.0e-12,
+                              threshold: float = 0.0) -> float:
+        """Width (UI) of the phase span meeting *target_ber* at *threshold*."""
+        require_probability("target_ber", target_ber)
+        column = int(np.argmin(np.abs(self.thresholds - float(threshold))))
+        passing = self.ber[:, column] <= target_ber
+        return float(np.count_nonzero(passing)) * self.phase_step_ui
+
+    def vertical_opening(self, target_ber: float = 1.0e-12,
+                         phase_ui: float | None = None) -> float:
+        """Height (voltage) of the threshold band meeting *target_ber*.
+
+        At the phase nearest *phase_ui*, or the widest band over all
+        phases when *phase_ui* is ``None``; zero for a closed eye.
+        """
+        lower, upper = self.contour(target_ber)
+        heights = np.where(np.isnan(lower), 0.0, upper - lower)
+        if phase_ui is None:
+            return float(heights.max()) if heights.size else 0.0
+        index = int(np.argmin(np.abs(self.phases_ui - float(phase_ui))))
+        return float(heights[index])
+
+
+class StatisticalEyeSolver:
+    """Builds the statistical eye of one link configuration.
+
+    Parameters
+    ----------
+    link:
+        The victim link (:class:`LinkConfig` or a prepared
+        :class:`LinkPath`); its crosstalk population, when present,
+        contributes aggressor cursor PDFs.
+    budget:
+        Jitter environment of the timing (CDR) term.  Defaults to Table 1
+        with ``dj_ui_pp = 0`` — deterministic jitter *emerges* from the ISI
+        cursor PDF here, so the budget should carry only non-ISI terms
+        (random, sinusoidal, oscillator, frequency offset).  Pass
+        :meth:`repro.link.LinkPath.jitter_budget` output instead to fold
+        the dual-Dirac DDJ fit into the timing walls as well (conservative:
+        ISI then counts in both domains).
+    run_lengths:
+        Line-code run-length statistics of the timing model (default: the
+        model's 8b/10b worst case).
+    span_ui:
+        Pulse-response span; must cover the channel settling tail.
+    voltage_step:
+        Voltage-grid resolution of the cursor PDF convolution.
+    amplitude_noise_rms:
+        Optional Gaussian amplitude noise (thermal/reference) convolved
+        into every phase's PDF.
+    grid_step_ui:
+        Time-domain grid resolution of the analytic BER model.
+    """
+
+    def __init__(
+        self,
+        link: LinkConfig | LinkPath | None = None,
+        *,
+        budget: CdrJitterBudget | None = None,
+        run_lengths: RunLengthDistribution | None = None,
+        span_ui: int = 64,
+        voltage_step: float = 0.01,
+        amplitude_noise_rms: float = 0.0,
+        grid_step_ui: float = 2.0e-3,
+    ) -> None:
+        self.path = link if isinstance(link, LinkPath) else LinkPath(link)
+        self.budget = budget if budget is not None \
+            else replace(CdrJitterBudget(), dj_ui_pp=0.0)
+        self.run_lengths = run_lengths
+        self.span_ui = require_positive_int("span_ui", span_ui)
+        self.voltage_step = require_positive("voltage_step", voltage_step)
+        self.amplitude_noise_rms = float(amplitude_noise_rms)
+        self.grid_step_ui = require_positive("grid_step_ui", grid_step_ui)
+
+    # -- cursor extraction ----------------------------------------------------
+
+    def full_pulse_response(self) -> np.ndarray:
+        """Victim single-bit response through every linear stage (incl. DFE).
+
+        TX FFE applies in the symbol domain, channel × CTLE through the
+        cached equalized pulse response, and a configured DFE subtracts its
+        *trained* tap weights over the corresponding post-cursor unit
+        intervals (its feedback is piecewise-constant per UI, so the
+        subtraction is exact for the adapted weights).
+        """
+        config = self.path.config
+        spu = config.timebase.samples_per_ui
+        impulse = np.zeros(self.span_ui)
+        impulse[0] = 1.0
+        symbols = impulse if config.tx_ffe is None \
+            else config.tx_ffe.apply_to_symbols(impulse)
+        pulse = self.path.equalized_pulse_response(self.span_ui)
+        full = superpose_circular(symbols, pulse, spu)
+        if config.dfe is not None:
+            weights = self._trained_dfe_weights()
+            for offset, weight in enumerate(weights, start=1):
+                if offset >= self.span_ui:
+                    break
+                full[offset * spu:(offset + 1) * spu] -= weight
+        return full
+
+    def _trained_dfe_weights(self) -> np.ndarray:
+        """Adapt the configured DFE on a PRBS training pattern of the span."""
+        from ..datapath.prbs import prbs_sequence
+
+        self.path.received_pattern_waveform(prbs_sequence(7, self.span_ui))
+        adaptation = self.path.last_dfe_adaptation
+        if adaptation is None:  # pragma: no cover - guarded by config.dfe
+            return np.zeros(0)
+        return np.asarray(adaptation.weights, dtype=float)
+
+    def cursor_matrix(self) -> np.ndarray:
+        """``(span_ui, samples_per_ui)`` victim cursor samples.
+
+        Row ``k`` holds unit interval ``k`` of the full pulse response;
+        column ``i`` is one candidate sampling phase (midpoint grid).
+        """
+        spu = self.path.config.timebase.samples_per_ui
+        return self.full_pulse_response().reshape(self.span_ui, spu)
+
+    def aggressor_cursor_matrices(self) -> list[np.ndarray]:
+        """Per-aggressor ``(span_ui, samples_per_ui)`` cursor samples."""
+        spu = self.path.config.timebase.samples_per_ui
+        return [pulse.reshape(self.span_ui, spu)
+                for pulse in self.path.aggressor_pulse_responses(self.span_ui)]
+
+    # -- solution --------------------------------------------------------------
+
+    def solve(self) -> StatisticalEye:
+        """Compute the full BER(phase, threshold) statistical eye."""
+        spu = self.path.config.timebase.samples_per_ui
+        cursors = self.cursor_matrix()
+        aggressors = self.aggressor_cursor_matrices()
+
+        main_row = int(np.argmax(np.max(np.abs(cursors), axis=1)))
+        main_cursor = cursors[main_row].copy()
+        isi_rows = np.delete(cursors, main_row, axis=0)
+
+        step = self.voltage_step
+        # Count only cursor terms that can shift mass at all — an all-zero
+        # row (e.g. a zero-amplitude aggressor) must leave the grid, and
+        # therefore the solved eye, bit-identical.
+        n_cursor_terms = int(np.count_nonzero(
+            np.max(np.abs(isi_rows), axis=1))) \
+            + sum(int(np.count_nonzero(np.max(np.abs(rows), axis=1)))
+                  for rows in aggressors)
+        worst_case = np.max(np.abs(main_cursor)) \
+            + float(np.sum(np.max(np.abs(isi_rows), axis=1), initial=0.0)) \
+            + sum(float(np.sum(np.max(np.abs(rows), axis=1)))
+                  for rows in aggressors) \
+            + 10.0 * self.amplitude_noise_rms
+        # Fractional-shift splitting can push each cursor one bin past its
+        # magnitude, so pad the grid by one cell per cursor term.
+        half_bins = int(np.ceil(worst_case / step)) + n_cursor_terms + 4
+        thresholds = np.arange(-half_bins, half_bins + 1, dtype=float) * step
+        n_bins = thresholds.size
+        centre = half_bins
+
+        gaussian = None
+        if self.amplitude_noise_rms > 0.0:
+            weights = np.exp(-0.5 * (thresholds / self.amplitude_noise_rms) ** 2)
+            gaussian = weights / weights.sum()
+
+        noise_pmf = np.zeros((spu, n_bins))
+        for phase_index in range(spu):
+            pmf = np.zeros(n_bins)
+            pmf[centre] = 1.0
+            cursors_here = np.abs(isi_rows[:, phase_index])
+            for rows in aggressors:
+                cursors_here = np.concatenate(
+                    (cursors_here, np.abs(rows[:, phase_index])))
+            # Snap numerically-zero cursors (FFT residue on clean channels,
+            # same idiom as the edge extractor's snap_ui) so an ideal
+            # channel solves to an exactly error-free amplitude eye.
+            cursors_here[cursors_here < _CURSOR_SNAP] = 0.0
+            for shift in cursors_here / step:
+                pmf = _two_point_convolve(pmf, float(shift))
+            if gaussian is not None:
+                pmf = np.convolve(pmf, gaussian, mode="same")
+            noise_pmf[phase_index] = pmf
+
+        # Amplitude error probability: a transmitted one samples below the
+        # threshold, a transmitted zero above it (equiprobable bits).
+        cdf = np.cumsum(noise_pmf, axis=1)
+        amplitude_ber = np.empty((spu, n_bins))
+        for phase_index in range(spu):
+            rail = main_cursor[phase_index]
+            below_one = np.interp(thresholds - rail, thresholds,
+                                  cdf[phase_index], left=0.0, right=1.0)
+            below_zero = np.interp(thresholds + rail, thresholds,
+                                   cdf[phase_index], left=0.0, right=1.0)
+            amplitude_ber[phase_index] = 0.5 * (below_one + (1.0 - below_zero))
+
+        phases_ui = (np.arange(spu) + 0.5) / spu
+        model = GatedOscillatorBerModel(
+            self.budget,
+            run_lengths=self.run_lengths,
+            grid_step_ui=self.grid_step_ui,
+        )
+        timing_ber = model.ber_at_phases(phases_ui)
+
+        total = np.clip(timing_ber[:, None] + amplitude_ber, 0.0, 1.0)
+        return StatisticalEye(
+            phases_ui=phases_ui,
+            thresholds=thresholds,
+            ber=total,
+            timing_ber=timing_ber,
+            amplitude_ber=amplitude_ber,
+            main_cursor=main_cursor,
+            noise_pmf=noise_pmf,
+        )
+
+
+def statistical_eye(link: LinkConfig | LinkPath | None = None,
+                    **parameters) -> StatisticalEye:
+    """Convenience wrapper: solve the statistical eye of *link* in one call."""
+    return StatisticalEyeSolver(link, **parameters).solve()

@@ -78,16 +78,12 @@ def bathtub_curve(
     if phases_ui is None:
         phases_ui = np.arange(0.02, 0.99, 0.02)
     phases_ui = np.asarray(phases_ui, dtype=float)
-    bers = np.empty(phases_ui.shape, dtype=float)
-    for index, phase in enumerate(phases_ui):
-        model = GatedOscillatorBerModel(
-            budget,
-            sampling_phase_ui=float(phase),
-            run_lengths=run_lengths,
-            grid_step_ui=grid_step_ui,
-        )
-        bers[index] = model.ber()
-    return BathtubCurve(phases_ui=phases_ui, ber=bers)
+    # One model serves the whole scan: the boundary PDFs are phase-independent
+    # and cached, so the sweep is a single vectorised broadcast per run length.
+    model = GatedOscillatorBerModel(
+        budget, run_lengths=run_lengths, grid_step_ui=grid_step_ui)
+    return BathtubCurve(phases_ui=phases_ui,
+                        ber=model.sweep_sampling_phase(phases_ui))
 
 
 def eye_opening_ui(

@@ -49,7 +49,6 @@ from .._validation import (
     require_in_range,
     require_non_negative,
     require_positive,
-    require_positive_int,
 )
 from ..datapath.cid import RunLengthDistribution, geometric_run_distribution
 from ..jitter.pdf import DEFAULT_GRID_STEP_UI, Pdf, delta_pdf, gaussian_pdf, sinusoidal_pdf, uniform_pdf
@@ -214,6 +213,11 @@ class GatedOscillatorBerModel:
         self.run_lengths = run_lengths or geometric_run_distribution(max_run=5)
         self.grid_step_ui = require_positive("grid_step_ui", grid_step_ui)
         self.static_phase_error_ui = float(static_phase_error_ui)
+        #: Lazily built ``{run length: boundary Pdf}`` cache.  The edge-pair
+        #: PDFs depend only on the jitter budget and the run length — never on
+        #: the sampling phase — so phase scans (bathtubs, eye margins, the
+        #: statistical eye solver) reuse them instead of re-convolving per probe.
+        self._boundary_pdf_cache: dict[int, Pdf] = {}
 
     # -- internal building blocks ------------------------------------------
 
@@ -241,34 +245,49 @@ class GatedOscillatorBerModel:
             pdf = pdf.convolve(sinusoidal_pdf(relative_sj, step))
         return pdf
 
-    def _sampling_means_ui(self, positions: np.ndarray) -> np.ndarray:
-        """Mean sampling instant of each run *position* (UI after the trigger)."""
-        phi = self.sampling_phase_ui + self.static_phase_error_ui
-        return (positions - 1 + phi) * (1.0 + self.budget.frequency_offset)
+    def _boundary_pdf(self, run_length: int) -> Pdf:
+        """Cached end-of-run boundary PDF for runs of *run_length* bits."""
+        pdf = self._boundary_pdf_cache.get(run_length)
+        if pdf is None:
+            pdf = self._edge_pair_pdf(float(run_length))
+            self._boundary_pdf_cache[run_length] = pdf
+        return pdf
+
+    def _sampling_means_ui(self, positions: np.ndarray,
+                           phases_ui: np.ndarray | None = None) -> np.ndarray:
+        """Mean sampling instant of each run *position* (UI after the trigger).
+
+        With *phases_ui* given, returns a ``(n_phases, n_positions)`` grid —
+        the phase-vectorised form the bathtub/eye scans broadcast over.
+        """
+        if phases_ui is None:
+            phi = self.sampling_phase_ui + self.static_phase_error_ui
+            return (positions - 1 + phi) * (1.0 + self.budget.frequency_offset)
+        phi = phases_ui[:, None] + self.static_phase_error_ui
+        return (positions[None, :] - 1 + phi) * (1.0 + self.budget.frequency_offset)
 
     def _sampling_sigmas_ui(self, positions: np.ndarray) -> np.ndarray:
         """RMS accumulated oscillator jitter at each run position's sampling edge."""
         return self.budget.osc_sigma_ui_per_bit * np.sqrt(positions.astype(float))
 
-    def _right_error_probabilities(self, positions: np.ndarray, run_length: int,
-                                   boundary_pdf: Pdf) -> np.ndarray:
-        """Vectorised right-overshoot probability for every run *position* at once."""
-        means = self._sampling_means_ui(positions)
+    def _right_error_probabilities(self, means: np.ndarray, positions: np.ndarray,
+                                   run_length: int, boundary_pdf: Pdf) -> np.ndarray:
+        """Right-overshoot probability; *means* may carry a leading phase axis."""
         sigmas = self._sampling_sigmas_ui(positions)
         # Error when  mean + G > run_length + J_end  <=>  G - J_end > run_length - mean.
         margins = float(run_length) - means
         grid = boundary_pdf.grid
         density = boundary_pdf.density
         if self.budget.osc_sigma_ui_per_bit > 0.0:
-            tails = q_function((margins[:, None] + grid[None, :]) / sigmas[:, None])
+            tails = q_function((margins[..., None] + grid) / sigmas[:, None])
         else:
-            tails = (grid[None, :] < -margins[:, None]).astype(float)
-        probabilities = np.sum(density * tails, axis=1) * boundary_pdf.step
+            tails = (grid < -margins[..., None]).astype(float)
+        probabilities = np.sum(density * tails, axis=-1) * boundary_pdf.step
         return np.clip(probabilities, 0.0, 1.0)
 
-    def _left_error_probabilities(self, positions: np.ndarray) -> np.ndarray:
-        """Vectorised before-run-start probability for every run *position* at once."""
-        means = self._sampling_means_ui(positions)
+    def _left_error_probabilities(self, means: np.ndarray,
+                                  positions: np.ndarray) -> np.ndarray:
+        """Before-run-start probability; *means* may carry a leading phase axis."""
         if self.budget.osc_sigma_ui_per_bit <= 0.0:
             return (means < 0.0).astype(float)
         return np.asarray(q_function(means / self._sampling_sigmas_ui(positions)),
@@ -292,11 +311,13 @@ class GatedOscillatorBerModel:
         per_run: dict[int, float] = {}
 
         for k in range(1, max_run + 1):
-            boundary_pdf = self._edge_pair_pdf(float(k))
+            boundary_pdf = self._boundary_pdf(k)
             positions = np.arange(1, k + 1)
             weights = joint[k - 1, :k]
-            p_right = self._right_error_probabilities(positions, k, boundary_pdf)
-            p_left = self._left_error_probabilities(positions)
+            means = self._sampling_means_ui(positions)
+            p_right = self._right_error_probabilities(means, positions, k,
+                                                      boundary_pdf)
+            p_left = self._left_error_probabilities(means, positions)
             p_bit = np.minimum(1.0, p_right + p_left)
             active = weights > 0.0
             run_contribution = float(np.sum(weights[active] * p_bit[active]))
@@ -316,39 +337,83 @@ class GatedOscillatorBerModel:
         """Total bit error ratio under the configured conditions."""
         return self.ber_breakdown().ber
 
-    def eye_margin_ui(self, target_ber: float = 1.0e-12) -> float:
+    def ber_at_phases(self, phases_ui: np.ndarray) -> np.ndarray:
+        """BER at every sampling phase in *phases_ui* with one shared setup.
+
+        The boundary PDFs and run-length statistics are phase-independent;
+        only the sampling means shift with the phase.  All phases therefore
+        share the cached per-run-length PDFs and collapse to one
+        ``(n_phases, positions, grid)`` broadcast per run length — a phase
+        scan costs barely more than a single-point evaluation, instead of
+        rebuilding the full model per probe.
+        """
+        phases_ui = np.atleast_1d(np.asarray(phases_ui, dtype=float))
+        joint = self.run_lengths.position_in_run_weights()
+        max_run = self.run_lengths.max_run
+        totals = np.zeros(phases_ui.shape, dtype=float)
+        for k in range(1, max_run + 1):
+            boundary_pdf = self._boundary_pdf(k)
+            positions = np.arange(1, k + 1)
+            weights = joint[k - 1, :k]
+            means = self._sampling_means_ui(positions, phases_ui)
+            p_right = self._right_error_probabilities(means, positions, k,
+                                                      boundary_pdf)
+            p_left = self._left_error_probabilities(means, positions)
+            p_bit = np.minimum(1.0, p_right + p_left)
+            totals += p_bit @ weights
+        return np.minimum(totals, 1.0)
+
+    def ber_at_phase(self, phase_ui: float) -> float:
+        """BER with the sampling phase moved to *phase_ui* (same budget/code)."""
+        return float(self.ber_at_phases(np.array([float(phase_ui)]))[0])
+
+    def eye_margin_ui(self, target_ber: float = 1.0e-12, *,
+                      tolerance_ui: float = 1.0e-4) -> float:
         """Horizontal eye margin: how much the sampling phase can move before BER > target.
 
         Returns the width (UI) of the sampling-phase interval around the
         configured phase for which the BER stays at or below *target_ber*;
-        zero if the configured point itself already fails.
+        zero if the configured point itself already fails.  Each eye edge is
+        located by bisection to *tolerance_ui* (reusing the cached boundary
+        PDFs — only the sampling means move with the phase), so the margin
+        varies smoothly with *target_ber* and can credit the full 0 / 1 UI
+        span instead of stalling one fixed step short of it.
         """
         require_positive("target_ber", target_ber)
+        require_positive("tolerance_ui", tolerance_ui)
         if self.ber() > target_ber:
             return 0.0
-        step = 0.005
-        low = self.sampling_phase_ui
-        while low - step > 0.0 and self._ber_at_phase(low - step) <= target_ber:
-            low -= step
-        high = self.sampling_phase_ui
-        while high + step < 1.0 and self._ber_at_phase(high + step) <= target_ber:
-            high += step
-        return float(high - low)
 
-    def _ber_at_phase(self, phase_ui: float) -> float:
-        model = GatedOscillatorBerModel(
-            self.budget,
-            sampling_phase_ui=phase_ui,
-            run_lengths=self.run_lengths,
-            grid_step_ui=self.grid_step_ui,
-            static_phase_error_ui=self.static_phase_error_ui,
-        )
-        return model.ber()
+        def passes(phase: float) -> bool:
+            return self.ber_at_phase(phase) <= target_ber
+
+        if passes(0.0):
+            left = 0.0
+        else:
+            low, high = 0.0, self.sampling_phase_ui  # low fails, high passes
+            while high - low > tolerance_ui:
+                middle = 0.5 * (low + high)
+                if passes(middle):
+                    high = middle
+                else:
+                    low = middle
+            left = high
+        if passes(1.0):
+            right = 1.0
+        else:
+            low, high = self.sampling_phase_ui, 1.0  # low passes, high fails
+            while high - low > tolerance_ui:
+                middle = 0.5 * (low + high)
+                if passes(middle):
+                    low = middle
+                else:
+                    high = middle
+            right = low
+        return float(right - left)
 
     def sweep_sampling_phase(self, phases_ui: np.ndarray) -> np.ndarray:
         """Return the BER for each sampling phase in *phases_ui* (bathtub curve)."""
-        phases_ui = np.asarray(phases_ui, dtype=float)
-        return np.array([self._ber_at_phase(float(phase)) for phase in phases_ui])
+        return self.ber_at_phases(np.asarray(phases_ui, dtype=float))
 
     def optimum_sampling_phase(self, resolution_ui: float = 0.01) -> tuple[float, float]:
         """Return ``(best_phase_ui, best_ber)`` over a phase scan at *resolution_ui*."""

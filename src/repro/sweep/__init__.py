@@ -21,10 +21,12 @@ from .runner import SweepRunner, map_tasks
 from .sweeps import (
     BACKENDS,
     LINK_RESIDUAL_JITTER_SPEC,
+    AggressorSweepResult,
     BerSurfaceResult,
     EqualizationAblationResult,
     JitterToleranceResult,
     MultichannelSweepResult,
+    ber_vs_aggressor_sweep,
     ber_vs_channel_loss_sweep,
     ber_vs_ctle_peaking_sweep,
     ber_vs_frequency_offset_sweep,
@@ -40,10 +42,12 @@ __all__ = [
     "map_tasks",
     "BACKENDS",
     "LINK_RESIDUAL_JITTER_SPEC",
+    "AggressorSweepResult",
     "BerSurfaceResult",
     "EqualizationAblationResult",
     "JitterToleranceResult",
     "MultichannelSweepResult",
+    "ber_vs_aggressor_sweep",
     "ber_vs_channel_loss_sweep",
     "ber_vs_ctle_peaking_sweep",
     "ber_vs_frequency_offset_sweep",

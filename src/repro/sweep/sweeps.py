@@ -29,8 +29,10 @@ from ..core.config import PAPER_JITTER_SPEC, CdrChannelConfig
 from ..core.multichannel import MultiChannelConfig, MultiChannelReceiver
 from ..datapath.nrz import JitterSpec
 from ..experiments import (
+    CrosstalkSpec,
     EqualizerLineup,
     LaneSpec,
+    MeasurementPlan,
     ParameterAxis,
     ScenarioSpec,
     StimulusSpec,
@@ -39,6 +41,7 @@ from ..experiments import (
     run_grid,
     run_tolerance_search,
 )
+from ..experiments.results import measured_ber
 from ..fastpath.backends import BACKENDS, make_channel
 from ..link import LinkConfig, LmsDfe, LossyLineChannel, RxCtle, TxFfe
 
@@ -46,6 +49,7 @@ __all__ = [
     "BACKENDS",
     "make_channel",
     "LINK_RESIDUAL_JITTER_SPEC",
+    "AggressorSweepResult",
     "BerSurfaceResult",
     "JitterToleranceResult",
     "MultichannelSweepResult",
@@ -54,6 +58,7 @@ __all__ = [
     "ber_vs_frequency_offset_sweep",
     "ber_vs_channel_loss_sweep",
     "ber_vs_ctle_peaking_sweep",
+    "ber_vs_aggressor_sweep",
     "equalization_ablation_sweep",
     "jitter_tolerance_sweep",
     "multichannel_sweep",
@@ -90,8 +95,7 @@ class BerSurfaceResult:
     @property
     def ber(self) -> np.ndarray:
         """Measured BER per grid point (NaN where nothing was compared)."""
-        with np.errstate(invalid="ignore", divide="ignore"):
-            return np.where(self.compared > 0, self.errors / self.compared, np.nan)
+        return measured_ber(self.errors, self.compared)
 
     @property
     def total_errors(self) -> int:
@@ -134,6 +138,34 @@ class MultichannelSweepResult:
 
 
 @dataclass(frozen=True)
+class AggressorSweepResult:
+    """Bit-true error counts plus statistical-eye metrics versus crosstalk.
+
+    One row per aggressor amplitude: measured ``errors`` / ``compared``
+    from the bit-true backend (aggressor waveforms superposed before edge
+    extraction) next to the analytic statistical eye's BER and eye
+    openings at the study's target BER — the two views the cross-validation
+    tests pin against each other.
+    """
+
+    aggressor_amplitudes: np.ndarray
+    errors: np.ndarray
+    compared: np.ndarray
+    stateye_ber: np.ndarray
+    stateye_horizontal_ui: np.ndarray
+    stateye_vertical: np.ndarray
+    loss_db: float
+    target_ber: float
+    backend: str
+    source: SweepResult | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def ber(self) -> np.ndarray:
+        """Measured BER per amplitude (NaN where nothing was compared)."""
+        return measured_ber(self.errors, self.compared)
+
+
+@dataclass(frozen=True)
 class EqualizationAblationResult:
     """Error counts of the same channel under different equalizer line-ups."""
 
@@ -147,8 +179,7 @@ class EqualizationAblationResult:
     @property
     def ber(self) -> np.ndarray:
         """Measured BER per line-up (NaN where nothing was compared)."""
-        with np.errstate(invalid="ignore", divide="ignore"):
-            return np.where(self.compared > 0, self.errors / self.compared, np.nan)
+        return measured_ber(self.errors, self.compared)
 
     def as_dict(self) -> dict[str, float]:
         """``{line-up label: BER}`` for reporting."""
@@ -462,6 +493,67 @@ def ber_vs_ctle_peaking_sweep(
     )
     return _surface(result, np.array([float(loss_db)]), peaking_db_values,
                     backend, n_bits)
+
+
+def ber_vs_aggressor_sweep(
+    aggressor_amplitudes: np.ndarray,
+    *,
+    loss_db: float = 10.0,
+    link: LinkConfig | None = None,
+    config: CdrChannelConfig | None = None,
+    jitter: JitterSpec | None = None,
+    n_bits: int = 2000,
+    prbs_order: int = 7,
+    backend: str = "fast",
+    seed: int | None = 0,
+    workers: int | None = None,
+    target_ber: float = 1.0e-12,
+) -> AggressorSweepResult:
+    """BER and statistical eye versus crosstalk aggressor amplitude.
+
+    A declarative study, not a new pipeline: the base scenario is the
+    equalized reference link at *loss_db* with a single-FEXT aggressor
+    population (or the *link* template's own population), the swept axis is
+    the registered ``aggressor_amplitude`` applicator, and the measurement
+    plan adds the ``statistical_eye`` metrics, so every point carries both
+    the bit-true error counts (aggressor waveform superposed before edge
+    extraction) and the analytic eye openings at *target_ber*.
+    """
+    config = config or CdrChannelConfig()
+    template = link or _default_equalized_link()
+    jitter = jitter or LINK_RESIDUAL_JITTER_SPEC
+    aggressor_amplitudes = np.asarray(aggressor_amplitudes, dtype=float)
+    channel = LossyLineChannel.for_loss_at_nyquist(
+        float(loss_db), template.timebase.bit_rate_hz)
+    if template.crosstalk is None:
+        template = template.with_crosstalk(CrosstalkSpec.single_fext(0.0))
+
+    spec = ScenarioSpec(
+        stimulus=_stimulus(n_bits, prbs_order),
+        jitter=jitter,
+        config=config,
+        link=template.with_channel(channel),
+        measurement=MeasurementPlan(statistical_eye=True, target_ber=target_ber),
+        backend=backend,
+    )
+    result = run_grid(
+        spec,
+        [ParameterAxis("aggressor_amplitude", aggressor_amplitudes)],
+        name="ber_vs_aggressor", seed=seed, workers=workers,
+        metadata={"loss_db": float(loss_db), "target_ber": float(target_ber)},
+    )
+    return AggressorSweepResult(
+        aggressor_amplitudes=aggressor_amplitudes,
+        errors=result.metric("errors").reshape(-1),
+        compared=result.metric("compared").reshape(-1),
+        stateye_ber=result.metric("stateye_ber").reshape(-1),
+        stateye_horizontal_ui=result.metric("stateye_horizontal_ui").reshape(-1),
+        stateye_vertical=result.metric("stateye_vertical").reshape(-1),
+        loss_db=float(loss_db),
+        target_ber=float(target_ber),
+        backend=backend,
+        source=result,
+    )
 
 
 def equalization_ablation_sweep(

@@ -146,6 +146,92 @@ class TestRunGrid:
         assert SweepResult.from_json(result.to_json()).equals(result)
 
 
+class TestStatisticalEyeMeasurement:
+    @staticmethod
+    def _linked_spec(**overrides) -> ScenarioSpec:
+        from repro.link import LinkConfig, LossyLineChannel, RxCtle, TxFfe
+
+        values = dict(
+            stimulus=StimulusSpec(n_bits=400),
+            jitter=MILD,
+            link=LinkConfig(
+                channel=LossyLineChannel.for_loss_at_nyquist(10.0),
+                tx_ffe=TxFfe.de_emphasis(post_db=3.5),
+                rx_ctle=RxCtle(peaking_db=6.0)),
+            measurement=MeasurementPlan(statistical_eye=True),
+        )
+        values.update(overrides)
+        return ScenarioSpec(**values)
+
+    def test_metrics_recorded_per_point(self):
+        result = run_grid(
+            self._linked_spec(),
+            [ParameterAxis("aggressor_amplitude", (0.0, 0.3))],
+            seed=0, workers=1)
+        assert result.metric("stateye_ber").shape == (2,)
+        assert result.metric("stateye_horizontal_ui")[0] \
+            >= result.metric("stateye_horizontal_ui")[1]
+        assert result.metric("stateye_vertical")[0] \
+            > result.metric("stateye_vertical")[1]
+
+    def test_requires_a_link_front_end(self):
+        spec = ScenarioSpec(stimulus=StimulusSpec(n_bits=200), jitter=MILD,
+                            measurement=MeasurementPlan(statistical_eye=True))
+        with pytest.raises(ValueError, match="link front"):
+            run_grid(spec, [FREQUENCY_AXIS], seed=0, workers=1)
+
+    def test_measurement_serializes_through_sweep_result(self):
+        from repro.experiments import SweepResult
+        result = run_grid(
+            self._linked_spec(),
+            [ParameterAxis("aggressor_amplitude", (0.0, 0.4))],
+            seed=0, workers=1)
+        restored = SweepResult.from_json(result.to_json())
+        np.testing.assert_array_equal(restored.metric("stateye_vertical"),
+                                      result.metric("stateye_vertical"))
+
+    def test_direct_measurement_helper(self):
+        from repro.experiments import statistical_eye_measurement
+        metrics = statistical_eye_measurement(self._linked_spec())
+        assert set(metrics) == {"stateye_ber", "stateye_horizontal_ui",
+                                "stateye_vertical"}
+        assert metrics["stateye_vertical"] > 0.0
+
+    def test_zero_sj_frequency_injects_no_sinusoidal_jitter(self):
+        # sin(2π·0·t) displaces nothing in the bit-true path, so the
+        # statistical budget must drop the SJ amplitude with it.
+        from dataclasses import replace as dc_replace
+
+        from repro.experiments import statistical_eye_measurement
+
+        base = self._linked_spec(jitter=None)
+        degenerate = statistical_eye_measurement(dc_replace(
+            base, jitter=JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0,
+                                    sj_amplitude_ui_pp=0.5,
+                                    sj_frequency_hz=0.0)))
+        clean = statistical_eye_measurement(dc_replace(
+            base, jitter=JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0)))
+        assert degenerate == clean
+
+    def test_budget_tracks_scenario_oscillator_jitter(self):
+        # A noiseless scenario oscillator (the default) must not inject the
+        # Table 1 oscillator jitter into the statistical-eye metrics, and a
+        # jittery oscillator must narrow the timing eye.
+        from dataclasses import replace as dc_replace
+
+        from repro.experiments import statistical_eye_measurement
+        from repro.gates.ring import GccoParameters
+
+        clean_spec = self._linked_spec(jitter=None)
+        clean = statistical_eye_measurement(clean_spec)
+        jittery = statistical_eye_measurement(dc_replace(
+            clean_spec,
+            config=CdrChannelConfig(
+                oscillator=GccoParameters(jitter_sigma_fraction=0.05))))
+        assert clean["stateye_horizontal_ui"] \
+            > jittery["stateye_horizontal_ui"] > 0.0
+
+
 class TestToleranceSearch:
     def test_search_finds_larger_low_frequency_tolerance(self):
         result = run_tolerance_search(

@@ -100,6 +100,89 @@ class TestJsonRoundTrip:
         assert restored.equals(result)  # equality ignores details
 
 
+class TestNonFiniteSerialization:
+    """Regression: ``to_json`` used to emit bare ``NaN`` tokens (non-RFC-8259)."""
+
+    @staticmethod
+    def _nonfinite_result() -> SweepResult:
+        grid = np.array([[np.nan, 1.5], [np.inf, -np.inf]])
+        return _result(
+            metrics={"errors": np.zeros((2, 2), dtype=np.int64),
+                     "compared": np.zeros((2, 2), dtype=np.int64),
+                     "sj_amplitude_ui_pp": grid},
+            metadata={"note": "unit-test", "threshold": float("nan"),
+                      "nested": {"cap": float("inf")}},
+        )
+
+    def test_json_text_is_strict_rfc8259(self):
+        def reject(token):
+            raise AssertionError(f"bare non-finite token {token!r} in JSON")
+
+        text = self._nonfinite_result().to_json()
+        # json.loads only invokes parse_constant for the non-standard bare
+        # tokens NaN / Infinity / -Infinity; strict output never triggers it.
+        import json
+
+        json.loads(text, parse_constant=reject)
+
+    def test_non_finite_metrics_round_trip(self):
+        result = self._nonfinite_result()
+        restored = SweepResult.from_json(result.to_json())
+        grid = restored.metric("sj_amplitude_ui_pp")
+        assert grid.dtype == np.float64
+        assert np.isnan(grid[0, 0])
+        assert grid[0, 1] == 1.5
+        assert grid[1, 0] == np.inf and grid[1, 1] == -np.inf
+        assert restored.equals(result)
+
+    def test_non_finite_metadata_round_trips_as_floats(self):
+        restored = SweepResult.from_json(self._nonfinite_result().to_json())
+        assert np.isnan(restored.metadata["threshold"])
+        assert restored.metadata["nested"]["cap"] == float("inf")
+        assert restored.metadata["note"] == "unit-test"
+
+    def test_metadata_dict_that_looks_like_a_tag_survives(self):
+        # A genuine metadata dict shaped exactly like the internal tag must
+        # not collapse into a float on load (it is escaped on encode).
+        result = _result(metadata={
+            "marker": {"__nonfinite__": "NaN"},
+            "escape": {"__literal__": "kept"},
+        })
+        restored = SweepResult.from_json(result.to_json())
+        assert restored.metadata["marker"] == {"__nonfinite__": "NaN"}
+        assert restored.metadata["escape"] == {"__literal__": "kept"}
+        assert restored.equals(result)
+
+    def test_metadata_string_that_looks_non_finite_survives(self):
+        # A genuine "NaN" *string* must not be coerced to a float: the
+        # metadata encoding tags non-finite floats instead of using bare
+        # sentinel strings.
+        result = _result(metadata={"status": "NaN", "label": "-Infinity",
+                                   "value": float("nan")})
+        restored = SweepResult.from_json(result.to_json())
+        assert restored.metadata["status"] == "NaN"
+        assert restored.metadata["label"] == "-Infinity"
+        assert np.isnan(restored.metadata["value"])
+        assert restored.equals(result)
+
+    def test_non_finite_axis_values_round_trip(self):
+        result = _result(
+            axes=(AxisResult("amplitude", labels=("0.1", "open"),
+                             values=np.array([0.1, np.nan])),),
+            metrics={"errors": np.zeros(2, dtype=np.int64),
+                     "compared": np.ones(2, dtype=np.int64)},
+            point_backends=("fast", "fast"))
+        restored = SweepResult.from_json(result.to_json())
+        assert restored.axes[0].values[0] == 0.1
+        assert np.isnan(restored.axes[0].values[1])
+
+    def test_all_finite_payload_is_unchanged(self):
+        # The sentinel path must not perturb ordinary results.
+        result = _result()
+        assert result.to_dict()["metrics"]["errors"]["values"] == [[0, 2], [5, 7]]
+        assert SweepResult.from_json(result.to_json()).equals(result)
+
+
 class TestTabularViews:
     def test_csv_long_format(self):
         csv = _result().to_csv()

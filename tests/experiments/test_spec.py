@@ -64,11 +64,19 @@ class TestMeasurementPlan:
     def test_defaults(self):
         plan = MeasurementPlan()
         assert plan.eye is False
+        assert plan.statistical_eye is False
+        assert plan.target_ber == 1.0e-12
         assert plan.retain == "none"
 
     def test_unknown_retention_rejected(self):
         with pytest.raises(ValueError, match="retention"):
             MeasurementPlan(retain="everything")
+
+    def test_target_ber_must_be_a_probability(self):
+        with pytest.raises(ValueError):
+            MeasurementPlan(statistical_eye=True, target_ber=0.0)
+        with pytest.raises(ValueError):
+            MeasurementPlan(statistical_eye=True, target_ber=1.5)
 
 
 class TestParameterAxis:
@@ -145,6 +153,28 @@ class TestApplicators:
         spec = apply_axis(self.BASE, "lane", lane)
         assert spec.config.frequency_offset == 0.003
         assert spec.stimulus.seed == 3
+
+    def test_aggressor_amplitude_axis_creates_default_population(self):
+        spec = apply_axis(self.BASE, "aggressor_amplitude", 0.15)
+        assert spec.link.crosstalk is not None
+        assert len(spec.link.crosstalk) == 1
+        assert spec.link.crosstalk.aggressors[0].amplitude == 0.15
+        assert spec.link.crosstalk.aggressors[0].kind == "fext"
+
+    def test_aggressor_amplitude_axis_rescales_existing_population(self):
+        from repro.experiments import CrosstalkSpec
+        from repro.link import LinkConfig
+
+        base = ScenarioSpec(link=LinkConfig(
+            crosstalk=CrosstalkSpec.uniform(3, 0.05, kind="next")))
+        spec = apply_axis(base, "aggressor_amplitude", 0.2)
+        assert len(spec.link.crosstalk) == 3
+        assert all(a.amplitude == 0.2 for a in spec.link.crosstalk.aggressors)
+        assert all(a.kind == "next" for a in spec.link.crosstalk.aggressors)
+
+    def test_aggressor_amplitude_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            apply_axis(self.BASE, "aggressor_amplitude", -0.1)
 
     def test_register_axis_extends_registry(self):
         @register_axis("n_bits")

@@ -1,0 +1,150 @@
+"""Crosstalk aggressors: coupling pulses, waveform superposition, PDF effects."""
+
+import numpy as np
+import pytest
+
+from repro.link import (
+    CrosstalkAggressor,
+    CrosstalkSpec,
+    LinkConfig,
+    LinkPath,
+    LinkTimebase,
+    LossyLineChannel,
+    RxCtle,
+    TxFfe,
+    statistical_eye,
+)
+from repro.datapath.prbs import prbs_sequence
+
+
+def _equalized_link(**overrides) -> LinkConfig:
+    values = dict(
+        channel=LossyLineChannel.for_loss_at_nyquist(10.0),
+        tx_ffe=TxFfe.de_emphasis(post_db=3.5),
+        rx_ctle=RxCtle(peaking_db=6.0),
+    )
+    values.update(overrides)
+    return LinkConfig(**values)
+
+
+class TestAggressorPulse:
+    def test_peak_equals_amplitude(self):
+        timebase = LinkTimebase()
+        channel = LossyLineChannel.for_loss_at_nyquist(8.0)
+        for kind in ("fext", "next"):
+            pulse = CrosstalkAggressor(0.15, kind=kind).pulse_response(
+                timebase, 64, victim_channel=channel)
+            assert np.max(np.abs(pulse)) == pytest.approx(0.15)
+
+    def test_zero_amplitude_pulse_is_exactly_zero(self):
+        pulse = CrosstalkAggressor(0.0).pulse_response(LinkTimebase(), 32)
+        assert pulse.shape == (32 * 32,)
+        assert np.all(pulse == 0.0)
+
+    def test_fext_is_dispersed_by_the_victim_channel(self):
+        # The FEXT pulse rides the lossy line to the far end, so at equal
+        # peak it carries more spread-out energy than the NEXT pulse.
+        timebase = LinkTimebase()
+        channel = LossyLineChannel.for_loss_at_nyquist(14.0)
+        fext = CrosstalkAggressor(0.1, kind="fext").pulse_response(
+            timebase, 64, victim_channel=channel)
+        next_ = CrosstalkAggressor(0.1, kind="next").pulse_response(
+            timebase, 64, victim_channel=channel)
+        assert np.sum(np.abs(fext)) > np.sum(np.abs(next_))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            CrosstalkAggressor(0.1, kind="alien")
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            CrosstalkAggressor(-0.1)
+
+
+class TestCrosstalkSpec:
+    def test_uniform_population_has_decorrelated_seeds(self):
+        spec = CrosstalkSpec.uniform(3, 0.05)
+        assert len(spec) == 3
+        assert len({a.seed for a in spec.aggressors}) == 3
+
+    def test_with_amplitude_rescales_every_aggressor(self):
+        spec = CrosstalkSpec.uniform(2, 0.05).with_amplitude(0.2)
+        assert all(a.amplitude == 0.2 for a in spec.aggressors)
+
+    def test_silence(self):
+        assert CrosstalkSpec.single_fext(0.0).is_silent
+        assert not CrosstalkSpec.single_next(0.1).is_silent
+        assert CrosstalkSpec().is_silent
+
+
+class TestBitTrueSuperposition:
+    def test_zero_amplitude_is_bit_identical_to_no_crosstalk(self):
+        bits = prbs_sequence(7, 127)
+        clean = LinkPath(_equalized_link()).pattern_displacements(bits)
+        silent = LinkPath(_equalized_link(
+            crosstalk=CrosstalkSpec.single_fext(0.0))).pattern_displacements(bits)
+        assert np.array_equal(clean, silent)
+
+    def test_crosstalk_adds_edge_displacement(self):
+        bits = prbs_sequence(7, 127)
+        clean = LinkPath(_equalized_link())
+        noisy = LinkPath(_equalized_link(
+            crosstalk=CrosstalkSpec.single_fext(0.2)))
+        spread_clean = np.ptp(clean.ddj_population_ui(bits))
+        spread_noisy = np.ptp(noisy.ddj_population_ui(bits))
+        assert spread_noisy > spread_clean
+
+    def test_waveform_cache_reused(self):
+        path = LinkPath(_equalized_link(
+            crosstalk=CrosstalkSpec.single_fext(0.1)))
+        first = path.crosstalk_waveform(64)
+        assert path.crosstalk_waveform(64) is first
+
+    def test_aggressor_count_scales_coupled_power(self):
+        one = LinkPath(_equalized_link(
+            crosstalk=CrosstalkSpec.uniform(1, 0.1)))
+        three = LinkPath(_equalized_link(
+            crosstalk=CrosstalkSpec.uniform(3, 0.1)))
+        assert np.std(three.crosstalk_waveform(64)) \
+            > np.std(one.crosstalk_waveform(64))
+
+
+class TestStatisticalSuperposition:
+    """Satellite requirement: PDF superposition must be exact and monotone."""
+
+    def test_zero_amplitude_eye_is_bit_identical(self):
+        clean = statistical_eye(_equalized_link())
+        silent = statistical_eye(_equalized_link(
+            crosstalk=CrosstalkSpec.single_fext(0.0)))
+        assert np.array_equal(clean.ber, silent.ber)
+        assert np.array_equal(clean.noise_pmf, silent.noise_pmf)
+        assert np.array_equal(clean.thresholds, silent.thresholds)
+
+    @pytest.mark.parametrize("target_ber", [1.0e-12, 1.0e-9])
+    def test_opening_monotone_non_increasing_in_amplitude(self, target_ber):
+        amplitudes = (0.0, 0.05, 0.1, 0.2, 0.4)
+        horizontal = []
+        vertical = []
+        for amplitude in amplitudes:
+            eye = statistical_eye(_equalized_link(
+                crosstalk=CrosstalkSpec.single_fext(amplitude)))
+            horizontal.append(eye.horizontal_opening_ui(target_ber))
+            vertical.append(eye.vertical_opening(target_ber))
+        assert all(a >= b for a, b in zip(horizontal, horizontal[1:]))
+        assert all(a >= b for a, b in zip(vertical, vertical[1:]))
+        # The stress is real: the strongest aggressor visibly closes the eye.
+        assert vertical[-1] < vertical[0]
+
+    def test_large_aggressor_closes_the_eye(self):
+        eye = statistical_eye(_equalized_link(
+            crosstalk=CrosstalkSpec.single_fext(0.4)))
+        assert eye.vertical_opening(1.0e-12) == 0.0
+        lower, upper = eye.contour(1.0e-12)
+        assert np.all(np.isnan(lower)) and np.all(np.isnan(upper))
+
+    def test_two_aggressors_close_more_than_one(self):
+        one = statistical_eye(_equalized_link(
+            crosstalk=CrosstalkSpec.uniform(1, 0.08)))
+        two = statistical_eye(_equalized_link(
+            crosstalk=CrosstalkSpec.uniform(2, 0.08)))
+        assert two.vertical_opening(1.0e-12) <= one.vertical_opening(1.0e-12)

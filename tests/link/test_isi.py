@@ -73,6 +73,41 @@ class TestCircularVsDirect:
         assert circular == pytest.approx(linear[3 * period:4 * period], abs=1e-9)
 
 
+class TestFoldedPulse:
+    """Regression for the vectorized pad-reshape-sum fold (was a Python loop)."""
+
+    @staticmethod
+    def _loop_fold(pulse, length):
+        folded = np.zeros(length)
+        for start in range(0, pulse.size, length):
+            chunk = pulse[start:start + length]
+            folded[:chunk.size] += chunk
+        return folded
+
+    @pytest.mark.parametrize("size", [16, 17, 31, 33, 95, 97, 160])
+    def test_matches_loop_fold_for_any_length(self, size):
+        # Sizes straddle multiples of the period (32): the ragged final
+        # chunk must land on the leading bins only.
+        from repro.link.isi import _folded_pulse
+
+        rng = np.random.default_rng(size)
+        pulse = rng.normal(size=size)
+        assert _folded_pulse(pulse, 32) == pytest.approx(
+            self._loop_fold(pulse, 32), abs=1e-12)
+
+    def test_short_pulse_is_zero_padded(self):
+        from repro.link.isi import _folded_pulse
+
+        folded = _folded_pulse(np.array([1.0, 2.0]), 5)
+        assert folded == pytest.approx([1.0, 2.0, 0.0, 0.0, 0.0])
+
+    def test_fold_preserves_total_mass(self):
+        from repro.link.isi import _folded_pulse
+
+        pulse = np.exp(-np.arange(101) / 11.0)
+        assert _folded_pulse(pulse, 8).sum() == pytest.approx(pulse.sum())
+
+
 class TestIdealReconstruction:
     def test_ideal_channel_reproduces_nrz_waveform(self):
         from repro.link import IdealChannel

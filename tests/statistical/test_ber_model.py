@@ -176,3 +176,78 @@ class TestPhaseScan:
         skewed = GatedOscillatorBerModel(budget, grid_step_ui=GRID,
                                          static_phase_error_ui=0.15).ber()
         assert skewed > clean
+
+    def test_vectorised_scan_matches_per_phase_models(self):
+        """Hoisted phase scan must reproduce a model rebuilt at every phase."""
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=0.25, sj_frequency_hz=1.0e9,
+                                 frequency_offset=0.015)
+        model = GatedOscillatorBerModel(budget, grid_step_ui=GRID)
+        phases = np.array([0.1, 0.3, 0.45, 0.6, 0.85])
+        swept = model.sweep_sampling_phase(phases)
+        rebuilt = np.array([
+            GatedOscillatorBerModel(budget, sampling_phase_ui=float(phase),
+                                    grid_step_ui=GRID).ber()
+            for phase in phases
+        ])
+        assert swept == pytest.approx(rebuilt, rel=1e-9, abs=1e-300)
+
+    def test_scan_allows_closed_interval_endpoints(self):
+        # The constructor requires an interior operating phase, but scans and
+        # margin bisection may probe the 0 / 1 UI boundaries themselves.
+        model = GatedOscillatorBerModel(CdrJitterBudget(), grid_step_ui=GRID)
+        bers = model.sweep_sampling_phase(np.array([0.0, 1.0]))
+        assert np.all(np.isfinite(bers))
+
+
+class TestEyeMargin:
+    def test_failing_operating_point_has_zero_margin(self):
+        budget = CdrJitterBudget(sj_amplitude_ui_pp=0.35, sj_frequency_hz=1.0e9,
+                                 frequency_offset=0.005)
+        model = GatedOscillatorBerModel(budget, grid_step_ui=GRID)
+        assert model.ber() > 1.0e-12
+        assert model.eye_margin_ui(1.0e-12) == 0.0
+
+    def test_margin_changes_smoothly_with_target_ber(self):
+        """Regression: bisection must not quantise margins to a fixed step."""
+        budget = CdrJitterBudget(dj_ui_pp=0.1, rj_ui_rms=0.035)
+        model = GatedOscillatorBerModel(budget, grid_step_ui=GRID)
+        targets = np.logspace(-14, -6, 9)
+        margins = np.array([model.eye_margin_ui(float(t)) for t in targets])
+        steps = np.diff(margins)
+        # Strictly increasing with the target, in small smooth increments —
+        # the old 0.005-UI walk produced identical or 0.005-quantised values.
+        assert np.all(steps > 1.0e-3)
+        assert np.all(steps < 0.05)
+        assert steps.max() < 2.0 * steps.min()
+        assert np.unique(np.round(margins, 6)).size == margins.size
+
+    def test_margin_resolves_finer_than_legacy_step(self):
+        budget = CdrJitterBudget(dj_ui_pp=0.1, rj_ui_rms=0.035)
+        model = GatedOscillatorBerModel(budget, grid_step_ui=GRID)
+        margin = model.eye_margin_ui(1.0e-12, tolerance_ui=1.0e-5)
+        lattice = margin / 0.005
+        assert abs(lattice - round(lattice)) > 1.0e-2
+
+    def test_margin_credits_the_trigger_boundary(self):
+        # Without oscillator jitter the trigger-side (left) eye wall sits at
+        # exactly phase 0; the bisection credits it instead of stalling one
+        # 0.005-UI step short.
+        budget = CdrJitterBudget(dj_ui_pp=0.0, rj_ui_rms=0.005,
+                                 osc_sigma_ui_per_bit=0.0)
+        model = GatedOscillatorBerModel(budget, grid_step_ui=GRID)
+        assert model.ber_at_phase(0.0) <= 1.0e-12
+        assert model.eye_margin_ui(1.0e-12) > 0.94
+
+    def test_jitter_free_margin_is_the_full_ui(self):
+        budget = CdrJitterBudget(dj_ui_pp=0.0, rj_ui_rms=0.0,
+                                 osc_sigma_ui_per_bit=0.0)
+        model = GatedOscillatorBerModel(budget, grid_step_ui=GRID)
+        assert model.eye_margin_ui(1.0e-12) == 1.0
+
+    def test_margin_agrees_with_dense_bathtub(self):
+        budget = CdrJitterBudget(dj_ui_pp=0.1, rj_ui_rms=0.035)
+        model = GatedOscillatorBerModel(budget, grid_step_ui=GRID)
+        margin = model.eye_margin_ui(1.0e-12, tolerance_ui=1.0e-5)
+        phases = np.linspace(0.0, 1.0, 2001)
+        passing = phases[model.sweep_sampling_phase(phases) <= 1.0e-12]
+        assert margin == pytest.approx(passing.max() - passing.min(), abs=2e-3)

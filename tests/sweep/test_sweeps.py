@@ -5,6 +5,7 @@ import pytest
 
 from repro.datapath.nrz import JitterSpec
 from repro.sweep import (
+    ber_vs_aggressor_sweep,
     ber_vs_frequency_offset_sweep,
     ber_vs_sj_sweep,
     jitter_tolerance_sweep,
@@ -106,3 +107,43 @@ class TestMultichannel:
         event = multichannel_sweep(n_bits=400, jitter=MILD, seed=11,
                                    workers=1, backend="event")
         np.testing.assert_array_equal(fast.errors, event.errors)
+
+
+class TestAggressorSweep:
+    AMPLITUDES = np.array([0.0, 0.2, 0.4])
+
+    def test_bit_true_and_statistical_views_track(self):
+        result = ber_vs_aggressor_sweep(self.AMPLITUDES, n_bits=1000,
+                                        seed=7, workers=1)
+        # Bit-true errors are non-decreasing and the statistical eye
+        # openings non-increasing as the aggressor strengthens.
+        assert result.errors[0] <= result.errors[-1]
+        assert np.all(np.diff(result.stateye_vertical) <= 0.0)
+        assert np.all(np.diff(result.stateye_horizontal_ui) <= 0.0)
+        # The strongest aggressor visibly disturbs both views.
+        assert result.errors[-1] > 0
+        assert result.stateye_vertical[-1] < result.stateye_vertical[0]
+
+    def test_deterministic_across_workers(self):
+        serial = ber_vs_aggressor_sweep(self.AMPLITUDES, n_bits=600,
+                                        seed=3, workers=1)
+        pooled = ber_vs_aggressor_sweep(self.AMPLITUDES, n_bits=600,
+                                        seed=3, workers=2)
+        np.testing.assert_array_equal(serial.errors, pooled.errors)
+        np.testing.assert_array_equal(serial.stateye_ber, pooled.stateye_ber)
+
+    def test_backends_agree(self):
+        fast = ber_vs_aggressor_sweep(self.AMPLITUDES, n_bits=600, seed=3,
+                                      workers=1, backend="fast")
+        event = ber_vs_aggressor_sweep(self.AMPLITUDES, n_bits=600, seed=3,
+                                       workers=1, backend="event")
+        np.testing.assert_array_equal(fast.errors, event.errors)
+        np.testing.assert_array_equal(fast.stateye_ber, event.stateye_ber)
+
+    def test_source_round_trips(self):
+        from repro.experiments import SweepResult
+        result = ber_vs_aggressor_sweep(self.AMPLITUDES, n_bits=600,
+                                        seed=3, workers=1)
+        restored = SweepResult.from_json(result.source.to_json())
+        assert restored.equals(result.source)
+        assert restored.metadata["loss_db"] == result.loss_db
