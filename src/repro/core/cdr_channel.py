@@ -86,9 +86,15 @@ class BehavioralSimulationResult:
         attribution needs no alignment search, so unlike :meth:`sequence_ber`
         there is no ``max_offset`` parameter.
         """
+        expected, got = self._aligned_comparison()
+        errors = int(np.count_nonzero(got != expected))
+        return BerMeasurement(errors=errors, compared_bits=int(expected.size))
+
+    def _aligned_comparison(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(expected, decided)`` bit arrays of the timing-based alignment."""
         n_bits = int(self.transmitted_bits.size)
         if n_bits == 0:
-            return BerMeasurement(errors=0, compared_bits=0)
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
         indices, values = self.decisions_per_bit()
         decided = np.full(n_bits, -1, dtype=np.int64)
         in_range = (indices >= 0) & (indices < n_bits)
@@ -97,10 +103,26 @@ class BehavioralSimulationResult:
         # Exclude the first and last bits, which may legitimately lack a
         # decision because of the pipeline latency at the stream boundaries.
         usable = slice(1, n_bits - 1)
-        expected = self.transmitted_bits[usable].astype(np.int64)
-        got = decided[usable]
-        errors = int(np.count_nonzero(got != expected))
-        return BerMeasurement(errors=errors, compared_bits=int(expected.size))
+        return self.transmitted_bits[usable].astype(np.int64), decided[usable]
+
+    def error_events(self) -> int:
+        """Number of contiguous error bursts in the per-bit comparison.
+
+        One sampling overshoot typically books *two* adjacent bit
+        mismatches (the dropped/repeated bit plus its mis-timed
+        neighbour), while the statistical model counts it as one error
+        event — the known factor-of-two between the two views.  Counting
+        bursts instead of bits recovers the per-event semantics, which is
+        what the link-training cross-check compares against the
+        statistical-eye prediction.
+        """
+        expected, got = self._aligned_comparison()
+        mask = got != expected
+        if mask.size == 0:
+            return 0
+        starts = np.flatnonzero(np.diff(np.concatenate(
+            ([False], mask)).astype(np.int8)) == 1)
+        return int(starts.size)
 
     def sequence_ber(self, max_offset: int = 8) -> BerMeasurement:
         """Classic BERT-style sequence-alignment error count (slip sensitive)."""

@@ -34,15 +34,19 @@ from .spec import (
     ParameterAxis,
     ScenarioSpec,
     StimulusSpec,
+    TrainedLineup,
+    TrainingBudget,
     apply_axis,
     register_axis,
 )
 from .results import AxisResult, SweepResult
 from .engine import (
     ToleranceSearch,
+    link_training_measurement,
     resolve_grid,
     run_grid,
     run_tolerance_search,
+    scenario_timing_budget,
     simulate_scenario,
     statistical_eye_measurement,
 )
@@ -61,11 +65,15 @@ __all__ = [
     "StimulusSpec",
     "SweepResult",
     "ToleranceSearch",
+    "TrainedLineup",
+    "TrainingBudget",
     "apply_axis",
+    "link_training_measurement",
     "register_axis",
     "resolve_grid",
     "run_grid",
     "run_tolerance_search",
+    "scenario_timing_budget",
     "simulate_scenario",
     "statistical_eye_measurement",
 ]

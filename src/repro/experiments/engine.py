@@ -36,7 +36,7 @@ from .. import units
 from .._validation import require_positive
 from ..datapath.cid import geometric_run_distribution
 from ..fastpath.backends import BACKENDS, resolve_backend
-from ..link import LinkPath, statistical_eye
+from ..link import LinkPath, LinkTrainer, statistical_eye
 from ..statistical.ber_model import CdrJitterBudget
 from .results import AxisResult, SweepResult
 from .spec import ParameterAxis, ScenarioSpec, apply_axis
@@ -44,7 +44,9 @@ from .spec import ParameterAxis, ScenarioSpec, apply_axis
 __all__ = [
     "ToleranceSearch",
     "simulate_scenario",
+    "scenario_timing_budget",
     "statistical_eye_measurement",
+    "link_training_measurement",
     "resolve_grid",
     "run_grid",
     "run_tolerance_search",
@@ -85,22 +87,16 @@ def simulate_scenario(spec: ScenarioSpec, rng: np.random.Generator,
     )
 
 
-def statistical_eye_measurement(spec: ScenarioSpec) -> dict[str, float]:
-    """Solve the analytic statistical eye of one scenario point.
+def scenario_timing_budget(spec: ScenarioSpec) -> CdrJitterBudget:
+    """The analytic timing budget implied by one scenario's stressors.
 
-    The scenario's link configuration (channel, equalizers, crosstalk
-    population) feeds :func:`repro.link.statistical_eye`; the timing
-    budget carries the scenario's *injected* transmitter jitter
-    (DJ/RJ/SJ — channel DDJ emerges from the ISI cursor PDF instead), the
+    Carries the scenario's *injected* transmitter jitter (DJ/RJ/SJ —
+    channel DDJ emerges from the ISI cursor PDF instead), the
     oscillator-versus-data relative frequency error (CDR offset composed
-    with the transmitter's ppm error), and the scenario oscillator's
-    accumulated per-bit jitter; the run-length statistics follow the
-    stimulus kind.  Returns the ``stateye_*`` metrics recorded per point.
+    with the transmitter's ppm error) and the scenario oscillator's
+    accumulated per-bit jitter — shared by the statistical-eye and
+    link-training measurements.
     """
-    if spec.link is None:
-        raise ValueError(
-            "MeasurementPlan(statistical_eye=True) requires a link front "
-            "end: the statistical eye is solved from the pulse response")
     jitter = spec.jitter
     # Per-stage delay jitter accumulates over the 2*n_stages stage
     # traversals of one oscillation period: sigma_bit = fraction/sqrt(2N) UI.
@@ -118,7 +114,7 @@ def statistical_eye_measurement(spec: ScenarioSpec) -> dict[str, float]:
     sj_frequency = jitter.sj_frequency_hz if jitter is not None else 0.0
     sj_amplitude = jitter.sj_amplitude_ui_pp \
         if jitter is not None and sj_frequency > 0.0 else 0.0
-    budget = CdrJitterBudget(
+    return CdrJitterBudget(
         dj_ui_pp=jitter.dj_ui_pp if jitter is not None else 0.0,
         rj_ui_rms=jitter.rj_ui_rms if jitter is not None else 0.0,
         sj_amplitude_ui_pp=sj_amplitude,
@@ -127,16 +123,35 @@ def statistical_eye_measurement(spec: ScenarioSpec) -> dict[str, float]:
         frequency_offset=relative_offset,
         bit_rate_hz=spec.config.bit_rate_hz,
     )
+
+
+def _scenario_run_lengths(spec: ScenarioSpec):
     if spec.stimulus.kind == "prbs":
         max_run = spec.stimulus.prbs_order
     elif spec.stimulus.kind == "cid_stress":
         max_run = spec.stimulus.max_run
     else:  # encoded8b10b: the code guarantees CID <= 5
         max_run = 5
+    return geometric_run_distribution(max_run=max_run)
+
+
+def statistical_eye_measurement(spec: ScenarioSpec) -> dict[str, float]:
+    """Solve the analytic statistical eye of one scenario point.
+
+    The scenario's link configuration (channel, equalizers, crosstalk
+    population) feeds :func:`repro.link.statistical_eye`; the timing
+    budget comes from :func:`scenario_timing_budget` and the run-length
+    statistics follow the stimulus kind.  Returns the ``stateye_*``
+    metrics recorded per point.
+    """
+    if spec.link is None:
+        raise ValueError(
+            "MeasurementPlan(statistical_eye=True) requires a link front "
+            "end: the statistical eye is solved from the pulse response")
     eye = statistical_eye(
         spec.link,
-        budget=budget,
-        run_lengths=geometric_run_distribution(max_run=max_run),
+        budget=scenario_timing_budget(spec),
+        run_lengths=_scenario_run_lengths(spec),
     )
     target = spec.measurement.target_ber
     return {
@@ -144,6 +159,58 @@ def statistical_eye_measurement(spec: ScenarioSpec) -> dict[str, float]:
         "stateye_horizontal_ui": eye.horizontal_opening_ui(target),
         "stateye_vertical": eye.vertical_opening(target),
     }
+
+
+def link_training_measurement(spec: ScenarioSpec) -> dict[str, float]:
+    """Train the point's link and record trained-versus-fixed metrics.
+
+    The scenario's link supplies the channel environment *and* the fixed
+    baseline lineup; :class:`repro.link.LinkTrainer` searches the
+    de-emphasis × peaking plane under the scenario's ``training`` budget
+    with the same timing budget and run-length statistics the
+    statistical-eye measurement uses.  Both the ``trained_*`` and the
+    ``fixed_*`` metrics are the *training objective's* view — which folds
+    each lineup's dual-Dirac DDJ into its timing walls (the trainer's
+    conservative default) — so they compare against each other exactly,
+    but can sit below the unfolded ``stateye_*`` metrics of the same
+    point.  Recorded per point: the trained and fixed scores, eye
+    openings and BER at ``target_ber``, the trained coefficients (search
+    coordinates — NaN when the fixed baseline was kept — plus adapted DFE
+    taps, when a DFE is configured) and the number of statistical-eye
+    solves spent.  ``trained_score >= fixed_score`` holds by construction
+    (the baseline seeds the search).
+    """
+    if spec.link is None:
+        raise ValueError(
+            "MeasurementPlan(train_equalizers=True) requires a link front "
+            "end: training searches the equalizer plane of its channel")
+    trainer = LinkTrainer(
+        spec.link,
+        training=spec.training,
+        budget=scenario_timing_budget(spec),
+        run_lengths=_scenario_run_lengths(spec),
+        target_ber=spec.measurement.target_ber,
+    )
+    trained = trainer.train()
+    fixed = trainer.score_fixed()
+    metrics = {
+        "trained_score": trained.eye.score,
+        "trained_horizontal_ui": trained.eye.horizontal_ui,
+        "trained_vertical": trained.eye.vertical,
+        "trained_ber": trained.eye.ber_nominal,
+        "fixed_score": fixed.score,
+        "fixed_horizontal_ui": fixed.horizontal_ui,
+        "fixed_vertical": fixed.vertical,
+        "fixed_ber": fixed.ber_nominal,
+        "trained_tx_post_db": float("nan") if trained.tx_post_db is None
+        else trained.tx_post_db,
+        "trained_ctle_peaking_db": float("nan")
+        if trained.ctle_peaking_db is None else trained.ctle_peaking_db,
+        "training_evaluations": float(trained.n_evaluations),
+    }
+    for index, weight in enumerate(trained.dfe_weights, start=1):
+        metrics[f"trained_dfe_tap{index}"] = float(weight)
+    return metrics
 
 
 @dataclass(frozen=True)
@@ -173,6 +240,8 @@ def _measure_point(task: _PointTask, rng: np.random.Generator) -> tuple:
         })
     if plan.statistical_eye:
         extras.update(statistical_eye_measurement(task.spec))
+    if plan.train_equalizers:
+        extras.update(link_training_measurement(task.spec))
     detail = result if plan.retain == "results" else None
     return measurement.errors, measurement.compared_bits, extras or None, detail
 
@@ -223,12 +292,14 @@ def run_grid(
 
     axes = tuple(axes)
     points = resolve_grid(spec, axes)
-    if spec.measurement.statistical_eye:
+    if spec.measurement.statistical_eye or spec.measurement.train_equalizers:
         # Fail before the pool spins up, like backend resolution does.
+        option = "statistical_eye" if spec.measurement.statistical_eye \
+            else "train_equalizers"
         for point in points:
             if point.link is None:
                 raise ValueError(
-                    "MeasurementPlan(statistical_eye=True) requires every "
+                    f"MeasurementPlan({option}=True) requires every "
                     "grid point to carry a link front end")
     tasks = [
         _PointTask(point, resolve_backend(point.config, point.backend).name)

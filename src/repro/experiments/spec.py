@@ -32,6 +32,8 @@ from ..link import (
     LmsDfe,
     LossyLineChannel,
     RxCtle,
+    TrainedLineup,
+    TrainingBudget,
     TxFfe,
 )
 
@@ -45,6 +47,8 @@ __all__ = [
     "LaneSpec",
     "ScenarioSpec",
     "ParameterAxis",
+    "TrainedLineup",
+    "TrainingBudget",
     "AXIS_APPLICATORS",
     "register_axis",
     "apply_axis",
@@ -136,6 +140,12 @@ class MeasurementPlan:
     configuration (requires a link front end) and records its BER at the
     nominal operating point plus the horizontal/vertical eye openings at
     ``target_ber`` — the sub-1e-12 companion of the bit-true counts.
+    ``train_equalizers`` runs the point's link through
+    :class:`repro.link.LinkTrainer` (shaped by the scenario's
+    ``training`` budget) and records the trained coefficients next to the
+    trained-versus-fixed statistical-eye openings — the bit-true counts
+    still measure the spec's own *fixed* lineup, so every point pairs
+    "what the hand-picked lineup does" with "what training would buy".
     ``retain`` selects the trace retention policy — ``"none"`` keeps only
     the measurements (cheap, pickles across the pool), ``"results"``
     additionally returns every point's full ``BehavioralSimulationResult``
@@ -145,6 +155,7 @@ class MeasurementPlan:
 
     eye: bool = False
     statistical_eye: bool = False
+    train_equalizers: bool = False
     target_ber: float = 1.0e-12
     retain: str = "none"
 
@@ -165,6 +176,17 @@ class EqualizerLineup:
     tx_ffe: TxFfe | None = None
     rx_ctle: RxCtle | None = None
     dfe: LmsDfe | None = None
+
+    @classmethod
+    def from_trained(cls, trained: TrainedLineup) -> "EqualizerLineup":
+        """Adopt a :class:`repro.link.TrainedLineup` as an ablation line-up.
+
+        ``TrainedLineup`` already exposes the same attribute surface, so
+        it can sit on an ``"equalization"`` axis directly; this conversion
+        exists for explicitness (and to drop the training metadata).
+        """
+        return cls(label=trained.label, tx_ffe=trained.tx_ffe,
+                   rx_ctle=trained.rx_ctle, dfe=trained.dfe)
 
 
 @dataclass(frozen=True)
@@ -206,6 +228,11 @@ class ScenarioSpec:
         driving the CDR.
     measurement:
         Measurement plan (BER always; optional eye metrics / retention).
+    training:
+        Link-training search shape used by
+        ``MeasurementPlan(train_equalizers=True)`` points (``None`` =
+        the default :class:`repro.link.TrainingBudget`); the registered
+        ``"training_budget"`` axis sweeps its evaluation cap.
     backend:
         Backend request resolved per grid point through the capability
         registry: ``"auto"`` (default) picks the fastest exactly-equivalent
@@ -219,6 +246,7 @@ class ScenarioSpec:
     config: CdrChannelConfig = field(default_factory=CdrChannelConfig)
     link: LinkConfig | None = None
     measurement: MeasurementPlan = field(default_factory=MeasurementPlan)
+    training: TrainingBudget | None = None
     backend: str = "auto"
     data_rate_offset_ppm: float = 0.0
 
@@ -374,6 +402,18 @@ def _apply_aggressor_amplitude(spec: ScenarioSpec, value) -> ScenarioSpec:
     crosstalk = link.crosstalk or CrosstalkSpec.single_fext(0.0)
     return replace(spec, link=link.with_crosstalk(
         crosstalk.with_amplitude(float(value))))
+
+
+@register_axis("training_budget")
+def _apply_training_budget(spec: ScenarioSpec, value) -> ScenarioSpec:
+    """Sweep the link-training evaluation cap (statistical-eye solves).
+
+    A scenario without an explicit training shape gets the default
+    :class:`repro.link.TrainingBudget`, so the axis works on any
+    ``train_equalizers`` spec out of the box.
+    """
+    training = spec.training or TrainingBudget()
+    return replace(spec, training=training.with_max_evaluations(int(value)))
 
 
 @register_axis("equalization")

@@ -32,7 +32,7 @@ from .channel import (
     LossyLineChannel,
     SinglePoleChannel,
 )
-from .equalization import DfeAdaptation, LmsDfe, RxCtle, TxFfe
+from .equalization import DfeAdaptation, ErrorPropagation, LmsDfe, RxCtle, TxFfe
 from .isi import (
     nrz_symbol_levels,
     superpose_circular,
@@ -47,7 +47,21 @@ from .edges import (
 )
 from .crosstalk import AGGRESSOR_KINDS, CrosstalkAggressor, CrosstalkSpec
 from .path import LinkCdrChannel, LinkConfig, LinkPath, stream_eye_diagram
-from .stateye import StatisticalEye, StatisticalEyeSolver, statistical_eye
+from .stateye import (
+    AGGRESSOR_PHASE_MODES,
+    StatisticalEye,
+    StatisticalEyeSolver,
+    statistical_eye,
+)
+from .training import (
+    EyeScore,
+    LinkTrainer,
+    StatEyeObjective,
+    TrainedLineup,
+    TrainingBudget,
+    TrainingCrossCheck,
+    train_link,
+)
 
 __all__ = [
     "LinkTimebase",
@@ -60,6 +74,7 @@ __all__ = [
     "RxCtle",
     "LmsDfe",
     "DfeAdaptation",
+    "ErrorPropagation",
     "nrz_symbol_levels",
     "upsample_symbols",
     "superpose_circular",
@@ -75,7 +90,15 @@ __all__ = [
     "LinkConfig",
     "LinkPath",
     "stream_eye_diagram",
+    "AGGRESSOR_PHASE_MODES",
     "StatisticalEye",
     "StatisticalEyeSolver",
     "statistical_eye",
+    "EyeScore",
+    "StatEyeObjective",
+    "LinkTrainer",
+    "TrainedLineup",
+    "TrainingBudget",
+    "TrainingCrossCheck",
+    "train_link",
 ]

@@ -14,6 +14,13 @@ Three standard serial-link equalizer stages, kept behavioural:
   the adaptive-equalizer idiom of QAMpy's DSP layer.  Its feedback is
   rendered as a piecewise-constant waveform subtracted from the received
   trace, so the downstream threshold-crossing extraction sees its effect.
+  Adaptation is **data-aided** by default (the training bits are known);
+  ``decision_directed=True`` switches the recursion to slicer decisions —
+  the non-data-aided mode a deployed receiver runs — and the adaptation
+  then reports decision-error diagnostics per epoch.  Because a DFE feeds
+  its *decisions* back, a wrong decision perturbs the next ``n_taps``
+  corrections; :meth:`LmsDfe.error_propagation` models that burst (a
+  forced slicer error must decay, not ring).
 
 All three are frozen dataclasses and pickle across the sweep runner's
 process pool.
@@ -22,13 +29,18 @@ process pool.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from .._validation import require_non_negative, require_positive, require_positive_int
 
-__all__ = ["TxFfe", "RxCtle", "LmsDfe", "DfeAdaptation"]
+__all__ = ["TxFfe", "RxCtle", "LmsDfe", "DfeAdaptation", "ErrorPropagation"]
+
+#: Corrected-sample deviations below this are floating-point residue of the
+#: feedback arithmetic, not propagated error — snapped to exact zero so
+#: :attr:`ErrorPropagation.decays` can test for a fully cleared register.
+_DEVIATION_SNAP = 1.0e-9
 
 
 @dataclass(frozen=True)
@@ -145,10 +157,17 @@ class RxCtle:
 
 @dataclass(frozen=True)
 class DfeAdaptation:
-    """Converged state of an LMS DFE adaptation run."""
+    """Converged state of an LMS DFE adaptation run.
+
+    ``decision_error_rate_per_epoch`` is recorded only by decision-directed
+    adaptation (``None`` for data-aided runs): the fraction of slicer
+    decisions per epoch that disagreed with the transmitted symbols — the
+    convergence diagnostic of the non-data-aided mode.
+    """
 
     weights: np.ndarray
     error_rms_per_epoch: np.ndarray
+    decision_error_rate_per_epoch: np.ndarray | None = None
 
     @property
     def converged(self) -> bool:
@@ -158,6 +177,50 @@ class DfeAdaptation:
             return False
         return bool(errors[-1] <= errors[-2] * 1.05)
 
+    @property
+    def final_decision_error_rate(self) -> float:
+        """Decision error rate of the last epoch (NaN for data-aided runs)."""
+        rates = self.decision_error_rate_per_epoch
+        if rates is None or rates.size == 0:
+            return float("nan")
+        return float(rates[-1])
+
+
+@dataclass(frozen=True)
+class ErrorPropagation:
+    """Response of the DFE feedback loop to one forced slicer error.
+
+    A decision error feeds back through the tap weights and perturbs the
+    next ``n_taps`` corrected samples by ``2·w_i``; when those
+    perturbations stay inside the decision margin the burst dies as soon
+    as the error leaves the feedback register, otherwise secondary errors
+    extend it (and weights past the stability boundary ring forever).
+
+    Attributes
+    ----------
+    wrong_decisions:
+        Per-UI flags after the forced error: ``True`` where the slicer
+        decided wrongly (secondary errors — the forced one is excluded).
+    deviation_per_ui:
+        ``|corrected − ideal|`` of every post-error UI; exactly zero once
+        the feedback register holds only correct decisions again.
+    """
+
+    wrong_decisions: np.ndarray = field(repr=False)
+    deviation_per_ui: np.ndarray = field(repr=False)
+
+    @property
+    def burst_length(self) -> int:
+        """Number of UIs until the last secondary decision error (0 = none)."""
+        wrong = np.flatnonzero(self.wrong_decisions)
+        return int(wrong[-1]) + 1 if wrong.size else 0
+
+    @property
+    def decays(self) -> bool:
+        """True when the burst dies before the horizon and feedback clears."""
+        return bool(self.burst_length < self.wrong_decisions.size
+                    and self.deviation_per_ui[-1] == 0.0)
+
 
 @dataclass(frozen=True)
 class LmsDfe:
@@ -166,16 +229,24 @@ class LmsDfe:
     The DFE subtracts, over each unit interval, a weighted sum of the
     previous symbol decisions from the received waveform — cancelling
     post-cursor ISI that linear equalization cannot remove without noise
-    amplification.  Taps are adapted data-aided on the periodic training
-    pattern:
+    amplification.  Taps are adapted on the periodic training pattern:
 
-        ``e_k = (y_k - sum_i w_i s_{k-i}) - s_k``
-        ``w_i <- w_i + mu * e_k * s_{k-i}``
+        ``e_k = (y_k - sum_i w_i d_{k-i}) - d_k``
+        ``w_i <- w_i + mu * e_k * d_{k-i}``
+
+    where ``d_k`` is the transmitted symbol in the default data-aided
+    mode, and the **slicer decision** ``sign(corrected sample)`` when
+    ``decision_directed=True`` — the blind mode a deployed receiver
+    actually runs, where early wrong decisions both corrupt the feedback
+    and mis-steer the gradient.  Decision-directed adaptation records the
+    per-epoch decision error rate against the (known, diagnostics-only)
+    transmitted symbols.
     """
 
     n_taps: int = 2
     step_size: float = 0.02
     n_epochs: int = 40
+    decision_directed: bool = False
 
     def __post_init__(self) -> None:
         require_positive_int("n_taps", self.n_taps)
@@ -191,7 +262,10 @@ class LmsDfe:
             Received waveform sampled once per UI (at the bit centres).
         symbols:
             The transmitted symbol levels (±1), same length, treated as
-            circular (one period of the repeating pattern).
+            circular (one period of the repeating pattern).  In
+            decision-directed mode they steer nothing — the recursion runs
+            on slicer decisions — and only score the per-epoch decision
+            error rate.
         """
         samples = np.asarray(ui_samples, dtype=float).ravel()
         levels = np.asarray(symbols, dtype=float).ravel()
@@ -199,6 +273,8 @@ class LmsDfe:
             raise ValueError("ui_samples and symbols must have equal length")
         if samples.size <= self.n_taps:
             raise ValueError("need more than n_taps training symbols")
+        if self.decision_directed:
+            return self._adapt_decision_directed(samples, levels)
         weights = np.zeros(self.n_taps)
         error_rms = np.zeros(self.n_epochs)
         for epoch in range(self.n_epochs):
@@ -211,6 +287,75 @@ class LmsDfe:
                 squared += error * error
             error_rms[epoch] = math.sqrt(squared / samples.size)
         return DfeAdaptation(weights=weights, error_rms_per_epoch=error_rms)
+
+    def _adapt_decision_directed(self, samples: np.ndarray,
+                                 levels: np.ndarray) -> DfeAdaptation:
+        """Blind LMS: history and error reference are slicer decisions.
+
+        The decision register is bootstrapped by slicing the raw samples
+        (the zero-weight corrected waveform) and persists across epochs,
+        so the recursion sees exactly what a free-running receiver would.
+        """
+        decisions = np.where(samples >= 0.0, 1.0, -1.0)
+        weights = np.zeros(self.n_taps)
+        error_rms = np.zeros(self.n_epochs)
+        decision_errors = np.zeros(self.n_epochs)
+        for epoch in range(self.n_epochs):
+            squared = 0.0
+            wrong = 0
+            for k in range(samples.size):
+                history = decisions[(k - 1 - np.arange(self.n_taps))
+                                    % decisions.size]
+                corrected = samples[k] - float(weights @ history)
+                decision = 1.0 if corrected >= 0.0 else -1.0
+                decisions[k] = decision
+                error = corrected - decision
+                weights += self.step_size * error * history
+                squared += error * error
+                wrong += decision != levels[k]
+            error_rms[epoch] = math.sqrt(squared / samples.size)
+            decision_errors[epoch] = wrong / samples.size
+        return DfeAdaptation(weights=weights, error_rms_per_epoch=error_rms,
+                             decision_error_rate_per_epoch=decision_errors)
+
+    def error_propagation(self, weights: np.ndarray, symbols: np.ndarray,
+                          *, error_index: int = 0,
+                          horizon: int | None = None) -> ErrorPropagation:
+        """Force one slicer error and track the feedback burst it causes.
+
+        The loop runs on the ideal post-cursor waveform the *weights*
+        cancel exactly (``y_k = s_k + sum_i w_i s_{k-i}``), so with a
+        clean feedback register every decision is correct and every
+        corrected sample equals the symbol — any deviation afterwards is
+        purely the propagated error.  The decision at *error_index* is
+        forced wrong, then the slicer runs free for *horizon* UIs
+        (default ``8 * n_taps``, circular symbol indexing).
+        """
+        weights = np.asarray(weights, dtype=float).ravel()
+        levels = np.asarray(symbols, dtype=float).ravel()
+        if levels.size <= weights.size:
+            raise ValueError("need more than len(weights) symbols")
+        steps = 8 * self.n_taps if horizon is None else horizon
+        require_positive_int("horizon", steps)
+        samples = levels.copy()
+        for offset, weight in enumerate(weights, start=1):
+            samples += weight * np.roll(levels, offset)
+        decisions = levels.copy()
+        start = error_index % levels.size
+        decisions[start] = -levels[start]
+        wrong = np.zeros(steps, dtype=bool)
+        deviation = np.zeros(steps)
+        for step in range(1, steps + 1):
+            k = (start + step) % levels.size
+            history = decisions[(k - 1 - np.arange(weights.size)) % levels.size]
+            corrected = samples[k] - float(weights @ history)
+            decision = 1.0 if corrected >= 0.0 else -1.0
+            decisions[k] = decision
+            wrong[step - 1] = decision != levels[k]
+            gap = abs(corrected - levels[k])
+            deviation[step - 1] = gap if gap > _DEVIATION_SNAP else 0.0
+        return ErrorPropagation(wrong_decisions=wrong,
+                                deviation_per_ui=deviation)
 
     def feedback_waveform(self, symbols: np.ndarray, weights: np.ndarray,
                           samples_per_ui: int) -> np.ndarray:

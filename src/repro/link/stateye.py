@@ -15,7 +15,10 @@ approach gets there analytically:
    ISI amplitude distribution at each phase.
 3. **Crosstalk superposition** — each FEXT/NEXT aggressor
    (:mod:`repro.link.crosstalk`) contributes its own independent cursor
-   set, convolved into the same PDF.
+   set, convolved into the same PDF.  An aggressor's transmitter runs on
+   its *own* clock, so by default its cursor PDF is averaged over a
+   uniform phase offset within the UI (``aggressor_phase="asynchronous"``);
+   ``"synchronous"`` keeps the legacy victim-phase sampling as an opt-in.
 4. **Timing × amplitude combination** — the amplitude error probability
    (wrong side of the decision threshold) is combined with the
    gated-oscillator timing error probability
@@ -42,10 +45,21 @@ from .isi import superpose_circular
 from .path import LinkConfig, LinkPath
 
 __all__ = [
+    "AGGRESSOR_PHASE_MODES",
     "StatisticalEye",
     "StatisticalEyeSolver",
     "statistical_eye",
 ]
+
+#: Aggressor sampling-phase statistics: ``"asynchronous"`` (default)
+#: averages each aggressor's cursor PDF over a uniform phase offset within
+#: the UI; ``"synchronous"`` samples it at the victim phase (legacy).
+AGGRESSOR_PHASE_MODES = ("asynchronous", "synchronous")
+
+#: Default pulse-response span (UI) of the solver — shared with the
+#: link-training layer, whose DFE adaptation replays the solver's
+#: training pattern length.
+DEFAULT_SPAN_UI = 64
 
 
 #: Cursor magnitudes below this (in victim-swing units) are numerical FFT
@@ -146,10 +160,22 @@ class StatisticalEye:
                                self.ber[index]))
 
     def best_operating_point(self, threshold: float = 0.0) -> tuple[float, float]:
-        """``(phase_ui, ber)`` of the minimum-BER phase at *threshold*."""
+        """``(phase_ui, ber)`` of the minimum-BER phase at *threshold*.
+
+        A wide-open eye floors at the same minimum over a whole phase
+        span; the reported phase is the centre of the longest such
+        plateau (first one on ties — deterministic), so pointing a CDR at
+        it leaves margin on both sides instead of sampling at the edge.
+        """
         column = int(np.argmin(np.abs(self.thresholds - float(threshold))))
-        index = int(np.argmin(self.ber[:, column]))
-        return float(self.phases_ui[index]), float(self.ber[index, column])
+        values = self.ber[:, column]
+        minimum = float(values.min())
+        at_minimum = np.flatnonzero(values == minimum)
+        runs = np.split(at_minimum,
+                        np.flatnonzero(np.diff(at_minimum) > 1) + 1)
+        plateau = max(runs, key=len)
+        index = int(plateau[len(plateau) // 2])
+        return float(self.phases_ui[index]), minimum
 
     def contour(self, target_ber: float = 1.0e-12
                 ) -> tuple[np.ndarray, np.ndarray]:
@@ -221,6 +247,17 @@ class StatisticalEyeSolver:
         into every phase's PDF.
     grid_step_ui:
         Time-domain grid resolution of the analytic BER model.
+    aggressor_phase:
+        ``"asynchronous"`` (default) — each aggressor transmits on its own
+        clock, so its cursor PDF is averaged over a uniform phase offset
+        within the UI; ``"synchronous"`` — legacy behaviour, aggressor
+        cursors sampled at the victim phase.
+    timing_model:
+        Optional pre-built :class:`GatedOscillatorBerModel` supplying the
+        timing term.  The link-training objective shares one model across
+        every candidate lineup this way (the timing environment does not
+        depend on the equalizers); when given, *budget*, *run_lengths*
+        and *grid_step_ui* are ignored for the timing term.
     """
 
     def __init__(
@@ -229,10 +266,12 @@ class StatisticalEyeSolver:
         *,
         budget: CdrJitterBudget | None = None,
         run_lengths: RunLengthDistribution | None = None,
-        span_ui: int = 64,
+        span_ui: int = DEFAULT_SPAN_UI,
         voltage_step: float = 0.01,
         amplitude_noise_rms: float = 0.0,
         grid_step_ui: float = 2.0e-3,
+        aggressor_phase: str = "asynchronous",
+        timing_model: GatedOscillatorBerModel | None = None,
     ) -> None:
         self.path = link if isinstance(link, LinkPath) else LinkPath(link)
         self.budget = budget if budget is not None \
@@ -242,6 +281,12 @@ class StatisticalEyeSolver:
         self.voltage_step = require_positive("voltage_step", voltage_step)
         self.amplitude_noise_rms = float(amplitude_noise_rms)
         self.grid_step_ui = require_positive("grid_step_ui", grid_step_ui)
+        if aggressor_phase not in AGGRESSOR_PHASE_MODES:
+            raise ValueError(
+                f"unknown aggressor_phase {aggressor_phase!r}; expected one "
+                f"of {list(AGGRESSOR_PHASE_MODES)}")
+        self.aggressor_phase = aggressor_phase
+        self.timing_model = timing_model
 
     # -- cursor extraction ----------------------------------------------------
 
@@ -332,20 +377,38 @@ class StatisticalEyeSolver:
             weights = np.exp(-0.5 * (thresholds / self.amplitude_noise_rms) ** 2)
             gaussian = weights / weights.sum()
 
+        # Aggressors whose cursor rows are all zero shift no probability
+        # mass in either phase mode — skipping them keeps zero-amplitude
+        # populations bit-identical to the crosstalk-free solve.
+        live_aggressors = [
+            rows for rows in aggressors
+            if np.count_nonzero(np.max(np.abs(rows), axis=1))]
+        # The averaged PMFs are phase-independent, so the whole population
+        # pre-combines into one convolution kernel outside the phase loop.
+        aggressor_kernel = None
+        if self.aggressor_phase == "asynchronous":
+            for rows in live_aggressors:
+                pmf = self._phase_averaged_pmf(rows, step, n_bins, centre)
+                aggressor_kernel = pmf if aggressor_kernel is None \
+                    else np.convolve(aggressor_kernel, pmf, mode="same")
+
         noise_pmf = np.zeros((spu, n_bins))
         for phase_index in range(spu):
             pmf = np.zeros(n_bins)
             pmf[centre] = 1.0
             cursors_here = np.abs(isi_rows[:, phase_index])
-            for rows in aggressors:
-                cursors_here = np.concatenate(
-                    (cursors_here, np.abs(rows[:, phase_index])))
+            if self.aggressor_phase == "synchronous":
+                for rows in live_aggressors:
+                    cursors_here = np.concatenate(
+                        (cursors_here, np.abs(rows[:, phase_index])))
             # Snap numerically-zero cursors (FFT residue on clean channels,
             # same idiom as the edge extractor's snap_ui) so an ideal
             # channel solves to an exactly error-free amplitude eye.
             cursors_here[cursors_here < _CURSOR_SNAP] = 0.0
             for shift in cursors_here / step:
                 pmf = _two_point_convolve(pmf, float(shift))
+            if aggressor_kernel is not None:
+                pmf = np.convolve(pmf, aggressor_kernel, mode="same")
             if gaussian is not None:
                 pmf = np.convolve(pmf, gaussian, mode="same")
             noise_pmf[phase_index] = pmf
@@ -363,11 +426,13 @@ class StatisticalEyeSolver:
             amplitude_ber[phase_index] = 0.5 * (below_one + (1.0 - below_zero))
 
         phases_ui = (np.arange(spu) + 0.5) / spu
-        model = GatedOscillatorBerModel(
-            self.budget,
-            run_lengths=self.run_lengths,
-            grid_step_ui=self.grid_step_ui,
-        )
+        model = self.timing_model
+        if model is None:
+            model = GatedOscillatorBerModel(
+                self.budget,
+                run_lengths=self.run_lengths,
+                grid_step_ui=self.grid_step_ui,
+            )
         timing_ber = model.ber_at_phases(phases_ui)
 
         total = np.clip(timing_ber[:, None] + amplitude_ber, 0.0, 1.0)
@@ -380,6 +445,33 @@ class StatisticalEyeSolver:
             main_cursor=main_cursor,
             noise_pmf=noise_pmf,
         )
+
+    def _phase_averaged_pmf(self, rows: np.ndarray, step: float,
+                            n_bins: int, centre: int) -> np.ndarray:
+        """One aggressor's cursor PMF averaged over a uniform in-UI offset.
+
+        The aggressor's transmitter is asynchronous to the victim, so the
+        phase offset between their unit intervals is uniform over the UI.
+        On the circular span grid an offset of ``j`` cells permutes the
+        sampled cursor multiset to column ``(i + j) mod spu`` of the
+        cursor matrix — the offset average is therefore the
+        column-averaged PDF, identical at every victim phase ``i``.
+        Amplitude error probability is linear in the noise PMF and
+        independent aggressors combine by convolution, so averaging at
+        the PDF level (a mixture over offsets) is exact, not an
+        approximation.
+        """
+        columns = rows.shape[1]
+        average = np.zeros(n_bins)
+        for column in range(columns):
+            pmf = np.zeros(n_bins)
+            pmf[centre] = 1.0
+            cursors = np.abs(rows[:, column])
+            cursors[cursors < _CURSOR_SNAP] = 0.0
+            for shift in cursors / step:
+                pmf = _two_point_convolve(pmf, float(shift))
+            average += pmf
+        return average / columns
 
 
 def statistical_eye(link: LinkConfig | LinkPath | None = None,

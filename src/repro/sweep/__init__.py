@@ -25,6 +25,7 @@ from .sweeps import (
     BerSurfaceResult,
     EqualizationAblationResult,
     JitterToleranceResult,
+    LinkTrainingSweepResult,
     MultichannelSweepResult,
     ber_vs_aggressor_sweep,
     ber_vs_channel_loss_sweep,
@@ -33,6 +34,7 @@ from .sweeps import (
     ber_vs_sj_sweep,
     equalization_ablation_sweep,
     jitter_tolerance_sweep,
+    link_training_sweep,
     make_channel,
     multichannel_sweep,
 )
@@ -46,6 +48,7 @@ __all__ = [
     "BerSurfaceResult",
     "EqualizationAblationResult",
     "JitterToleranceResult",
+    "LinkTrainingSweepResult",
     "MultichannelSweepResult",
     "ber_vs_aggressor_sweep",
     "ber_vs_channel_loss_sweep",
@@ -54,6 +57,7 @@ __all__ = [
     "ber_vs_sj_sweep",
     "equalization_ablation_sweep",
     "jitter_tolerance_sweep",
+    "link_training_sweep",
     "make_channel",
     "multichannel_sweep",
 ]

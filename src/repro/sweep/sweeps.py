@@ -38,6 +38,7 @@ from ..experiments import (
     StimulusSpec,
     SweepResult,
     ToleranceSearch,
+    TrainingBudget,
     run_grid,
     run_tolerance_search,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "AggressorSweepResult",
     "BerSurfaceResult",
     "JitterToleranceResult",
+    "LinkTrainingSweepResult",
     "MultichannelSweepResult",
     "EqualizationAblationResult",
     "ber_vs_sj_sweep",
@@ -61,6 +63,7 @@ __all__ = [
     "ber_vs_aggressor_sweep",
     "equalization_ablation_sweep",
     "jitter_tolerance_sweep",
+    "link_training_sweep",
     "multichannel_sweep",
 ]
 
@@ -163,6 +166,42 @@ class AggressorSweepResult:
     def ber(self) -> np.ndarray:
         """Measured BER per amplitude (NaN where nothing was compared)."""
         return measured_ber(self.errors, self.compared)
+
+
+@dataclass(frozen=True)
+class LinkTrainingSweepResult:
+    """Trained-versus-fixed equalization across a channel-loss sweep.
+
+    One row per loss value: the bit-true error counts of the *fixed*
+    template lineup next to the statistical-eye openings of that fixed
+    lineup and of the lineup link training converged to, plus the trained
+    coordinates in the de-emphasis × peaking plane and the number of
+    statistical-eye solves each point spent.
+    """
+
+    loss_db_values: np.ndarray
+    errors: np.ndarray
+    compared: np.ndarray
+    trained_horizontal_ui: np.ndarray
+    trained_vertical: np.ndarray
+    fixed_horizontal_ui: np.ndarray
+    fixed_vertical: np.ndarray
+    trained_tx_post_db: np.ndarray
+    trained_ctle_peaking_db: np.ndarray
+    training_evaluations: np.ndarray
+    target_ber: float
+    backend: str
+    source: SweepResult | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def ber(self) -> np.ndarray:
+        """Measured BER of the fixed lineup per loss (NaN when uncompared)."""
+        return measured_ber(self.errors, self.compared)
+
+    @property
+    def vertical_gain(self) -> np.ndarray:
+        """Trained minus fixed vertical opening per loss value."""
+        return self.trained_vertical - self.fixed_vertical
 
 
 @dataclass(frozen=True)
@@ -611,6 +650,69 @@ def equalization_ablation_sweep(
         loss_db=float(loss_db),
         errors=result.metric("errors").reshape(-1),
         compared=result.metric("compared").reshape(-1),
+        backend=backend,
+        source=result,
+    )
+
+
+def link_training_sweep(
+    loss_db_values: np.ndarray,
+    *,
+    link: LinkConfig | None = None,
+    training: TrainingBudget | None = None,
+    config: CdrChannelConfig | None = None,
+    jitter: JitterSpec | None = None,
+    n_bits: int = 2000,
+    prbs_order: int = 7,
+    backend: str = "fast",
+    seed: int | None = 0,
+    workers: int | None = None,
+    target_ber: float = 1.0e-12,
+) -> LinkTrainingSweepResult:
+    """Link training across a channel-loss axis, trained versus fixed.
+
+    A declarative study, not a new pipeline: the base scenario is the
+    *link* template (default: the hand-tuned FFE+CTLE reference lineup),
+    the swept axis is the registered ``channel_loss_db`` applicator, and
+    the measurement plan adds ``train_equalizers`` — every point pairs the
+    fixed lineup's bit-true error counts with the statistical-eye openings
+    of the fixed and the trained lineup.  Training draws no randomness, so
+    the sweep stays deterministic at any worker count.
+    """
+    config = config or CdrChannelConfig()
+    template = link or _default_equalized_link()
+    jitter = jitter or LINK_RESIDUAL_JITTER_SPEC
+    loss_db_values = np.asarray(loss_db_values, dtype=float)
+
+    spec = ScenarioSpec(
+        stimulus=_stimulus(n_bits, prbs_order),
+        jitter=jitter,
+        config=config,
+        link=template,
+        measurement=MeasurementPlan(train_equalizers=True,
+                                    target_ber=target_ber),
+        training=training,
+        backend=backend,
+    )
+    result = run_grid(
+        spec,
+        [ParameterAxis("channel_loss_db", loss_db_values)],
+        name="link_training", seed=seed, workers=workers,
+        metadata={"target_ber": float(target_ber)},
+    )
+    return LinkTrainingSweepResult(
+        loss_db_values=loss_db_values,
+        errors=result.metric("errors").reshape(-1),
+        compared=result.metric("compared").reshape(-1),
+        trained_horizontal_ui=result.metric("trained_horizontal_ui").reshape(-1),
+        trained_vertical=result.metric("trained_vertical").reshape(-1),
+        fixed_horizontal_ui=result.metric("fixed_horizontal_ui").reshape(-1),
+        fixed_vertical=result.metric("fixed_vertical").reshape(-1),
+        trained_tx_post_db=result.metric("trained_tx_post_db").reshape(-1),
+        trained_ctle_peaking_db=result.metric(
+            "trained_ctle_peaking_db").reshape(-1),
+        training_evaluations=result.metric("training_evaluations").reshape(-1),
+        target_ber=float(target_ber),
         backend=backend,
         source=result,
     )

@@ -232,6 +232,89 @@ class TestStatisticalEyeMeasurement:
             > jittery["stateye_horizontal_ui"] > 0.0
 
 
+class TestLinkTrainingMeasurement:
+    @staticmethod
+    def _training_spec(**overrides) -> ScenarioSpec:
+        from repro.experiments import TrainingBudget
+        from repro.link import LinkConfig, LossyLineChannel, RxCtle, TxFfe
+
+        values = dict(
+            stimulus=StimulusSpec(n_bits=300),
+            link=LinkConfig(
+                channel=LossyLineChannel.for_loss_at_nyquist(12.0),
+                tx_ffe=TxFfe.de_emphasis(post_db=3.5),
+                rx_ctle=RxCtle(peaking_db=6.0)),
+            measurement=MeasurementPlan(train_equalizers=True),
+            training=TrainingBudget(tx_post_db=(0.0, 3.5),
+                                    ctle_peaking_db=(3.0, 9.0),
+                                    refine_rounds=1,
+                                    max_evaluations=8),
+        )
+        values.update(overrides)
+        return ScenarioSpec(**values)
+
+    def test_metrics_recorded_per_point(self):
+        result = run_grid(
+            self._training_spec(),
+            [ParameterAxis("channel_loss_db", (8.0, 16.0))],
+            seed=0, workers=1)
+        assert result.metric("trained_vertical").shape == (2,)
+        # The baseline seeds the search, so the trained score never sits
+        # below the fixed lineup's (and here the openings track it).
+        assert np.all(result.metric("trained_score")
+                      >= result.metric("fixed_score"))
+        assert np.all(result.metric("trained_vertical")
+                      >= result.metric("fixed_vertical"))
+        # Budget 8 searched solves + the exempt baseline seed.
+        assert np.all(result.metric("training_evaluations") <= 9)
+
+    def test_requires_a_link_front_end(self):
+        spec = ScenarioSpec(stimulus=StimulusSpec(n_bits=200),
+                            measurement=MeasurementPlan(train_equalizers=True))
+        with pytest.raises(ValueError, match="link front"):
+            run_grid(spec, [FREQUENCY_AXIS], seed=0, workers=1)
+
+    def test_training_budget_axis_caps_evaluations(self):
+        result = run_grid(
+            self._training_spec(training=None),
+            [ParameterAxis("training_budget", (2, 6))],
+            seed=0, workers=1)
+        evaluations = result.metric("training_evaluations")
+        assert evaluations[0] <= 3  # 2 searched + the baseline seed
+        assert evaluations[1] <= 7
+        assert evaluations[1] > evaluations[0]
+
+    def test_deterministic_across_worker_counts(self):
+        axis = [ParameterAxis("channel_loss_db", (8.0, 16.0))]
+        serial = run_grid(self._training_spec(), axis, seed=2, workers=1)
+        pooled = run_grid(self._training_spec(), axis, seed=2, workers=2)
+        for key in ("trained_vertical", "trained_tx_post_db",
+                    "trained_ctle_peaking_db", "errors"):
+            np.testing.assert_array_equal(serial.metric(key),
+                                          pooled.metric(key))
+
+    def test_dfe_taps_recorded_when_configured(self):
+        from dataclasses import replace
+
+        from repro.link import LmsDfe
+
+        spec = self._training_spec()
+        spec = replace(spec, link=replace(spec.link, dfe=LmsDfe(n_taps=2)))
+        from repro.experiments import link_training_measurement
+        metrics = link_training_measurement(spec)
+        assert "trained_dfe_tap1" in metrics and "trained_dfe_tap2" in metrics
+
+    def test_measurement_serializes_through_sweep_result(self):
+        from repro.experiments import SweepResult
+        result = run_grid(
+            self._training_spec(),
+            [ParameterAxis("channel_loss_db", (8.0,))],
+            seed=0, workers=1)
+        restored = SweepResult.from_json(result.to_json())
+        np.testing.assert_array_equal(restored.metric("trained_vertical"),
+                                      result.metric("trained_vertical"))
+
+
 class TestToleranceSearch:
     def test_search_finds_larger_low_frequency_tolerance(self):
         result = run_tolerance_search(

@@ -6,11 +6,13 @@ import pytest
 from repro.link import (
     CrosstalkAggressor,
     CrosstalkSpec,
+    IdealChannel,
     LinkConfig,
     LinkPath,
     LinkTimebase,
     LossyLineChannel,
     RxCtle,
+    StatisticalEyeSolver,
     TxFfe,
     statistical_eye,
 )
@@ -148,3 +150,76 @@ class TestStatisticalSuperposition:
         two = statistical_eye(_equalized_link(
             crosstalk=CrosstalkSpec.uniform(2, 0.08)))
         assert two.vertical_opening(1.0e-12) <= one.vertical_opening(1.0e-12)
+
+
+class TestAggressorPhaseStatistics:
+    """Satellite: asynchronous aggressors average over a uniform UI offset."""
+
+    def test_asynchronous_is_the_default(self):
+        solver = StatisticalEyeSolver(_equalized_link())
+        assert solver.aggressor_phase == "asynchronous"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="aggressor_phase"):
+            StatisticalEyeSolver(_equalized_link(), aggressor_phase="psychic")
+
+    def test_modes_differ_for_a_live_aggressor(self):
+        link = _equalized_link(crosstalk=CrosstalkSpec.single_fext(0.2))
+        asynchronous = statistical_eye(link)
+        synchronous = statistical_eye(link, aggressor_phase="synchronous")
+        assert not np.array_equal(asynchronous.noise_pmf,
+                                  synchronous.noise_pmf)
+
+    def test_zero_amplitude_bit_identical_in_both_modes(self):
+        # Regression pin: a silent aggressor population must leave the
+        # solved eye bit-identical to the crosstalk-free link, whichever
+        # phase statistics are selected.
+        clean = statistical_eye(_equalized_link())
+        for mode in ("asynchronous", "synchronous"):
+            silent = statistical_eye(
+                _equalized_link(crosstalk=CrosstalkSpec.single_fext(0.0)),
+                aggressor_phase=mode)
+            assert np.array_equal(clean.ber, silent.ber)
+            assert np.array_equal(clean.noise_pmf, silent.noise_pmf)
+            assert np.array_equal(clean.thresholds, silent.thresholds)
+
+    def test_asynchronous_contribution_is_phase_uniform(self):
+        # On an ideal channel the victim has no ISI, so the entire noise
+        # PDF is the aggressor's.  Its own clock phase is uniform over the
+        # UI, so the averaged PDF must be identical at every victim phase;
+        # sampling at the victim phase (synchronous) varies with it.
+        link = LinkConfig(channel=IdealChannel(),
+                          crosstalk=CrosstalkSpec.single_next(0.3))
+        asynchronous = statistical_eye(link)
+        synchronous = statistical_eye(link, aggressor_phase="synchronous")
+        assert all(np.array_equal(asynchronous.noise_pmf[0], row)
+                   for row in asynchronous.noise_pmf)
+        assert not all(np.array_equal(synchronous.noise_pmf[0], row)
+                       for row in synchronous.noise_pmf)
+
+    def test_asynchronous_variance_is_the_offset_average(self):
+        # Mixture over offsets: every column PDF is symmetric around zero,
+        # so the averaged variance must equal the column-mean cursor power
+        # (plus the victim's own ISI power) exactly.
+        link = _equalized_link(crosstalk=CrosstalkSpec.single_fext(0.25))
+        solver = StatisticalEyeSolver(link)
+        cursors = solver.cursor_matrix()
+        main_row = int(np.argmax(np.max(np.abs(cursors), axis=1)))
+        isi = np.delete(cursors, main_row, axis=0)
+        aggressor = solver.aggressor_cursor_matrices()[0]
+        aggressor_power = float(np.mean(np.sum(aggressor ** 2, axis=0)))
+        eye = solver.solve()
+        for phase_index in (0, 16, 31):
+            expected = float(np.sum(isi[:, phase_index] ** 2)) \
+                + aggressor_power
+            pdf = eye.noise_pdf(eye.phases_ui[phase_index])
+            assert pdf.variance() == pytest.approx(expected, rel=1e-6)
+
+    def test_monotone_in_amplitude_under_asynchronous_statistics(self):
+        verticals = []
+        for amplitude in (0.0, 0.1, 0.3):
+            eye = statistical_eye(_equalized_link(
+                crosstalk=CrosstalkSpec.single_fext(amplitude)))
+            verticals.append(eye.vertical_opening(1.0e-9))
+        assert verticals[0] >= verticals[1] >= verticals[2]
+        assert verticals[2] < verticals[0]

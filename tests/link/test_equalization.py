@@ -108,6 +108,131 @@ class TestLmsDfe:
         with pytest.raises(ValueError):
             dfe.adapt(np.ones(3), np.ones(3))
 
+    def test_converges_under_additive_noise(self):
+        # Regression for the adaptation tests' blind spot: every earlier
+        # test trained on noiseless samples.  With additive Gaussian noise
+        # LMS must still land near the true taps (within a few noise
+        # standard errors) and report convergence.
+        rng = np.random.default_rng(11)
+        symbols = nrz_symbol_levels(rng.integers(0, 2, 255))
+        true_taps = [0.3, -0.12]
+        samples = self._isi_samples(symbols, true_taps) \
+            + rng.normal(0.0, 0.05, symbols.size)
+        dfe = LmsDfe(n_taps=2, step_size=0.01, n_epochs=80)
+        adaptation = dfe.adapt(samples, symbols)
+        assert adaptation.weights == pytest.approx(true_taps, abs=0.05)
+        assert adaptation.converged
+        # The residual error floor is the noise itself, not zero.
+        assert 0.03 < adaptation.error_rms_per_epoch[-1] < 0.15
+
+    def test_noise_floor_scales_with_noise(self):
+        rng = np.random.default_rng(12)
+        symbols = nrz_symbol_levels(rng.integers(0, 2, 255))
+        clean_samples = self._isi_samples(symbols, [0.25])
+        dfe = LmsDfe(n_taps=1, step_size=0.01, n_epochs=60)
+        floors = []
+        for sigma in (0.02, 0.1):
+            noisy = clean_samples + rng.normal(0.0, sigma, symbols.size)
+            floors.append(dfe.adapt(noisy, symbols).error_rms_per_epoch[-1])
+        assert floors[1] > floors[0]
+
+
+class TestDecisionDirectedDfe:
+    def _isi_samples(self, symbols, post_cursors):
+        samples = symbols.astype(float).copy()
+        for tap_index, weight in enumerate(post_cursors, start=1):
+            samples += weight * np.roll(symbols, tap_index)
+        return samples
+
+    def test_blind_adaptation_matches_data_aided_weights(self):
+        # With an open (slicer-decidable) eye the decisions are the
+        # symbols, so decision-directed LMS must find the same taps.
+        rng = np.random.default_rng(5)
+        symbols = nrz_symbol_levels(rng.integers(0, 2, 255))
+        samples = self._isi_samples(symbols, [0.2, -0.08])
+        aided = LmsDfe(n_taps=2, step_size=0.02, n_epochs=60)
+        blind = LmsDfe(n_taps=2, step_size=0.02, n_epochs=60,
+                       decision_directed=True)
+        aided_weights = aided.adapt(samples, symbols).weights
+        blind_adaptation = blind.adapt(samples, symbols)
+        assert blind_adaptation.weights == pytest.approx(aided_weights,
+                                                         abs=0.02)
+        assert blind_adaptation.converged
+
+    def test_decision_error_rate_recorded_and_converges_to_zero(self):
+        rng = np.random.default_rng(6)
+        symbols = nrz_symbol_levels(rng.integers(0, 2, 255))
+        samples = self._isi_samples(symbols, [0.25]) \
+            + rng.normal(0.0, 0.05, symbols.size)
+        blind = LmsDfe(n_taps=1, step_size=0.02, n_epochs=60,
+                       decision_directed=True)
+        adaptation = blind.adapt(samples, symbols)
+        assert adaptation.decision_error_rate_per_epoch is not None
+        assert adaptation.decision_error_rate_per_epoch.shape == (60,)
+        assert adaptation.final_decision_error_rate == 0.0
+
+    def test_data_aided_mode_reports_no_decision_diagnostics(self):
+        rng = np.random.default_rng(7)
+        symbols = nrz_symbol_levels(rng.integers(0, 2, 127))
+        adaptation = LmsDfe(n_taps=1).adapt(symbols.astype(float), symbols)
+        assert adaptation.decision_error_rate_per_epoch is None
+        assert np.isnan(adaptation.final_decision_error_rate)
+
+
+class TestErrorPropagation:
+    """Satellite requirement: a forced slicer error must decay, not ring."""
+
+    def _adapted_weights(self, symbols, true_taps):
+        samples = symbols.astype(float).copy()
+        for tap_index, weight in enumerate(true_taps, start=1):
+            samples += weight * np.roll(symbols, tap_index)
+        dfe = LmsDfe(n_taps=len(true_taps), step_size=0.02, n_epochs=60)
+        return dfe, dfe.adapt(samples, symbols).weights
+
+    def test_forced_error_decays_for_adapted_taps(self):
+        rng = np.random.default_rng(8)
+        symbols = nrz_symbol_levels(rng.integers(0, 2, 127))
+        dfe, weights = self._adapted_weights(symbols, [0.25, -0.1])
+        propagation = dfe.error_propagation(weights, symbols)
+        assert propagation.decays
+        # The burst cannot outlive the feedback register here: the
+        # perturbation 2*|w| stays inside the +-1 decision margin.
+        assert propagation.burst_length == 0
+        assert np.all(propagation.deviation_per_ui[dfe.n_taps:] == 0.0)
+
+    def test_deviation_trace_shows_the_feedback_perturbation(self):
+        symbols = nrz_symbol_levels(
+            np.random.default_rng(9).integers(0, 2, 127))
+        dfe, weights = self._adapted_weights(symbols, [0.3])
+        propagation = dfe.error_propagation(weights, symbols, error_index=5)
+        assert propagation.deviation_per_ui[0] \
+            == pytest.approx(2.0 * abs(weights[0]), abs=0.05)
+
+    def test_unstable_taps_ring_and_are_flagged(self):
+        # On an alternating pattern a tap past the stability boundary
+        # (2|w1| > decision margin) sustains its own error indefinitely:
+        # the textbook DFE error-propagation instability must be
+        # reported, not hidden.
+        symbols = np.tile([1.0, -1.0], 64)
+        dfe = LmsDfe(n_taps=1)
+        propagation = dfe.error_propagation(np.array([1.2]), symbols,
+                                            horizon=48)
+        assert not propagation.decays
+        assert propagation.burst_length == 48
+        assert np.all(propagation.deviation_per_ui > 0.0)
+
+    def test_error_index_and_horizon_controls(self):
+        symbols = nrz_symbol_levels(
+            np.random.default_rng(10).integers(0, 2, 64))
+        dfe = LmsDfe(n_taps=1)
+        propagation = dfe.error_propagation(np.array([0.2]), symbols,
+                                            error_index=10, horizon=12)
+        assert propagation.deviation_per_ui.shape == (12,)
+        with pytest.raises(ValueError):
+            dfe.error_propagation(np.array([0.2]), symbols, horizon=0)
+        with pytest.raises(ValueError):
+            dfe.error_propagation(np.array([0.2, 0.1]), np.ones(2))
+
 
 class TestTimebase:
     def test_midpoint_axis(self):

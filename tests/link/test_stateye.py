@@ -75,6 +75,17 @@ class TestSurfaceShape:
         assert 0.0 < phase < 1.0
         assert ber <= eye.ber_at(0.9, 0.0)
 
+    def test_best_operating_point_centres_an_open_plateau(self):
+        # A wide-open eye floors at the same minimal BER over a span of
+        # phases; the reported operating point must sit strictly inside
+        # that plateau (margin both sides), not at its first phase.
+        eye = statistical_eye(_equalized_link(6.0))
+        phase, ber = eye.best_operating_point()
+        column = int(np.argmin(np.abs(eye.thresholds)))
+        plateau = eye.phases_ui[eye.ber[:, column] == ber]
+        assert plateau.size > 2  # the scenario really is a plateau
+        assert plateau.min() < phase < plateau.max()
+
     def test_contour_band_is_symmetricish_at_centre(self):
         eye = statistical_eye(_equalized_link())
         lower, upper = eye.contour(1.0e-12)

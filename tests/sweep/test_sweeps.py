@@ -9,6 +9,7 @@ from repro.sweep import (
     ber_vs_frequency_offset_sweep,
     ber_vs_sj_sweep,
     jitter_tolerance_sweep,
+    link_training_sweep,
     make_channel,
     multichannel_sweep,
 )
@@ -147,3 +148,49 @@ class TestAggressorSweep:
         restored = SweepResult.from_json(result.source.to_json())
         assert restored.equals(result.source)
         assert restored.metadata["loss_db"] == result.loss_db
+
+
+class TestLinkTrainingSweep:
+    LOSSES = np.array([10.0, 16.0])
+
+    def _sweep(self, **overrides):
+        from repro.experiments import TrainingBudget
+
+        values = dict(n_bits=600, seed=3, workers=1,
+                      training=TrainingBudget(tx_post_db=(0.0, 3.5),
+                                              ctle_peaking_db=(3.0, 9.0),
+                                              refine_rounds=1,
+                                              max_evaluations=8))
+        values.update(overrides)
+        return link_training_sweep(self.LOSSES, **values)
+
+    def test_trained_never_scores_below_fixed(self):
+        result = self._sweep()
+        assert np.all(result.trained_vertical >= result.fixed_vertical)
+        assert np.all(result.vertical_gain >= 0.0)
+        # The harsh loss point is where training visibly helps.
+        assert result.trained_vertical[-1] > result.fixed_vertical[-1]
+
+    def test_trained_coordinates_and_costs_recorded(self):
+        result = self._sweep()
+        assert result.trained_ctle_peaking_db.shape == self.LOSSES.shape
+        # Budget 8 searched solves plus the exempt baseline seed.
+        assert np.all(result.training_evaluations <= 9)
+        assert np.all(result.training_evaluations >= 2)
+
+    def test_deterministic_across_workers(self):
+        serial = self._sweep(workers=1)
+        pooled = self._sweep(workers=2)
+        np.testing.assert_array_equal(serial.errors, pooled.errors)
+        np.testing.assert_array_equal(serial.trained_vertical,
+                                      pooled.trained_vertical)
+        np.testing.assert_array_equal(serial.trained_ctle_peaking_db,
+                                      pooled.trained_ctle_peaking_db)
+
+    def test_source_round_trips(self):
+        from repro.experiments import SweepResult
+
+        result = self._sweep()
+        restored = SweepResult.from_json(result.source.to_json())
+        assert restored.equals(result.source)
+        assert restored.metadata["target_ber"] == result.target_ber
