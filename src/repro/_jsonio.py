@@ -1,0 +1,169 @@
+"""Strict RFC 8259 JSON helpers shared across layers.
+
+``json.dumps`` happily emits the bare tokens ``NaN`` / ``Infinity`` for
+non-finite floats (a tolerance search that never passed, an eye metric of
+a closed eye, a BER with zero compared bits).  Those tokens are not
+RFC 8259 JSON — strict parsers (and every non-Python consumer) reject
+them — so every serialization layer of this repository encodes them
+portably and decodes them on load:
+
+* inside *float-typed arrays* non-finite entries become the strings
+  ``"NaN"`` / ``"Infinity"`` / ``"-Infinity"`` (unambiguous there — the
+  declared dtype says every entry is a float, and numpy parses the tokens
+  right back);
+* inside *general payloads* (where strings are legitimate values) a
+  non-finite float becomes the tagged object ``{"__nonfinite__": "NaN"}``,
+  so a genuine ``"NaN"`` string survives the round-trip untouched.
+
+The helpers were born in :mod:`repro.experiments.results` and moved here
+so the sweep layer (:mod:`repro.sweep.resilient` checkpoints worker
+return values) can share them without importing the experiments package
+upward.  :func:`content_key` canonicalizes arbitrarily nested dataclass /
+array structures into a stable SHA-256 digest — the identity of a
+checkpoint or cache entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+__all__ = [
+    "NONFINITE_TOKENS",
+    "encode_float",
+    "encode_float_array",
+    "encode_json_value",
+    "decode_json_value",
+    "canonical_payload",
+    "content_key",
+]
+
+#: Sentinel string -> non-finite float value (the decoding table).
+NONFINITE_TOKENS = {
+    "NaN": float("nan"),
+    "Infinity": float("inf"),
+    "-Infinity": float("-inf"),
+}
+
+_NONFINITE_TAG = "__nonfinite__"
+_LITERAL_TAG = "__literal__"
+
+
+def _is_tagged(value: dict) -> bool:
+    return set(value) == {_NONFINITE_TAG} or set(value) == {_LITERAL_TAG}
+
+
+def encode_float(value: float) -> float | str:
+    """One float as itself, or as its sentinel string when non-finite."""
+    if np.isnan(value):
+        return "NaN"
+    if value == float("inf"):
+        return "Infinity"
+    if value == float("-inf"):
+        return "-Infinity"
+    return value
+
+
+def encode_float_array(values: np.ndarray) -> list:
+    """``ndarray.tolist()`` with non-finite floats as sentinel strings."""
+    if np.all(np.isfinite(values)):
+        return values.tolist()
+
+    def encode(node):
+        if isinstance(node, list):
+            return [encode(child) for child in node]
+        return encode_float(node)
+
+    return encode(values.tolist())
+
+
+def encode_json_value(value):
+    """Recursively make *value* strict-JSON-safe, tagging non-finite floats.
+
+    A non-finite float becomes ``{"__nonfinite__": <token>}`` so that
+    legitimate payload *strings* like ``"NaN"`` stay distinguishable; a
+    genuine dict that happens to look like a tag is escaped as
+    ``{"__literal__": <encoded dict>}``, keeping the round-trip lossless
+    for every input.  Numpy scalars and arrays are converted to their
+    Python equivalents (ints, floats, nested lists) so checkpointed
+    worker payloads never hit ``json.dumps`` type errors.
+    """
+    if isinstance(value, dict):
+        encoded = {key: encode_json_value(child) for key, child in value.items()}
+        if _is_tagged(value):
+            return {_LITERAL_TAG: encoded}
+        return encoded
+    if isinstance(value, (list, tuple)):
+        return [encode_json_value(child) for child in value]
+    if isinstance(value, np.ndarray):
+        return [encode_json_value(child) for child in value.tolist()]
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, (float, np.floating)):
+        value = float(value)
+        if not np.isfinite(value):
+            return {_NONFINITE_TAG: encode_float(value)}
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    return value
+
+
+def decode_json_value(value):
+    """Inverse of :func:`encode_json_value` (tagged objects back to values)."""
+    if isinstance(value, dict):
+        if set(value) == {_NONFINITE_TAG} and value[_NONFINITE_TAG] in NONFINITE_TOKENS:
+            return NONFINITE_TOKENS[value[_NONFINITE_TAG]]
+        if set(value) == {_LITERAL_TAG} and isinstance(value[_LITERAL_TAG], dict):
+            literal = value[_LITERAL_TAG]
+            return {key: decode_json_value(child) for key, child in literal.items()}
+        return {key: decode_json_value(child) for key, child in value.items()}
+    if isinstance(value, list):
+        return [decode_json_value(child) for child in value]
+    return value
+
+
+def canonical_payload(value):
+    """A deterministic, JSON-serializable shadow of *value*.
+
+    Dataclasses become ``{type name: {field: ...}}`` maps, numpy arrays
+    nested lists tagged with their dtype, tuples lists, dict keys strings
+    (sorted at dump time), non-finite floats their sentinel strings.
+    Anything unrecognized falls back to ``repr`` — good enough for the
+    identity of frozen specification objects, which is the only use.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            field.name: canonical_payload(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__name__, "fields": fields}
+    if isinstance(value, dict):
+        return {str(key): canonical_payload(child) for key, child in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_payload(child) for child in value]
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": str(value.dtype),
+            "values": [canonical_payload(child) for child in value.tolist()],
+        }
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, (float, np.floating)):
+        return encode_float(float(value))
+    if isinstance(value, np.integer):
+        return int(value)
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return repr(value)
+
+
+def content_key(value) -> str:
+    """Stable SHA-256 hex digest of *value*'s canonical payload."""
+    text = json.dumps(
+        canonical_payload(value), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

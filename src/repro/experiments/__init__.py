@@ -39,8 +39,9 @@ from .spec import (
     apply_axis,
     register_axis,
 )
-from .results import AxisResult, SweepResult
+from .results import AxisResult, PointFailure, SweepResult
 from .engine import (
+    DEFAULT_CHUNK_SIZE,
     ToleranceSearch,
     link_training_measurement,
     resolve_grid,
@@ -53,6 +54,7 @@ from .engine import (
 
 __all__ = [
     "AXIS_APPLICATORS",
+    "DEFAULT_CHUNK_SIZE",
     "STIMULUS_KINDS",
     "AxisResult",
     "CrosstalkAggressor",
@@ -61,6 +63,7 @@ __all__ = [
     "LaneSpec",
     "MeasurementPlan",
     "ParameterAxis",
+    "PointFailure",
     "ScenarioSpec",
     "StimulusSpec",
     "SweepResult",

@@ -33,15 +33,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import units
+from .._jsonio import content_key
 from .._validation import require_positive
 from ..datapath.cid import geometric_run_distribution
 from ..fastpath.backends import BACKENDS, resolve_backend
 from ..link import LinkPath, LinkTrainer, statistical_eye
 from ..statistical.ber_model import CdrJitterBudget
-from .results import AxisResult, SweepResult
+from .results import AxisResult, PointFailure, SweepResult
 from .spec import ParameterAxis, ScenarioSpec, apply_axis
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "ToleranceSearch",
     "simulate_scenario",
     "scenario_timing_budget",
@@ -51,6 +53,11 @@ __all__ = [
     "run_grid",
     "run_tolerance_search",
 ]
+
+#: Grid points executed (and checkpointed) per chunk unless overridden —
+#: small enough to bound peak in-flight memory and give interruption a
+#: fine recovery grain, large enough that chunking overhead is noise.
+DEFAULT_CHUNK_SIZE = 64
 
 
 # --- single-point execution ---------------------------------------------------
@@ -269,6 +276,29 @@ def _axis_results(axes: tuple[ParameterAxis, ...]) -> tuple[AxisResult, ...]:
         for axis in axes)
 
 
+def _grid_failures(task_failures, axes: tuple[AxisResult, ...],
+                   shape: tuple[int, ...]) -> tuple[PointFailure, ...]:
+    """Runner-level failures annotated with their grid coordinates."""
+    converted = []
+    for failure in task_failures:
+        if axes:
+            position = np.unravel_index(failure.index, shape)
+            coordinates = tuple(axis.labels[int(p)]
+                                for axis, p in zip(axes, position))
+        else:
+            coordinates = ()
+        converted.append(PointFailure(
+            index=failure.index,
+            coordinates=coordinates,
+            exception_type=failure.exception_type,
+            message=failure.message,
+            traceback_tail=failure.traceback_tail,
+            seed_path=failure.seed_path,
+            attempts=failure.attempts,
+        ))
+    return tuple(converted)
+
+
 def run_grid(
     spec: ScenarioSpec,
     axes: tuple[ParameterAxis, ...] | list[ParameterAxis],
@@ -277,6 +307,11 @@ def run_grid(
     seed: int | None = 0,
     workers: int | None = None,
     metadata: dict | None = None,
+    chunk_size: int | None = None,
+    failure_policy: str = "raise",
+    max_retries: int = 1,
+    chunk_timeout_s: float | None = None,
+    checkpoint=None,
 ) -> SweepResult:
     """Measure every point of the axes' cartesian grid.
 
@@ -284,11 +319,31 @@ def run_grid(
     in order; its backend is resolved through the capability registry
     before anything runs, so an impossible forced backend fails before the
     pool spins up.  Metric grids are shaped ``tuple(len(a) for a in axes)``.
+
+    Execution streams through :func:`repro.sweep.resilient.map_tasks_resilient`
+    in chunks of *chunk_size* (default :data:`DEFAULT_CHUNK_SIZE`), which
+    bounds peak in-flight memory without changing any number — per-point
+    random streams depend only on ``(seed, index)``.  *failure_policy*
+    selects what a raising point does: ``"raise"`` (default) aborts the
+    grid with :class:`repro.sweep.resilient.SweepTaskError`; ``"collect"``
+    records a structured :class:`~repro.experiments.results.PointFailure`
+    in :attr:`SweepResult.failures` and carries on (failed points report
+    zero compared bits, i.e. BER ``NaN``, and ``NaN`` extra metrics);
+    ``"retry"`` retries each failing point up to *max_retries* times on
+    the same seed child (retries cannot change numerics) before
+    collecting.  *checkpoint* names a JSONL file keyed by a content hash
+    of ``(spec, axes, seed)``: completed chunks are appended as they
+    finish, an interrupted grid resumes by re-running only missing and
+    failed points, and the merged result is bit-identical to a single
+    uninterrupted run.  *chunk_timeout_s* bounds each pooled chunk's
+    wall clock, degrading the affected chunk (and the rest of the run)
+    to serial execution.  The per-point execution mode / duration /
+    attempt audit trail rides in :attr:`SweepResult.audit`.
     """
     # Deferred import: repro.sweep.sweeps wraps this engine, so importing
     # the runner through the repro.sweep package at module scope would be
     # circular when repro.experiments is imported first.
-    from ..sweep.runner import map_tasks
+    from ..sweep.resilient import map_tasks_resilient
 
     axes = tuple(axes)
     points = resolve_grid(spec, axes)
@@ -301,28 +356,49 @@ def run_grid(
                 raise ValueError(
                     f"MeasurementPlan({option}=True) requires every "
                     "grid point to carry a link front end")
+    if checkpoint is not None and spec.measurement.retain != "none":
+        raise ValueError(
+            "checkpointing requires MeasurementPlan(retain='none'): "
+            "retained simulation objects do not serialize to a checkpoint")
     tasks = [
         _PointTask(point, resolve_backend(point.config, point.backend).name)
         for point in points
     ]
-    outcomes = map_tasks(_measure_point, tasks, seed=seed, workers=workers)
+    mapped = map_tasks_resilient(
+        _measure_point, tasks, seed=seed, workers=workers,
+        chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+        failure_policy=failure_policy, max_retries=max_retries,
+        chunk_timeout_s=chunk_timeout_s, checkpoint=checkpoint,
+        checkpoint_key=content_key(
+            {"study": "run_grid", "spec": spec, "axes": axes, "seed": seed}),
+    )
+    outcomes = mapped.values
 
     shape = tuple(len(axis) for axis in axes)
+    axis_results = _axis_results(axes)
     metrics: dict[str, np.ndarray] = {
-        "errors": np.array([o[0] for o in outcomes], dtype=np.int64),
-        "compared": np.array([o[1] for o in outcomes], dtype=np.int64),
+        "errors": np.array([o[0] if o is not None else 0 for o in outcomes],
+                           dtype=np.int64),
+        "compared": np.array([o[1] if o is not None else 0 for o in outcomes],
+                             dtype=np.int64),
     }
-    if outcomes and outcomes[0][2] is not None:
-        for key in outcomes[0][2]:
-            metrics[key] = np.array([o[2][key] for o in outcomes], dtype=float)
+    extra_keys: tuple = ()
+    for outcome in outcomes:
+        if outcome is not None and outcome[2] is not None:
+            extra_keys = tuple(outcome[2])
+            break
+    for key in extra_keys:
+        metrics[key] = np.array(
+            [o[2][key] if o is not None else float("nan") for o in outcomes],
+            dtype=float)
     for key, flat in metrics.items():
         metrics[key] = flat.reshape(shape)
-    details = tuple(o[3] for o in outcomes) \
+    details = tuple(o[3] if o is not None else None for o in outcomes) \
         if spec.measurement.retain == "results" else None
 
     return SweepResult(
         name=name,
-        axes=_axis_results(axes),
+        axes=axis_results,
         metrics=metrics,
         backend=spec.backend,
         point_backends=tuple(task.backend for task in tasks),
@@ -330,6 +406,8 @@ def run_grid(
         seed=seed,
         metadata=dict(metadata or {}),
         details=details,
+        failures=_grid_failures(mapped.failures, axis_results, shape),
+        audit=mapped.audit,
     )
 
 
@@ -417,15 +495,22 @@ def run_tolerance_search(
     seed: int | None = 0,
     workers: int | None = None,
     metadata: dict | None = None,
+    chunk_size: int | None = None,
+    failure_policy: str = "raise",
+    max_retries: int = 1,
+    chunk_timeout_s: float | None = None,
+    checkpoint=None,
 ) -> SweepResult:
     """Per grid point, the largest *search.axis* value that still passes.
 
     The single metric grid is named after the search axis (e.g.
     ``"sj_amplitude_ui_pp"``) and holds the tolerance in that axis's own
     units at every point of *axes* (typically one frequency axis, giving
-    the classic jitter-tolerance curve).
+    the classic jitter-tolerance curve).  The resilience knobs match
+    :func:`run_grid` (the checkpoint key additionally hashes the search
+    shape); a collected failure leaves ``NaN`` in the tolerance grid.
     """
-    from ..sweep.runner import map_tasks  # deferred: see run_grid
+    from ..sweep.resilient import map_tasks_resilient  # deferred: see run_grid
 
     axes = tuple(axes)
     points = resolve_grid(spec, axes)
@@ -434,16 +519,27 @@ def run_tolerance_search(
                     search)
         for point in points
     ]
-    amplitudes = map_tasks(_search_point, tasks, seed=seed, workers=workers)
+    mapped = map_tasks_resilient(
+        _search_point, tasks, seed=seed, workers=workers,
+        chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
+        failure_policy=failure_policy, max_retries=max_retries,
+        chunk_timeout_s=chunk_timeout_s, checkpoint=checkpoint,
+        checkpoint_key=content_key(
+            {"study": "run_tolerance_search", "spec": spec, "axes": axes,
+             "seed": seed, "search": search}),
+    )
+    amplitudes = [value if value is not None else float("nan")
+                  for value in mapped.values]
 
     shape = tuple(len(axis) for axis in axes)
+    axis_results = _axis_results(axes)
     info = {"search_axis": search.axis, "maximum": search.maximum,
             "resolution": search.resolution,
             "target_errors": search.target_errors}
     info.update(metadata or {})
     return SweepResult(
         name=name,
-        axes=_axis_results(axes),
+        axes=axis_results,
         metrics={search.axis:
                  np.asarray(amplitudes, dtype=float).reshape(shape)},
         backend=spec.backend,
@@ -451,4 +547,6 @@ def run_tolerance_search(
         n_bits=spec.stimulus.n_bits,
         seed=seed,
         metadata=info,
+        failures=_grid_failures(mapped.failures, axis_results, shape),
+        audit=mapped.audit,
     )

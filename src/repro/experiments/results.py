@@ -24,9 +24,14 @@ from pathlib import Path
 
 import numpy as np
 
+from .._jsonio import (
+    decode_json_value as _decode_json_value,
+    encode_float_array as _encode_float_array,
+    encode_json_value as _encode_json_value,
+)
 from ..reporting.tables import Series, TextTable
 
-__all__ = ["AxisResult", "SweepResult", "measured_ber"]
+__all__ = ["AxisResult", "PointFailure", "SweepResult", "measured_ber"]
 
 
 def measured_ber(errors: np.ndarray, compared: np.ndarray) -> np.ndarray:
@@ -59,78 +64,74 @@ def measured_ber(errors: np.ndarray, compared: np.ndarray) -> np.ndarray:
 #
 # All ``to_json`` output is therefore strictly valid JSON
 # (``allow_nan=False`` enforces it), and the round-trip stays lossless.
-
-_NONFINITE_TOKENS = {
-    "NaN": float("nan"),
-    "Infinity": float("inf"),
-    "-Infinity": float("-inf"),
-}
-
-_NONFINITE_TAG = "__nonfinite__"
-_LITERAL_TAG = "__literal__"
+# The codec itself lives in :mod:`repro._jsonio` (imported above), shared
+# with the resilient sweep runner's checkpoint files.
 
 
-def _is_tagged(value: dict) -> bool:
-    return set(value) == {_NONFINITE_TAG} or set(value) == {_LITERAL_TAG}
+@dataclass(frozen=True)
+class PointFailure:
+    """One isolated grid-point failure carried by a :class:`SweepResult`.
 
+    The engine-level view of :class:`repro.sweep.resilient.TaskFailure`:
+    the same structured exception record, plus the axis coordinates of
+    the grid point that failed.  Everything is deterministic — resuming
+    an interrupted grid reproduces the identical records.
 
-def _encode_float(value: float) -> float | str:
-    if np.isnan(value):
-        return "NaN"
-    if value == float("inf"):
-        return "Infinity"
-    if value == float("-inf"):
-        return "-Infinity"
-    return value
-
-
-def _encode_float_array(values: np.ndarray) -> list:
-    """``ndarray.tolist()`` with non-finite floats as sentinel strings."""
-    if np.all(np.isfinite(values)):
-        return values.tolist()
-
-    def encode(node):
-        if isinstance(node, list):
-            return [encode(child) for child in node]
-        return _encode_float(node)
-
-    return encode(values.tolist())
-
-
-def _encode_json_value(value):
-    """Recursively tag non-finite floats in metadata payloads.
-
-    A non-finite float becomes ``{"__nonfinite__": <token>}`` so that
-    legitimate metadata *strings* like ``"NaN"`` stay distinguishable; a
-    genuine metadata dict that happens to look like a tag is escaped as
-    ``{"__literal__": <encoded dict>}``, keeping the round-trip lossless
-    for every input.
+    Attributes
+    ----------
+    index:
+        Flat (row-major) grid-point index.
+    coordinates:
+        The point's axis labels, outermost axis first.
+    exception_type:
+        ``type(exc).__name__`` of the worker's exception.
+    message:
+        ``str(exc)`` of that exception.
+    traceback_tail:
+        Last few lines of the formatted traceback (identical whether the
+        point ran pooled or serially).
+    seed_path:
+        SeedSequence spawn key of the point's random stream.
+    attempts:
+        Attempts made (more than 1 under ``failure_policy="retry"``).
     """
-    if isinstance(value, dict):
-        encoded = {key: _encode_json_value(child)
-                   for key, child in value.items()}
-        if _is_tagged(value):
-            return {_LITERAL_TAG: encoded}
-        return encoded
-    if isinstance(value, (list, tuple)):
-        return [_encode_json_value(child) for child in value]
-    if isinstance(value, float) and not np.isfinite(value):
-        return {_NONFINITE_TAG: _encode_float(value)}
-    return value
 
+    index: int
+    coordinates: tuple[str, ...]
+    exception_type: str
+    message: str
+    traceback_tail: str
+    seed_path: tuple[int, ...]
+    attempts: int = 1
 
-def _decode_json_value(value):
-    """Inverse of :func:`_encode_json_value` (tagged objects back to values)."""
-    if isinstance(value, dict):
-        if set(value) == {_NONFINITE_TAG} and value[_NONFINITE_TAG] in _NONFINITE_TOKENS:
-            return _NONFINITE_TOKENS[value[_NONFINITE_TAG]]
-        if set(value) == {_LITERAL_TAG} and isinstance(value[_LITERAL_TAG], dict):
-            return {key: _decode_json_value(child)
-                    for key, child in value[_LITERAL_TAG].items()}
-        return {key: _decode_json_value(child) for key, child in value.items()}
-    if isinstance(value, list):
-        return [_decode_json_value(child) for child in value]
-    return value
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "coordinates", tuple(self.coordinates))
+        object.__setattr__(self, "seed_path", tuple(self.seed_path))
+
+    def to_dict(self) -> dict:
+        """Strict-JSON-safe representation."""
+        return {
+            "index": self.index,
+            "coordinates": list(self.coordinates),
+            "exception_type": self.exception_type,
+            "message": self.message,
+            "traceback_tail": self.traceback_tail,
+            "seed_path": list(self.seed_path),
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PointFailure":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            index=int(payload["index"]),
+            coordinates=tuple(payload["coordinates"]),
+            exception_type=payload["exception_type"],
+            message=payload["message"],
+            traceback_tail=payload["traceback_tail"],
+            seed_path=tuple(int(part) for part in payload["seed_path"]),
+            attempts=int(payload["attempts"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -216,6 +217,16 @@ class SweepResult:
     details:
         Retained per-point simulation results (``retain="results"``),
         row-major; ``None`` unless requested.  Not serialized.
+    failures:
+        Structured :class:`PointFailure` records of grid points whose
+        worker raised (``failure_policy="collect"`` / ``"retry"``),
+        ordered by flat index; failed points carry zero errors/compared
+        (BER ``NaN``) and ``NaN`` extra metrics.  Serialized.
+    audit:
+        Per-point :class:`repro.sweep.resilient.TaskAudit` execution
+        records (mode, wall-clock duration, attempts), row-major.
+        Wall-clock values are nondeterministic, so the audit trail is an
+        in-memory diagnostic and — like ``details`` — not serialized.
     """
 
     name: str
@@ -227,10 +238,13 @@ class SweepResult:
     seed: int | None = 0
     metadata: dict = field(default_factory=dict)
     details: tuple | None = None
+    failures: tuple[PointFailure, ...] = ()
+    audit: tuple | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "axes", tuple(self.axes))
         object.__setattr__(self, "point_backends", tuple(self.point_backends))
+        object.__setattr__(self, "failures", tuple(self.failures))
         shape = self.shape
         grids = {}
         for name, values in self.metrics.items():
@@ -299,6 +313,7 @@ class SweepResult:
             "n_bits": self.n_bits,
             "seed": self.seed,
             "metadata": _encode_json_value(dict(self.metadata)),
+            "failures": [failure.to_dict() for failure in self.failures],
         }
 
     @classmethod
@@ -317,6 +332,8 @@ class SweepResult:
             n_bits=int(payload["n_bits"]),
             seed=payload["seed"],
             metadata=_decode_json_value(dict(payload.get("metadata", {}))),
+            failures=tuple(PointFailure.from_dict(entry)
+                           for entry in payload.get("failures", ())),
         )
 
     def to_json(self, indent: int | None = 1) -> str:

@@ -2,8 +2,17 @@
 
 * :mod:`repro.sweep.runner` — a process-pool task runner whose per-task
   random streams come from ``np.random.SeedSequence.spawn``, so results are
-  identical for any worker count (including serial execution); it is the
+  identical for any worker count (including serial execution).
+* :mod:`repro.sweep.resilient` — the fault-tolerant streaming layer on the
+  same seeding contract: per-task failure isolation with structured
+  :class:`TaskFailure` records, deterministic bounded retry, chunked
+  execution with JSONL checkpoint/resume (bit-identical merged results),
+  pool-breakage/timeout degradation and a per-task audit trail.  It is the
   execution substrate of the :mod:`repro.experiments` engine.
+* :mod:`repro.sweep.faults` — deterministic fault-injection worker wrappers
+  (fail-every-Nth, fail-once-then-succeed, hang/crash-in-pool) plus an
+  ``"inject_fault"`` scenario axis, for resilience tests and downstream
+  chaos exercises (imported on demand, not re-exported here).
 * :mod:`repro.sweep.sweeps` — the paper's headline sweeps (BER versus
   sinusoidal jitter / frequency offset / channel loss / CTLE peaking,
   equalization ablation, time-domain jitter tolerance, multi-channel
@@ -18,6 +27,16 @@ wrappers exist for the paper's named figures and for API stability.
 """
 
 from .runner import SweepRunner, map_tasks
+from .resilient import (
+    FAILURE_POLICIES,
+    CheckpointMismatchError,
+    ResilientMap,
+    ResilientRunner,
+    SweepTaskError,
+    TaskAudit,
+    TaskFailure,
+    map_tasks_resilient,
+)
 from .sweeps import (
     BACKENDS,
     LINK_RESIDUAL_JITTER_SPEC,
@@ -42,6 +61,14 @@ from .sweeps import (
 __all__ = [
     "SweepRunner",
     "map_tasks",
+    "FAILURE_POLICIES",
+    "CheckpointMismatchError",
+    "ResilientMap",
+    "ResilientRunner",
+    "SweepTaskError",
+    "TaskAudit",
+    "TaskFailure",
+    "map_tasks_resilient",
     "BACKENDS",
     "LINK_RESIDUAL_JITTER_SPEC",
     "AggressorSweepResult",

@@ -1,0 +1,570 @@
+"""Fault-tolerant, checkpointed, chunked execution of sweep tasks.
+
+:func:`repro.sweep.runner.map_tasks` is the deterministic substrate —
+task *i*'s random stream is spawned from ``SeedSequence(seed)`` and never
+depends on the worker count.  This module keeps that contract and adds
+the three properties a *service* needs that a one-shot map does not:
+
+**Failure isolation.**  Every task runs inside a per-task ``try`` /
+``except`` boundary (:func:`_guarded`, executed identically in-pool and
+in-process).  A raising task becomes a structured :class:`TaskFailure`
+(exception type, message, traceback tail, seed path, attempt count)
+instead of killing the grid; the ``failure_policy`` knob selects whether
+failures are collected (``"collect"``), abort the run after the current
+chunk is checkpointed (``"raise"``), or are retried a bounded number of
+times (``"retry"``).  A retry rebuilds the generator from the *same*
+SeedSequence child, so a flaky-environment retry cannot change numerics.
+
+**Checkpoint / resume.**  Tasks execute in chunks of ``chunk_size``
+(bounding peak in-flight memory); each completed chunk is appended to a
+strict RFC 8259 JSONL checkpoint file and fsync'd.  The file is keyed by
+a content hash of the task list and seed (or an explicit
+``checkpoint_key``), so resuming re-runs only missing and failed points
+— and because per-task streams depend only on ``(seed, index)``, the
+merged result is bit-identical to a single uninterrupted run.  A
+crash-truncated trailing line is tolerated; a key mismatch raises
+:class:`CheckpointMismatchError` instead of silently mixing studies.
+
+**Pool robustness.**  Pool-layer failures are distinguished from worker
+exceptions (which the guarded boundary always converts to outcomes):
+a spawn-time ``OSError`` / ``PermissionError`` means the environment
+cannot fork and the run degrades to serial execution permanently; a
+``BrokenProcessPool`` mid-chunk (a worker process died hard) re-executes
+the affected tasks serially and rebuilds the pool once before giving up
+on it; a chunk exceeding ``chunk_timeout_s`` abandons the pool and
+finishes the chunk (and all later chunks) serially.  Every task records
+its execution mode, duration and attempt count in a :class:`TaskAudit`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .._jsonio import content_key, decode_json_value, encode_json_value
+
+__all__ = [
+    "FAILURE_POLICIES",
+    "TaskFailure",
+    "TaskAudit",
+    "ResilientMap",
+    "SweepTaskError",
+    "CheckpointMismatchError",
+    "ResilientRunner",
+    "map_tasks_resilient",
+]
+
+#: Supported failure policies of :func:`map_tasks_resilient`.
+FAILURE_POLICIES = ("collect", "raise", "retry")
+
+#: Lines of formatted traceback kept in a failure record.  The *tail* is
+#: the deepest frames — inside the worker — which are identical whether
+#: the task ran in a pool process or serially in-process.
+TRACEBACK_TAIL_LINES = 6
+
+_CHECKPOINT_KIND = "repro-sweep-checkpoint"
+_CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One isolated task failure, structured and JSON-safe.
+
+    Attributes
+    ----------
+    index:
+        Flat task index in the submitted task sequence.
+    exception_type:
+        ``type(exc).__name__`` of the exception the worker raised.
+    message:
+        ``str(exc)`` of that exception.
+    traceback_tail:
+        The last :data:`TRACEBACK_TAIL_LINES` lines of the formatted
+        traceback — identical for pooled and serial execution.
+    seed_path:
+        The ``SeedSequence`` spawn key of the task's random stream, i.e.
+        the deterministic identity of the stream that observed the
+        failure (and that any retry reuses).
+    attempts:
+        Total attempts made (1 without retry).
+    """
+
+    index: int
+    exception_type: str
+    message: str
+    traceback_tail: str
+    seed_path: tuple[int, ...]
+    attempts: int = 1
+
+    def to_dict(self) -> dict:
+        """Strict-JSON-safe representation."""
+        return {
+            "index": self.index,
+            "exception_type": self.exception_type,
+            "message": self.message,
+            "traceback_tail": self.traceback_tail,
+            "seed_path": list(self.seed_path),
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TaskFailure":
+        """Rebuild from :meth:`to_dict` output."""
+        return cls(
+            index=int(payload["index"]),
+            exception_type=payload["exception_type"],
+            message=payload["message"],
+            traceback_tail=payload["traceback_tail"],
+            seed_path=tuple(int(part) for part in payload["seed_path"]),
+            attempts=int(payload["attempts"]),
+        )
+
+
+@dataclass(frozen=True)
+class TaskAudit:
+    """Execution record of one task: where it ran, how long, how often.
+
+    ``mode`` is ``"pool"`` (process pool), ``"serial"`` (deliberate or
+    spawn-fallback in-process execution), ``"serial-degraded"``
+    (re-executed in-process after a pool breakage or chunk timeout) or
+    ``"checkpoint"`` (restored from a checkpoint file, not re-run).
+    Durations are wall-clock and therefore *not* part of any serialized
+    result — they are in-memory diagnostics only.
+    """
+
+    index: int
+    mode: str
+    duration_s: float
+    attempts: int
+
+
+@dataclass(frozen=True)
+class ResilientMap:
+    """Outcome of one resilient map: values, failures, audit trail.
+
+    ``values[i]`` is the worker's return value for task *i*, or ``None``
+    where the task failed (its :class:`TaskFailure` appears in
+    ``failures``, ordered by index).  ``audit[i]`` records every task's
+    execution mode, duration and attempts.
+    """
+
+    values: list
+    failures: tuple[TaskFailure, ...]
+    audit: tuple[TaskAudit, ...]
+
+    @property
+    def n_failures(self) -> int:
+        """Number of failed tasks."""
+        return len(self.failures)
+
+
+class SweepTaskError(RuntimeError):
+    """Raised under ``failure_policy="raise"``; carries the :class:`TaskFailure`."""
+
+    def __init__(self, failure: TaskFailure):
+        super().__init__(
+            f"sweep task {failure.index} raised {failure.exception_type}: "
+            f"{failure.message}\n{failure.traceback_tail}"
+        )
+        self.failure = failure
+
+
+class CheckpointMismatchError(ValueError):
+    """The checkpoint file on disk belongs to a different study."""
+
+
+def _traceback_tail(exc: BaseException) -> str:
+    lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    tail = "".join(lines).strip().splitlines()[-TRACEBACK_TAIL_LINES:]
+    return "\n".join(tail)
+
+
+def _guarded(packed: tuple) -> tuple:
+    """Pool/serial entry point: run one task inside the isolation boundary.
+
+    Returns ``("ok", value, attempts, duration_s)`` or ``("fail",
+    exception_type, message, traceback_tail, attempts, duration_s)``.
+    Every attempt rebuilds the generator from the same SeedSequence
+    child, so a retry that succeeds is numerically identical to a first
+    attempt that succeeds.
+    """
+    worker, task, child, retries = packed
+    attempts = 0
+    start = time.perf_counter()
+    while True:
+        attempts += 1
+        try:
+            value = worker(task, np.random.default_rng(child))
+        except Exception as exc:  # noqa: BLE001 — the isolation boundary
+            if attempts > retries:
+                duration = time.perf_counter() - start
+                tail = _traceback_tail(exc)
+                return ("fail", type(exc).__name__, str(exc), tail, attempts, duration)
+        else:
+            return ("ok", value, attempts, time.perf_counter() - start)
+
+
+class _PoolState:
+    """Process-pool lifecycle: spawn fallback, breakage rebuild, abandonment."""
+
+    def __init__(self, workers: int | None):
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = workers
+        self.executor: ProcessPoolExecutor | None = None
+        self.serial_only = workers <= 1
+        self.degraded = False
+        self.breakages = 0
+        self.abandoned = False
+
+    def get(self) -> ProcessPoolExecutor | None:
+        """The live executor, or ``None`` when execution must be serial."""
+        if self.serial_only:
+            return None
+        if self.executor is None:
+            try:
+                self.executor = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, PermissionError, NotImplementedError):
+                self.spawn_failed()
+        return self.executor
+
+    def spawn_failed(self) -> None:
+        """The environment cannot spawn processes: serial from here on."""
+        self._discard()
+        self.serial_only = True
+
+    def broken(self) -> None:
+        """A worker process died hard: rebuild once, then give up on pools."""
+        self._discard()
+        self.degraded = True
+        self.breakages += 1
+        if self.breakages >= 2:
+            self.serial_only = True
+
+    def abandon(self) -> None:
+        """A chunk timed out: leave the pool behind, serial from here on."""
+        self._discard()
+        self.degraded = True
+        self.abandoned = True
+        self.serial_only = True
+
+    def _discard(self) -> None:
+        if self.executor is not None:
+            try:
+                self.executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 — best-effort teardown
+                pass
+            self.executor = None
+
+    def close(self) -> None:
+        """Shut the executor down cleanly (no-op after discard/abandon)."""
+        if self.executor is not None:
+            self.executor.shutdown(wait=True)
+            self.executor = None
+
+
+def _run_chunk(
+    pool: _PoolState,
+    worker: Callable,
+    tasks: list,
+    children: list,
+    indices: list[int],
+    retries: int,
+    timeout_s: float | None,
+) -> dict[int, tuple]:
+    """Execute one chunk; returns ``{index: (outcome, mode)}`` for *indices*.
+
+    Worker exceptions never escape (they are guarded outcomes); any
+    exception surfacing here is a pool-layer failure and routes the
+    affected tasks to serial re-execution.
+    """
+    outcomes: dict[int, tuple] = {}
+    executor = pool.get()
+    if executor is not None:
+        futures = {}
+        spawn_failure = False
+        broke = False
+        try:
+            for index in indices:
+                packed = (worker, tasks[index], children[index], retries)
+                futures[executor.submit(_guarded, packed)] = index
+        except (OSError, PermissionError):
+            spawn_failure = True
+        except RuntimeError:
+            broke = True
+        if futures:
+            done, pending = wait(futures, timeout=timeout_s)
+            if pending:
+                for future in pending:
+                    future.cancel()
+                pool.abandon()
+            for future in done:
+                index = futures[future]
+                try:
+                    outcomes[index] = (future.result(), "pool")
+                except Exception:  # noqa: BLE001 — pool-layer failure
+                    broke = True
+        if spawn_failure:
+            pool.spawn_failed()
+        elif broke:
+            pool.broken()
+    mode = "serial-degraded" if pool.degraded else "serial"
+    for index in indices:
+        if index in outcomes:
+            continue
+        packed = (worker, tasks[index], children[index], retries)
+        outcomes[index] = (_guarded(packed), mode)
+    return outcomes
+
+
+# --- checkpoint file ----------------------------------------------------------
+
+
+def _checkpoint_header(key: str, n_tasks: int, seed: int | None) -> dict:
+    return {
+        "kind": _CHECKPOINT_KIND,
+        "version": _CHECKPOINT_VERSION,
+        "key": key,
+        "n_tasks": n_tasks,
+        "seed": seed,
+    }
+
+
+def _append_records(path: Path, records: list[dict]) -> None:
+    """Append JSONL *records* and force them to disk (crash durability)."""
+    with path.open("a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, allow_nan=False, separators=(",", ":")))
+            handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _load_checkpoint(path: Path, header: dict) -> dict[int, Any]:
+    """Completed point values from an existing checkpoint file.
+
+    Raises :class:`CheckpointMismatchError` unless the file's header
+    matches *header* exactly (kind, version, key, task count, seed).
+    Parsing stops at the first undecodable line — the signature of a
+    crash mid-append — so everything durably written still counts.
+    Failure records are skipped: failed points are re-run on resume.
+    """
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        return {}
+    try:
+        first = json.loads(lines[0])
+    except json.JSONDecodeError:
+        raise CheckpointMismatchError(f"{path} is not a sweep checkpoint") from None
+    if not isinstance(first, dict) or first.get("kind") != _CHECKPOINT_KIND:
+        raise CheckpointMismatchError(f"{path} is not a sweep checkpoint")
+    for name in ("version", "key", "n_tasks", "seed"):
+        if first.get(name) != header[name]:
+            raise CheckpointMismatchError(
+                f"checkpoint {path} belongs to a different study: "
+                f"{name} is {first.get(name)!r}, expected {header[name]!r}"
+            )
+    values: dict[int, Any] = {}
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            break
+        if record.get("kind") == "point":
+            index = int(record["index"])
+            if 0 <= index < header["n_tasks"]:
+                values[index] = decode_json_value(record["value"])
+    return values
+
+
+# --- the resilient map --------------------------------------------------------
+
+
+def map_tasks_resilient(
+    worker: Callable,
+    tasks: Sequence[Any],
+    *,
+    seed: int | None = 0,
+    workers: int | None = None,
+    chunk_size: int | None = None,
+    failure_policy: str = "collect",
+    max_retries: int = 1,
+    chunk_timeout_s: float | None = None,
+    checkpoint: str | Path | None = None,
+    checkpoint_key: str | None = None,
+) -> ResilientMap:
+    """Run ``worker(task, rng)`` over *tasks* with isolation and checkpoints.
+
+    Parameters
+    ----------
+    worker:
+        Module-level callable ``worker(task, rng)`` (must be picklable).
+    tasks:
+        Task descriptions, one per point (must be picklable).
+    seed:
+        Root seed of the spawned per-task seed tree; task *i*'s stream
+        depends only on ``(seed, i)``, never on the worker count, the
+        chunking, or whether it ran fresh or after a resume.
+    workers:
+        Process count; ``None`` uses the CPU count, values below two run
+        serially in-process.
+    chunk_size:
+        Tasks submitted (and checkpointed) per wave; ``None`` runs all
+        tasks as one chunk.  Bounds peak in-flight memory and sets the
+        granularity of checkpoint appends and chunk timeouts.
+    failure_policy:
+        ``"collect"`` records failures and keeps going; ``"raise"``
+        checkpoints the failing chunk and then raises
+        :class:`SweepTaskError` for its first failure; ``"retry"``
+        retries each failing task up to *max_retries* extra times on the
+        same SeedSequence child (then collects what still fails).
+    max_retries:
+        Extra attempts per task under ``failure_policy="retry"``.
+    chunk_timeout_s:
+        Wall-clock budget per pooled chunk; on expiry the pool is
+        abandoned and the chunk (and all later chunks) complete serially.
+        ``None`` disables the timeout.  Serial execution is not limited.
+    checkpoint:
+        JSONL checkpoint path.  An existing file must match the study
+        key (or :class:`CheckpointMismatchError` is raised) and its
+        completed points are not re-run; the worker's return values must
+        be JSON-representable (numbers, strings, ``None``, lists/tuples,
+        dicts — restored values come back with lists for tuples).
+    checkpoint_key:
+        Explicit study identity; default is a content hash of the task
+        list and seed via :func:`repro._jsonio.content_key`.
+    """
+    tasks = list(tasks)
+    if failure_policy not in FAILURE_POLICIES:
+        raise ValueError(
+            f"unknown failure policy {failure_policy!r}; "
+            f"expected one of {list(FAILURE_POLICIES)}"
+        )
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be non-negative, got {max_retries}")
+    n_tasks = len(tasks)
+    children = list(np.random.SeedSequence(seed).spawn(n_tasks)) if n_tasks else []
+    retries = max_retries if failure_policy == "retry" else 0
+
+    values: list = [None] * n_tasks
+    audits: list = [None] * n_tasks
+    failures: dict[int, TaskFailure] = {}
+
+    checkpoint_path = None
+    if checkpoint is not None:
+        checkpoint_path = Path(checkpoint)
+        if checkpoint_key is None:
+            checkpoint_key = content_key({"tasks": tasks, "seed": seed})
+        header = _checkpoint_header(checkpoint_key, n_tasks, seed)
+        if checkpoint_path.exists() and checkpoint_path.stat().st_size > 0:
+            for index, value in _load_checkpoint(checkpoint_path, header).items():
+                values[index] = value
+                audits[index] = TaskAudit(
+                    index=index, mode="checkpoint", duration_s=0.0, attempts=0
+                )
+        else:
+            if checkpoint_path.parent != Path(""):
+                checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+            _append_records(checkpoint_path, [header])
+
+    pending = [index for index in range(n_tasks) if audits[index] is None]
+    size = chunk_size if chunk_size is not None else max(n_tasks, 1)
+    pool = _PoolState(workers)
+    try:
+        for start in range(0, len(pending), size):
+            chunk = pending[start : start + size]
+            outcomes = _run_chunk(pool, worker, tasks, children, chunk, retries, chunk_timeout_s)
+            records = []
+            chunk_failures = []
+            for index in chunk:
+                outcome, mode = outcomes[index]
+                if outcome[0] == "ok":
+                    _, value, attempts, duration = outcome
+                    values[index] = value
+                    audits[index] = TaskAudit(
+                        index=index, mode=mode, duration_s=duration, attempts=attempts
+                    )
+                    if checkpoint_path is not None:
+                        records.append(
+                            {"kind": "point", "index": index, "value": encode_json_value(value)}
+                        )
+                else:
+                    _, exc_type, message, tail, attempts, duration = outcome
+                    failure = TaskFailure(
+                        index=index,
+                        exception_type=exc_type,
+                        message=message,
+                        traceback_tail=tail,
+                        seed_path=tuple(int(part) for part in children[index].spawn_key),
+                        attempts=attempts,
+                    )
+                    failures[index] = failure
+                    chunk_failures.append(failure)
+                    audits[index] = TaskAudit(
+                        index=index, mode=mode, duration_s=duration, attempts=attempts
+                    )
+                    if checkpoint_path is not None:
+                        records.append(
+                            {"kind": "failure", "index": index, "failure": failure.to_dict()}
+                        )
+            if checkpoint_path is not None and records:
+                _append_records(checkpoint_path, records)
+            if chunk_failures and failure_policy == "raise":
+                raise SweepTaskError(chunk_failures[0])
+    finally:
+        pool.close()
+
+    ordered = tuple(failures[index] for index in sorted(failures))
+    return ResilientMap(values=values, failures=ordered, audit=tuple(audits))
+
+
+@dataclass(frozen=True)
+class ResilientRunner:
+    """Reusable resilient-runner configuration (see :func:`map_tasks_resilient`).
+
+    The resilient sibling of :class:`repro.sweep.runner.SweepRunner`:
+    same seeding contract, plus chunking, failure policy, bounded retry
+    and per-chunk timeout.  Checkpointing stays per-call (`run`), since
+    the checkpoint identity belongs to a study, not a runner.
+    """
+
+    workers: int | None = None
+    seed: int | None = 0
+    chunk_size: int | None = None
+    failure_policy: str = "collect"
+    max_retries: int = 1
+    chunk_timeout_s: float | None = None
+
+    def run(
+        self,
+        worker: Callable,
+        tasks: Sequence[Any],
+        *,
+        checkpoint: str | Path | None = None,
+        checkpoint_key: str | None = None,
+    ) -> ResilientMap:
+        """Map *worker* over *tasks* with this runner's configuration."""
+        return map_tasks_resilient(
+            worker,
+            tasks,
+            seed=self.seed,
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            failure_policy=self.failure_policy,
+            max_retries=self.max_retries,
+            chunk_timeout_s=self.chunk_timeout_s,
+            checkpoint=checkpoint,
+            checkpoint_key=checkpoint_key,
+        )

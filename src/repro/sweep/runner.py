@@ -11,13 +11,17 @@ return identical results.
 Workers and tasks must be picklable (module-level functions and plain
 dataclasses) so they cross the process boundary; the runner transparently
 falls back to serial in-process execution when processes cannot be spawned
-(restricted sandboxes) or when ``workers`` resolves to one.
+(restricted sandboxes) or when ``workers`` resolves to one.  Worker-raised
+exceptions are *not* conflated with that fallback: they cross the pool
+boundary as values and re-raise in the parent (for isolation, retry and
+checkpointing, see :mod:`repro.sweep.resilient`).
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -35,10 +39,26 @@ def _spawn_generators(seed: int | None, count: int) -> list[np.random.Generator]
     return [np.random.default_rng(child) for child in root.spawn(count)]
 
 
+@dataclass(frozen=True)
+class _WorkerFailure:
+    """Picklable carrier of a worker-raised exception.
+
+    Carrying the exception as a *value* keeps the pool alive and — more
+    importantly — keeps worker failures distinguishable from pool-layer
+    failures: any ``OSError`` escaping ``pool.map`` now really is the
+    pool's (spawn refused), never the worker's.
+    """
+
+    exception: BaseException
+
+
 def _invoke(packed: tuple[SweepWorker, Any, np.random.SeedSequence]) -> Any:
     """Process-pool entry point: rebuild the task generator in the worker."""
     worker, task, child_seed = packed
-    return worker(task, np.random.default_rng(child_seed))
+    try:
+        return worker(task, np.random.default_rng(child_seed))
+    except Exception as exc:  # noqa: BLE001 — re-raised in the parent
+        return _WorkerFailure(exc)
 
 
 def map_tasks(
@@ -78,11 +98,18 @@ def map_tasks(
     packed = [(worker, task, child) for task, child in zip(tasks, children)]
     try:
         with ProcessPoolExecutor(max_workers=min(workers, len(tasks))) as pool:
-            return list(pool.map(_invoke, packed))
-    except (OSError, PermissionError):
-        # Restricted environments (no process spawning): same results serially.
+            results = list(pool.map(_invoke, packed))
+    except (OSError, PermissionError, BrokenProcessPool):
+        # Pool-layer failure only — the environment refused to spawn
+        # processes, or a worker process died without raising.  Worker
+        # exceptions travel as _WorkerFailure values and can no longer
+        # trigger this fallback; a serial re-run re-raises them directly.
         return [worker(task, np.random.default_rng(child))
                 for task, child in zip(tasks, children)]
+    for result in results:
+        if isinstance(result, _WorkerFailure):
+            raise result.exception
+    return results
 
 
 @dataclass(frozen=True)

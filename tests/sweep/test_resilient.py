@@ -1,0 +1,242 @@
+"""Failure isolation, checkpoint/resume and pool robustness of the resilient runner."""
+
+import pytest
+
+from repro.sweep import map_tasks
+from repro.sweep.faults import (
+    CrashInPool,
+    FailEveryNth,
+    FailOnceThenSucceed,
+    HangInPool,
+    reset_fault_state,
+)
+from repro.sweep.resilient import (
+    CheckpointMismatchError,
+    ResilientRunner,
+    SweepTaskError,
+    map_tasks_resilient,
+)
+
+
+def _draw(task, rng):
+    """Module-level worker (picklable): task value plus a seeded draw."""
+    return float(task) + float(rng.uniform())
+
+
+TASKS = list(range(10))
+
+
+def _reference(seed=42):
+    return map_tasks(_draw, TASKS, seed=seed, workers=1)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workers", [1, 2])
+    @pytest.mark.parametrize("chunk_size", [None, 1, 3, 100])
+    def test_matches_plain_runner_at_any_worker_and_chunk_count(self, workers, chunk_size):
+        result = map_tasks_resilient(_draw, TASKS, seed=42, workers=workers, chunk_size=chunk_size)
+        assert result.values == _reference()
+        assert result.failures == ()
+        assert [audit.index for audit in result.audit] == TASKS
+
+    def test_empty_tasks(self):
+        result = map_tasks_resilient(_draw, [], seed=0, workers=2)
+        assert result.values == []
+        assert result.failures == ()
+        assert result.audit == ()
+
+    def test_runner_dataclass(self):
+        runner = ResilientRunner(workers=1, seed=3, chunk_size=2)
+        assert runner.run(_draw, [1.0, 2.0]).values == map_tasks(
+            _draw, [1.0, 2.0], seed=3, workers=1
+        )
+
+
+class TestFailureIsolation:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_collect_reports_exactly_the_injected_points(self, workers):
+        faulty = FailEveryNth(_draw, every=4)
+        result = map_tasks_resilient(
+            faulty, TASKS, seed=42, workers=workers, chunk_size=3, failure_policy="collect"
+        )
+        assert [failure.index for failure in result.failures] == [0, 4, 8]
+        reference = _reference()
+        for index in TASKS:
+            if index % 4 == 0:
+                assert result.values[index] is None
+            else:
+                assert result.values[index] == reference[index]
+
+    def test_failure_records_are_structured_and_deterministic(self):
+        faulty = FailEveryNth(_draw, every=5)
+        serial = map_tasks_resilient(faulty, TASKS, seed=1, workers=1)
+        pooled = map_tasks_resilient(faulty, TASKS, seed=1, workers=2, chunk_size=4)
+        assert serial.failures == pooled.failures
+        failure = serial.failures[0]
+        assert failure.exception_type == "InjectedFault"
+        assert "injected fault at point 0" in failure.message
+        assert "InjectedFault" in failure.traceback_tail
+        assert failure.seed_path == (0,)
+        assert failure.attempts == 1
+
+    def test_failure_round_trips_through_dict(self):
+        faulty = FailEveryNth(_draw, every=7)
+        failure = map_tasks_resilient(faulty, TASKS, seed=0, workers=1).failures[0]
+        assert type(failure).from_dict(failure.to_dict()) == failure
+
+    def test_raise_policy_aborts_with_structured_error(self):
+        faulty = FailEveryNth(_draw, every=4, offset=2)
+        with pytest.raises(SweepTaskError) as excinfo:
+            map_tasks_resilient(faulty, TASKS, seed=42, workers=1, failure_policy="raise")
+        assert excinfo.value.failure.index == 2
+        assert "InjectedFault" in str(excinfo.value)
+
+    def test_retry_recovers_transient_faults_with_identical_numerics(self):
+        reset_fault_state()
+        flaky = FailOnceThenSucceed(_draw, indices=(1, 5), tag="retry-test")
+        result = map_tasks_resilient(
+            flaky, TASKS, seed=42, workers=1, failure_policy="retry", max_retries=1
+        )
+        assert result.failures == ()
+        assert result.values == _reference()
+        attempts = {audit.index: audit.attempts for audit in result.audit}
+        assert attempts[1] == 2 and attempts[5] == 2
+        assert attempts[0] == 1
+
+    def test_retry_budget_exhaustion_collects(self):
+        faulty = FailEveryNth(_draw, every=3)  # fails on every attempt
+        result = map_tasks_resilient(
+            faulty, TASKS, seed=42, workers=1, failure_policy="retry", max_retries=2
+        )
+        assert [failure.index for failure in result.failures] == [0, 3, 6, 9]
+        assert all(failure.attempts == 3 for failure in result.failures)
+
+    def test_invalid_settings_rejected(self):
+        with pytest.raises(ValueError, match="failure policy"):
+            map_tasks_resilient(_draw, TASKS, failure_policy="explode")
+        with pytest.raises(ValueError, match="chunk_size"):
+            map_tasks_resilient(_draw, TASKS, chunk_size=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            map_tasks_resilient(_draw, TASKS, max_retries=-1)
+
+
+class TestCheckpointResume:
+    def test_resume_runs_only_missing_and_failed_points(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        faulty = FailEveryNth(_draw, every=4)
+        partial = map_tasks_resilient(
+            faulty, TASKS, seed=42, workers=1, chunk_size=3, checkpoint=checkpoint
+        )
+        assert [failure.index for failure in partial.failures] == [0, 4, 8]
+        resumed = map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, chunk_size=3, checkpoint=checkpoint
+        )
+        assert resumed.failures == ()
+        assert resumed.values == _reference()
+        modes = {audit.index: audit.mode for audit in resumed.audit}
+        for index in TASKS:
+            expected = "serial" if index % 4 == 0 else "checkpoint"
+            assert modes[index] == expected
+
+    def test_interrupted_chunk_boundary_resume_is_bit_identical(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        faulty = FailEveryNth(_draw, every=10, offset=6)
+        with pytest.raises(SweepTaskError):
+            map_tasks_resilient(
+                faulty,
+                TASKS,
+                seed=42,
+                workers=1,
+                chunk_size=2,
+                failure_policy="raise",
+                checkpoint=checkpoint,
+            )
+        resumed = map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=2, chunk_size=2, checkpoint=checkpoint
+        )
+        assert resumed.values == _reference()
+
+    def test_truncated_checkpoint_tail_is_tolerated(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+        lines = checkpoint.read_text().splitlines()
+        # Simulate a crash mid-append: drop two records, leave a torn line.
+        checkpoint.write_text("\n".join(lines[:-2]) + '\n{"kind": "poi')
+        resumed = map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+        assert resumed.values == _reference()
+        restored = sum(audit.mode == "checkpoint" for audit in resumed.audit)
+        assert restored == len(TASKS) - 2
+
+    def test_key_mismatch_raises_instead_of_mixing_studies(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+        with pytest.raises(CheckpointMismatchError, match="different study"):
+            map_tasks_resilient(_draw, TASKS, seed=43, workers=1, checkpoint=checkpoint)
+        with pytest.raises(CheckpointMismatchError, match="different study"):
+            map_tasks_resilient(_draw, TASKS + [99], seed=42, workers=1, checkpoint=checkpoint)
+
+    def test_non_checkpoint_file_is_rejected(self, tmp_path):
+        checkpoint = tmp_path / "other.jsonl"
+        checkpoint.write_text("not json at all\n")
+        with pytest.raises(CheckpointMismatchError, match="not a sweep checkpoint"):
+            map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+
+    def test_explicit_checkpoint_key_overrides_content_hash(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint, checkpoint_key="abc"
+        )
+        resumed = map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint, checkpoint_key="abc"
+        )
+        assert all(audit.mode == "checkpoint" for audit in resumed.audit)
+        with pytest.raises(CheckpointMismatchError):
+            map_tasks_resilient(
+                _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint, checkpoint_key="xyz"
+            )
+
+    def test_checkpoint_is_strict_jsonl(self, tmp_path):
+        import json
+
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+
+        def reject(token):
+            raise AssertionError(f"bare non-finite token {token!r} in checkpoint")
+
+        lines = checkpoint.read_text().splitlines()
+        assert len(lines) == 1 + len(TASKS)
+        for line in lines:
+            json.loads(line, parse_constant=reject)
+
+
+class TestPoolRobustness:
+    def test_spawn_failure_degrades_to_serial_with_identical_results(self, monkeypatch):
+        import repro.sweep.resilient as resilient
+
+        class NoSpawn:
+            def __init__(self, *args, **kwargs):
+                raise PermissionError("process spawning disabled")
+
+        monkeypatch.setattr(resilient, "ProcessPoolExecutor", NoSpawn)
+        result = map_tasks_resilient(_draw, TASKS, seed=42, workers=4)
+        assert result.values == _reference()
+        assert all(audit.mode == "serial" for audit in result.audit)
+
+    def test_worker_process_death_degrades_chunk_to_serial(self):
+        crasher = CrashInPool(_draw, indices=(3,))
+        result = map_tasks_resilient(crasher, TASKS, seed=42, workers=2, chunk_size=5)
+        assert result.values == _reference()
+        assert result.failures == ()
+        modes = {audit.index: audit.mode for audit in result.audit}
+        assert modes[3] == "serial-degraded"
+
+    def test_chunk_timeout_degrades_to_serial(self):
+        slow = HangInPool(_draw, indices=(1,), sleep_s=2.0)
+        result = map_tasks_resilient(
+            slow, TASKS, seed=42, workers=2, chunk_size=len(TASKS), chunk_timeout_s=0.4
+        )
+        assert result.values == _reference()
+        assert result.failures == ()
+        modes = {audit.index: audit.mode for audit in result.audit}
+        assert modes[1] == "serial-degraded"

@@ -44,3 +44,42 @@ class TestDeterminism:
     def test_runner_dataclass(self):
         runner = SweepRunner(workers=1, seed=3)
         assert runner.run(_draw, [1.0]) == map_tasks(_draw, [1.0], seed=3, workers=1)
+
+
+def _raise_os_error(task, rng):
+    raise OSError(f"worker-level failure for task {task!r}")
+
+
+_CALLS = []
+
+
+def _counting_raiser(task, rng):
+    _CALLS.append(task)
+    raise ValueError(f"bad task {task!r}")
+
+
+class TestExceptionBoundaries:
+    """Pool-layer failures fall back to serial; worker bugs must not."""
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_worker_exception_propagates_unchanged(self, workers):
+        with pytest.raises(OSError, match="worker-level failure for task 0"):
+            map_tasks(_raise_os_error, [0, 1], seed=0, workers=workers)
+
+    def test_worker_exception_is_not_retried_serially(self):
+        """Regression: a worker-raised error used to trigger a serial re-run."""
+        _CALLS.clear()
+        with pytest.raises(ValueError, match="bad task"):
+            map_tasks(_counting_raiser, [0], seed=0, workers=1)
+        assert _CALLS == [0]
+
+    def test_pool_spawn_failure_falls_back_to_serial(self, monkeypatch):
+        import repro.sweep.runner as runner
+
+        class NoSpawn:
+            def __init__(self, *args, **kwargs):
+                raise PermissionError("process spawning disabled")
+
+        monkeypatch.setattr(runner, "ProcessPoolExecutor", NoSpawn)
+        serial = map_tasks(_draw, list(range(6)), seed=42, workers=1)
+        assert map_tasks(_draw, list(range(6)), seed=42, workers=4) == serial
