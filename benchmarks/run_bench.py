@@ -9,6 +9,12 @@ root so the perf trajectory is tracked from PR to PR.  The sweep entries
 embed the engine's serialized :class:`repro.experiments.SweepResult`, so the
 measured grids are reloadable (``SweepResult.from_dict``) without re-running.
 
+Each benchmark runs under a :mod:`repro.telemetry` trace; its per-stage
+time/cache summary (:func:`repro.telemetry.report.stage_breakdown`) is
+embedded as ``stage_breakdown`` in the benchmark's entry, and the
+breakdowns alone are also written to
+``benchmarks/results/bench_stage_breakdown.json`` (the CI artifact).
+
 The run *fails* (exit code 1) when any benchmark's fastpath speedup drops
 below the floor (default 5x, ``--floor``) — the regression gate CI relies on.
 
@@ -30,6 +36,7 @@ if str(_SRC) not in sys.path:
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.config import CdrChannelConfig
 from repro.datapath.cid import measured_run_distribution
 from repro.datapath.nrz import JitterSpec
@@ -51,8 +58,11 @@ from repro.sweep import (
     ber_vs_frequency_offset_sweep,
     ber_vs_sj_sweep,
 )
+from repro.telemetry.report import stage_breakdown
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+BREAKDOWN_PATH = (Path(__file__).resolve().parent
+                  / "results" / "bench_stage_breakdown.json")
 
 BASE_JITTER = JitterSpec(dj_ui_pp=0.2, rj_ui_rms=0.01, sj_phase_rad=np.pi / 2)
 SJ_FIG14 = JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0,
@@ -63,6 +73,14 @@ def _timed(function):
     start = time.perf_counter()
     value = function()
     return value, time.perf_counter() - start
+
+
+def _traced(name, bench, **kwargs):
+    """Run *bench* under a telemetry trace; embed its stage breakdown."""
+    with telemetry.trace(name) as tracer:
+        entry = bench(**kwargs)
+    entry["stage_breakdown"] = stage_breakdown(tracer)
+    return entry
 
 
 def bench_fig09_sj_sweep(n_bits: int) -> dict:
@@ -302,28 +320,33 @@ def main() -> int:
     scale = 1 if arguments.quick else 2
 
     print("timing fig09 BER-vs-SJ sweep (event vs fast)...")
-    fig09 = bench_fig09_sj_sweep(n_bits=1000 * scale)
+    fig09 = _traced("fig09_ber_vs_sj_sweep", bench_fig09_sj_sweep,
+                    n_bits=1000 * scale)
     print(f"  event {fig09['event_s']}s  fast {fig09['fast_s']}s  "
           f"speedup {fig09['speedup']}x")
     print("timing fig10 BER-vs-offset sweep...")
-    fig10 = bench_fig10_offset_sweep(n_bits=1000 * scale)
+    fig10 = _traced("fig10_ber_vs_offset_sweep", bench_fig10_offset_sweep,
+                    n_bits=1000 * scale)
     print(f"  event {fig10['event_s']}s  fast {fig10['fast_s']}s  "
           f"speedup {fig10['speedup']}x")
     print("timing fig14 eye simulation...")
-    fig14 = bench_fig14_eye(n_bits=2000 * scale)
+    fig14 = _traced("fig14_eye_prbs7", bench_fig14_eye, n_bits=2000 * scale)
     print(f"  event {fig14['event_s']}s  fast {fig14['fast_s']}s  "
           f"speedup {fig14['speedup']}x")
     print("timing link BER-vs-loss sweep (waveform front end)...")
-    link = bench_link_ber_vs_loss(n_bits=1000 * scale)
+    link = _traced("link_ber_vs_loss", bench_link_ber_vs_loss,
+                   n_bits=1000 * scale)
     print(f"  event {link['event_s']}s  fast {link['fast_s']}s  "
           f"speedup {link['speedup']}x")
     print("timing statistical eye vs bit-true 1e-12 extrapolation...")
-    stateye = bench_stateye_vs_bittrue(n_bits=10000 * scale)
+    stateye = _traced("stateye_vs_bittrue", bench_stateye_vs_bittrue,
+                      n_bits=10000 * scale)
     print(f"  bit-true to 1e-12 ~{stateye['bittrue_extrapolated_s']}s  "
           f"stateye {stateye['stateye_s']}s  speedup {stateye['speedup']}x  "
           f"(BER agreement ratio {stateye['agreement_ratio']})")
     print("timing link training vs naive bit-true grid search...")
-    training = bench_link_training(n_bits=10000 * scale)
+    training = _traced("link_training", bench_link_training,
+                       n_bits=10000 * scale)
     print(f"  naive bit-true grid ~{training['naive_extrapolated_s']}s  "
           f"training {training['training_s']}s "
           f"({training['training_evaluations']} evaluations)  "
@@ -343,6 +366,13 @@ def main() -> int:
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")
+
+    breakdowns = {name: entry["stage_breakdown"]
+                  for name, entry in payload["benchmarks"].items()}
+    BREAKDOWN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    BREAKDOWN_PATH.write_text(
+        json.dumps({"benchmarks": breakdowns}, indent=2) + "\n")
+    print(f"wrote {BREAKDOWN_PATH}")
 
     floor = arguments.floor
     below = {name: entry["speedup"]

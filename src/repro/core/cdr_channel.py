@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from .._validation import require_positive_int
 from ..analysis.ber_counter import BerMeasurement, align_and_count
 from ..analysis.eye import EyeDiagram
@@ -187,6 +188,40 @@ class BehavioralCdrChannel:
         self.config = config or CdrChannelConfig()
 
     def run(
+        self,
+        bits: np.ndarray,
+        *,
+        jitter: JitterSpec | None = None,
+        data_rate_offset_ppm: float = 0.0,
+        rng: np.random.Generator | None = None,
+        settle_bits: int = 4,
+        stream: NrzEdgeStream | None = None,
+    ) -> BehavioralSimulationResult:
+        """Simulate the channel (see :meth:`_run`); traced as ``kernel.run``."""
+        tracer = telemetry.ACTIVE
+        if not tracer:
+            return self._run(
+                bits,
+                jitter=jitter,
+                data_rate_offset_ppm=data_rate_offset_ppm,
+                rng=rng,
+                settle_bits=settle_bits,
+                stream=stream,
+            )
+        with tracer.span("kernel.run"):
+            result = self._run(
+                bits,
+                jitter=jitter,
+                data_rate_offset_ppm=data_rate_offset_ppm,
+                rng=rng,
+                settle_bits=settle_bits,
+                stream=stream,
+            )
+        tracer.count("kernel.runs")
+        tracer.count("kernel.bits", int(np.asarray(bits).size))
+        return result
+
+    def _run(
         self,
         bits: np.ndarray,
         *,

@@ -23,6 +23,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Generator
 
+from .. import telemetry
 from .._validation import require_non_negative
 
 __all__ = [
@@ -180,6 +181,9 @@ class Simulator:
             self.step()
             executed += 1
         self._now = max(self._now, stop_time_s)
+        tracer = telemetry.ACTIVE
+        if tracer:
+            tracer.count("kernel.events", executed)
         return executed
 
     def run(self, max_events: int = 10_000_000) -> int:
@@ -192,6 +196,9 @@ class Simulator:
                 )
             self.step()
             executed += 1
+        tracer = telemetry.ACTIVE
+        if tracer:
+            tracer.count("kernel.events", executed)
         return executed
 
     def pending_events(self) -> int:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from .. import telemetry
 from .._validation import require_non_negative
 from .kernel import SimulationError, Simulator
 
@@ -156,6 +157,11 @@ class Signal:
     def _notify(self) -> None:
         # The tuple is an immutable snapshot: callbacks that (un)subscribe
         # during dispatch replace it without affecting this iteration.
+        # Each dispatched callback is one gate/process evaluation; the
+        # disabled-telemetry cost is the single truthiness check below.
+        tracer = telemetry.ACTIVE
+        if tracer:
+            tracer.count("kernel.gate_evaluations", len(self._subscribers))
         now = self._simulator.now
         for callback in self._subscribers:
             callback(self, now)

@@ -63,8 +63,7 @@ DEFAULT_CHUNK_SIZE = 64
 # --- single-point execution ---------------------------------------------------
 
 
-def simulate_scenario(spec: ScenarioSpec, rng: np.random.Generator,
-                      backend: str | None = None):
+def simulate_scenario(spec: ScenarioSpec, rng: np.random.Generator, backend: str | None = None):
     """Run one scenario; returns a ``BehavioralSimulationResult``.
 
     *backend* overrides the spec's request with an already-resolved concrete
@@ -108,19 +107,17 @@ def scenario_timing_budget(spec: ScenarioSpec) -> CdrJitterBudget:
     # Per-stage delay jitter accumulates over the 2*n_stages stage
     # traversals of one oscillation period: sigma_bit = fraction/sqrt(2N) UI.
     oscillator = spec.config.oscillator
-    osc_sigma_ui = oscillator.jitter_sigma_fraction \
-        / math.sqrt(2.0 * oscillator.n_stages)
+    osc_sigma_ui = oscillator.jitter_sigma_fraction / math.sqrt(2.0 * oscillator.n_stages)
     # The model's eps is the oscillator period error relative to the
     # *incoming* data period: a slow oscillator (config offset) and a fast
     # transmitter (positive ppm) compound.
-    relative_offset = (1.0 + spec.config.frequency_offset) \
-        * (1.0 + units.ppm_to_fraction(spec.data_rate_offset_ppm)) - 1.0
+    tx_scale = 1.0 + units.ppm_to_fraction(spec.data_rate_offset_ppm)
+    relative_offset = (1.0 + spec.config.frequency_offset) * tx_scale - 1.0
     # A zero SJ frequency means the bit-true path injects no sinusoidal
     # displacement at all, so the budget's SJ term must vanish with it (the
     # placeholder frequency below only keeps the budget constructor happy).
     sj_frequency = jitter.sj_frequency_hz if jitter is not None else 0.0
-    sj_amplitude = jitter.sj_amplitude_ui_pp \
-        if jitter is not None and sj_frequency > 0.0 else 0.0
+    sj_amplitude = jitter.sj_amplitude_ui_pp if jitter is not None and sj_frequency > 0.0 else 0.0
     return CdrJitterBudget(
         dj_ui_pp=jitter.dj_ui_pp if jitter is not None else 0.0,
         rj_ui_rms=jitter.rj_ui_rms if jitter is not None else 0.0,
@@ -154,7 +151,8 @@ def statistical_eye_measurement(spec: ScenarioSpec) -> dict[str, float]:
     if spec.link is None:
         raise ValueError(
             "MeasurementPlan(statistical_eye=True) requires a link front "
-            "end: the statistical eye is solved from the pulse response")
+            "end: the statistical eye is solved from the pulse response"
+        )
     eye = statistical_eye(
         spec.link,
         budget=scenario_timing_budget(spec),
@@ -190,7 +188,8 @@ def link_training_measurement(spec: ScenarioSpec) -> dict[str, float]:
     if spec.link is None:
         raise ValueError(
             "MeasurementPlan(train_equalizers=True) requires a link front "
-            "end: training searches the equalizer plane of its channel")
+            "end: training searches the equalizer plane of its channel"
+        )
     trainer = LinkTrainer(
         spec.link,
         training=spec.training,
@@ -209,10 +208,10 @@ def link_training_measurement(spec: ScenarioSpec) -> dict[str, float]:
         "fixed_horizontal_ui": fixed.horizontal_ui,
         "fixed_vertical": fixed.vertical,
         "fixed_ber": fixed.ber_nominal,
-        "trained_tx_post_db": float("nan") if trained.tx_post_db is None
-        else trained.tx_post_db,
-        "trained_ctle_peaking_db": float("nan")
-        if trained.ctle_peaking_db is None else trained.ctle_peaking_db,
+        "trained_tx_post_db": float("nan") if trained.tx_post_db is None else trained.tx_post_db,
+        "trained_ctle_peaking_db": (
+            float("nan") if trained.ctle_peaking_db is None else trained.ctle_peaking_db
+        ),
         "training_evaluations": float(trained.n_evaluations),
     }
     for index, weight in enumerate(trained.dfe_weights, start=1):
@@ -240,11 +239,13 @@ def _measure_point(task: _PointTask, rng: np.random.Generator) -> tuple:
     extras = {}
     if plan.eye:
         metrics = result.eye_diagram().metrics()
-        extras.update({
-            "eye_opening_ui": float(metrics.eye_opening_ui),
-            "eye_centre_ui": float(metrics.eye_centre_ui),
-            "n_crossings": float(metrics.n_crossings),
-        })
+        extras.update(
+            {
+                "eye_opening_ui": float(metrics.eye_opening_ui),
+                "eye_centre_ui": float(metrics.eye_centre_ui),
+                "n_crossings": float(metrics.n_crossings),
+            }
+        )
     if plan.statistical_eye:
         extras.update(statistical_eye_measurement(task.spec))
     if plan.train_equalizers:
@@ -256,8 +257,7 @@ def _measure_point(task: _PointTask, rng: np.random.Generator) -> tuple:
 # --- grid execution -----------------------------------------------------------
 
 
-def resolve_grid(spec: ScenarioSpec, axes: tuple[ParameterAxis, ...]
-                 ) -> list[ScenarioSpec]:
+def resolve_grid(spec: ScenarioSpec, axes: tuple[ParameterAxis, ...]) -> list[ScenarioSpec]:
     """Every grid-point scenario, row-major (first axis outermost)."""
     axes = tuple(axes)
     points = []
@@ -271,31 +271,33 @@ def resolve_grid(spec: ScenarioSpec, axes: tuple[ParameterAxis, ...]
 
 def _axis_results(axes: tuple[ParameterAxis, ...]) -> tuple[AxisResult, ...]:
     return tuple(
-        AxisResult(name=axis.name, labels=axis.value_labels(),
-                   values=axis.numeric_values())
-        for axis in axes)
+        AxisResult(name=axis.name, labels=axis.value_labels(), values=axis.numeric_values())
+        for axis in axes
+    )
 
 
-def _grid_failures(task_failures, axes: tuple[AxisResult, ...],
-                   shape: tuple[int, ...]) -> tuple[PointFailure, ...]:
+def _grid_failures(
+    task_failures, axes: tuple[AxisResult, ...], shape: tuple[int, ...]
+) -> tuple[PointFailure, ...]:
     """Runner-level failures annotated with their grid coordinates."""
     converted = []
     for failure in task_failures:
         if axes:
             position = np.unravel_index(failure.index, shape)
-            coordinates = tuple(axis.labels[int(p)]
-                                for axis, p in zip(axes, position))
+            coordinates = tuple(axis.labels[int(p)] for axis, p in zip(axes, position))
         else:
             coordinates = ()
-        converted.append(PointFailure(
-            index=failure.index,
-            coordinates=coordinates,
-            exception_type=failure.exception_type,
-            message=failure.message,
-            traceback_tail=failure.traceback_tail,
-            seed_path=failure.seed_path,
-            attempts=failure.attempts,
-        ))
+        converted.append(
+            PointFailure(
+                index=failure.index,
+                coordinates=coordinates,
+                exception_type=failure.exception_type,
+                message=failure.message,
+                traceback_tail=failure.traceback_tail,
+                seed_path=failure.seed_path,
+                attempts=failure.attempts,
+            )
+        )
     return tuple(converted)
 
 
@@ -349,38 +351,41 @@ def run_grid(
     points = resolve_grid(spec, axes)
     if spec.measurement.statistical_eye or spec.measurement.train_equalizers:
         # Fail before the pool spins up, like backend resolution does.
-        option = "statistical_eye" if spec.measurement.statistical_eye \
-            else "train_equalizers"
+        option = "statistical_eye" if spec.measurement.statistical_eye else "train_equalizers"
         for point in points:
             if point.link is None:
                 raise ValueError(
                     f"MeasurementPlan({option}=True) requires every "
-                    "grid point to carry a link front end")
+                    "grid point to carry a link front end"
+                )
     if checkpoint is not None and spec.measurement.retain != "none":
         raise ValueError(
             "checkpointing requires MeasurementPlan(retain='none'): "
-            "retained simulation objects do not serialize to a checkpoint")
+            "retained simulation objects do not serialize to a checkpoint"
+        )
     tasks = [
         _PointTask(point, resolve_backend(point.config, point.backend).name)
         for point in points
     ]
     mapped = map_tasks_resilient(
-        _measure_point, tasks, seed=seed, workers=workers,
+        _measure_point,
+        tasks,
+        seed=seed,
+        workers=workers,
         chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
-        failure_policy=failure_policy, max_retries=max_retries,
-        chunk_timeout_s=chunk_timeout_s, checkpoint=checkpoint,
-        checkpoint_key=content_key(
-            {"study": "run_grid", "spec": spec, "axes": axes, "seed": seed}),
+        failure_policy=failure_policy,
+        max_retries=max_retries,
+        chunk_timeout_s=chunk_timeout_s,
+        checkpoint=checkpoint,
+        checkpoint_key=content_key({"study": "run_grid", "spec": spec, "axes": axes, "seed": seed}),
     )
     outcomes = mapped.values
 
     shape = tuple(len(axis) for axis in axes)
     axis_results = _axis_results(axes)
     metrics: dict[str, np.ndarray] = {
-        "errors": np.array([o[0] if o is not None else 0 for o in outcomes],
-                           dtype=np.int64),
-        "compared": np.array([o[1] if o is not None else 0 for o in outcomes],
-                             dtype=np.int64),
+        "errors": np.array([o[0] if o is not None else 0 for o in outcomes], dtype=np.int64),
+        "compared": np.array([o[1] if o is not None else 0 for o in outcomes], dtype=np.int64),
     }
     extra_keys: tuple = ()
     for outcome in outcomes:
@@ -389,12 +394,15 @@ def run_grid(
             break
     for key in extra_keys:
         metrics[key] = np.array(
-            [o[2][key] if o is not None else float("nan") for o in outcomes],
-            dtype=float)
+            [o[2][key] if o is not None else float("nan") for o in outcomes], dtype=float
+        )
     for key, flat in metrics.items():
         metrics[key] = flat.reshape(shape)
-    details = tuple(o[3] if o is not None else None for o in outcomes) \
-        if spec.measurement.retain == "results" else None
+    details = (
+        tuple(o[3] if o is not None else None for o in outcomes)
+        if spec.measurement.retain == "results"
+        else None
+    )
 
     return SweepResult(
         name=name,
@@ -515,33 +523,44 @@ def run_tolerance_search(
     axes = tuple(axes)
     points = resolve_grid(spec, axes)
     tasks = [
-        _SearchTask(point, resolve_backend(point.config, point.backend).name,
-                    search)
+        _SearchTask(point, resolve_backend(point.config, point.backend).name, search)
         for point in points
     ]
     mapped = map_tasks_resilient(
-        _search_point, tasks, seed=seed, workers=workers,
+        _search_point,
+        tasks,
+        seed=seed,
+        workers=workers,
         chunk_size=DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size,
-        failure_policy=failure_policy, max_retries=max_retries,
-        chunk_timeout_s=chunk_timeout_s, checkpoint=checkpoint,
+        failure_policy=failure_policy,
+        max_retries=max_retries,
+        chunk_timeout_s=chunk_timeout_s,
+        checkpoint=checkpoint,
         checkpoint_key=content_key(
-            {"study": "run_tolerance_search", "spec": spec, "axes": axes,
-             "seed": seed, "search": search}),
+            {
+                "study": "run_tolerance_search",
+                "spec": spec,
+                "axes": axes,
+                "seed": seed,
+                "search": search,
+            }
+        ),
     )
-    amplitudes = [value if value is not None else float("nan")
-                  for value in mapped.values]
+    amplitudes = [value if value is not None else float("nan") for value in mapped.values]
 
     shape = tuple(len(axis) for axis in axes)
     axis_results = _axis_results(axes)
-    info = {"search_axis": search.axis, "maximum": search.maximum,
-            "resolution": search.resolution,
-            "target_errors": search.target_errors}
+    info = {
+        "search_axis": search.axis,
+        "maximum": search.maximum,
+        "resolution": search.resolution,
+        "target_errors": search.target_errors,
+    }
     info.update(metadata or {})
     return SweepResult(
         name=name,
         axes=axis_results,
-        metrics={search.axis:
-                 np.asarray(amplitudes, dtype=float).reshape(shape)},
+        metrics={search.axis: np.asarray(amplitudes, dtype=float).reshape(shape)},
         backend=spec.backend,
         point_backends=tuple(task.backend for task in tasks),
         n_bits=spec.stimulus.n_bits,

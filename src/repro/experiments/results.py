@@ -160,7 +160,8 @@ class AxisResult:
             if values.size != len(self.labels):
                 raise ValueError(
                     f"axis {self.name!r} has {len(self.labels)} labels but "
-                    f"{values.size} values")
+                    f"{values.size} values"
+                )
             object.__setattr__(self, "values", values)
 
     def __len__(self) -> int:
@@ -171,8 +172,7 @@ class AxisResult:
         return {
             "name": self.name,
             "labels": list(self.labels),
-            "values": None if self.values is None
-            else _encode_float_array(self.values),
+            "values": None if self.values is None else _encode_float_array(self.values),
         }
 
     @classmethod
@@ -256,7 +256,8 @@ class SweepResult:
         if len(self.point_backends) != self.n_points:
             raise ValueError(
                 f"{self.n_points} grid points but "
-                f"{len(self.point_backends)} per-point backends")
+                f"{len(self.point_backends)} per-point backends"
+            )
 
     # -- shape ----------------------------------------------------------------
 
@@ -277,7 +278,8 @@ class SweepResult:
         except KeyError:
             raise KeyError(
                 f"result {self.name!r} has no metric {name!r}; "
-                f"available: {sorted(self.metrics)}") from None
+                f"available: {sorted(self.metrics)}"
+            ) from None
 
     @property
     def ber(self) -> np.ndarray:
@@ -303,8 +305,11 @@ class SweepResult:
             "metrics": {
                 name: {
                     "dtype": str(grid.dtype),
-                    "values": _encode_float_array(grid)
-                    if np.issubdtype(grid.dtype, np.floating) else grid.tolist(),
+                    "values": (
+                        _encode_float_array(grid)
+                        if np.issubdtype(grid.dtype, np.floating)
+                        else grid.tolist()
+                    ),
                 }
                 for name, grid in self.metrics.items()
             },
@@ -332,8 +337,7 @@ class SweepResult:
             n_bits=int(payload["n_bits"]),
             seed=payload["seed"],
             metadata=_decode_json_value(dict(payload.get("metadata", {}))),
-            failures=tuple(PointFailure.from_dict(entry)
-                           for entry in payload.get("failures", ())),
+            failures=tuple(PointFailure.from_dict(entry) for entry in payload.get("failures", ())),
         )
 
     def to_json(self, indent: int | None = 1) -> str:
@@ -374,8 +378,7 @@ class SweepResult:
         rows = []
         for flat in range(self.n_points):
             index = np.unravel_index(flat, self.shape) if self.axes else ()
-            labels = tuple(axis.labels[position]
-                           for axis, position in zip(self.axes, index))
+            labels = tuple(axis.labels[position] for axis, position in zip(self.axes, index))
             rows.append((labels, index))
         return rows
 
@@ -384,14 +387,14 @@ class SweepResult:
         metric_names = sorted(self.metrics)
         out = io.StringIO()
         writer = csv.writer(out, lineterminator="\n")
-        writer.writerow([axis.name for axis in self.axes]
-                        + metric_names + ["backend"])
+        writer.writerow([axis.name for axis in self.axes] + metric_names + ["backend"])
         for position, (labels, index) in enumerate(self._point_rows()):
             cells = list(labels)
             for name in metric_names:
                 value = self.metrics[name][index]
-                cells.append(f"{value:.9g}" if np.issubdtype(
-                    type(value), np.floating) else str(value))
+                cells.append(
+                    f"{value:.9g}" if np.issubdtype(type(value), np.floating) else str(value)
+                )
             cells.append(self.point_backends[position])
             writer.writerow(cells)
         return out.getvalue()
@@ -404,9 +407,7 @@ class SweepResult:
             title=self.name if title is None else title,
         )
         for labels, index in self._point_rows():
-            table.add_row(*labels,
-                          *(f"{self.metrics[name][index]:g}"
-                            for name in metric_names))
+            table.add_row(*labels, *(f"{self.metrics[name][index]:g}" for name in metric_names))
         return table
 
     def to_series(self, metric: str = "errors", name: str | None = None) -> Series:
@@ -417,14 +418,14 @@ class SweepResult:
         """
         grid = self.metric(metric)
         if not self.axes:
-            raise ValueError(
-                f"result {self.name!r} has no axes; a series needs one")
+            raise ValueError(f"result {self.name!r} has no axes; a series needs one")
         long_axes = [axis for axis in self.axes if len(axis) > 1]
         axis = long_axes[0] if long_axes else self.axes[-1]
         if len(long_axes) > 1:
             raise ValueError(
                 f"result {self.name!r} has {len(long_axes)} non-singleton "
-                "axes; a series needs one")
+                "axes; a series needs one"
+            )
         if axis.values is None:
             raise ValueError(f"axis {axis.name!r} has no numeric values")
         series = Series(name or self.name, axis.name, metric)

@@ -92,7 +92,8 @@ class StimulusSpec:
         if self.kind not in STIMULUS_KINDS:
             raise ValueError(
                 f"unknown stimulus kind {self.kind!r}; expected one of "
-                f"{list(STIMULUS_KINDS)}")
+                f"{list(STIMULUS_KINDS)}"
+            )
         require_positive_int("n_bits", self.n_bits)
         require_positive_int("max_run", self.max_run)
 
@@ -117,11 +118,13 @@ class StimulusSpec:
             return prbs_sequence(self.prbs_order, self.n_bits, seed=self.seed)
         if self.kind == "cid_stress":
             run = self.max_run
-            unit = np.concatenate([
-                np.tile(np.array([1, 0], dtype=np.uint8), run),
-                np.ones(run, dtype=np.uint8),
-                np.zeros(run, dtype=np.uint8),
-            ])
+            unit = np.concatenate(
+                [
+                    np.tile(np.array([1, 0], dtype=np.uint8), run),
+                    np.ones(run, dtype=np.uint8),
+                    np.zeros(run, dtype=np.uint8),
+                ]
+            )
             return np.resize(unit, self.n_bits)
         # encoded8b10b: a counting byte stream (all 256 data codes) encoded
         # to 10-bit symbols, truncated to the requested length.
@@ -160,12 +163,12 @@ class MeasurementPlan:
     retain: str = "none"
 
     def __post_init__(self) -> None:
-        require_in_range("target_ber", self.target_ber, 0.0, 1.0,
-                         inclusive=False)
+        require_in_range("target_ber", self.target_ber, 0.0, 1.0, inclusive=False)
         if self.retain not in ("none", "results"):
             raise ValueError(
                 f"unknown retention policy {self.retain!r}; "
-                "expected 'none' or 'results'")
+                "expected 'none' or 'results'"
+            )
 
 
 @dataclass(frozen=True)
@@ -185,8 +188,9 @@ class EqualizerLineup:
         it can sit on an ``"equalization"`` axis directly; this conversion
         exists for explicitness (and to drop the training metadata).
         """
-        return cls(label=trained.label, tx_ffe=trained.tx_ffe,
-                   rx_ctle=trained.rx_ctle, dfe=trained.dfe)
+        return cls(
+            label=trained.label, tx_ffe=trained.tx_ffe, rx_ctle=trained.rx_ctle, dfe=trained.dfe
+        )
 
 
 @dataclass(frozen=True)
@@ -275,7 +279,8 @@ class ParameterAxis:
             if len(self.labels) != len(self.values):
                 raise ValueError(
                     f"axis {self.name!r} has {len(self.values)} values but "
-                    f"{len(self.labels)} labels")
+                    f"{len(self.labels)} labels"
+                )
 
     def __len__(self) -> int:
         return len(self.values)
@@ -285,9 +290,10 @@ class ParameterAxis:
         if self.labels is not None:
             return self.labels
         return tuple(
-            getattr(value, "label", None) or (
-                f"{value:g}" if isinstance(value, (int, float)) else str(value))
-            for value in self.values)
+            getattr(value, "label", None)
+            or (f"{value:g}" if isinstance(value, (int, float)) else str(value))
+            for value in self.values
+        )
 
     def numeric_values(self) -> np.ndarray | None:
         """The axis points as a float array, or ``None`` for structured axes."""
@@ -313,6 +319,7 @@ def register_axis(name: str):
     def decorate(function):
         AXIS_APPLICATORS[name] = function
         return function
+
     return decorate
 
 
@@ -323,7 +330,8 @@ def apply_axis(spec: ScenarioSpec, name: str, value) -> ScenarioSpec:
     except KeyError:
         raise ValueError(
             f"unknown parameter axis {name!r}; registered axes: "
-            f"{sorted(AXIS_APPLICATORS)}") from None
+            f"{sorted(AXIS_APPLICATORS)}"
+        ) from None
     return applicator(spec, value)
 
 
@@ -373,8 +381,7 @@ def _apply_edge_detector_delay(spec: ScenarioSpec, value) -> ScenarioSpec:
 @register_axis("channel_loss_db")
 def _apply_channel_loss(spec: ScenarioSpec, value) -> ScenarioSpec:
     link = _link_of(spec)
-    channel = LossyLineChannel.for_loss_at_nyquist(
-        float(value), link.timebase.bit_rate_hz)
+    channel = LossyLineChannel.for_loss_at_nyquist(float(value), link.timebase.bit_rate_hz)
     return replace(spec, link=link.with_channel(channel))
 
 
@@ -382,11 +389,14 @@ def _apply_channel_loss(spec: ScenarioSpec, value) -> ScenarioSpec:
 def _apply_ctle_peaking(spec: ScenarioSpec, value) -> ScenarioSpec:
     link = _link_of(spec)
     base_ctle = link.rx_ctle or RxCtle()
-    return replace(spec, link=link.with_equalization(
-        tx_ffe=link.tx_ffe,
-        rx_ctle=base_ctle.with_peaking(float(value)),
-        dfe=link.dfe,
-    ))
+    return replace(
+        spec,
+        link=link.with_equalization(
+            tx_ffe=link.tx_ffe,
+            rx_ctle=base_ctle.with_peaking(float(value)),
+            dfe=link.dfe,
+        ),
+    )
 
 
 @register_axis("aggressor_amplitude")
@@ -400,8 +410,7 @@ def _apply_aggressor_amplitude(spec: ScenarioSpec, value) -> ScenarioSpec:
     require_non_negative("aggressor_amplitude", float(value))
     link = _link_of(spec)
     crosstalk = link.crosstalk or CrosstalkSpec.single_fext(0.0)
-    return replace(spec, link=link.with_crosstalk(
-        crosstalk.with_amplitude(float(value))))
+    return replace(spec, link=link.with_crosstalk(crosstalk.with_amplitude(float(value))))
 
 
 @register_axis("training_budget")
@@ -419,8 +428,8 @@ def _apply_training_budget(spec: ScenarioSpec, value) -> ScenarioSpec:
 @register_axis("equalization")
 def _apply_equalization(spec: ScenarioSpec, value: EqualizerLineup) -> ScenarioSpec:
     link = _link_of(spec)
-    return replace(spec, link=link.with_equalization(
-        tx_ffe=value.tx_ffe, rx_ctle=value.rx_ctle, dfe=value.dfe))
+    lineup = link.with_equalization(tx_ffe=value.tx_ffe, rx_ctle=value.rx_ctle, dfe=value.dfe)
+    return replace(spec, link=lineup)
 
 
 @register_axis("lane")

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry
 from .._validation import require_positive_int
 from ..core.cdr_channel import BehavioralSimulationResult
 from ..core.config import CdrChannelConfig
@@ -236,7 +237,41 @@ class FastCdrChannel:
         settle_bits: int = 4,
         stream: NrzEdgeStream | None = None,
     ) -> BehavioralSimulationResult:
-        """Simulate the channel; same contract as ``BehavioralCdrChannel.run``."""
+        """Simulate the channel (see :meth:`_run`); traced as ``fastpath.run``."""
+        tracer = telemetry.ACTIVE
+        if not tracer:
+            return self._run(
+                bits,
+                jitter=jitter,
+                data_rate_offset_ppm=data_rate_offset_ppm,
+                rng=rng,
+                settle_bits=settle_bits,
+                stream=stream,
+            )
+        with tracer.span("fastpath.run"):
+            result = self._run(
+                bits,
+                jitter=jitter,
+                data_rate_offset_ppm=data_rate_offset_ppm,
+                rng=rng,
+                settle_bits=settle_bits,
+                stream=stream,
+            )
+        tracer.count("fastpath.runs")
+        tracer.count("fastpath.bits", int(np.asarray(bits).size))
+        return result
+
+    def _run(
+        self,
+        bits: np.ndarray,
+        *,
+        jitter: JitterSpec | None = None,
+        data_rate_offset_ppm: float = 0.0,
+        rng: np.random.Generator | None = None,
+        settle_bits: int = 4,
+        stream: NrzEdgeStream | None = None,
+    ) -> BehavioralSimulationResult:
+        """Vectorized batch simulation; same contract as ``BehavioralCdrChannel.run``."""
         config = self.config
         bits = np.asarray(bits, dtype=np.uint8)
         require_positive_int("number of bits", int(bits.size))

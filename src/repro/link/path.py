@@ -26,7 +26,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-from .. import units
+from .. import telemetry, units
 from .._validation import require_positive_int
 from ..analysis.eye import EyeDiagram
 from ..datapath.nrz import JitterSpec, NrzEdgeStream, ideal_edge_times, jitter_displacements_ui
@@ -131,9 +131,14 @@ class LinkPath:
         """
         timebase = self.config.timebase
         count = timebase.n_samples(n_ui)
+        tracer = telemetry.ACTIVE
         cached = self._pulse_cache.get(count)
         if cached is not None:
+            if tracer:
+                tracer.count("link.pulse_cache.hits")
             return cached
+        if tracer:
+            tracer.count("link.pulse_cache.misses")
         response = self.system_frequency_response(
             timebase.frequencies_hz(count), include_ffe=False)
         pulse = pulse_through_response(response, timebase, n_ui)
@@ -174,9 +179,14 @@ class LinkPath:
         to the victim pattern period, so the circular steady-state model
         stays exact); cached per grid length like the pulse response.
         """
+        tracer = telemetry.ACTIVE
         cached = self._crosstalk_cache.get(n_ui)
         if cached is not None:
+            if tracer:
+                tracer.count("link.crosstalk_cache.hits")
             return cached
+        if tracer:
+            tracer.count("link.crosstalk_cache.misses")
         config = self.config
         waveform = np.zeros(config.timebase.n_samples(n_ui))
         if config.crosstalk is not None and not config.crosstalk.is_silent:
@@ -231,10 +241,15 @@ class LinkPath:
         """
         bits = np.asarray(pattern_bits, dtype=np.uint8).ravel()
         key = bits.tobytes()
+        tracer = telemetry.ACTIVE
         cached = self._pattern_cache.get(key)
         if cached is not None:
+            if tracer:
+                tracer.count("link.pattern_cache.hits")
             table, self.last_dfe_adaptation = cached
             return table
+        if tracer:
+            tracer.count("link.pattern_cache.misses")
         time_axis, waveform = self.received_pattern_waveform(bits)
         table = pattern_displacements_ui(
             time_axis, waveform, bits, self.config.timebase.unit_interval_s)

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import telemetry
 from ..._validation import require_in_range, require_non_negative
 from ...datapath.cid import RunLengthDistribution
 from ...datapath.prbs import prbs_sequence
@@ -205,10 +206,16 @@ class StatEyeObjective:
                  dfe: LmsDfe | None) -> EyeScore:
         """Score one candidate lineup, memoised by its equalizer stages."""
         key = (tx_ffe, rx_ctle, dfe)
+        tracer = telemetry.ACTIVE
         cached = self._cache.get(key)
         if cached is not None:
+            if tracer:
+                tracer.count("stateye.objective_cache.hits")
             return cached
-        eye = self.solve(tx_ffe, rx_ctle, dfe)
+        if tracer:
+            tracer.count("stateye.objective_cache.misses")
+        with tracer.span("stateye.solve"):
+            eye = self.solve(tx_ffe, rx_ctle, dfe)
         self._evaluations += 1
         score = self.score_eye(eye)
         self._cache[key] = score

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ... import telemetry
 from ..._validation import require_non_negative, require_positive_int
 from ...datapath.cid import RunLengthDistribution
 from ...datapath.prbs import prbs_sequence, sequence_period
@@ -267,6 +268,9 @@ class LinkTrainer:
         return tx_ffe, rx_ctle, self.dfe
 
     def _evaluate(self, tx_post_db: float, ctle_peaking_db: float) -> EyeScore:
+        tracer = telemetry.ACTIVE
+        if tracer:
+            tracer.count("training.search_iterations")
         return self.objective.evaluate(
             *self.candidate_stages(tx_post_db, ctle_peaking_db))
 
@@ -286,6 +290,15 @@ class LinkTrainer:
         de-emphasis × peaking plane or the budget is too tight to reach
         it.
         """
+        tracer = telemetry.ACTIVE
+        if not tracer:
+            return self._train()
+        with tracer.span("training.train"):
+            lineup = self._train()
+        tracer.count("training.runs")
+        return lineup
+
+    def _train(self) -> TrainedLineup:
         plan = self.training
         baseline = self.score_fixed()
         self._search_base = self.objective.evaluations

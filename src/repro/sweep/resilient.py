@@ -34,6 +34,24 @@ the affected tasks serially and rebuilds the pool once before giving up
 on it; a chunk exceeding ``chunk_timeout_s`` abandons the pool and
 finishes the chunk (and all later chunks) serially.  Every task records
 its execution mode, duration and attempt count in a :class:`TaskAudit`.
+
+**Observability.**  When a :mod:`repro.telemetry` tracer is active, each
+guarded task runs under a fresh task-local tracer whose counter/gauge/
+histogram snapshot is shipped back alongside the task outcome — pooled
+and serial execution alike — and merged into the parent tracer in task
+index order (equivalently: sorted by seed path, since spawn keys are
+per-index).  Counter totals are therefore identical at any worker
+count.  The parent additionally records ``sweep.chunk`` spans and
+``sweep.*`` pool-health counters (tasks by mode, retries, failures,
+pool breakages/abandonment/spawn fallbacks, checkpoint restores).
+Durations never enter the checkpoint or any content hash.
+
+**Audit sidecar.**  With ``audit_sidecar=True`` (the default) a
+checkpointed run also appends each task's deterministic audit fields
+(mode, attempts — never wall-clock durations) to a ``<checkpoint>.audit``
+JSONL sidecar.  On resume, restored points keep ``mode="checkpoint"``
+but carry the original execution's ``source_mode`` / ``source_attempts``
+from the sidecar, so a resumed study retains its full execution history.
 """
 
 from __future__ import annotations
@@ -49,6 +67,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from .._jsonio import content_key, decode_json_value, encode_json_value
 
 __all__ = [
@@ -72,6 +91,8 @@ TRACEBACK_TAIL_LINES = 6
 
 _CHECKPOINT_KIND = "repro-sweep-checkpoint"
 _CHECKPOINT_VERSION = 1
+
+_AUDIT_KIND = "repro-sweep-audit"
 
 
 @dataclass(frozen=True)
@@ -138,12 +159,19 @@ class TaskAudit:
     ``"checkpoint"`` (restored from a checkpoint file, not re-run).
     Durations are wall-clock and therefore *not* part of any serialized
     result — they are in-memory diagnostics only.
+
+    For a point restored from a checkpoint whose run kept an audit
+    sidecar, ``source_mode`` / ``source_attempts`` carry the mode and
+    attempt count of the execution that originally produced the value
+    (``None`` when no sidecar information exists).
     """
 
     index: int
     mode: str
     duration_s: float
     attempts: int
+    source_mode: str | None = None
+    source_attempts: int | None = None
 
 
 @dataclass(frozen=True)
@@ -190,26 +218,50 @@ def _traceback_tail(exc: BaseException) -> str:
 def _guarded(packed: tuple) -> tuple:
     """Pool/serial entry point: run one task inside the isolation boundary.
 
-    Returns ``("ok", value, attempts, duration_s)`` or ``("fail",
-    exception_type, message, traceback_tail, attempts, duration_s)``.
-    Every attempt rebuilds the generator from the same SeedSequence
-    child, so a retry that succeeds is numerically identical to a first
-    attempt that succeeds.
+    Returns ``("ok", value, attempts, duration_s, snapshot)`` or
+    ``("fail", exception_type, message, traceback_tail, attempts,
+    duration_s, snapshot)``.  Every attempt rebuilds the generator from
+    the same SeedSequence child, so a retry that succeeds is numerically
+    identical to a first attempt that succeeds.
+
+    When *collect* is set, the task runs under a fresh task-local
+    :class:`repro.telemetry.Tracer` — uniformly for pooled and serial
+    execution, so merged counter totals never depend on the worker count
+    — and the final element is its :meth:`~repro.telemetry.Tracer.snapshot`
+    (otherwise ``None``).  The previous tracer binding is restored even
+    when the task fails.
     """
-    worker, task, child, retries = packed
+    worker, task, child, retries, collect = packed
+    tracer = telemetry.Tracer("sweep-task") if collect else None
+    previous = telemetry.activate(tracer) if collect else None
     attempts = 0
     start = time.perf_counter()
-    while True:
-        attempts += 1
-        try:
-            value = worker(task, np.random.default_rng(child))
-        except Exception as exc:  # noqa: BLE001 — the isolation boundary
-            if attempts > retries:
+    try:
+        while True:
+            attempts += 1
+            try:
+                value = worker(task, np.random.default_rng(child))
+            except Exception as exc:  # noqa: BLE001 — the isolation boundary
+                if attempts > retries:
+                    duration = time.perf_counter() - start
+                    tail = _traceback_tail(exc)
+                    snapshot = tracer.snapshot() if collect else None
+                    return (
+                        "fail",
+                        type(exc).__name__,
+                        str(exc),
+                        tail,
+                        attempts,
+                        duration,
+                        snapshot,
+                    )
+            else:
                 duration = time.perf_counter() - start
-                tail = _traceback_tail(exc)
-                return ("fail", type(exc).__name__, str(exc), tail, attempts, duration)
-        else:
-            return ("ok", value, attempts, time.perf_counter() - start)
+                snapshot = tracer.snapshot() if collect else None
+                return ("ok", value, attempts, duration, snapshot)
+    finally:
+        if collect:
+            telemetry.activate(previous)
 
 
 class _PoolState:
@@ -224,6 +276,7 @@ class _PoolState:
         self.degraded = False
         self.breakages = 0
         self.abandoned = False
+        self.spawn_fallback = False
 
     def get(self) -> ProcessPoolExecutor | None:
         """The live executor, or ``None`` when execution must be serial."""
@@ -240,6 +293,7 @@ class _PoolState:
         """The environment cannot spawn processes: serial from here on."""
         self._discard()
         self.serial_only = True
+        self.spawn_fallback = True
 
     def broken(self) -> None:
         """A worker process died hard: rebuild once, then give up on pools."""
@@ -279,6 +333,7 @@ def _run_chunk(
     indices: list[int],
     retries: int,
     timeout_s: float | None,
+    collect: bool,
 ) -> dict[int, tuple]:
     """Execute one chunk; returns ``{index: (outcome, mode)}`` for *indices*.
 
@@ -294,7 +349,7 @@ def _run_chunk(
         broke = False
         try:
             for index in indices:
-                packed = (worker, tasks[index], children[index], retries)
+                packed = (worker, tasks[index], children[index], retries, collect)
                 futures[executor.submit(_guarded, packed)] = index
         except (OSError, PermissionError):
             spawn_failure = True
@@ -320,7 +375,7 @@ def _run_chunk(
     for index in indices:
         if index in outcomes:
             continue
-        packed = (worker, tasks[index], children[index], retries)
+        packed = (worker, tasks[index], children[index], retries, collect)
         outcomes[index] = (_guarded(packed), mode)
     return outcomes
 
@@ -387,6 +442,105 @@ def _load_checkpoint(path: Path, header: dict) -> dict[int, Any]:
     return values
 
 
+# --- audit sidecar ------------------------------------------------------------
+
+
+def _audit_sidecar_path(checkpoint_path: Path) -> Path:
+    """The audit sidecar living next to *checkpoint_path* (``<name>.audit``)."""
+    return checkpoint_path.with_name(checkpoint_path.name + ".audit")
+
+
+def _audit_header(key: str, n_tasks: int, seed: int | None) -> dict:
+    return {
+        "kind": _AUDIT_KIND,
+        "version": _CHECKPOINT_VERSION,
+        "key": key,
+        "n_tasks": n_tasks,
+        "seed": seed,
+    }
+
+
+def _load_audit_sidecar(path: Path, header: dict) -> dict[int, tuple[str, int]]:
+    """``{index: (mode, attempts)}`` from an audit sidecar file.
+
+    Same study-identity discipline as :func:`_load_checkpoint`: the
+    header must match (key, task count, seed) or
+    :class:`CheckpointMismatchError` is raised.  Records are
+    last-write-wins per index (a re-run after failure supersedes the
+    failed attempt's audit); parsing stops at the first undecodable
+    line, and unknown record kinds are skipped.
+    """
+    lines = path.read_text(encoding="utf-8").splitlines()
+    if not lines:
+        return {}
+    try:
+        first = json.loads(lines[0])
+    except json.JSONDecodeError:
+        raise CheckpointMismatchError(f"{path} is not a sweep audit sidecar") from None
+    if not isinstance(first, dict) or first.get("kind") != _AUDIT_KIND:
+        raise CheckpointMismatchError(f"{path} is not a sweep audit sidecar")
+    for name in ("version", "key", "n_tasks", "seed"):
+        if first.get(name) != header[name]:
+            raise CheckpointMismatchError(
+                f"audit sidecar {path} belongs to a different study: "
+                f"{name} is {first.get(name)!r}, expected {header[name]!r}"
+            )
+    sources: dict[int, tuple[str, int]] = {}
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            break
+        if record.get("kind") == "audit":
+            index = int(record["index"])
+            if 0 <= index < header["n_tasks"]:
+                sources[index] = (str(record["mode"]), int(record["attempts"]))
+    return sources
+
+
+def _count_pool_health(
+    tracer,
+    audits: list,
+    failures: dict[int, TaskFailure],
+    pool: _PoolState,
+    n_chunks: int,
+    n_restored: int,
+) -> None:
+    """Record ``sweep.*`` pool-health counters on *tracer* (nonzero only).
+
+    These describe *how* the run executed (modes, retries, breakages,
+    resume hits) rather than what it computed, so — unlike the merged
+    worker counters — they legitimately vary with worker count and pool
+    health.  Reports group them via the ``sweep.`` prefix.
+    """
+    by_mode: dict[str, int] = {}
+    retries_total = 0
+    for audit in audits:
+        if audit is None:
+            continue
+        by_mode[audit.mode] = by_mode.get(audit.mode, 0) + 1
+        if audit.attempts > 1:
+            retries_total += audit.attempts - 1
+    for mode in sorted(by_mode):
+        tracer.count(f"sweep.tasks.{mode}", by_mode[mode])
+    if retries_total:
+        tracer.count("sweep.retries", retries_total)
+    if failures:
+        tracer.count("sweep.failures", len(failures))
+    if n_chunks:
+        tracer.count("sweep.chunks", n_chunks)
+    if n_restored:
+        tracer.count("sweep.checkpoint.restored", n_restored)
+    if pool.breakages:
+        tracer.count("sweep.pool.rebuilds", pool.breakages)
+    if pool.abandoned:
+        tracer.count("sweep.pool.abandoned")
+    if pool.spawn_fallback:
+        tracer.count("sweep.pool.spawn_fallbacks")
+
+
 # --- the resilient map --------------------------------------------------------
 
 
@@ -402,6 +556,7 @@ def map_tasks_resilient(
     chunk_timeout_s: float | None = None,
     checkpoint: str | Path | None = None,
     checkpoint_key: str | None = None,
+    audit_sidecar: bool = True,
 ) -> ResilientMap:
     """Run ``worker(task, rng)`` over *tasks* with isolation and checkpoints.
 
@@ -443,6 +598,13 @@ def map_tasks_resilient(
     checkpoint_key:
         Explicit study identity; default is a content hash of the task
         list and seed via :func:`repro._jsonio.content_key`.
+    audit_sidecar:
+        With a checkpoint, also persist each task's deterministic audit
+        fields (mode, attempts — never durations) to a
+        ``<checkpoint>.audit`` sidecar, and on resume surface the
+        original execution's fields as ``source_mode`` /
+        ``source_attempts`` on restored points' :class:`TaskAudit`.
+        Ignored without a checkpoint.
     """
     tasks = list(tasks)
     if failure_policy not in FAILURE_POLICIES:
@@ -458,40 +620,73 @@ def map_tasks_resilient(
     children = list(np.random.SeedSequence(seed).spawn(n_tasks)) if n_tasks else []
     retries = max_retries if failure_policy == "retry" else 0
 
+    tracer = telemetry.ACTIVE
+    collect = bool(tracer)
+
     values: list = [None] * n_tasks
     audits: list = [None] * n_tasks
     failures: dict[int, TaskFailure] = {}
 
     checkpoint_path = None
+    sidecar_path = None
+    n_restored = 0
     if checkpoint is not None:
         checkpoint_path = Path(checkpoint)
         if checkpoint_key is None:
             checkpoint_key = content_key({"tasks": tasks, "seed": seed})
         header = _checkpoint_header(checkpoint_key, n_tasks, seed)
+        if audit_sidecar:
+            sidecar_path = _audit_sidecar_path(checkpoint_path)
         if checkpoint_path.exists() and checkpoint_path.stat().st_size > 0:
+            sources: dict[int, tuple[str, int]] = {}
+            if (
+                sidecar_path is not None
+                and sidecar_path.exists()
+                and sidecar_path.stat().st_size > 0
+            ):
+                sources = _load_audit_sidecar(
+                    sidecar_path, _audit_header(checkpoint_key, n_tasks, seed)
+                )
             for index, value in _load_checkpoint(checkpoint_path, header).items():
                 values[index] = value
+                source_mode, source_attempts = sources.get(index, (None, None))
                 audits[index] = TaskAudit(
-                    index=index, mode="checkpoint", duration_s=0.0, attempts=0
+                    index=index,
+                    mode="checkpoint",
+                    duration_s=0.0,
+                    attempts=0,
+                    source_mode=source_mode,
+                    source_attempts=source_attempts,
                 )
+                n_restored += 1
         else:
             if checkpoint_path.parent != Path(""):
                 checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
             _append_records(checkpoint_path, [header])
+        if sidecar_path is not None and (
+            not sidecar_path.exists() or sidecar_path.stat().st_size == 0
+        ):
+            _append_records(sidecar_path, [_audit_header(checkpoint_key, n_tasks, seed)])
 
     pending = [index for index in range(n_tasks) if audits[index] is None]
     size = chunk_size if chunk_size is not None else max(n_tasks, 1)
     pool = _PoolState(workers)
+    n_chunks = 0
     try:
         for start in range(0, len(pending), size):
             chunk = pending[start : start + size]
-            outcomes = _run_chunk(pool, worker, tasks, children, chunk, retries, chunk_timeout_s)
+            n_chunks += 1
+            with tracer.span("sweep.chunk"):
+                outcomes = _run_chunk(
+                    pool, worker, tasks, children, chunk, retries, chunk_timeout_s, collect
+                )
             records = []
+            audit_records = []
             chunk_failures = []
             for index in chunk:
                 outcome, mode = outcomes[index]
                 if outcome[0] == "ok":
-                    _, value, attempts, duration = outcome
+                    _, value, attempts, duration, snapshot = outcome
                     values[index] = value
                     audits[index] = TaskAudit(
                         index=index, mode=mode, duration_s=duration, attempts=attempts
@@ -501,7 +696,7 @@ def map_tasks_resilient(
                             {"kind": "point", "index": index, "value": encode_json_value(value)}
                         )
                 else:
-                    _, exc_type, message, tail, attempts, duration = outcome
+                    _, exc_type, message, tail, attempts, duration, snapshot = outcome
                     failure = TaskFailure(
                         index=index,
                         exception_type=exc_type,
@@ -519,12 +714,25 @@ def map_tasks_resilient(
                         records.append(
                             {"kind": "failure", "index": index, "failure": failure.to_dict()}
                         )
+                if tracer and snapshot is not None:
+                    # Chunks run in index order and each chunk's indices are
+                    # ascending, so this merge order is the task-index order
+                    # — worker count and pool health cannot reorder it.
+                    tracer.merge_snapshot(snapshot)
+                if sidecar_path is not None:
+                    audit_records.append(
+                        {"kind": "audit", "index": index, "mode": mode, "attempts": attempts}
+                    )
             if checkpoint_path is not None and records:
                 _append_records(checkpoint_path, records)
+            if sidecar_path is not None and audit_records:
+                _append_records(sidecar_path, audit_records)
             if chunk_failures and failure_policy == "raise":
                 raise SweepTaskError(chunk_failures[0])
     finally:
         pool.close()
+        if tracer:
+            _count_pool_health(tracer, audits, failures, pool, n_chunks, n_restored)
 
     ordered = tuple(failures[index] for index in sorted(failures))
     return ResilientMap(values=values, failures=ordered, audit=tuple(audits))
@@ -554,6 +762,7 @@ class ResilientRunner:
         *,
         checkpoint: str | Path | None = None,
         checkpoint_key: str | None = None,
+        audit_sidecar: bool = True,
     ) -> ResilientMap:
         """Map *worker* over *tasks* with this runner's configuration."""
         return map_tasks_resilient(
@@ -567,4 +776,5 @@ class ResilientRunner:
             chunk_timeout_s=self.chunk_timeout_s,
             checkpoint=checkpoint,
             checkpoint_key=checkpoint_key,
+            audit_sidecar=audit_sidecar,
         )

@@ -92,8 +92,7 @@ def map_tasks(
     children = root.spawn(len(tasks))
 
     if workers <= 1 or len(tasks) == 1:
-        return [worker(task, np.random.default_rng(child))
-                for task, child in zip(tasks, children)]
+        return [worker(task, np.random.default_rng(child)) for task, child in zip(tasks, children)]
 
     packed = [(worker, task, child) for task, child in zip(tasks, children)]
     try:
@@ -104,8 +103,7 @@ def map_tasks(
         # processes, or a worker process died without raising.  Worker
         # exceptions travel as _WorkerFailure values and can no longer
         # trigger this fallback; a serial re-run re-raises them directly.
-        return [worker(task, np.random.default_rng(child))
-                for task, child in zip(tasks, children)]
+        return [worker(task, np.random.default_rng(child)) for task, child in zip(tasks, children)]
     for result in results:
         if isinstance(result, _WorkerFailure):
             raise result.exception

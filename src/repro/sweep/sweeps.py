@@ -70,8 +70,7 @@ __all__ = [
 #: Residual transmitter jitter of the link sweeps: Table 1's random jitter,
 #: with the deterministic component now *emerging* from channel ISI instead
 #: of being stipulated.
-LINK_RESIDUAL_JITTER_SPEC = JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.021,
-                                       sj_amplitude_ui_pp=0.0)
+LINK_RESIDUAL_JITTER_SPEC = JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.021, sj_amplitude_ui_pp=0.0)
 
 
 # --- result classes -----------------------------------------------------------
@@ -222,17 +221,14 @@ class EqualizationAblationResult:
 
     def as_dict(self) -> dict[str, float]:
         """``{line-up label: BER}`` for reporting."""
-        return {label: float(value)
-                for label, value in zip(self.labels, self.ber)}
+        return {label: float(value) for label, value in zip(self.labels, self.ber)}
 
 
 # --- scenario assembly helpers ------------------------------------------------
 
 
-def _stimulus(n_bits: int, prbs_order: int, seed: int | None = None
-              ) -> StimulusSpec:
-    return StimulusSpec(kind="prbs", n_bits=n_bits, prbs_order=prbs_order,
-                        seed=seed)
+def _stimulus(n_bits: int, prbs_order: int, seed: int | None = None) -> StimulusSpec:
+    return StimulusSpec(kind="prbs", n_bits=n_bits, prbs_order=prbs_order, seed=seed)
 
 
 def _sinusoidal_base(jitter: JitterSpec) -> JitterSpec:
@@ -242,8 +238,9 @@ def _sinusoidal_base(jitter: JitterSpec) -> JitterSpec:
     return jitter.with_sinusoidal(0.0, 0.0)
 
 
-def _surface(result: SweepResult, rows: np.ndarray, columns: np.ndarray,
-             backend: str, n_bits: int) -> BerSurfaceResult:
+def _surface(
+    result: SweepResult, rows: np.ndarray, columns: np.ndarray, backend: str, n_bits: int
+) -> BerSurfaceResult:
     """Reshape an engine result onto the legacy (rows, columns) grid."""
     shape = (rows.size, columns.size)
     return BerSurfaceResult(
@@ -290,9 +287,13 @@ def ber_vs_sj_sweep(
     )
     result = run_grid(
         spec,
-        [ParameterAxis("sj_amplitude_ui_pp", amplitudes_ui_pp),
-         ParameterAxis("sj_frequency_hz", frequencies_hz)],
-        name="ber_vs_sj", seed=seed, workers=workers,
+        [
+            ParameterAxis("sj_amplitude_ui_pp", amplitudes_ui_pp),
+            ParameterAxis("sj_frequency_hz", frequencies_hz),
+        ],
+        name="ber_vs_sj",
+        seed=seed,
+        workers=workers,
     )
     return _surface(result, amplitudes_ui_pp, frequencies_hz, backend, n_bits)
 
@@ -326,7 +327,9 @@ def ber_vs_frequency_offset_sweep(
     result = run_grid(
         spec,
         [ParameterAxis("frequency_offset", frequency_offsets)],
-        name="ber_vs_frequency_offset", seed=seed, workers=workers,
+        name="ber_vs_frequency_offset",
+        seed=seed,
+        workers=workers,
     )
     return _surface(result, np.array([0.0]), frequency_offsets, backend, n_bits)
 
@@ -372,11 +375,15 @@ def jitter_tolerance_sweep(
     result = run_tolerance_search(
         spec,
         [ParameterAxis("sj_frequency_hz", frequencies_hz)],
-        ToleranceSearch(axis="sj_amplitude_ui_pp",
-                        maximum=max_amplitude_ui_pp,
-                        resolution=tolerance_ui,
-                        target_errors=target_errors),
-        name="jitter_tolerance", seed=seed, workers=workers,
+        ToleranceSearch(
+            axis="sj_amplitude_ui_pp",
+            maximum=max_amplitude_ui_pp,
+            resolution=tolerance_ui,
+            target_errors=target_errors,
+        ),
+        name="jitter_tolerance",
+        seed=seed,
+        workers=workers,
     )
     return JitterToleranceResult(
         frequencies_hz=frequencies_hz,
@@ -410,7 +417,8 @@ def multichannel_sweep(
     jitter = jitter or PAPER_JITTER_SPEC
 
     receiver = MultiChannelReceiver(
-        config, rng=np.random.default_rng(np.random.SeedSequence(seed)))
+        config, rng=np.random.default_rng(np.random.SeedSequence(seed))
+    )
     offsets = receiver.channel_frequency_offsets()
     skews = receiver.lane_skews_ui()
 
@@ -421,16 +429,20 @@ def multichannel_sweep(
         backend=backend,
     )
     lanes = tuple(
-        LaneSpec(index=index,
-                 frequency_offset=float(offsets[index]),
-                 stimulus_seed=index + 1,
-                 lane_skew_ui=float(skews[index]))
+        LaneSpec(
+            index=index,
+            frequency_offset=float(offsets[index]),
+            stimulus_seed=index + 1,
+            lane_skew_ui=float(skews[index]),
+        )
         for index in range(config.n_channels)
     )
     result = run_grid(
         spec,
         [ParameterAxis("lane", lanes)],
-        name="multichannel", seed=seed, workers=workers,
+        name="multichannel",
+        seed=seed,
+        workers=workers,
     )
     return MultichannelSweepResult(
         frequency_offsets=np.asarray(offsets, dtype=float),
@@ -447,8 +459,7 @@ def multichannel_sweep(
 
 def _default_equalized_link() -> LinkConfig:
     """The sweeps' reference equalizer line-up (FFE de-emphasis + CTLE)."""
-    return LinkConfig(tx_ffe=TxFfe.de_emphasis(post_db=3.5),
-                      rx_ctle=RxCtle(peaking_db=6.0))
+    return LinkConfig(tx_ffe=TxFfe.de_emphasis(post_db=3.5), rx_ctle=RxCtle(peaking_db=6.0))
 
 
 def ber_vs_channel_loss_sweep(
@@ -486,7 +497,9 @@ def ber_vs_channel_loss_sweep(
     result = run_grid(
         spec,
         [ParameterAxis("channel_loss_db", loss_db_values)],
-        name="ber_vs_channel_loss", seed=seed, workers=workers,
+        name="ber_vs_channel_loss",
+        seed=seed,
+        workers=workers,
     )
     return _surface(result, np.array([0.0]), loss_db_values, backend, n_bits)
 
@@ -514,8 +527,7 @@ def ber_vs_ctle_peaking_sweep(
     link = link or LinkConfig()
     jitter = jitter or LINK_RESIDUAL_JITTER_SPEC
     peaking_db_values = np.asarray(peaking_db_values, dtype=float)
-    channel = LossyLineChannel.for_loss_at_nyquist(
-        float(loss_db), link.timebase.bit_rate_hz)
+    channel = LossyLineChannel.for_loss_at_nyquist(float(loss_db), link.timebase.bit_rate_hz)
 
     spec = ScenarioSpec(
         stimulus=_stimulus(n_bits, prbs_order),
@@ -527,11 +539,12 @@ def ber_vs_ctle_peaking_sweep(
     result = run_grid(
         spec,
         [ParameterAxis("ctle_peaking_db", peaking_db_values)],
-        name="ber_vs_ctle_peaking", seed=seed, workers=workers,
+        name="ber_vs_ctle_peaking",
+        seed=seed,
+        workers=workers,
         metadata={"loss_db": float(loss_db)},
     )
-    return _surface(result, np.array([float(loss_db)]), peaking_db_values,
-                    backend, n_bits)
+    return _surface(result, np.array([float(loss_db)]), peaking_db_values, backend, n_bits)
 
 
 def ber_vs_aggressor_sweep(
@@ -562,8 +575,7 @@ def ber_vs_aggressor_sweep(
     template = link or _default_equalized_link()
     jitter = jitter or LINK_RESIDUAL_JITTER_SPEC
     aggressor_amplitudes = np.asarray(aggressor_amplitudes, dtype=float)
-    channel = LossyLineChannel.for_loss_at_nyquist(
-        float(loss_db), template.timebase.bit_rate_hz)
+    channel = LossyLineChannel.for_loss_at_nyquist(float(loss_db), template.timebase.bit_rate_hz)
     if template.crosstalk is None:
         template = template.with_crosstalk(CrosstalkSpec.single_fext(0.0))
 
@@ -578,7 +590,9 @@ def ber_vs_aggressor_sweep(
     result = run_grid(
         spec,
         [ParameterAxis("aggressor_amplitude", aggressor_amplitudes)],
-        name="ber_vs_aggressor", seed=seed, workers=workers,
+        name="ber_vs_aggressor",
+        seed=seed,
+        workers=workers,
         metadata={"loss_db": float(loss_db), "target_ber": float(target_ber)},
     )
     return AggressorSweepResult(
@@ -617,8 +631,7 @@ def equalization_ablation_sweep(
     config = config or CdrChannelConfig()
     template = link or _default_equalized_link()
     jitter = jitter or LINK_RESIDUAL_JITTER_SPEC
-    channel = LossyLineChannel.for_loss_at_nyquist(
-        float(loss_db), template.timebase.bit_rate_hz)
+    channel = LossyLineChannel.for_loss_at_nyquist(float(loss_db), template.timebase.bit_rate_hz)
     ffe = template.tx_ffe or TxFfe.de_emphasis(post_db=3.5)
     ctle = template.rx_ctle or RxCtle(peaking_db=6.0)
 
@@ -629,8 +642,7 @@ def equalization_ablation_sweep(
         EqualizerLineup("ffe+ctle", tx_ffe=ffe, rx_ctle=ctle),
     ]
     if dfe is not None:
-        lineups.append(EqualizerLineup("ffe+ctle+dfe", tx_ffe=ffe,
-                                       rx_ctle=ctle, dfe=dfe))
+        lineups.append(EqualizerLineup("ffe+ctle+dfe", tx_ffe=ffe, rx_ctle=ctle, dfe=dfe))
 
     spec = ScenarioSpec(
         stimulus=_stimulus(n_bits, prbs_order),
@@ -642,7 +654,9 @@ def equalization_ablation_sweep(
     result = run_grid(
         spec,
         [ParameterAxis("equalization", tuple(lineups))],
-        name="equalization_ablation", seed=seed, workers=workers,
+        name="equalization_ablation",
+        seed=seed,
+        workers=workers,
         metadata={"loss_db": float(loss_db)},
     )
     return EqualizationAblationResult(
@@ -689,15 +703,16 @@ def link_training_sweep(
         jitter=jitter,
         config=config,
         link=template,
-        measurement=MeasurementPlan(train_equalizers=True,
-                                    target_ber=target_ber),
+        measurement=MeasurementPlan(train_equalizers=True, target_ber=target_ber),
         training=training,
         backend=backend,
     )
     result = run_grid(
         spec,
         [ParameterAxis("channel_loss_db", loss_db_values)],
-        name="link_training", seed=seed, workers=workers,
+        name="link_training",
+        seed=seed,
+        workers=workers,
         metadata={"target_ber": float(target_ber)},
     )
     return LinkTrainingSweepResult(
@@ -709,8 +724,7 @@ def link_training_sweep(
         fixed_horizontal_ui=result.metric("fixed_horizontal_ui").reshape(-1),
         fixed_vertical=result.metric("fixed_vertical").reshape(-1),
         trained_tx_post_db=result.metric("trained_tx_post_db").reshape(-1),
-        trained_ctle_peaking_db=result.metric(
-            "trained_ctle_peaking_db").reshape(-1),
+        trained_ctle_peaking_db=result.metric("trained_ctle_peaking_db").reshape(-1),
         training_evaluations=result.metric("training_evaluations").reshape(-1),
         target_ber=float(target_ber),
         backend=backend,

@@ -1,0 +1,213 @@
+"""Summarize a telemetry trace into :mod:`repro.reporting` tables.
+
+A raw trace is a JSONL stream of spans and metric records; this module
+folds it into the three summaries that answer the questions telemetry
+exists for:
+
+* **stage breakdown** — per span path: how often it ran, total/mean
+  wall-clock time, share of the total traced time (where does a slow
+  sweep spend its time?);
+* **cache report** — every ``<name>.hits`` / ``<name>.misses`` counter
+  pair as a hit rate (is the :class:`repro.link.LinkPath` pulse-response
+  cache actually hitting?  how many budget-charged
+  :class:`~repro.link.training.objective.StatEyeObjective` solves did
+  memoisation save?);
+* **pool health** — the resilient runner's task-mode, retry, rebuild,
+  fallback and checkpoint-resume counters (how degraded was the run?).
+
+Use :func:`summarize` for the full plain-text report, the ``*_table``
+functions for individual :class:`repro.reporting.TextTable` views, or
+:func:`stage_breakdown` for the JSON-safe dict the benchmark harness
+embeds in ``BENCH_fastpath.json``.  Command line::
+
+    PYTHONPATH=src python -m repro.telemetry.report trace.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from ..reporting.tables import TextTable
+from . import SPAN_HISTOGRAM_PREFIX, Tracer, read_trace
+
+__all__ = [
+    "load_trace",
+    "stage_table",
+    "cache_table",
+    "pool_table",
+    "counter_table",
+    "stage_breakdown",
+    "summarize",
+    "main",
+]
+
+#: Counter-name prefixes summarized by the pool-health table.
+POOL_COUNTER_PREFIXES = ("sweep.",)
+
+
+def load_trace(source: "str | Path | Tracer | dict") -> dict:
+    """Normalize *source* into the dict shape :func:`read_trace` returns.
+
+    Accepts a trace file path, a live :class:`~repro.telemetry.Tracer`,
+    or an already-loaded trace dict.
+    """
+    if isinstance(source, Tracer):
+        snapshot = source.snapshot()
+        return {
+            "name": source.name,
+            "spans": list(source.spans),
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "histograms": snapshot["histograms"],
+        }
+    if isinstance(source, dict):
+        return source
+    return read_trace(source)
+
+
+def _stage_rows(trace: dict) -> list[tuple[str, int, float, float]]:
+    """(path, count, total_s, mean_s) per span stage, sorted by total time."""
+    rows = []
+    for name, histogram in trace["histograms"].items():
+        if not name.startswith(SPAN_HISTOGRAM_PREFIX):
+            continue
+        path = name[len(SPAN_HISTOGRAM_PREFIX) :]
+        count = int(histogram["count"])
+        total = float(histogram["total"])
+        rows.append((path, count, total, total / count if count else 0.0))
+    rows.sort(key=lambda row: (-row[2], row[0]))
+    return rows
+
+
+def stage_table(trace: dict) -> TextTable:
+    """Per-stage time breakdown: count, total, mean, share of traced time.
+
+    The *share* column normalizes by the top-level (depth-zero) span
+    total, so nested stages show what fraction of the run they explain.
+    """
+    rows = _stage_rows(trace)
+    top_level = sum(total for path, _count, total, _mean in rows if "/" not in path)
+    table = TextTable(
+        headers=["stage", "count", "total_s", "mean_s", "share"],
+        title="stage breakdown",
+    )
+    for path, count, total, mean in rows:
+        share = total / top_level if top_level > 0.0 else 0.0
+        table.add_row(path, count, f"{total:.6g}", f"{mean:.6g}", f"{share:.1%}")
+    return table
+
+
+def _cache_names(counters: dict) -> list[str]:
+    names = set()
+    for name in counters:
+        if name.endswith(".hits"):
+            names.add(name[: -len(".hits")])
+        elif name.endswith(".misses"):
+            names.add(name[: -len(".misses")])
+    return sorted(names)
+
+
+def cache_table(trace: dict) -> TextTable:
+    """Hit/miss/rate of every ``<cache>.hits`` / ``<cache>.misses`` pair."""
+    counters = trace["counters"]
+    table = TextTable(
+        headers=["cache", "hits", "misses", "hit_rate"],
+        title="cache hit rates",
+    )
+    for name in _cache_names(counters):
+        hits = int(counters.get(name + ".hits", 0))
+        misses = int(counters.get(name + ".misses", 0))
+        lookups = hits + misses
+        rate = hits / lookups if lookups else 0.0
+        table.add_row(name, hits, misses, f"{rate:.1%}")
+    return table
+
+
+def pool_table(trace: dict) -> TextTable:
+    """Pool-health summary: the resilient runner's ``sweep.*`` counters."""
+    table = TextTable(headers=["metric", "value"], title="pool health")
+    for name in sorted(trace["counters"]):
+        if name.startswith(POOL_COUNTER_PREFIXES):
+            table.add_row(name, trace["counters"][name])
+    return table
+
+
+def counter_table(trace: dict) -> TextTable:
+    """Every counter of the trace, sorted by name."""
+    table = TextTable(headers=["counter", "value"], title="counters")
+    for name in sorted(trace["counters"]):
+        table.add_row(name, trace["counters"][name])
+    return table
+
+
+def stage_breakdown(source: "str | Path | Tracer | dict") -> dict:
+    """JSON-safe stage/cache/pool summary of a trace.
+
+    The shape the benchmark harness embeds per ``BENCH_fastpath.json``
+    entry: per-stage counts and total seconds, cache hit/miss pairs, and
+    the raw counters.  Durations here are wall-clock diagnostics — never
+    part of a content hash.
+    """
+    trace = load_trace(source)
+    stages = {
+        path: {"count": count, "total_s": round(total, 6)}
+        for path, count, total, _mean in _stage_rows(trace)
+    }
+    caches = {}
+    for name in _cache_names(trace["counters"]):
+        hits = int(trace["counters"].get(name + ".hits", 0))
+        misses = int(trace["counters"].get(name + ".misses", 0))
+        lookups = hits + misses
+        caches[name] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        }
+    counters = {
+        name: trace["counters"][name]
+        for name in sorted(trace["counters"])
+        if not name.endswith(".hits") and not name.endswith(".misses")
+    }
+    return {"stages": stages, "caches": caches, "counters": counters}
+
+
+def summarize(source: "str | Path | Tracer | dict") -> str:
+    """Render the full report: stage breakdown, cache rates, pool health."""
+    trace = load_trace(source)
+    parts = [f"telemetry report: {trace['name']}", ""]
+    parts.append(stage_table(trace).render())
+    cache = cache_table(trace)
+    if cache.rows:
+        parts.append(cache.render())
+    pool = pool_table(trace)
+    if pool.rows:
+        parts.append(pool.render())
+    remaining = [
+        name
+        for name in trace["counters"]
+        if not name.startswith(POOL_COUNTER_PREFIXES)
+        and not name.endswith(".hits")
+        and not name.endswith(".misses")
+    ]
+    if remaining:
+        table = TextTable(headers=["counter", "value"], title="other counters")
+        for name in sorted(remaining):
+            table.add_row(name, trace["counters"][name])
+        parts.append(table.render())
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: print the summary of one trace file."""
+    parser = argparse.ArgumentParser(
+        description="Summarize a repro telemetry JSONL trace."
+    )
+    parser.add_argument("trace", help="path to a trace written by Tracer.write_jsonl")
+    arguments = parser.parse_args(argv)
+    print(summarize(Path(arguments.trace)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

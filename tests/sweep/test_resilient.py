@@ -240,3 +240,118 @@ class TestPoolRobustness:
         assert result.failures == ()
         modes = {audit.index: audit.mode for audit in result.audit}
         assert modes[1] == "serial-degraded"
+
+
+class TestAuditSidecar:
+    def test_sidecar_written_next_to_checkpoint(self, tmp_path):
+        import json
+
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+        sidecar = tmp_path / "sweep.jsonl.audit"
+        assert sidecar.exists()
+        lines = [json.loads(line) for line in sidecar.read_text().splitlines()]
+        assert lines[0]["kind"] == "repro-sweep-audit"
+        assert lines[0]["n_tasks"] == len(TASKS)
+        records = [line for line in lines[1:] if line["kind"] == "audit"]
+        assert sorted(record["index"] for record in records) == TASKS
+        assert all(record["mode"] == "serial" for record in records)
+        # Durations are nondeterministic wall-clock — never persisted.
+        assert "duration" not in sidecar.read_text()
+
+    def test_resume_surfaces_source_mode_and_attempts(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+        resumed = map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint
+        )
+        assert resumed.values == _reference()
+        for audit in resumed.audit:
+            assert audit.mode == "checkpoint"
+            assert audit.source_mode == "serial"
+            assert audit.source_attempts == 1
+
+    def test_retry_attempts_survive_into_the_sidecar(self, tmp_path):
+        reset_fault_state()
+        checkpoint = tmp_path / "sweep.jsonl"
+        flaky = FailOnceThenSucceed(_draw, indices=(1, 5), tag="sidecar-test")
+        map_tasks_resilient(
+            flaky,
+            TASKS,
+            seed=42,
+            workers=1,
+            failure_policy="retry",
+            max_retries=1,
+            checkpoint=checkpoint,
+        )
+        resumed = map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint
+        )
+        attempts = {audit.index: audit.source_attempts for audit in resumed.audit}
+        assert attempts[1] == 2 and attempts[5] == 2
+        assert attempts[0] == 1
+
+    def test_failed_points_rerun_and_last_audit_wins(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        faulty = FailEveryNth(_draw, every=4)
+        map_tasks_resilient(
+            faulty, TASKS, seed=42, workers=1, chunk_size=3, checkpoint=checkpoint
+        )
+        map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, chunk_size=3, checkpoint=checkpoint
+        )
+        final = map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint
+        )
+        assert final.values == _reference()
+        for audit in final.audit:
+            assert audit.mode == "checkpoint"
+            assert audit.source_mode == "serial"
+
+    def test_disabled_sidecar_leaves_no_file_and_no_sources(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint, audit_sidecar=False
+        )
+        assert not (tmp_path / "sweep.jsonl.audit").exists()
+        resumed = map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint, audit_sidecar=False
+        )
+        for audit in resumed.audit:
+            assert audit.mode == "checkpoint"
+            assert audit.source_mode is None
+            assert audit.source_attempts is None
+
+    def test_resume_without_sidecar_still_works(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint, audit_sidecar=False
+        )
+        resumed = map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint
+        )
+        assert resumed.values == _reference()
+        assert all(audit.source_mode is None for audit in resumed.audit)
+
+    def test_corrupt_sidecar_is_rejected(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+        (tmp_path / "sweep.jsonl.audit").write_text("not json at all\n")
+        with pytest.raises(CheckpointMismatchError, match="not a sweep audit sidecar"):
+            map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+
+    def test_torn_sidecar_tail_is_tolerated(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, chunk_size=3, checkpoint=checkpoint
+        )
+        sidecar = tmp_path / "sweep.jsonl.audit"
+        lines = sidecar.read_text().splitlines()
+        sidecar.write_text("\n".join(lines[:-2]) + '\n{"kind": "aud')
+        resumed = map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint
+        )
+        assert resumed.values == _reference()
+        sources = [audit.source_mode for audit in resumed.audit]
+        assert "serial" in sources  # everything durably written still counts
+        assert sources[-1] is None  # the torn tail's audits are simply absent

@@ -1,0 +1,139 @@
+"""Trace reporting: stage/cache/pool tables, stage_breakdown, CLI."""
+
+import pytest
+
+from repro.telemetry import Tracer
+from repro.telemetry.report import (
+    cache_table,
+    counter_table,
+    load_trace,
+    main,
+    pool_table,
+    stage_breakdown,
+    stage_table,
+    summarize,
+)
+
+
+def _tracer() -> Tracer:
+    tracer = Tracer("study")
+    with tracer.span("sweep.chunk"):
+        with tracer.span("fastpath.run"):
+            pass
+    tracer.count("link.pulse_cache.hits", 9)
+    tracer.count("link.pulse_cache.misses", 1)
+    tracer.count("stateye.objective_cache.misses", 4)
+    tracer.count("kernel.events", 120)
+    tracer.count("sweep.tasks.pool", 8)
+    tracer.count("sweep.retries", 1)
+    return tracer
+
+
+class TestLoadTrace:
+    def test_accepts_tracer(self):
+        trace = load_trace(_tracer())
+        assert trace["counters"]["kernel.events"] == 120
+        assert len(trace["spans"]) == 2
+
+    def test_accepts_dict_verbatim(self):
+        trace = load_trace(_tracer())
+        assert load_trace(trace) is trace
+
+    def test_accepts_path(self, tmp_path):
+        path = _tracer().write_jsonl(tmp_path / "trace.jsonl")
+        assert load_trace(path)["name"] == "study"
+
+
+class TestStageTable:
+    def test_rows_sorted_by_total_time(self):
+        table = stage_table(load_trace(_tracer()))
+        stages = [row[0] for row in table.rows]
+        assert "sweep.chunk" in stages
+        assert "sweep.chunk/fastpath.run" in stages
+        assert stages[0] == "sweep.chunk"  # outer span dominates
+
+    def test_share_normalized_by_top_level(self):
+        table = stage_table(load_trace(_tracer()))
+        top = dict(zip([row[0] for row in table.rows], [row[4] for row in table.rows]))
+        assert top["sweep.chunk"] == "100.0%"
+
+
+class TestCacheTable:
+    def test_pairs_hits_and_misses(self):
+        table = cache_table(load_trace(_tracer()))
+        rows = {row[0]: row[1:] for row in table.rows}
+        assert rows["link.pulse_cache"] == ["9", "1", "90.0%"]
+        # A cache with only misses still reports, at zero rate.
+        assert rows["stateye.objective_cache"] == ["0", "4", "0.0%"]
+
+
+class TestPoolTable:
+    def test_only_sweep_counters(self):
+        table = pool_table(load_trace(_tracer()))
+        names = [row[0] for row in table.rows]
+        assert names == ["sweep.retries", "sweep.tasks.pool"]
+
+
+class TestCounterTable:
+    def test_lists_every_counter(self):
+        table = counter_table(load_trace(_tracer()))
+        assert len(table.rows) == 6
+
+
+class TestStageBreakdown:
+    def test_shape(self):
+        breakdown = stage_breakdown(_tracer())
+        assert set(breakdown) == {"stages", "caches", "counters"}
+        assert breakdown["stages"]["sweep.chunk"]["count"] == 1
+        assert breakdown["caches"]["link.pulse_cache"] == {
+            "hits": 9,
+            "misses": 1,
+            "hit_rate": 0.9,
+        }
+        # Hit/miss counters live under caches, not duplicated as counters.
+        assert "link.pulse_cache.hits" not in breakdown["counters"]
+        assert breakdown["counters"]["kernel.events"] == 120
+
+    def test_json_safe(self, tmp_path):
+        import json
+
+        json.dumps(stage_breakdown(_tracer()), allow_nan=False)
+
+    def test_from_file(self, tmp_path):
+        path = _tracer().write_jsonl(tmp_path / "trace.jsonl")
+        assert stage_breakdown(path)["counters"]["kernel.events"] == 120
+
+
+class TestSummarize:
+    def test_contains_all_sections(self):
+        text = summarize(_tracer())
+        assert "stage breakdown" in text
+        assert "cache hit rates" in text
+        assert "pool health" in text
+        assert "link.pulse_cache" in text
+        assert "stateye.objective_cache" in text
+        assert "sweep.tasks.pool" in text
+        assert "kernel.events" in text
+
+    def test_sections_without_data_are_omitted(self):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        text = summarize(tracer)
+        assert "cache hit rates" not in text
+        assert "pool health" not in text
+
+
+class TestCli:
+    def test_main_prints_report(self, tmp_path, capsys):
+        path = _tracer().write_jsonl(tmp_path / "trace.jsonl")
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry report: study" in out
+        assert "stage breakdown" in out
+
+    def test_main_rejects_non_trace(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"kind":"nope"}\n')
+        with pytest.raises(ValueError, match="not a telemetry trace"):
+            main([str(path)])

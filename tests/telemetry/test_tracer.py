@@ -1,0 +1,206 @@
+"""Tracer core: spans, counters, snapshots, activation, JSONL round trip."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import (
+    NULL_TRACER,
+    SPAN_HISTOGRAM_PREFIX,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    read_trace,
+)
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert telemetry.ACTIVE is NULL_TRACER
+        assert not telemetry.active()
+
+    def test_null_tracer_is_falsy_and_real_tracer_truthy(self):
+        assert not NullTracer()
+        assert Tracer("t")
+
+    def test_trace_binds_and_restores(self):
+        with telemetry.trace("study") as tracer:
+            assert telemetry.ACTIVE is tracer
+            assert tracer.name == "study"
+        assert telemetry.ACTIVE is NULL_TRACER
+
+    def test_trace_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with telemetry.trace():
+                raise RuntimeError("boom")
+        assert telemetry.ACTIVE is NULL_TRACER
+
+    def test_traces_nest(self):
+        with telemetry.trace("outer") as outer:
+            with telemetry.trace("inner") as inner:
+                assert telemetry.ACTIVE is inner
+            assert telemetry.ACTIVE is outer
+        assert telemetry.ACTIVE is NULL_TRACER
+
+    def test_activate_returns_previous(self):
+        tracer = Tracer()
+        previous = telemetry.activate(tracer)
+        try:
+            assert previous is NULL_TRACER
+            assert telemetry.ACTIVE is tracer
+        finally:
+            assert telemetry.activate(previous) is tracer
+        assert telemetry.ACTIVE is NULL_TRACER
+
+
+class TestNullTracer:
+    def test_all_operations_are_noops(self):
+        null = NullTracer()
+        null.count("a")
+        null.gauge("b", 1.0)
+        null.observe("c", 2.0)
+        null.merge_snapshot({"counters": {"a": 1}})
+        with null.span("stage"):
+            pass
+
+    def test_span_is_one_shared_object(self):
+        null = NullTracer()
+        assert null.span("a") is null.span("b")
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        tracer = Tracer()
+        tracer.count("events")
+        tracer.count("events", 4)
+        assert tracer.counters == {"events": 5}
+
+    def test_gauges_last_write_wins(self):
+        tracer = Tracer()
+        tracer.gauge("depth", 3)
+        tracer.gauge("depth", 7)
+        assert tracer.gauges == {"depth": 7.0}
+
+    def test_histograms_track_count_total_min_max(self):
+        tracer = Tracer()
+        for value in (3.0, 1.0, 2.0):
+            tracer.observe("chunk_s", value)
+        assert tracer.histograms["chunk_s"] == {
+            "count": 3,
+            "total": 6.0,
+            "min": 1.0,
+            "max": 3.0,
+        }
+
+
+class TestSpans:
+    def test_nested_spans_record_slash_paths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.path for span in tracer.spans] == ["outer/inner", "outer"]
+        assert [span.name for span in tracer.spans] == ["inner", "outer"]
+
+    def test_span_durations_fold_into_histograms(self):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        with tracer.span("stage"):
+            pass
+        histogram = tracer.histograms[SPAN_HISTOGRAM_PREFIX + "stage"]
+        assert histogram["count"] == 2
+        assert histogram["total"] >= 0.0
+
+    def test_span_pops_stack_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("stage"):
+                raise ValueError("boom")
+        assert tracer._stack == []
+        assert tracer.spans[0].name == "stage"
+
+
+class TestSnapshots:
+    def _loaded(self) -> Tracer:
+        tracer = Tracer()
+        tracer.count("kernel.events", 10)
+        tracer.gauge("depth", 2)
+        tracer.observe("chunk_s", 0.5)
+        return tracer
+
+    def test_snapshot_is_json_safe_and_sorted(self):
+        tracer = self._loaded()
+        tracer.count("a.first")
+        snapshot = tracer.snapshot()
+        assert list(snapshot["counters"]) == sorted(snapshot["counters"])
+        json.dumps(snapshot, allow_nan=False)
+
+    def test_snapshot_excludes_spans(self):
+        tracer = Tracer()
+        with tracer.span("stage"):
+            pass
+        snapshot = tracer.snapshot()
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        # Span durations still travel via the span: histogram.
+        assert SPAN_HISTOGRAM_PREFIX + "stage" in snapshot["histograms"]
+
+    def test_merge_adds_counters_and_combines_histograms(self):
+        parent = Tracer()
+        parent.count("kernel.events", 1)
+        parent.observe("chunk_s", 2.0)
+        parent.merge_snapshot(self._loaded().snapshot())
+        assert parent.counters["kernel.events"] == 11
+        assert parent.gauges["depth"] == 2.0
+        assert parent.histograms["chunk_s"] == {
+            "count": 2,
+            "total": 2.5,
+            "min": 0.5,
+            "max": 2.0,
+        }
+
+    def test_merge_into_empty_tracer_reproduces_totals(self):
+        parent = Tracer()
+        parent.merge_snapshot(self._loaded().snapshot())
+        assert parent.snapshot() == self._loaded().snapshot()
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        tracer = Tracer("study")
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.count("kernel.events", 3)
+        tracer.gauge("depth", 1)
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+
+        loaded = read_trace(path)
+        assert loaded["name"] == "study"
+        assert loaded["counters"] == {"kernel.events": 3}
+        assert loaded["gauges"] == {"depth": 1.0}
+        assert [span.path for span in loaded["spans"]] == ["outer/inner", "outer"]
+        assert isinstance(loaded["spans"][0], SpanRecord)
+        assert loaded["histograms"][SPAN_HISTOGRAM_PREFIX + "outer"]["count"] == 1
+
+    def test_file_is_strict_jsonl(self, tmp_path):
+        tracer = Tracer()
+        tracer.count("a", 1)
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["kind"] == telemetry.TRACE_KIND
+        for line in lines:
+            json.loads(line)
+
+    def test_read_rejects_non_trace(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"kind":"something-else"}\n')
+        with pytest.raises(ValueError, match="not a telemetry trace"):
+            read_trace(path)
+
+    def test_read_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace(path)
