@@ -1,0 +1,68 @@
+"""Optional compiled/batched kernel tier for the bit-true hot loops.
+
+The remaining per-sample Python loops of the stack — the LMS /
+decision-directed DFE recursion (:mod:`repro.link.equalization`), the
+event kernel's gate-evaluation stepping (:mod:`repro.events.kernel`) and
+the per-candidate adaptation inside link training — dominate every
+bit-true workload.  This package provides drop-in fast implementations
+of exactly those loops behind a single dispatch module, following the
+pure-python-reference + drop-in-compiled-kernel pattern (QAMpy's DSP
+layer):
+
+* **reference** — the pinned pure-python loops, living where they always
+  did (``LmsDfe._adapt_reference`` and friends, the classic
+  ``Simulator`` stepping loop).  They define the semantics; every other
+  tier must match them **bit for bit** (gated by
+  ``tests/kernels/test_bit_identity.py``).
+* **python** — the always-available scalar middle tier
+  (:mod:`repro._kernels.scalar`): the same recursions on unboxed Python
+  floats with hoisted indexing, ~10x over the reference loops without
+  any new dependency.
+* **jit** — numba ``@njit(cache=True)`` kernels
+  (:mod:`repro._kernels.jit`) behind a guarded import.  When numba is
+  not installed the import fails silently, :func:`jit_available` returns
+  False and dispatch falls back to the python tier (counted as
+  ``kernels.jit_fallback`` in telemetry); nothing warns or spams.
+
+Tier selection is explicit everywhere (``tier="auto"`` resolves to the
+fastest available tier) and surfaces in the backend registry as the
+``"fast+jit"`` backend / :attr:`BackendSpec.kernel_tier` field.  All
+dispatches count ``kernels.tier.<tier>`` telemetry events.
+
+This package sits at the very bottom of the layer diagram: it imports
+only numpy and :mod:`repro.telemetry`, never the layers that call it.
+"""
+
+from __future__ import annotations
+
+from .dispatch import (
+    KERNEL_TIERS,
+    TIER_AUTO,
+    TIER_JIT,
+    TIER_PYTHON,
+    TIER_REFERENCE,
+    dfe_adapt,
+    dfe_adapt_decision_directed,
+    dfe_error_propagation,
+    jit_available,
+    resolve_tier,
+    simulator_drain,
+    simulator_drain_until,
+    warmup_jit,
+)
+
+__all__ = [
+    "KERNEL_TIERS",
+    "TIER_AUTO",
+    "TIER_JIT",
+    "TIER_PYTHON",
+    "TIER_REFERENCE",
+    "dfe_adapt",
+    "dfe_adapt_decision_directed",
+    "dfe_error_propagation",
+    "jit_available",
+    "resolve_tier",
+    "simulator_drain",
+    "simulator_drain_until",
+    "warmup_jit",
+]

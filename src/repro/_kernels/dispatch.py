@@ -1,0 +1,233 @@
+"""Single dispatch point for the bit-true hot-loop kernels.
+
+Every accelerated loop in the stack routes through this module: the DFE
+adaptation recursions (called from :class:`repro.link.LmsDfe`, and
+through it from link training's per-candidate adaptation), the DFE
+error-propagation stepping, and the event kernel's drain loop.  Callers
+pass a *tier* request and this module resolves it against what the
+environment provides:
+
+* ``"auto"`` — the fastest available tier: ``"jit"`` when numba imports
+  cleanly, otherwise the scalar ``"python"`` middle tier.
+* ``"jit"`` — the numba tier; silently falls back to ``"python"`` when
+  numba is missing (counted as ``kernels.jit_fallback`` — forcing the
+  ``"fast+jit"`` *backend* without numba raises earlier, in
+  :func:`repro.fastpath.backends.resolve_backend`).
+* ``"python"`` — the scalar middle tier (always available).
+* ``"reference"`` — the pinned pure-python loops at the call site; this
+  module never executes them, it only reports the resolution so callers
+  keep reference execution local.
+
+Resolution is observable: every dispatch counts ``kernels.tier.<tier>``
+on the active telemetry tracer, so a trace shows exactly which tier
+served a run and how often the JIT fallback fired.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import telemetry
+from . import scalar
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from . import jit as _jit
+except ImportError:  # numba not installed: the capability simply vanishes
+    _jit = None
+
+__all__ = [
+    "KERNEL_TIERS",
+    "TIER_AUTO",
+    "TIER_JIT",
+    "TIER_PYTHON",
+    "TIER_REFERENCE",
+    "dfe_adapt",
+    "dfe_adapt_decision_directed",
+    "dfe_error_propagation",
+    "jit_available",
+    "resolve_tier",
+    "simulator_drain",
+    "simulator_drain_until",
+    "warmup_jit",
+]
+
+#: The pinned pure-python loops (executed by the caller, never here).
+TIER_REFERENCE = "reference"
+
+#: The always-available scalar middle tier (:mod:`repro._kernels.scalar`).
+TIER_PYTHON = "python"
+
+#: The numba-compiled tier (:mod:`repro._kernels.jit`, optional extra).
+TIER_JIT = "jit"
+
+#: Pseudo tier resolved to the fastest available concrete tier.
+TIER_AUTO = "auto"
+
+#: Every concrete kernel tier, slowest (reference) first.
+KERNEL_TIERS = (TIER_REFERENCE, TIER_PYTHON, TIER_JIT)
+
+
+def jit_available() -> bool:
+    """True when the numba kernels imported cleanly."""
+    return _jit is not None
+
+
+def resolve_tier(tier: str = TIER_AUTO, *, jit_capable: bool = True) -> str:
+    """Resolve a tier request to the concrete tier that will run.
+
+    *jit_capable* is False for loops with no compiled implementation
+    (event stepping dispatches Python callbacks), in which case ``jit``
+    requests resolve to the python tier without counting a fallback.
+    """
+    if tier == TIER_AUTO:
+        if jit_capable and _jit is not None:
+            return TIER_JIT
+        return TIER_PYTHON
+    if tier == TIER_JIT:
+        if not jit_capable:
+            return TIER_PYTHON
+        if _jit is None:
+            tracer = telemetry.ACTIVE
+            if tracer:
+                tracer.count("kernels.jit_fallback")
+            return TIER_PYTHON
+        return TIER_JIT
+    if tier in (TIER_PYTHON, TIER_REFERENCE):
+        return tier
+    raise ValueError(
+        f"unknown kernel tier {tier!r}; expected one of "
+        f"{list(KERNEL_TIERS) + [TIER_AUTO]}"
+    )
+
+
+def _count_tier(resolved: str) -> None:
+    tracer = telemetry.ACTIVE
+    if tracer:
+        tracer.count(f"kernels.tier.{resolved}")
+
+
+def warmup_jit() -> bool:
+    """Compile the numba kernels now (outside any timed region).
+
+    Returns True when the JIT tier is available and warm; False (after
+    doing nothing) when numba is not installed.  Counted as
+    ``kernels.jit_warmup`` so traces show warm-up happened before the
+    measured work.
+    """
+    if _jit is None:
+        return False
+    _jit.warmup()
+    tracer = telemetry.ACTIVE
+    if tracer:
+        tracer.count("kernels.jit_warmup")
+    return True
+
+
+def _as_float_array(values: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(values, dtype=np.float64)
+
+
+# --- DFE adaptation ------------------------------------------------------------
+
+
+def dfe_adapt(
+    samples: np.ndarray,
+    levels: np.ndarray,
+    n_taps: int,
+    step_size: float,
+    n_epochs: int,
+    *,
+    tier: str = TIER_AUTO,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Data-aided LMS adaptation → ``(weights, error_rms_per_epoch)``.
+
+    The reference tier is not dispatchable here — callers that want it
+    run their own pinned loop (``LmsDfe.adapt(kernel="reference")``).
+    """
+    resolved = resolve_tier(tier)
+    _count_tier(resolved)
+    samples = _as_float_array(samples)
+    levels = _as_float_array(levels)
+    if resolved == TIER_JIT:
+        return _jit.dfe_adapt(samples, levels, int(n_taps), float(step_size), int(n_epochs))
+    return scalar.dfe_adapt(samples, levels, int(n_taps), float(step_size), int(n_epochs))
+
+
+def dfe_adapt_decision_directed(
+    samples: np.ndarray,
+    levels: np.ndarray,
+    n_taps: int,
+    step_size: float,
+    n_epochs: int,
+    *,
+    tier: str = TIER_AUTO,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Blind LMS adaptation → ``(weights, error_rms, decision_error_rate)``."""
+    resolved = resolve_tier(tier)
+    _count_tier(resolved)
+    samples = _as_float_array(samples)
+    levels = _as_float_array(levels)
+    if resolved == TIER_JIT:
+        return _jit.dfe_adapt_decision_directed(
+            samples, levels, int(n_taps), float(step_size), int(n_epochs)
+        )
+    return scalar.dfe_adapt_decision_directed(
+        samples, levels, int(n_taps), float(step_size), int(n_epochs)
+    )
+
+
+def dfe_error_propagation(
+    waveform: np.ndarray,
+    levels: np.ndarray,
+    weights: np.ndarray,
+    start: int,
+    steps: int,
+    snap: float,
+    *,
+    tier: str = TIER_AUTO,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forced-error burst stepping → ``(wrong_decisions, deviation_per_ui)``."""
+    resolved = resolve_tier(tier)
+    _count_tier(resolved)
+    waveform = _as_float_array(waveform)
+    levels = _as_float_array(levels)
+    weights = _as_float_array(weights)
+    if resolved == TIER_JIT:
+        return _jit.dfe_error_propagation(
+            waveform, levels, weights, int(start), int(steps), float(snap)
+        )
+    return scalar.dfe_error_propagation(
+        waveform, levels, weights, int(start), int(steps), float(snap)
+    )
+
+
+# --- event-kernel stepping -----------------------------------------------------
+
+
+def simulator_drain_until(
+    simulator,
+    stop_time_s: float,
+    max_events: int | None,
+    *,
+    tier: str = TIER_AUTO,
+) -> tuple[int, bool]:
+    """Drain *simulator* up to *stop_time_s* on the resolved tier.
+
+    Returns ``(executed, exceeded)``; the caller owns raising the
+    budget-exceeded error and the final clock advance.  The reference
+    tier runs the simulator's own pinned stepping loop.
+    """
+    resolved = resolve_tier(tier, jit_capable=False)
+    _count_tier(resolved)
+    if resolved == TIER_REFERENCE:
+        return simulator.drain_until_reference(stop_time_s, max_events)
+    return scalar.drain_until(simulator, stop_time_s, max_events)
+
+
+def simulator_drain(simulator, max_events: int, *, tier: str = TIER_AUTO) -> tuple[int, bool]:
+    """Drain *simulator* until its queue empties on the resolved tier."""
+    resolved = resolve_tier(tier, jit_capable=False)
+    _count_tier(resolved)
+    if resolved == TIER_REFERENCE:
+        return simulator.drain_reference(max_events)
+    return scalar.drain(simulator, max_events)

@@ -1,0 +1,130 @@
+"""Numba-compiled kernels for the DFE recursions (optional ``fast`` extra).
+
+Importing this module raises ``ImportError`` when numba is missing; the
+dispatch layer guards the import and silently falls back to the scalar
+middle tier, so a no-numba environment never sees a warning.  The
+kernels perform the identical IEEE-754 operations in the identical
+order as the pinned reference loops — no ``fastmath``, no reassociation
+— so their outputs are bit-for-bit equal (gated by
+``tests/kernels/test_bit_identity.py`` wherever numba is installed).
+
+``cache=True`` persists the compiled artifacts next to the module, so a
+process pays the JIT cost once per machine, not once per run; callers
+that time kernels should still warm up explicitly
+(:func:`repro._kernels.dispatch.warmup_jit`) outside timed regions.
+
+The event-kernel drain is deliberately absent: gate evaluation runs
+arbitrary Python callbacks, which a compiled loop cannot dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = [
+    "dfe_adapt",
+    "dfe_adapt_decision_directed",
+    "dfe_error_propagation",
+    "warmup",
+]
+
+
+@njit(cache=True)
+def dfe_adapt(samples, levels, n_taps, step_size, n_epochs):
+    """Data-aided LMS recursion; see ``LmsDfe._adapt_reference``."""
+    n = samples.shape[0]
+    weights = np.zeros(n_taps)
+    error_rms = np.zeros(n_epochs)
+    for epoch in range(n_epochs):
+        squared = 0.0
+        for k in range(n):
+            base = k - 1
+            acc = 0.0
+            for j in range(n_taps):
+                acc += weights[j] * levels[(base - j) % n]
+            error = (samples[k] - acc) - levels[k]
+            gain = step_size * error
+            for j in range(n_taps):
+                weights[j] += gain * levels[(base - j) % n]
+            squared += error * error
+        error_rms[epoch] = np.sqrt(squared / n)
+    return weights, error_rms
+
+
+@njit(cache=True)
+def dfe_adapt_decision_directed(samples, levels, n_taps, step_size, n_epochs):
+    """Blind LMS recursion; see ``LmsDfe._adapt_decision_directed``."""
+    n = samples.shape[0]
+    decisions = np.empty(n)
+    for k in range(n):
+        if samples[k] >= 0.0:
+            decisions[k] = 1.0
+        else:
+            decisions[k] = -1.0
+    weights = np.zeros(n_taps)
+    error_rms = np.zeros(n_epochs)
+    decision_errors = np.zeros(n_epochs)
+    for epoch in range(n_epochs):
+        squared = 0.0
+        wrong = 0
+        for k in range(n):
+            base = k - 1
+            acc = 0.0
+            for j in range(n_taps):
+                acc += weights[j] * decisions[(base - j) % n]
+            corrected = samples[k] - acc
+            if corrected >= 0.0:
+                decision = 1.0
+            else:
+                decision = -1.0
+            decisions[k] = decision
+            error = corrected - decision
+            gain = step_size * error
+            for j in range(n_taps):
+                weights[j] += gain * decisions[(base - j) % n]
+            squared += error * error
+            if decision != levels[k]:
+                wrong += 1
+        error_rms[epoch] = np.sqrt(squared / n)
+        decision_errors[epoch] = wrong / n
+    return weights, error_rms, decision_errors
+
+
+@njit(cache=True)
+def dfe_error_propagation(waveform, levels, weights, start, steps, snap):
+    """Forced-error burst stepping; see ``LmsDfe.error_propagation``."""
+    n = levels.shape[0]
+    n_weights = weights.shape[0]
+    decisions = levels.copy()
+    decisions[start] = -levels[start]
+    wrong = np.zeros(steps, dtype=np.bool_)
+    deviation = np.zeros(steps)
+    for step in range(1, steps + 1):
+        k = (start + step) % n
+        base = k - 1
+        acc = 0.0
+        for j in range(n_weights):
+            acc += weights[j] * decisions[(base - j) % n]
+        corrected = waveform[k] - acc
+        if corrected >= 0.0:
+            decision = 1.0
+        else:
+            decision = -1.0
+        decisions[k] = decision
+        wrong[step - 1] = decision != levels[k]
+        gap = abs(corrected - levels[k])
+        if gap > snap:
+            deviation[step - 1] = gap
+        else:
+            deviation[step - 1] = 0.0
+    return wrong, deviation
+
+
+def warmup() -> None:
+    """Compile every kernel on tiny inputs (call outside timed regions)."""
+    samples = np.array([0.4, -0.6, 0.8, -0.2, 0.5])
+    levels = np.array([1.0, -1.0, 1.0, -1.0, 1.0])
+    dfe_adapt(samples, levels, 2, 0.05, 2)
+    dfe_adapt_decision_directed(samples, levels, 2, 0.05, 2)
+    dfe_error_propagation(levels.copy(), levels, np.array([0.2, 0.1]), 0, 4, 1.0e-9)

@@ -1,0 +1,200 @@
+"""Scalar middle-tier kernels: the bit-true recursions on unboxed floats.
+
+These are the always-available fast implementations of the per-sample
+hot loops.  The recursions are inherently sequential (every step reads
+the previous step's decisions/weights), so they cannot be batched into
+array expressions without changing semantics; what *can* be removed is
+the per-sample numpy overhead the reference loops pay — an ``np.arange``
+allocation, a modulo fancy-index gather, a BLAS dot and a boxed scalar
+multiply per sample.  Working on plain Python floats with precomputed
+(or hoisted) circular history indexing performs the **identical IEEE-754
+operations in the identical order**, so results are bit-for-bit equal to
+the reference loops (gated by ``tests/kernels/test_bit_identity.py``)
+at roughly a tenth of the cost.
+
+The event-kernel drain loop here is the same story at the scheduler
+level: the reference ``Simulator.step`` path pays a method call and
+repeated attribute loads per event; the drain hoists the heap and the
+pop into locals.  Gate processes are arbitrary Python callbacks, so a
+compiled tier is not applicable to event stepping — this *is* its fast
+tier.
+
+Everything in this module is deliberately dependency-free (numpy only,
+for argument/result containers) and must stay importable with no
+optional extras installed.
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop
+
+import numpy as np
+
+__all__ = [
+    "dfe_adapt",
+    "dfe_adapt_decision_directed",
+    "dfe_error_propagation",
+    "drain",
+    "drain_until",
+]
+
+
+def dfe_adapt(
+    samples: np.ndarray,
+    levels: np.ndarray,
+    n_taps: int,
+    step_size: float,
+    n_epochs: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Data-aided LMS adaptation; bit-identical to ``LmsDfe._adapt_reference``."""
+    sample_list = [float(value) for value in samples]
+    level_list = [float(value) for value in levels]
+    n = len(sample_list)
+    taps = range(n_taps)
+    # The training history is static in data-aided mode: precompute every
+    # sample's circular feedback register once, outside the epoch loop.
+    history = [tuple(level_list[(k - 1 - j) % n] for j in taps) for k in range(n)]
+    weights = [0.0] * n_taps
+    error_rms = np.zeros(n_epochs)
+    for epoch in range(n_epochs):
+        squared = 0.0
+        for k in range(n):
+            row = history[k]
+            acc = 0.0
+            for j in taps:
+                acc += weights[j] * row[j]
+            error = (sample_list[k] - acc) - level_list[k]
+            gain = step_size * error
+            for j in taps:
+                weights[j] += gain * row[j]
+            squared += error * error
+        error_rms[epoch] = math.sqrt(squared / n)
+    return np.array(weights), error_rms
+
+
+def dfe_adapt_decision_directed(
+    samples: np.ndarray,
+    levels: np.ndarray,
+    n_taps: int,
+    step_size: float,
+    n_epochs: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Blind LMS adaptation; bit-identical to ``LmsDfe._adapt_decision_directed``.
+
+    The decision register is the live ``decisions`` sequence itself
+    (bootstrapped by slicing the raw samples), so the circular history
+    read for sample ``k`` sees this epoch's decisions for indices below
+    ``k`` and the previous epoch's (or the bootstrap's) above it —
+    exactly the reference array semantics.
+    """
+    sample_list = [float(value) for value in samples]
+    level_list = [float(value) for value in levels]
+    n = len(sample_list)
+    taps = range(n_taps)
+    decisions = [1.0 if value >= 0.0 else -1.0 for value in sample_list]
+    weights = [0.0] * n_taps
+    row = [0.0] * n_taps
+    error_rms = np.zeros(n_epochs)
+    decision_errors = np.zeros(n_epochs)
+    for epoch in range(n_epochs):
+        squared = 0.0
+        wrong = 0
+        for k in range(n):
+            base = k - 1
+            acc = 0.0
+            for j in taps:
+                value = decisions[(base - j) % n]
+                row[j] = value
+                acc += weights[j] * value
+            corrected = sample_list[k] - acc
+            decision = 1.0 if corrected >= 0.0 else -1.0
+            decisions[k] = decision
+            error = corrected - decision
+            gain = step_size * error
+            for j in taps:
+                weights[j] += gain * row[j]
+            squared += error * error
+            wrong += decision != level_list[k]
+        error_rms[epoch] = math.sqrt(squared / n)
+        decision_errors[epoch] = wrong / n
+    return np.array(weights), error_rms, decision_errors
+
+
+def dfe_error_propagation(
+    waveform: np.ndarray,
+    levels: np.ndarray,
+    weights: np.ndarray,
+    start: int,
+    steps: int,
+    snap: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Forced-error burst stepping; bit-identical to the reference loop.
+
+    *waveform* is the ideal post-cursor waveform the weights cancel
+    exactly (built, vectorized, by the caller); this kernel only runs the
+    slicer/feedback recursion after the forced error at *start*.
+    """
+    sample_list = [float(value) for value in waveform]
+    level_list = [float(value) for value in levels]
+    weight_list = [float(value) for value in weights]
+    n = len(level_list)
+    n_weights = len(weight_list)
+    taps = range(n_weights)
+    decisions = list(level_list)
+    decisions[start] = -level_list[start]
+    wrong = np.zeros(steps, dtype=bool)
+    deviation = np.zeros(steps)
+    for step in range(1, steps + 1):
+        k = (start + step) % n
+        base = k - 1
+        acc = 0.0
+        for j in taps:
+            acc += weight_list[j] * decisions[(base - j) % n]
+        corrected = sample_list[k] - acc
+        decision = 1.0 if corrected >= 0.0 else -1.0
+        decisions[k] = decision
+        wrong[step - 1] = decision != level_list[k]
+        gap = abs(corrected - level_list[k])
+        deviation[step - 1] = gap if gap > snap else 0.0
+    return wrong, deviation
+
+
+def drain_until(simulator, stop_time_s: float, max_events: int | None) -> tuple[int, bool]:
+    """Execute pending events up to *stop_time_s*; the fast ``run_until`` loop.
+
+    Pops and dispatches exactly like the reference ``Simulator.step``
+    loop — same ordering, same ``_now`` updates — with the heap, the pop
+    and the bound checked through locals instead of per-event attribute
+    traversal.  Returns ``(executed, exceeded)`` where *exceeded* means
+    the event budget ran out with eligible events still pending (the
+    caller raises the reference error, keeping message and layering in
+    :mod:`repro.events.kernel`).
+    """
+    queue = simulator._queue
+    pop = heappop
+    executed = 0
+    bounded = max_events is not None
+    while queue and queue[0][0] <= stop_time_s:
+        if bounded and executed >= max_events:
+            return executed, True
+        time_s, _seq, callback = pop(queue)
+        simulator._now = time_s
+        callback()
+        executed += 1
+    return executed, False
+
+
+def drain(simulator, max_events: int) -> tuple[int, bool]:
+    """Execute pending events until the queue empties; the fast ``run`` loop."""
+    queue = simulator._queue
+    pop = heappop
+    executed = 0
+    while queue:
+        if executed >= max_events:
+            return executed, True
+        time_s, _seq, callback = pop(queue)
+        simulator._now = time_s
+        callback()
+        executed += 1
+    return executed, False

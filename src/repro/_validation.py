@@ -106,8 +106,6 @@ def require_binary_sequence(name: str, bits: Sequence[int] | Iterable[int]) -> l
             out.append(int(bit))
             continue
         if bit not in (0, 1):
-            raise ValueError(
-                f"{name}[{index}] must be 0 or 1, got {bit!r}"
-            )
+            raise ValueError(f"{name}[{index}] must be 0 or 1, got {bit!r}")
         out.append(int(bit))
     return out

@@ -182,10 +182,17 @@ class BehavioralSimulationResult:
 
 
 class BehavioralCdrChannel:
-    """Assembles and runs the event-driven model of one CDR channel."""
+    """Assembles and runs the event-driven model of one CDR channel.
 
-    def __init__(self, config: CdrChannelConfig | None = None) -> None:
+    *kernel_tier* selects the event kernel's drain-loop implementation
+    (see :class:`repro.events.Simulator`); every tier executes the same
+    events in the same order, so results are identical across tiers.
+    """
+
+    def __init__(self, config: CdrChannelConfig | None = None, *,
+                 kernel_tier: str = "auto") -> None:
         self.config = config or CdrChannelConfig()
+        self.kernel_tier = kernel_tier
 
     def run(
         self,
@@ -257,7 +264,7 @@ class BehavioralCdrChannel:
         require_positive_int("number of bits", int(bits.size))
         rng = rng or np.random.default_rng()
 
-        simulator = Simulator()
+        simulator = Simulator(kernel_tier=self.kernel_tier)
         recorder = WaveformRecorder()
 
         # --- stimulus -------------------------------------------------------

@@ -75,9 +75,10 @@ def simulate_scenario(spec: ScenarioSpec, rng: np.random.Generator, backend: str
     if backend is None:
         backend = resolve_backend(spec.config, spec.backend).name
     bits = spec.stimulus.bits()
-    channel = BACKENDS[backend].create(spec.config)
+    spec_backend = BACKENDS[backend]
+    channel = spec_backend.create(spec.config)
     if spec.link is not None:
-        stream = LinkPath(spec.link).transmit(
+        stream = LinkPath(spec.link, kernel_tier=spec_backend.kernel_tier).transmit(
             bits,
             jitter=spec.jitter,
             data_rate_offset_ppm=spec.data_rate_offset_ppm,

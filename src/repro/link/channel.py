@@ -40,8 +40,7 @@ __all__ = [
 ]
 
 
-def pulse_through_response(response: np.ndarray, timebase: LinkTimebase,
-                           n_ui: int) -> np.ndarray:
+def pulse_through_response(response: np.ndarray, timebase: LinkTimebase, n_ui: int) -> np.ndarray:
     """One-UI unit rectangle filtered by *response* on the circular grid.
 
     *response* must be sampled on ``timebase.frequencies_hz(n_samples(n_ui))``.
@@ -50,8 +49,9 @@ def pulse_through_response(response: np.ndarray, timebase: LinkTimebase,
     """
     count = timebase.n_samples(n_ui)
     rectangle = np.zeros(count)
-    rectangle[:timebase.samples_per_ui] = 1.0
+    rectangle[: timebase.samples_per_ui] = 1.0
     return np.fft.irfft(np.fft.rfft(rectangle) * response, count)
+
 
 #: Nepers to decibels: ``20 * log10(e)``.
 _NEPER_TO_DB = 20.0 / math.log(10.0)
@@ -79,8 +79,7 @@ class ChannelModel:
         return loss
 
     def _grid_response(self, timebase: LinkTimebase, n_ui: int) -> np.ndarray:
-        return self.frequency_response(
-            timebase.frequencies_hz(timebase.n_samples(n_ui)))
+        return self.frequency_response(timebase.frequencies_hz(timebase.n_samples(n_ui)))
 
     def impulse_response(self, timebase: LinkTimebase, n_ui: int = 64) -> np.ndarray:
         """Sampled impulse response over *n_ui* unit intervals (area-normalised).
@@ -107,8 +106,7 @@ class ChannelModel:
         Computed circularly on the grid, so *n_ui* must exceed the channel's
         settling span.
         """
-        return pulse_through_response(self._grid_response(timebase, n_ui),
-                                      timebase, n_ui)
+        return pulse_through_response(self._grid_response(timebase, n_ui), timebase, n_ui)
 
 
 @dataclass(frozen=True)
@@ -213,8 +211,7 @@ class LossyLineChannel(ChannelModel):
         require_non_negative("loss_tangent", self.loss_tangent)
         require_positive("delay_reference_hz", self.delay_reference_hz)
 
-    def propagation_constant(self, frequencies_hz: np.ndarray
-                             ) -> tuple[np.ndarray, np.ndarray]:
+    def propagation_constant(self, frequencies_hz: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Return ``(gamma, Zc)`` per metre at the given frequencies.
 
         ``gamma`` is the complex propagation constant (nepers/m real part),
@@ -223,7 +220,7 @@ class LossyLineChannel(ChannelModel):
         omega = 2.0 * math.pi * np.asarray(frequencies_hz, dtype=float).copy()
         omega[omega == 0.0] = 1.0e-12  # guard the DC bin
         r_skin = self.skin_ohm_per_m * np.sqrt(2j * omega / self.crossover_rad_per_s)
-        resistance = np.sqrt(self.rdc_ohm_per_m ** 2 + r_skin ** 2)
+        resistance = np.sqrt(self.rdc_ohm_per_m**2 + r_skin**2)
         inductance = self.z0_ohm / self.velocity_m_per_s
         c0 = 1.0 / (self.z0_ohm * self.velocity_m_per_s)
         capacitance = c0 * np.power(
@@ -238,8 +235,7 @@ class LossyLineChannel(ChannelModel):
 
     def bulk_delay_s(self) -> float:
         """Phase delay of the line at the delay-reference frequency."""
-        gamma, _ = self.propagation_constant(
-            np.array([self.delay_reference_hz], dtype=float))
+        gamma, _ = self.propagation_constant(np.array([self.delay_reference_hz], dtype=float))
         omega_ref = 2.0 * math.pi * self.delay_reference_hz
         return float(gamma.imag[0]) * self.length_m / omega_ref
 
@@ -262,9 +258,9 @@ class LossyLineChannel(ChannelModel):
         return replace(self, length_m=length_m)
 
     @classmethod
-    def for_loss_at_nyquist(cls, loss_db: float,
-                            bit_rate_hz: float = units.DEFAULT_BIT_RATE,
-                            **parameters) -> "LossyLineChannel":
+    def for_loss_at_nyquist(
+        cls, loss_db: float, bit_rate_hz: float = units.DEFAULT_BIT_RATE, **parameters
+    ) -> "LossyLineChannel":
         """Return a line whose Nyquist (bit rate / 2) loss is *loss_db*.
 
         Attenuation in dB is linear in length, so the requested loss maps

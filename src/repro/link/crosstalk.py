@@ -82,7 +82,8 @@ class CrosstalkAggressor:
         if self.kind not in AGGRESSOR_KINDS:
             raise ValueError(
                 f"unknown aggressor kind {self.kind!r}; expected one of "
-                f"{list(AGGRESSOR_KINDS)}")
+                f"{list(AGGRESSOR_KINDS)}"
+            )
         require_positive("coupling_corner_hz", self.coupling_corner_hz)
         require_positive_int("prbs_order", self.prbs_order)
 
@@ -90,9 +91,9 @@ class CrosstalkAggressor:
         """Return a copy with the coupling amplitude replaced."""
         return replace(self, amplitude=amplitude)
 
-    def coupling_response(self, frequencies_hz: np.ndarray,
-                          victim_channel: ChannelModel | None = None
-                          ) -> np.ndarray:
+    def coupling_response(
+        self, frequencies_hz: np.ndarray, victim_channel: ChannelModel | None = None
+    ) -> np.ndarray:
         """Unnormalised coupling transfer function at *frequencies_hz*.
 
         The first-order high-pass models the derivative nature of
@@ -106,9 +107,13 @@ class CrosstalkAggressor:
             response = response * victim_channel.frequency_response(frequency)
         return response
 
-    def pulse_response(self, timebase: LinkTimebase, n_ui: int,
-                       victim_channel: ChannelModel | None = None,
-                       rx_response: np.ndarray | None = None) -> np.ndarray:
+    def pulse_response(
+        self,
+        timebase: LinkTimebase,
+        n_ui: int,
+        victim_channel: ChannelModel | None = None,
+        rx_response: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Coupled single-bit pulse at the victim sampler on the circular grid.
 
         *rx_response* is the victim receiver's linear response (CTLE)
@@ -120,8 +125,7 @@ class CrosstalkAggressor:
         count = timebase.n_samples(n_ui)
         if self.amplitude == 0.0:
             return np.zeros(count)
-        response = self.coupling_response(
-            timebase.frequencies_hz(count), victim_channel)
+        response = self.coupling_response(timebase.frequencies_hz(count), victim_channel)
         if rx_response is not None:
             response = response * rx_response
         pulse = pulse_through_response(response, timebase, n_ui)
@@ -168,16 +172,18 @@ class CrosstalkSpec:
         return cls((CrosstalkAggressor(amplitude, kind="next", **parameters),))
 
     @classmethod
-    def uniform(cls, n_aggressors: int, amplitude: float,
-                kind: str = "fext") -> "CrosstalkSpec":
+    def uniform(cls, n_aggressors: int, amplitude: float, kind: str = "fext") -> "CrosstalkSpec":
         """*n_aggressors* equal-amplitude aggressors with decorrelated seeds."""
         require_positive_int("n_aggressors", n_aggressors)
-        return cls(tuple(
-            CrosstalkAggressor(amplitude, kind=kind, seed=0x2A + 17 * index)
-            for index in range(n_aggressors)))
+        return cls(
+            tuple(
+                CrosstalkAggressor(amplitude, kind=kind, seed=0x2A + 17 * index)
+                for index in range(n_aggressors)
+            )
+        )
 
     def with_amplitude(self, amplitude: float) -> "CrosstalkSpec":
         """Every aggressor's amplitude set to *amplitude* (the sweep axis)."""
-        return CrosstalkSpec(tuple(
-            aggressor.with_amplitude(amplitude)
-            for aggressor in self.aggressors))
+        return CrosstalkSpec(
+            tuple(aggressor.with_amplitude(amplitude) for aggressor in self.aggressors)
+        )

@@ -58,14 +58,13 @@ def circular_transition_positions(pattern_bits: np.ndarray) -> np.ndarray:
     return np.flatnonzero(bits != np.roll(bits, 1))
 
 
-def _nearest_offsets_ui(crossings: np.ndarray, ideal: np.ndarray,
-                        unit_interval_s: float,
-                        period_s: float | None) -> np.ndarray:
+def _nearest_offsets_ui(
+    crossings: np.ndarray, ideal: np.ndarray, unit_interval_s: float, period_s: float | None
+) -> np.ndarray:
     """Offset (UI) from each ideal time to its nearest crossing (unbounded)."""
     if period_s is not None:
         require_positive("period_s", period_s)
-        crossings = np.sort(np.concatenate(
-            (crossings - period_s, crossings, crossings + period_s)))
+        crossings = np.sort(np.concatenate((crossings - period_s, crossings, crossings + period_s)))
     right = np.searchsorted(crossings, ideal)
     left = np.clip(right - 1, 0, crossings.size - 1)
     right = np.clip(right, 0, crossings.size - 1)
@@ -153,17 +152,17 @@ def pattern_displacements_ui(
     # unit interval on each side so the crossing at the period boundary
     # (transition into bit 0) is seen by the linear scan.
     margin = min(values.size, int(round(unit_interval_s / step)))
-    times = np.concatenate((times[:margin] - margin * step, times,
-                            times[-margin:] + margin * step))
+    times = np.concatenate((times[:margin] - margin * step, times, times[-margin:] + margin * step))
     values = np.concatenate((values[-margin:], values, values[:margin]))
-    crossings = threshold_crossings(times, values, threshold=threshold,
-                                    kind="any")
+    crossings = threshold_crossings(times, values, threshold=threshold, kind="any")
     # Midpoint convention: the pattern's first bit boundary sits half a
     # sample step before the first sample time.
     origin = time_axis_s[0] - 0.5 * step
     ideal = origin + positions * unit_interval_s
     table[positions] = match_crossings_ui(
-        crossings, ideal, unit_interval_s,
+        crossings,
+        ideal,
+        unit_interval_s,
         match_window_ui=match_window_ui,
         period_s=bits.size * unit_interval_s,
     )
@@ -200,18 +199,17 @@ def edge_stream_from_waveform(
     bit_period_s = 1.0 / actual_rate
 
     edge_times, edge_bit_index = ideal_edge_times(
-        bits, bit_period_s, start_time_s=start_time_s, initial_level=0)
+        bits, bit_period_s, start_time_s=start_time_s, initial_level=0
+    )
 
     if edge_times.size:
-        crossings = threshold_crossings(time_axis_s, waveform,
-                                        threshold=threshold, kind="any")
+        crossings = threshold_crossings(time_axis_s, waveform, threshold=threshold, kind="any")
         displacement_ui = match_crossings_ui(
-            crossings, edge_times, nominal_period,
-            match_window_ui=match_window_ui)
+            crossings, edge_times, nominal_period, match_window_ui=match_window_ui
+        )
         if jitter is not None:
             rng = rng or np.random.default_rng()
-            displacement_ui = displacement_ui + jitter_displacements_ui(
-                edge_times, jitter, rng)
+            displacement_ui = displacement_ui + jitter_displacements_ui(edge_times, jitter, rng)
         edge_times = edge_times + displacement_ui * nominal_period
         edge_times = np.maximum.accumulate(edge_times)
 

@@ -22,6 +22,11 @@ Three standard serial-link equalizer stages, kept behavioural:
   corrections; :meth:`LmsDfe.error_propagation` models that burst (a
   forced slicer error must decay, not ring).
 
+The per-sample adaptation recursions dispatch through the kernel tiers of
+:mod:`repro._kernels` (``kernel="auto"`` on the public methods); the
+pinned pure-python loops stay here as the ``"reference"`` tier and every
+fast tier reproduces them bit for bit.
+
 All three are frozen dataclasses and pickle across the sweep runner's
 process pool.
 """
@@ -33,6 +38,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from .. import _kernels
 from .._validation import require_non_negative, require_positive, require_positive_int
 
 __all__ = ["TxFfe", "RxCtle", "LmsDfe", "DfeAdaptation", "ErrorPropagation"]
@@ -41,6 +47,17 @@ __all__ = ["TxFfe", "RxCtle", "LmsDfe", "DfeAdaptation", "ErrorPropagation"]
 #: feedback arithmetic, not propagated error — snapped to exact zero so
 #: :attr:`ErrorPropagation.decays` can test for a fully cleared register.
 _DEVIATION_SNAP = 1.0e-9
+
+
+def _circular_shift_rows(values: np.ndarray, shifts: np.ndarray) -> np.ndarray:
+    """Stack ``np.roll(values, s)`` for every shift as rows of one gather.
+
+    ``np.roll(x, s)[i] == x[(i - s) % n]``, so a single fancy-index gather
+    replaces a per-shift roll loop (one temporary instead of one per tap).
+    Row order preserves the historical per-tap accumulation order.
+    """
+    positions = np.arange(values.size)
+    return values[(positions - np.asarray(shifts)[:, None]) % values.size]
 
 
 @dataclass(frozen=True)
@@ -64,7 +81,7 @@ class TxFfe:
             raise ValueError("TxFfe needs at least one tap")
         if not 0 <= self.main_cursor < len(self.taps):
             raise ValueError("main_cursor must index into taps")
-        if sum(abs(tap) for tap in self.taps) <= 0.0:
+        if float(np.abs(np.asarray(self.taps, dtype=float)).sum()) <= 0.0:
             raise ValueError("TxFfe taps must not all be zero")
 
     @classmethod
@@ -88,7 +105,7 @@ class TxFfe:
 
     def normalized(self) -> "TxFfe":
         """Return a copy scaled so ``sum |c_k| = 1`` (unit peak swing)."""
-        scale = sum(abs(tap) for tap in self.taps)
+        scale = float(np.abs(np.asarray(self.taps, dtype=float)).sum())
         return replace(self, taps=tuple(tap / scale for tap in self.taps))
 
     def apply_to_symbols(self, symbols: np.ndarray) -> np.ndarray:
@@ -99,21 +116,26 @@ class TxFfe:
         superposition in :mod:`repro.link.isi`.
         """
         symbols = np.asarray(symbols, dtype=float)
-        result = np.zeros_like(symbols)
-        for offset, tap in enumerate(self.taps):
-            result += tap * np.roll(symbols, offset - self.main_cursor)
-        return result
+        if symbols.size == 0:
+            return np.zeros_like(symbols)
+        taps = np.asarray(self.taps, dtype=float)
+        shifted = _circular_shift_rows(symbols, np.arange(taps.size) - self.main_cursor)
+        # Leading zero row + ordered axis-0 reduce == the historical
+        # zeros-then-accumulate tap loop, term for term.
+        rows = np.concatenate([np.zeros((1, symbols.size)), taps[:, None] * shifted])
+        return np.add.reduce(rows, axis=0)
 
-    def frequency_response(self, frequencies_hz: np.ndarray,
-                           unit_interval_s: float) -> np.ndarray:
+    def frequency_response(self, frequencies_hz: np.ndarray, unit_interval_s: float) -> np.ndarray:
         """Complex response of the symbol-spaced FIR at the given frequencies."""
         require_positive("unit_interval_s", unit_interval_s)
         frequency = np.asarray(frequencies_hz, dtype=float)
-        response = np.zeros(frequency.shape, dtype=complex)
-        for offset, tap in enumerate(self.taps):
-            delay = (offset - self.main_cursor) * unit_interval_s
-            response += tap * np.exp(-2j * math.pi * frequency * delay)
-        return response
+        taps = np.asarray(self.taps, dtype=float)
+        delays = (np.arange(taps.size) - self.main_cursor) * unit_interval_s
+        rotation = -2j * math.pi * frequency
+        phases = np.exp(np.multiply.outer(delays, rotation))
+        terms = taps.reshape(taps.shape + (1,) * frequency.ndim) * phases
+        rows = np.concatenate([np.zeros((1,) + frequency.shape, dtype=complex), terms])
+        return np.add.reduce(rows, axis=0)
 
 
 @dataclass(frozen=True)
@@ -218,8 +240,9 @@ class ErrorPropagation:
     @property
     def decays(self) -> bool:
         """True when the burst dies before the horizon and feedback clears."""
-        return bool(self.burst_length < self.wrong_decisions.size
-                    and self.deviation_per_ui[-1] == 0.0)
+        return bool(
+            self.burst_length < self.wrong_decisions.size and self.deviation_per_ui[-1] == 0.0
+        )
 
 
 @dataclass(frozen=True)
@@ -241,6 +264,11 @@ class LmsDfe:
     and mis-steer the gradient.  Decision-directed adaptation records the
     per-epoch decision error rate against the (known, diagnostics-only)
     transmitted symbols.
+
+    Both adaptation modes and the error-propagation recursion accept a
+    ``kernel`` tier (:data:`repro._kernels.KERNEL_TIERS`): ``"auto"``
+    dispatches to the fastest available kernel, ``"reference"`` runs the
+    pinned loops below.  Results are bit-for-bit identical across tiers.
     """
 
     n_taps: int = 2
@@ -253,7 +281,13 @@ class LmsDfe:
         require_positive("step_size", self.step_size)
         require_positive_int("n_epochs", self.n_epochs)
 
-    def adapt(self, ui_samples: np.ndarray, symbols: np.ndarray) -> DfeAdaptation:
+    def adapt(
+        self,
+        ui_samples: np.ndarray,
+        symbols: np.ndarray,
+        *,
+        kernel: str = _kernels.TIER_AUTO,
+    ) -> DfeAdaptation:
         """LMS-adapt the feedback taps on one period of training data.
 
         Parameters
@@ -266,6 +300,10 @@ class LmsDfe:
             decision-directed mode they steer nothing — the recursion runs
             on slicer decisions — and only score the per-epoch decision
             error rate.
+        kernel:
+            Kernel tier for the recursion (``"auto"``, ``"jit"``,
+            ``"python"`` or ``"reference"``); every tier returns
+            bit-identical results.
         """
         samples = np.asarray(ui_samples, dtype=float).ravel()
         levels = np.asarray(symbols, dtype=float).ravel()
@@ -274,27 +312,53 @@ class LmsDfe:
         if samples.size <= self.n_taps:
             raise ValueError("need more than n_taps training symbols")
         if self.decision_directed:
-            return self._adapt_decision_directed(samples, levels)
+            if kernel == _kernels.TIER_REFERENCE:
+                return self._adapt_decision_directed(samples, levels)
+            weights, error_rms, decision_errors = _kernels.dfe_adapt_decision_directed(
+                samples, levels, self.n_taps, self.step_size, self.n_epochs, tier=kernel
+            )
+            return DfeAdaptation(
+                weights=weights,
+                error_rms_per_epoch=error_rms,
+                decision_error_rate_per_epoch=decision_errors,
+            )
+        if kernel == _kernels.TIER_REFERENCE:
+            return self._adapt_reference(samples, levels)
+        weights, error_rms = _kernels.dfe_adapt(
+            samples, levels, self.n_taps, self.step_size, self.n_epochs, tier=kernel
+        )
+        return DfeAdaptation(weights=weights, error_rms_per_epoch=error_rms)
+
+    def _adapt_reference(self, samples: np.ndarray, levels: np.ndarray) -> DfeAdaptation:
+        """Pinned pure-python data-aided recursion — the semantic reference.
+
+        The operation order here is load-bearing: every fast kernel tier
+        in :mod:`repro._kernels` must perform these IEEE-754 operations in
+        this exact order so its results stay bit-for-bit identical (gated
+        by ``tests/kernels/test_bit_identity.py``).
+        """
         weights = np.zeros(self.n_taps)
         error_rms = np.zeros(self.n_epochs)
         for epoch in range(self.n_epochs):
             squared = 0.0
             for k in range(samples.size):
                 history = levels[(k - 1 - np.arange(self.n_taps)) % levels.size]
-                corrected = samples[k] - float(weights @ history)
-                error = corrected - levels[k]
+                feedback = 0.0
+                for weight, tap in zip(weights, history):
+                    feedback += weight * tap
+                error = (samples[k] - feedback) - levels[k]
                 weights += self.step_size * error * history
                 squared += error * error
             error_rms[epoch] = math.sqrt(squared / samples.size)
         return DfeAdaptation(weights=weights, error_rms_per_epoch=error_rms)
 
-    def _adapt_decision_directed(self, samples: np.ndarray,
-                                 levels: np.ndarray) -> DfeAdaptation:
-        """Blind LMS: history and error reference are slicer decisions.
+    def _adapt_decision_directed(self, samples: np.ndarray, levels: np.ndarray) -> DfeAdaptation:
+        """Pinned blind LMS: history and error reference are slicer decisions.
 
         The decision register is bootstrapped by slicing the raw samples
         (the zero-weight corrected waveform) and persists across epochs,
         so the recursion sees exactly what a free-running receiver would.
+        Operation order is load-bearing (see :meth:`_adapt_reference`).
         """
         decisions = np.where(samples >= 0.0, 1.0, -1.0)
         weights = np.zeros(self.n_taps)
@@ -304,9 +368,11 @@ class LmsDfe:
             squared = 0.0
             wrong = 0
             for k in range(samples.size):
-                history = decisions[(k - 1 - np.arange(self.n_taps))
-                                    % decisions.size]
-                corrected = samples[k] - float(weights @ history)
+                history = decisions[(k - 1 - np.arange(self.n_taps)) % decisions.size]
+                feedback = 0.0
+                for weight, tap in zip(weights, history):
+                    feedback += weight * tap
+                corrected = samples[k] - feedback
                 decision = 1.0 if corrected >= 0.0 else -1.0
                 decisions[k] = decision
                 error = corrected - decision
@@ -315,12 +381,21 @@ class LmsDfe:
                 wrong += decision != levels[k]
             error_rms[epoch] = math.sqrt(squared / samples.size)
             decision_errors[epoch] = wrong / samples.size
-        return DfeAdaptation(weights=weights, error_rms_per_epoch=error_rms,
-                             decision_error_rate_per_epoch=decision_errors)
+        return DfeAdaptation(
+            weights=weights,
+            error_rms_per_epoch=error_rms,
+            decision_error_rate_per_epoch=decision_errors,
+        )
 
-    def error_propagation(self, weights: np.ndarray, symbols: np.ndarray,
-                          *, error_index: int = 0,
-                          horizon: int | None = None) -> ErrorPropagation:
+    def error_propagation(
+        self,
+        weights: np.ndarray,
+        symbols: np.ndarray,
+        *,
+        error_index: int = 0,
+        horizon: int | None = None,
+        kernel: str = _kernels.TIER_AUTO,
+    ) -> ErrorPropagation:
         """Force one slicer error and track the feedback burst it causes.
 
         The loop runs on the ideal post-cursor waveform the *weights*
@@ -337,28 +412,64 @@ class LmsDfe:
             raise ValueError("need more than len(weights) symbols")
         steps = 8 * self.n_taps if horizon is None else horizon
         require_positive_int("horizon", steps)
-        samples = levels.copy()
-        for offset, weight in enumerate(weights, start=1):
-            samples += weight * np.roll(levels, offset)
-        decisions = levels.copy()
+        samples = self._ideal_postcursor_waveform(levels, weights)
         start = error_index % levels.size
+        if kernel == _kernels.TIER_REFERENCE:
+            wrong, deviation = self._error_propagation_reference(
+                samples, levels, weights, start, steps
+            )
+        else:
+            wrong, deviation = _kernels.dfe_error_propagation(
+                samples, levels, weights, start, steps, _DEVIATION_SNAP, tier=kernel
+            )
+        return ErrorPropagation(wrong_decisions=wrong, deviation_per_ui=deviation)
+
+    @staticmethod
+    def _ideal_postcursor_waveform(levels: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """``y_k = s_k + sum_i w_i s_{k-i}`` — the waveform the weights cancel.
+
+        The symbol row leads and the reduce runs in tap order, matching
+        the historical per-tap accumulation loop term for term.
+        """
+        if weights.size == 0:
+            return levels.copy()
+        shifted = _circular_shift_rows(levels, np.arange(1, weights.size + 1))
+        rows = np.concatenate([levels[None, :], weights[:, None] * shifted])
+        return np.add.reduce(rows, axis=0)
+
+    @staticmethod
+    def _error_propagation_reference(
+        samples: np.ndarray,
+        levels: np.ndarray,
+        weights: np.ndarray,
+        start: int,
+        steps: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Pinned slicer/feedback recursion after the forced error.
+
+        Operation order is load-bearing (see :meth:`_adapt_reference`).
+        """
+        decisions = levels.copy()
         decisions[start] = -levels[start]
         wrong = np.zeros(steps, dtype=bool)
         deviation = np.zeros(steps)
         for step in range(1, steps + 1):
             k = (start + step) % levels.size
             history = decisions[(k - 1 - np.arange(weights.size)) % levels.size]
-            corrected = samples[k] - float(weights @ history)
+            feedback = 0.0
+            for weight, tap in zip(weights, history):
+                feedback += weight * tap
+            corrected = samples[k] - feedback
             decision = 1.0 if corrected >= 0.0 else -1.0
             decisions[k] = decision
             wrong[step - 1] = decision != levels[k]
             gap = abs(corrected - levels[k])
             deviation[step - 1] = gap if gap > _DEVIATION_SNAP else 0.0
-        return ErrorPropagation(wrong_decisions=wrong,
-                                deviation_per_ui=deviation)
+        return wrong, deviation
 
-    def feedback_waveform(self, symbols: np.ndarray, weights: np.ndarray,
-                          samples_per_ui: int) -> np.ndarray:
+    def feedback_waveform(
+        self, symbols: np.ndarray, weights: np.ndarray, samples_per_ui: int
+    ) -> np.ndarray:
         """Piecewise-constant feedback to subtract from the received trace.
 
         Over unit interval ``k`` the DFE subtracts
@@ -368,7 +479,8 @@ class LmsDfe:
         require_positive_int("samples_per_ui", samples_per_ui)
         levels = np.asarray(symbols, dtype=float).ravel()
         weights = np.asarray(weights, dtype=float).ravel()
-        feedback = np.zeros(levels.size)
-        for offset, weight in enumerate(weights, start=1):
-            feedback += weight * np.roll(levels, offset)
-        return np.repeat(feedback, samples_per_ui)
+        if weights.size == 0:
+            return np.repeat(np.zeros(levels.size), samples_per_ui)
+        shifted = _circular_shift_rows(levels, np.arange(1, weights.size + 1))
+        rows = np.concatenate([np.zeros((1, levels.size)), weights[:, None] * shifted])
+        return np.repeat(np.add.reduce(rows, axis=0), samples_per_ui)

@@ -47,17 +47,16 @@ def _folded_pulse(pulse: np.ndarray, length: int) -> np.ndarray:
     pulse = np.asarray(pulse, dtype=float).ravel()
     if pulse.size <= length:
         padded = np.zeros(length)
-        padded[:pulse.size] = pulse
+        padded[: pulse.size] = pulse
         return padded
     # Pad to a whole number of turns, then sum the turns in one pass.
     turns = -(-pulse.size // length)
     padded = np.zeros(turns * length)
-    padded[:pulse.size] = pulse
+    padded[: pulse.size] = pulse
     return padded.reshape(turns, length).sum(axis=0)
 
 
-def superpose_circular(symbols: np.ndarray, pulse: np.ndarray,
-                       samples_per_ui: int) -> np.ndarray:
+def superpose_circular(symbols: np.ndarray, pulse: np.ndarray, samples_per_ui: int) -> np.ndarray:
     """Steady-state received waveform of a repeating symbol pattern.
 
     Treats *symbols* as one period of an infinitely repeating pattern and
@@ -72,8 +71,7 @@ def superpose_circular(symbols: np.ndarray, pulse: np.ndarray,
     return np.fft.irfft(spectrum, train.size)
 
 
-def superpose_linear(symbols: np.ndarray, pulse: np.ndarray,
-                     samples_per_ui: int) -> np.ndarray:
+def superpose_linear(symbols: np.ndarray, pulse: np.ndarray, samples_per_ui: int) -> np.ndarray:
     """Direct (non-circular) superposition via ``np.convolve`` — reference.
 
     Returns the full linear convolution of the impulse train with the

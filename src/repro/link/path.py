@@ -86,9 +86,13 @@ class LinkConfig:
         """Return a copy with the channel model replaced."""
         return replace(self, channel=channel)
 
-    def with_equalization(self, *, tx_ffe: TxFfe | None = None,
-                          rx_ctle: RxCtle | None = None,
-                          dfe: LmsDfe | None = None) -> "LinkConfig":
+    def with_equalization(
+        self,
+        *,
+        tx_ffe: TxFfe | None = None,
+        rx_ctle: RxCtle | None = None,
+        dfe: LmsDfe | None = None,
+    ) -> "LinkConfig":
         """Return a copy with the equalizer line-up replaced."""
         return replace(self, tx_ffe=tx_ffe, rx_ctle=rx_ctle, dfe=dfe)
 
@@ -98,10 +102,17 @@ class LinkConfig:
 
 
 class LinkPath:
-    """Waveform-level link simulation producing CDR-ready edge streams."""
+    """Waveform-level link simulation producing CDR-ready edge streams.
 
-    def __init__(self, config: LinkConfig | None = None) -> None:
+    *kernel_tier* selects the :mod:`repro._kernels` tier for the DFE
+    adaptation recursion (``"auto"``, ``"jit"``, ``"python"`` or
+    ``"reference"``).  Every tier is bit-for-bit identical, so the pulse
+    and pattern caches stay valid whatever tier served a run.
+    """
+
+    def __init__(self, config: LinkConfig | None = None, *, kernel_tier: str = "auto") -> None:
         self.config = config or LinkConfig()
+        self.kernel_tier = kernel_tier
         self._pulse_cache: dict[int, np.ndarray] = {}
         self._pattern_cache: dict[bytes, tuple[np.ndarray, DfeAdaptation | None]] = {}
         self._crosstalk_cache: dict[int, np.ndarray] = {}
@@ -111,8 +122,9 @@ class LinkPath:
 
     # -- frequency/time-domain views ----------------------------------------
 
-    def system_frequency_response(self, frequencies_hz: np.ndarray,
-                                  include_ffe: bool = True) -> np.ndarray:
+    def system_frequency_response(
+        self, frequencies_hz: np.ndarray, include_ffe: bool = True
+    ) -> np.ndarray:
         """Combined linear response: channel × CTLE (× FFE if requested)."""
         config = self.config
         response = config.channel.frequency_response(frequencies_hz)
@@ -120,7 +132,8 @@ class LinkPath:
             response = response * config.rx_ctle.frequency_response(frequencies_hz)
         if include_ffe and config.tx_ffe is not None:
             response = response * config.tx_ffe.frequency_response(
-                frequencies_hz, config.timebase.unit_interval_s)
+                frequencies_hz, config.timebase.unit_interval_s
+            )
         return response
 
     def equalized_pulse_response(self, n_ui: int) -> np.ndarray:
@@ -139,8 +152,7 @@ class LinkPath:
             return cached
         if tracer:
             tracer.count("link.pulse_cache.misses")
-        response = self.system_frequency_response(
-            timebase.frequencies_hz(count), include_ffe=False)
+        response = self.system_frequency_response(timebase.frequencies_hz(count), include_ffe=False)
         pulse = pulse_through_response(response, timebase, n_ui)
         self._pulse_cache[count] = pulse
         return pulse
@@ -149,8 +161,7 @@ class LinkPath:
         """The receiver's linear (CTLE) response on the *count*-sample grid."""
         if self.config.rx_ctle is None:
             return None
-        return self.config.rx_ctle.frequency_response(
-            self.config.timebase.frequencies_hz(count))
+        return self.config.rx_ctle.frequency_response(self.config.timebase.frequencies_hz(count))
 
     def aggressor_pulse_responses(self, n_ui: int) -> list[np.ndarray]:
         """Coupled single-bit pulse of every aggressor at the victim sampler.
@@ -166,9 +177,9 @@ class LinkPath:
         count = config.timebase.n_samples(n_ui)
         rx_response = self._rx_linear_response(count)
         return [
-            aggressor.pulse_response(config.timebase, n_ui,
-                                     victim_channel=config.channel,
-                                     rx_response=rx_response)
+            aggressor.pulse_response(
+                config.timebase, n_ui, victim_channel=config.channel, rx_response=rx_response
+            )
             for aggressor in config.crosstalk.aggressors
         ]
 
@@ -193,15 +204,14 @@ class LinkPath:
             pulses = self.aggressor_pulse_responses(n_ui)
             for aggressor, pulse in zip(config.crosstalk.aggressors, pulses):
                 waveform += superpose_circular(
-                    aggressor.symbol_levels(n_ui), pulse,
-                    config.timebase.samples_per_ui)
+                    aggressor.symbol_levels(n_ui), pulse, config.timebase.samples_per_ui
+                )
         self._crosstalk_cache[n_ui] = waveform
         return waveform
 
     # -- waveform synthesis ---------------------------------------------------
 
-    def received_pattern_waveform(self, pattern_bits: np.ndarray
-                                  ) -> tuple[np.ndarray, np.ndarray]:
+    def received_pattern_waveform(self, pattern_bits: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Steady-state received waveform of one pattern repetition.
 
         Returns ``(time_axis_s, waveform)`` over one period (time axis
@@ -217,8 +227,7 @@ class LinkPath:
         bits = np.asarray(pattern_bits, dtype=np.uint8).ravel()
         require_positive_int("pattern length", int(bits.size))
         levels = nrz_symbol_levels(bits)
-        symbols = levels if config.tx_ffe is None \
-            else config.tx_ffe.apply_to_symbols(levels)
+        symbols = levels if config.tx_ffe is None else config.tx_ffe.apply_to_symbols(levels)
         pulse = self.equalized_pulse_response(int(bits.size))
         waveform = superpose_circular(symbols, pulse, timebase.samples_per_ui)
         if config.crosstalk is not None and not config.crosstalk.is_silent:
@@ -226,10 +235,9 @@ class LinkPath:
         self.last_dfe_adaptation = None
         if config.dfe is not None:
             spu = timebase.samples_per_ui
-            centre_samples = waveform[spu // 2::spu]
-            adaptation = config.dfe.adapt(centre_samples, levels)
-            waveform = waveform - config.dfe.feedback_waveform(
-                levels, adaptation.weights, spu)
+            centre_samples = waveform[spu // 2 :: spu]
+            adaptation = config.dfe.adapt(centre_samples, levels, kernel=self.kernel_tier)
+            waveform = waveform - config.dfe.feedback_waveform(levels, adaptation.weights, spu)
             self.last_dfe_adaptation = adaptation
         return timebase.time_axis_s(int(bits.size)), waveform
 
@@ -252,7 +260,8 @@ class LinkPath:
             tracer.count("link.pattern_cache.misses")
         time_axis, waveform = self.received_pattern_waveform(bits)
         table = pattern_displacements_ui(
-            time_axis, waveform, bits, self.config.timebase.unit_interval_s)
+            time_axis, waveform, bits, self.config.timebase.unit_interval_s
+        )
         self._pattern_cache[key] = (table, self.last_dfe_adaptation)
         return table
 
@@ -298,14 +307,13 @@ class LinkPath:
         bits = np.asarray(bits, dtype=np.uint8).ravel()
         require_positive_int("number of bits", int(bits.size))
         nominal_period = timebase.unit_interval_s
-        actual_rate = timebase.bit_rate_hz * (
-            1.0 + units.ppm_to_fraction(data_rate_offset_ppm))
+        actual_rate = timebase.bit_rate_hz * (1.0 + units.ppm_to_fraction(data_rate_offset_ppm))
         bit_period_s = 1.0 / actual_rate
-        start = self.config.settle_ui * nominal_period \
-            if start_time_s is None else start_time_s
+        start = self.config.settle_ui * nominal_period if start_time_s is None else start_time_s
 
         edge_times, edge_bit_index = ideal_edge_times(
-            bits, bit_period_s, start_time_s=start, initial_level=0)
+            bits, bit_period_s, start_time_s=start, initial_level=0
+        )
 
         if pattern_period is None:
             pattern = bits
@@ -315,16 +323,14 @@ class LinkPath:
             period = min(pattern_period, int(bits.size))
             pattern = bits[:period]
             if not np.array_equal(bits, np.resize(pattern, bits.size)):
-                raise ValueError(
-                    "bits do not tile the leading pattern_period bits")
+                raise ValueError("bits do not tile the leading pattern_period bits")
         table = self.pattern_displacements(pattern)
 
         if edge_times.size:
             displacement_ui = table[edge_bit_index % period]
             if jitter is not None:
                 rng = rng or np.random.default_rng()
-                displacement_ui = displacement_ui + jitter_displacements_ui(
-                    edge_times, jitter, rng)
+                displacement_ui = displacement_ui + jitter_displacements_ui(edge_times, jitter, rng)
             edge_times = edge_times + displacement_ui * nominal_period
             edge_times = np.maximum.accumulate(edge_times)
 
@@ -339,8 +345,9 @@ class LinkPath:
 
     # -- statistical-model hand-off -------------------------------------------
 
-    def ddj_decomposition(self, pattern_bits: np.ndarray,
-                          minimum_samples: int = 200) -> JitterDecomposition:
+    def ddj_decomposition(
+        self, pattern_bits: np.ndarray, minimum_samples: int = 200
+    ) -> JitterDecomposition:
         """Dual-Dirac fit of the pattern's data-dependent jitter.
 
         The deterministic displacement population is tiled up to
@@ -354,9 +361,9 @@ class LinkPath:
         repeats = -(-minimum_samples // population.size)
         return decompose_dual_dirac(np.tile(population, repeats))
 
-    def jitter_budget(self, pattern_bits: np.ndarray,
-                      base_budget: CdrJitterBudget | None = None
-                      ) -> CdrJitterBudget:
+    def jitter_budget(
+        self, pattern_bits: np.ndarray, base_budget: CdrJitterBudget | None = None
+    ) -> CdrJitterBudget:
         """Analytic-model budget with the link's DDJ folded into DJ.
 
         The channel's data-dependent jitter (dual-Dirac DJ of the pattern)
@@ -367,8 +374,7 @@ class LinkPath:
         """
         base = base_budget or CdrJitterBudget()
         fit = self.ddj_decomposition(pattern_bits)
-        return replace(base, dj_ui_pp=combine_deterministic(
-            base.dj_ui_pp, fit.dj_pp_ui))
+        return replace(base, dj_ui_pp=combine_deterministic(base.dj_ui_pp, fit.dj_pp_ui))
 
 
 class LinkCdrChannel:
@@ -387,18 +393,27 @@ class LinkCdrChannel:
     ``ValueError``.  ``self.backend`` holds the resolved concrete name.
     """
 
-    def __init__(self, link: LinkConfig | LinkPath | None = None,
-                 config=None, backend: str = AUTO_BACKEND) -> None:
-        self.path = link if isinstance(link, LinkPath) else LinkPath(link)
+    def __init__(
+        self, link: LinkConfig | LinkPath | None = None, config=None, backend: str = AUTO_BACKEND
+    ) -> None:
         spec = resolve_backend(config, backend)
+        if isinstance(link, LinkPath):
+            self.path = link  # caller-owned path keeps its own kernel tier
+        else:
+            self.path = LinkPath(link, kernel_tier=spec.kernel_tier)
         self.cdr = spec.factory(config)
         self.backend = spec.name
 
-    def run(self, bits: np.ndarray, *, jitter: JitterSpec | None = None,
-            data_rate_offset_ppm: float = 0.0,
-            rng: np.random.Generator | None = None,
-            pattern_period: int | None = None,
-            settle_bits: int | None = None):
+    def run(
+        self,
+        bits: np.ndarray,
+        *,
+        jitter: JitterSpec | None = None,
+        data_rate_offset_ppm: float = 0.0,
+        rng: np.random.Generator | None = None,
+        pattern_period: int | None = None,
+        settle_bits: int | None = None,
+    ):
         """Simulate link + CDR; returns a ``BehavioralSimulationResult``.
 
         *settle_bits* defaults to the link's configured ``settle_ui``.
@@ -417,8 +432,7 @@ class LinkCdrChannel:
         return self.cdr.run(bits, rng=rng, stream=stream)
 
 
-def stream_eye_diagram(stream: NrzEdgeStream,
-                       unit_interval_s: float | None = None) -> EyeDiagram:
+def stream_eye_diagram(stream: NrzEdgeStream, unit_interval_s: float | None = None) -> EyeDiagram:
     """Transmit-side eye of an edge stream against the ideal sampling clock.
 
     Every edge is referenced to the ideal mid-bit sampling instant, so the
@@ -427,6 +441,5 @@ def stream_eye_diagram(stream: NrzEdgeStream,
     :class:`repro.specs.ReceiverEyeMask` judges.
     """
     unit_interval = stream.bit_period_s if unit_interval_s is None else unit_interval_s
-    clock_edges = stream.start_time_s + (
-        np.arange(stream.n_bits) + 0.5) * stream.bit_period_s
+    clock_edges = stream.start_time_s + (np.arange(stream.n_bits) + 0.5) * stream.bit_period_s
     return EyeDiagram.from_edges(stream.edge_times_s, clock_edges, unit_interval)

@@ -156,8 +156,7 @@ class StatisticalEye:
     def ber_at(self, phase_ui: float = 0.5, threshold: float = 0.0) -> float:
         """Total BER at one (sampling phase, decision threshold) point."""
         index = int(np.argmin(np.abs(self.phases_ui - float(phase_ui))))
-        return float(np.interp(float(threshold), self.thresholds,
-                               self.ber[index]))
+        return float(np.interp(float(threshold), self.thresholds, self.ber[index]))
 
     def best_operating_point(self, threshold: float = 0.0) -> tuple[float, float]:
         """``(phase_ui, ber)`` of the minimum-BER phase at *threshold*.
@@ -171,14 +170,12 @@ class StatisticalEye:
         values = self.ber[:, column]
         minimum = float(values.min())
         at_minimum = np.flatnonzero(values == minimum)
-        runs = np.split(at_minimum,
-                        np.flatnonzero(np.diff(at_minimum) > 1) + 1)
+        runs = np.split(at_minimum, np.flatnonzero(np.diff(at_minimum) > 1) + 1)
         plateau = max(runs, key=len)
         index = int(plateau[len(plateau) // 2])
         return float(self.phases_ui[index]), minimum
 
-    def contour(self, target_ber: float = 1.0e-12
-                ) -> tuple[np.ndarray, np.ndarray]:
+    def contour(self, target_ber: float = 1.0e-12) -> tuple[np.ndarray, np.ndarray]:
         """Eye contour at *target_ber*: per phase, the passing threshold band.
 
         Returns ``(lower, upper)`` threshold arrays over :attr:`phases_ui`;
@@ -195,16 +192,14 @@ class StatisticalEye:
                 upper[index] = self.thresholds[columns[-1]]
         return lower, upper
 
-    def horizontal_opening_ui(self, target_ber: float = 1.0e-12,
-                              threshold: float = 0.0) -> float:
+    def horizontal_opening_ui(self, target_ber: float = 1.0e-12, threshold: float = 0.0) -> float:
         """Width (UI) of the phase span meeting *target_ber* at *threshold*."""
         require_probability("target_ber", target_ber)
         column = int(np.argmin(np.abs(self.thresholds - float(threshold))))
         passing = self.ber[:, column] <= target_ber
         return float(np.count_nonzero(passing)) * self.phase_step_ui
 
-    def vertical_opening(self, target_ber: float = 1.0e-12,
-                         phase_ui: float | None = None) -> float:
+    def vertical_opening(self, target_ber: float = 1.0e-12, phase_ui: float | None = None) -> float:
         """Height (voltage) of the threshold band meeting *target_ber*.
 
         At the phase nearest *phase_ui*, or the widest band over all
@@ -274,8 +269,7 @@ class StatisticalEyeSolver:
         timing_model: GatedOscillatorBerModel | None = None,
     ) -> None:
         self.path = link if isinstance(link, LinkPath) else LinkPath(link)
-        self.budget = budget if budget is not None \
-            else replace(CdrJitterBudget(), dj_ui_pp=0.0)
+        self.budget = budget if budget is not None else replace(CdrJitterBudget(), dj_ui_pp=0.0)
         self.run_lengths = run_lengths
         self.span_ui = require_positive_int("span_ui", span_ui)
         self.voltage_step = require_positive("voltage_step", voltage_step)
@@ -284,7 +278,8 @@ class StatisticalEyeSolver:
         if aggressor_phase not in AGGRESSOR_PHASE_MODES:
             raise ValueError(
                 f"unknown aggressor_phase {aggressor_phase!r}; expected one "
-                f"of {list(AGGRESSOR_PHASE_MODES)}")
+                f"of {list(AGGRESSOR_PHASE_MODES)}"
+            )
         self.aggressor_phase = aggressor_phase
         self.timing_model = timing_model
 
@@ -303,8 +298,7 @@ class StatisticalEyeSolver:
         spu = config.timebase.samples_per_ui
         impulse = np.zeros(self.span_ui)
         impulse[0] = 1.0
-        symbols = impulse if config.tx_ffe is None \
-            else config.tx_ffe.apply_to_symbols(impulse)
+        symbols = impulse if config.tx_ffe is None else config.tx_ffe.apply_to_symbols(impulse)
         pulse = self.path.equalized_pulse_response(self.span_ui)
         full = superpose_circular(symbols, pulse, spu)
         if config.dfe is not None:
@@ -312,7 +306,7 @@ class StatisticalEyeSolver:
             for offset, weight in enumerate(weights, start=1):
                 if offset >= self.span_ui:
                     break
-                full[offset * spu:(offset + 1) * spu] -= weight
+                full[offset * spu : (offset + 1) * spu] -= weight
         return full
 
     def _trained_dfe_weights(self) -> np.ndarray:
@@ -337,8 +331,10 @@ class StatisticalEyeSolver:
     def aggressor_cursor_matrices(self) -> list[np.ndarray]:
         """Per-aggressor ``(span_ui, samples_per_ui)`` cursor samples."""
         spu = self.path.config.timebase.samples_per_ui
-        return [pulse.reshape(self.span_ui, spu)
-                for pulse in self.path.aggressor_pulse_responses(self.span_ui)]
+        return [
+            pulse.reshape(self.span_ui, spu)
+            for pulse in self.path.aggressor_pulse_responses(self.span_ui)
+        ]
 
     # -- solution --------------------------------------------------------------
 
@@ -356,15 +352,15 @@ class StatisticalEyeSolver:
         # Count only cursor terms that can shift mass at all — an all-zero
         # row (e.g. a zero-amplitude aggressor) must leave the grid, and
         # therefore the solved eye, bit-identical.
-        n_cursor_terms = int(np.count_nonzero(
-            np.max(np.abs(isi_rows), axis=1))) \
-            + sum(int(np.count_nonzero(np.max(np.abs(rows), axis=1)))
-                  for rows in aggressors)
-        worst_case = np.max(np.abs(main_cursor)) \
-            + float(np.sum(np.max(np.abs(isi_rows), axis=1), initial=0.0)) \
-            + sum(float(np.sum(np.max(np.abs(rows), axis=1)))
-                  for rows in aggressors) \
+        n_cursor_terms = int(np.count_nonzero(np.max(np.abs(isi_rows), axis=1))) + sum(
+            int(np.count_nonzero(np.max(np.abs(rows), axis=1))) for rows in aggressors
+        )
+        worst_case = (
+            np.max(np.abs(main_cursor))
+            + float(np.sum(np.max(np.abs(isi_rows), axis=1), initial=0.0))
+            + sum(float(np.sum(np.max(np.abs(rows), axis=1))) for rows in aggressors)
             + 10.0 * self.amplitude_noise_rms
+        )
         # Fractional-shift splitting can push each cursor one bin past its
         # magnitude, so pad the grid by one cell per cursor term.
         half_bins = int(np.ceil(worst_case / step)) + n_cursor_terms + 4
@@ -381,16 +377,19 @@ class StatisticalEyeSolver:
         # mass in either phase mode — skipping them keeps zero-amplitude
         # populations bit-identical to the crosstalk-free solve.
         live_aggressors = [
-            rows for rows in aggressors
-            if np.count_nonzero(np.max(np.abs(rows), axis=1))]
+            rows for rows in aggressors if np.count_nonzero(np.max(np.abs(rows), axis=1))
+        ]
         # The averaged PMFs are phase-independent, so the whole population
         # pre-combines into one convolution kernel outside the phase loop.
         aggressor_kernel = None
         if self.aggressor_phase == "asynchronous":
             for rows in live_aggressors:
                 pmf = self._phase_averaged_pmf(rows, step, n_bins, centre)
-                aggressor_kernel = pmf if aggressor_kernel is None \
+                aggressor_kernel = (
+                    pmf
+                    if aggressor_kernel is None
                     else np.convolve(aggressor_kernel, pmf, mode="same")
+                )
 
         noise_pmf = np.zeros((spu, n_bins))
         for phase_index in range(spu):
@@ -399,8 +398,7 @@ class StatisticalEyeSolver:
             cursors_here = np.abs(isi_rows[:, phase_index])
             if self.aggressor_phase == "synchronous":
                 for rows in live_aggressors:
-                    cursors_here = np.concatenate(
-                        (cursors_here, np.abs(rows[:, phase_index])))
+                    cursors_here = np.concatenate((cursors_here, np.abs(rows[:, phase_index])))
             # Snap numerically-zero cursors (FFT residue on clean channels,
             # same idiom as the edge extractor's snap_ui) so an ideal
             # channel solves to an exactly error-free amplitude eye.
@@ -419,10 +417,12 @@ class StatisticalEyeSolver:
         amplitude_ber = np.empty((spu, n_bins))
         for phase_index in range(spu):
             rail = main_cursor[phase_index]
-            below_one = np.interp(thresholds - rail, thresholds,
-                                  cdf[phase_index], left=0.0, right=1.0)
-            below_zero = np.interp(thresholds + rail, thresholds,
-                                   cdf[phase_index], left=0.0, right=1.0)
+            below_one = np.interp(
+                thresholds - rail, thresholds, cdf[phase_index], left=0.0, right=1.0
+            )
+            below_zero = np.interp(
+                thresholds + rail, thresholds, cdf[phase_index], left=0.0, right=1.0
+            )
             amplitude_ber[phase_index] = 0.5 * (below_one + (1.0 - below_zero))
 
         phases_ui = (np.arange(spu) + 0.5) / spu
@@ -446,8 +446,9 @@ class StatisticalEyeSolver:
             noise_pmf=noise_pmf,
         )
 
-    def _phase_averaged_pmf(self, rows: np.ndarray, step: float,
-                            n_bins: int, centre: int) -> np.ndarray:
+    def _phase_averaged_pmf(
+        self, rows: np.ndarray, step: float, n_bins: int, centre: int
+    ) -> np.ndarray:
         """One aggressor's cursor PMF averaged over a uniform in-UI offset.
 
         The aggressor's transmitter is asynchronous to the victim, so the
@@ -474,7 +475,6 @@ class StatisticalEyeSolver:
         return average / columns
 
 
-def statistical_eye(link: LinkConfig | LinkPath | None = None,
-                    **parameters) -> StatisticalEye:
+def statistical_eye(link: LinkConfig | LinkPath | None = None, **parameters) -> StatisticalEye:
     """Convenience wrapper: solve the statistical eye of *link* in one call."""
     return StatisticalEyeSolver(link, **parameters).solve()

@@ -144,9 +144,11 @@ class StatEyeObjective:
         self.horizontal_weight = horizontal_weight
         self.ber_weight = ber_weight
         self.fold_ddj = fold_ddj
-        self.ddj_pattern_bits = prbs_sequence(7, 127) \
-            if ddj_pattern_bits is None \
+        self.ddj_pattern_bits = (
+            prbs_sequence(7, 127)
+            if ddj_pattern_bits is None
             else np.asarray(ddj_pattern_bits, dtype=np.uint8).ravel()
+        )
         self.grid_step_ui = grid_step_ui
         self.solver_options = dict(solver_options or {})
         self._timing_model: GatedOscillatorBerModel | None = None
@@ -158,11 +160,11 @@ class StatEyeObjective:
         """Number of statistical-eye solves so far (cache hits are free)."""
         return self._evaluations
 
-    def lineup_config(self, tx_ffe: TxFfe | None, rx_ctle: RxCtle | None,
-                      dfe: LmsDfe | None) -> LinkConfig:
+    def lineup_config(
+        self, tx_ffe: TxFfe | None, rx_ctle: RxCtle | None, dfe: LmsDfe | None
+    ) -> LinkConfig:
         """The candidate's full link configuration on this objective's channel."""
-        return self.link.with_equalization(tx_ffe=tx_ffe, rx_ctle=rx_ctle,
-                                           dfe=dfe)
+        return self.link.with_equalization(tx_ffe=tx_ffe, rx_ctle=rx_ctle, dfe=dfe)
 
     def _base_budget(self) -> CdrJitterBudget:
         if self.budget is not None:
@@ -182,8 +184,9 @@ class StatEyeObjective:
             )
         return self._timing_model
 
-    def solve(self, tx_ffe: TxFfe | None, rx_ctle: RxCtle | None,
-              dfe: LmsDfe | None) -> StatisticalEye:
+    def solve(
+        self, tx_ffe: TxFfe | None, rx_ctle: RxCtle | None, dfe: LmsDfe | None
+    ) -> StatisticalEye:
         """Solve the candidate's statistical eye (uncached, full surface)."""
         path = LinkPath(self.lineup_config(tx_ffe, rx_ctle, dfe))
         if not self.fold_ddj:
@@ -192,8 +195,7 @@ class StatEyeObjective:
                 timing_model=self._shared_timing_model(),
                 **self.solver_options,
             ).solve()
-        budget = path.jitter_budget(self.ddj_pattern_bits,
-                                    base_budget=self._base_budget())
+        budget = path.jitter_budget(self.ddj_pattern_bits, base_budget=self._base_budget())
         return StatisticalEyeSolver(
             path,
             budget=budget,
@@ -202,8 +204,9 @@ class StatEyeObjective:
             **self.solver_options,
         ).solve()
 
-    def evaluate(self, tx_ffe: TxFfe | None, rx_ctle: RxCtle | None,
-                 dfe: LmsDfe | None) -> EyeScore:
+    def evaluate(
+        self, tx_ffe: TxFfe | None, rx_ctle: RxCtle | None, dfe: LmsDfe | None
+    ) -> EyeScore:
         """Score one candidate lineup, memoised by its equalizer stages."""
         key = (tx_ffe, rx_ctle, dfe)
         tracer = telemetry.ACTIVE
@@ -226,8 +229,11 @@ class StatEyeObjective:
         horizontal = eye.horizontal_opening_ui(self.target_ber)
         vertical = eye.vertical_opening(self.target_ber)
         best_phase, ber = eye.best_operating_point()
-        score = vertical + self.horizontal_weight * horizontal \
+        score = (
+            vertical
+            + self.horizontal_weight * horizontal
             + self.ber_weight * min(30.0, -math.log10(max(ber, _BER_FLOOR)))
+        )
         return EyeScore(
             horizontal_ui=horizontal,
             vertical=vertical,

@@ -74,14 +74,13 @@ class TrainingBudget:
     max_evaluations: int = 48
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "tx_post_db",
-                           tuple(float(v) for v in self.tx_post_db))
-        object.__setattr__(self, "ctle_peaking_db",
-                           tuple(float(v) for v in self.ctle_peaking_db))
+        object.__setattr__(self, "tx_post_db", tuple(float(v) for v in self.tx_post_db))
+        object.__setattr__(self, "ctle_peaking_db", tuple(float(v) for v in self.ctle_peaking_db))
         if not self.tx_post_db or not self.ctle_peaking_db:
             raise ValueError("coarse grid axes must not be empty")
-        for name, values in (("tx_post_db", self.tx_post_db),
-                             ("ctle_peaking_db", self.ctle_peaking_db)):
+        for name, values in (
+            ("tx_post_db", self.tx_post_db), ("ctle_peaking_db", self.ctle_peaking_db)
+        ):
             for value in values:
                 require_non_negative(name, value)
         require_non_negative("refine_rounds", self.refine_rounds)
@@ -146,13 +145,11 @@ class TrainedLineup:
     coarse_eye: EyeScore
     dfe_weights: tuple[float, ...]
     n_evaluations: int
-    dfe_adaptation: DfeAdaptation | None = field(default=None, repr=False,
-                                                 compare=False)
+    dfe_adaptation: DfeAdaptation | None = field(default=None, repr=False, compare=False)
 
     def apply(self, link: LinkConfig) -> LinkConfig:
         """Graft the trained equalizer stages onto *link* (channel kept)."""
-        return link.with_equalization(tx_ffe=self.tx_ffe,
-                                      rx_ctle=self.rx_ctle, dfe=self.dfe)
+        return link.with_equalization(tx_ffe=self.tx_ffe, rx_ctle=self.rx_ctle, dfe=self.dfe)
 
 
 @dataclass(frozen=True)
@@ -200,9 +197,7 @@ class TrainingCrossCheck:
             return False
         if self.error_events == 0:
             return self.predicted_ber <= band / self.compared_bits
-        return (self.event_rate / band
-                <= self.predicted_ber
-                <= self.event_rate * band)
+        return self.event_rate / band <= self.predicted_ber <= self.event_rate * band
 
 
 class LinkTrainer:
@@ -247,23 +242,22 @@ class LinkTrainer:
         )
         # The CTLE's peak frequency / bandwidth come from the link's own
         # stage when it has one, so training only moves the peaking knob.
-        self._base_ctle = self.link.rx_ctle if self.link.rx_ctle is not None \
-            else RxCtle()
+        self._base_ctle = self.link.rx_ctle if self.link.rx_ctle is not None else RxCtle()
         # Evaluations already spent when the search proper starts (the
         # baseline seed solve is exempt from the budget); set by train().
         self._search_base = 0
 
     # -- candidate construction ------------------------------------------------
 
-    def candidate_stages(self, tx_post_db: float, ctle_peaking_db: float
-                         ) -> tuple[TxFfe | None, RxCtle | None, LmsDfe | None]:
+    def candidate_stages(
+        self, tx_post_db: float, ctle_peaking_db: float
+    ) -> tuple[TxFfe | None, RxCtle | None, LmsDfe | None]:
         """The equalizer stages at one point of the search plane.
 
         Zero de-emphasis means *no* FFE stage (not a degenerate one-tap
         filter), matching the ablation sweeps' "unequalized" lineups.
         """
-        tx_ffe = TxFfe.de_emphasis(post_db=tx_post_db) \
-            if tx_post_db > 0.0 else None
+        tx_ffe = TxFfe.de_emphasis(post_db=tx_post_db) if tx_post_db > 0.0 else None
         rx_ctle = self._base_ctle.with_peaking(ctle_peaking_db)
         return tx_ffe, rx_ctle, self.dfe
 
@@ -271,12 +265,10 @@ class LinkTrainer:
         tracer = telemetry.ACTIVE
         if tracer:
             tracer.count("training.search_iterations")
-        return self.objective.evaluate(
-            *self.candidate_stages(tx_post_db, ctle_peaking_db))
+        return self.objective.evaluate(*self.candidate_stages(tx_post_db, ctle_peaking_db))
 
     def _exhausted(self) -> bool:
-        return self.objective.evaluations - self._search_base \
-            >= self.training.max_evaluations
+        return self.objective.evaluations - self._search_base >= self.training.max_evaluations
 
     # -- the search ------------------------------------------------------------
 
@@ -323,8 +315,7 @@ class LinkTrainer:
                     if self._exhausted():
                         break
                     candidate = [best[0], best[1]]
-                    candidate[axis] = max(0.0, candidate[axis]
-                                          + direction * step)
+                    candidate[axis] = max(0.0, candidate[axis] + direction * step)
                     score = self._evaluate(candidate[0], candidate[1])
                     if score.score > best[2].score:
                         best = (candidate[0], candidate[1], score)
@@ -333,21 +324,30 @@ class LinkTrainer:
 
         if baseline.score > best[2].score:
             return self._finalise_stages(
-                "trained(baseline kept)", self.link.tx_ffe,
-                self.link.rx_ctle, self.link.dfe, None, None,
-                baseline, coarse)
+                "trained(baseline kept)",
+                self.link.tx_ffe,
+                self.link.rx_ctle,
+                self.link.dfe,
+                None,
+                None,
+                baseline,
+                coarse,
+            )
         tx_ffe, rx_ctle, dfe = self.candidate_stages(best[0], best[1])
         label = f"trained(post={best[0]:g}dB, peak={best[1]:g}dB)"
-        return self._finalise_stages(label, tx_ffe, rx_ctle, dfe,
-                                     best[0], best[1], best[2], coarse)
+        return self._finalise_stages(label, tx_ffe, rx_ctle, dfe, best[0], best[1], best[2], coarse)
 
-    def _finalise_stages(self, label: str, tx_ffe: TxFfe | None,
-                         rx_ctle: RxCtle | None, dfe: LmsDfe | None,
-                         tx_post_db: float | None,
-                         ctle_peaking_db: float | None,
-                         eye: EyeScore,
-                         coarse: tuple[float, float, EyeScore]
-                         ) -> TrainedLineup:
+    def _finalise_stages(
+        self,
+        label: str,
+        tx_ffe: TxFfe | None,
+        rx_ctle: RxCtle | None,
+        dfe: LmsDfe | None,
+        tx_post_db: float | None,
+        ctle_peaking_db: float | None,
+        eye: EyeScore,
+        coarse: tuple[float, float, EyeScore],
+    ) -> TrainedLineup:
         """Adapt the winning lineup's DFE and assemble the result.
 
         The adaptation replays exactly what the statistical-eye solver
@@ -358,8 +358,7 @@ class LinkTrainer:
         adaptation = None
         if dfe is not None:
             path = LinkPath(self.objective.lineup_config(tx_ffe, rx_ctle, dfe))
-            span = self.objective.solver_options.get("span_ui",
-                                                     DEFAULT_SPAN_UI)
+            span = self.objective.solver_options.get("span_ui", DEFAULT_SPAN_UI)
             path.received_pattern_waveform(prbs_sequence(7, span))
             adaptation = path.last_dfe_adaptation
             if adaptation is not None:
@@ -384,8 +383,7 @@ class LinkTrainer:
 
     def score_fixed(self) -> EyeScore:
         """Score of the link's own (fixed, hand-picked) equalizer lineup."""
-        return self.objective.evaluate(self.link.tx_ffe, self.link.rx_ctle,
-                                       self.link.dfe)
+        return self.objective.evaluate(self.link.tx_ffe, self.link.rx_ctle, self.link.dfe)
 
     def cross_check(
         self,
@@ -408,8 +406,7 @@ class LinkTrainer:
         jitter / residual RJ), exactly as the stateye cross-validation
         tests do.
         """
-        channel = LinkCdrChannel(trained.apply(self.link), config=config,
-                                 backend=backend)
+        channel = LinkCdrChannel(trained.apply(self.link), config=config, backend=backend)
         result = channel.run(
             prbs_sequence(prbs_order, n_bits),
             jitter=jitter,
@@ -417,8 +414,11 @@ class LinkTrainer:
             pattern_period=sequence_period(prbs_order),
         )
         measurement = result.ber()
-        measured = measurement.errors / measurement.compared_bits \
-            if measurement.compared_bits else float("nan")
+        measured = (
+            measurement.errors / measurement.compared_bits
+            if measurement.compared_bits
+            else float("nan")
+        )
         return TrainingCrossCheck(
             errors=int(measurement.errors),
             error_events=result.error_events(),

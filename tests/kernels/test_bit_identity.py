@@ -1,0 +1,237 @@
+"""Golden bit-identity pins: every kernel tier must match the reference.
+
+The pure-python loops in :mod:`repro.link.equalization` and
+:mod:`repro.events.kernel` are the pinned semantic reference; the scalar
+and (where installed) numba tiers must reproduce their results **byte for
+byte** on pinned PRBS7 configurations — adapted taps, per-epoch errors,
+decision-error diagnostics, error-propagation bursts, event counts and
+full trained-link sweeps at any worker count.  These tests byte-compare
+arrays (``.tobytes()``), not approximately.
+"""
+
+import numpy as np
+import pytest
+
+from repro import _kernels
+from repro.core.cdr_channel import BehavioralCdrChannel
+from repro.datapath.nrz import JitterSpec
+from repro.datapath.prbs import prbs_sequence
+from repro.experiments import ParameterAxis, ScenarioSpec, StimulusSpec, run_grid
+from repro.link import (
+    LinkConfig,
+    LinkPath,
+    LmsDfe,
+    LossyLineChannel,
+    RxCtle,
+    TxFfe,
+)
+from repro.link.isi import nrz_symbol_levels
+
+#: Every dispatchable tier available in this environment ("auto" resolves
+#: to the fastest; "jit" is exercised only where numba is installed).
+TIERS = ["python", "auto"] + (["jit"] if _kernels.jit_available() else [])
+
+PRBS7_BITS = prbs_sequence(7)
+PRBS7_LEVELS = nrz_symbol_levels(PRBS7_BITS)
+#: The pinned "received waveform": PRBS7 levels plus deterministic
+#: pseudo-ISI perturbations — enough structure for non-trivial adaptation.
+PRBS7_SAMPLES = PRBS7_LEVELS + np.random.default_rng(1234).normal(0.0, 0.18, PRBS7_LEVELS.size)
+
+
+def _bytes_equal(left: np.ndarray, right: np.ndarray) -> bool:
+    return left.dtype == right.dtype and left.tobytes() == right.tobytes()
+
+
+class TestDfeAdaptationBitIdentity:
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize("n_taps", [1, 2, 3, 5])
+    def test_data_aided_matches_reference(self, tier, n_taps):
+        dfe = LmsDfe(n_taps=n_taps, step_size=0.02, n_epochs=25)
+        reference = dfe.adapt(PRBS7_SAMPLES, PRBS7_LEVELS, kernel="reference")
+        fast = dfe.adapt(PRBS7_SAMPLES, PRBS7_LEVELS, kernel=tier)
+        assert _bytes_equal(fast.weights, reference.weights)
+        assert _bytes_equal(fast.error_rms_per_epoch, reference.error_rms_per_epoch)
+        assert fast.decision_error_rate_per_epoch is None
+
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize("n_taps", [1, 2, 4])
+    def test_decision_directed_matches_reference(self, tier, n_taps):
+        dfe = LmsDfe(n_taps=n_taps, step_size=0.015, n_epochs=30,
+                     decision_directed=True)
+        reference = dfe.adapt(PRBS7_SAMPLES, PRBS7_LEVELS, kernel="reference")
+        fast = dfe.adapt(PRBS7_SAMPLES, PRBS7_LEVELS, kernel=tier)
+        assert _bytes_equal(fast.weights, reference.weights)
+        assert _bytes_equal(fast.error_rms_per_epoch, reference.error_rms_per_epoch)
+        assert _bytes_equal(fast.decision_error_rate_per_epoch,
+                            reference.decision_error_rate_per_epoch)
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_default_kernel_is_bit_identical_to_reference(self, tier):
+        dfe = LmsDfe(n_taps=2, step_size=0.02, n_epochs=40)
+        default = dfe.adapt(PRBS7_SAMPLES, PRBS7_LEVELS)
+        reference = dfe.adapt(PRBS7_SAMPLES, PRBS7_LEVELS, kernel="reference")
+        assert _bytes_equal(default.weights, reference.weights)
+
+
+class TestErrorPropagationBitIdentity:
+    @pytest.mark.parametrize("tier", TIERS)
+    @pytest.mark.parametrize("weights", [
+        (0.3,),
+        (0.3, -0.15),
+        (0.45, -0.2, 0.1),
+    ])
+    def test_burst_matches_reference(self, tier, weights):
+        dfe = LmsDfe(n_taps=len(weights))
+        reference = dfe.error_propagation(np.array(weights), PRBS7_LEVELS,
+                                          error_index=5, kernel="reference")
+        fast = dfe.error_propagation(np.array(weights), PRBS7_LEVELS,
+                                     error_index=5, kernel=tier)
+        assert _bytes_equal(fast.wrong_decisions, reference.wrong_decisions)
+        assert _bytes_equal(fast.deviation_per_ui, reference.deviation_per_ui)
+        assert fast.burst_length == reference.burst_length
+        assert fast.decays == reference.decays
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_unstable_weights_match_reference(self, tier):
+        """Past the stability boundary the burst rings — still bit-identical."""
+        dfe = LmsDfe(n_taps=2)
+        weights = np.array([1.2, 0.6])
+        reference = dfe.error_propagation(weights, PRBS7_LEVELS, horizon=64,
+                                          kernel="reference")
+        fast = dfe.error_propagation(weights, PRBS7_LEVELS, horizon=64,
+                                     kernel=tier)
+        assert _bytes_equal(fast.wrong_decisions, reference.wrong_decisions)
+        assert _bytes_equal(fast.deviation_per_ui, reference.deviation_per_ui)
+
+
+class TestEventKernelBitIdentity:
+    @pytest.mark.parametrize("tier", ["python", "auto"])
+    def test_behavioral_channel_matches_reference_drain(self, tier):
+        bits = prbs_sequence(7, 220)
+        runs = {}
+        for kernel_tier in ("reference", tier):
+            channel = BehavioralCdrChannel(kernel_tier=kernel_tier)
+            result = channel.run(bits, rng=np.random.default_rng(7))
+            runs[kernel_tier] = result
+        reference, fast = runs["reference"], runs[tier]
+        assert _bytes_equal(fast.sampled_bits, reference.sampled_bits)
+        assert _bytes_equal(fast.sample_times_s, reference.sample_times_s)
+        assert fast.ber().errors == reference.ber().errors
+        assert fast.ber().compared_bits == reference.ber().compared_bits
+
+    def test_jittered_channel_matches_reference_drain(self):
+        from repro.core.config import CdrChannelConfig
+        config = CdrChannelConfig(gate_jitter_sigma_fraction=0.01)
+        bits = prbs_sequence(7, 220)
+        runs = []
+        for kernel_tier in ("reference", "auto"):
+            channel = BehavioralCdrChannel(config, kernel_tier=kernel_tier)
+            runs.append(channel.run(bits, rng=np.random.default_rng(11)))
+        assert _bytes_equal(runs[0].sampled_bits, runs[1].sampled_bits)
+        assert _bytes_equal(runs[0].sample_times_s, runs[1].sample_times_s)
+
+
+LINK = LinkConfig(
+    channel=LossyLineChannel.for_loss_at_nyquist(6.0, LinkConfig().timebase.bit_rate_hz),
+    tx_ffe=TxFfe.de_emphasis(post_db=2.0),
+    rx_ctle=RxCtle(peaking_db=4.0),
+    dfe=LmsDfe(n_taps=2, step_size=0.02, n_epochs=30),
+)
+
+
+class TestTrainedLinkBitIdentity:
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_link_edge_stream_matches_reference(self, tier):
+        bits = prbs_sequence(7, 254)
+        reference = LinkPath(LINK, kernel_tier="reference").transmit(
+            bits, pattern_period=127)
+        fast = LinkPath(LINK, kernel_tier=tier).transmit(
+            bits, pattern_period=127)
+        assert _bytes_equal(fast.edge_times_s, reference.edge_times_s)
+
+    @pytest.mark.parametrize("tier", TIERS)
+    def test_decision_directed_link_matches_reference(self, tier):
+        from dataclasses import replace
+        link = replace(LINK, dfe=LmsDfe(n_taps=2, step_size=0.015, n_epochs=30,
+                                        decision_directed=True))
+        bits = prbs_sequence(7, 254)
+        reference = LinkPath(link, kernel_tier="reference").transmit(
+            bits, pattern_period=127)
+        fast = LinkPath(link, kernel_tier=tier).transmit(bits, pattern_period=127)
+        assert _bytes_equal(fast.edge_times_s, reference.edge_times_s)
+
+    def test_trained_link_sweep_at_any_worker_count(self):
+        """Full link sweep: dispatched kernels == reference, worker-invariant."""
+        spec = ScenarioSpec(
+            stimulus=StimulusSpec(n_bits=254),
+            jitter=JitterSpec(rj_ui_rms=0.01),
+            link=LINK,
+        )
+        axis = ParameterAxis("sj_amplitude_ui_pp", (0.0, 0.2))
+        serial = run_grid(spec, [axis], seed=9, workers=1)
+        pooled = run_grid(spec, [axis], seed=9, workers=2)
+        assert _bytes_equal(serial.metric("errors"), pooled.metric("errors"))
+        assert _bytes_equal(serial.metric("compared"), pooled.metric("compared"))
+
+        # Recompute every point manually on the pinned reference tier: the
+        # sweep's dispatched kernels must not have changed a single bit.
+        from repro.experiments import resolve_grid, simulate_scenario
+        from repro.fastpath.backends import BACKENDS, resolve_backend
+        children = np.random.SeedSequence(9).spawn(2)
+        for index, point in enumerate(resolve_grid(spec, (axis,))):
+            rng = np.random.default_rng(children[index])
+            backend = resolve_backend(point.config, point.backend)
+            bits = point.stimulus.bits()
+            stream = LinkPath(point.link, kernel_tier="reference").transmit(
+                bits,
+                jitter=point.jitter,
+                data_rate_offset_ppm=point.data_rate_offset_ppm,
+                rng=rng,
+                pattern_period=point.stimulus.pattern_period,
+            )
+            manual = backend.create(point.config).run(
+                bits, rng=rng, stream=stream).ber()
+            assert serial.metric("errors")[index] == manual.errors
+            assert serial.metric("compared")[index] == manual.compared_bits
+
+
+class TestVectorizedTapArithmetic:
+    """Satellite regression pins: the vectorized tap paths equal the old loops."""
+
+    FFE = TxFfe.de_emphasis(pre_db=1.5, post_db=3.5)
+
+    def test_apply_to_symbols_matches_roll_loop(self):
+        symbols = PRBS7_LEVELS
+        expected = np.zeros_like(symbols)
+        for offset, tap in enumerate(self.FFE.taps):
+            expected += tap * np.roll(symbols, offset - self.FFE.main_cursor)
+        assert _bytes_equal(self.FFE.apply_to_symbols(symbols), expected)
+
+    def test_frequency_response_matches_tap_loop(self):
+        frequencies = np.linspace(1.0e8, 1.0e10, 37)
+        unit_interval = 1.0 / 2.5e9
+        expected = np.zeros(frequencies.shape, dtype=complex)
+        for offset, tap in enumerate(self.FFE.taps):
+            delay = (offset - self.FFE.main_cursor) * unit_interval
+            expected += tap * np.exp(-2j * np.pi * frequencies * delay)
+        assert _bytes_equal(
+            self.FFE.frequency_response(frequencies, unit_interval), expected)
+
+    def test_normalization_sum_matches_python_sum(self):
+        ffe = TxFfe(taps=(-0.12, 0.9, -0.2), main_cursor=1).normalized()
+        assert sum(abs(tap) for tap in ffe.taps) == pytest.approx(1.0, abs=1e-12)
+
+    def test_feedback_waveform_matches_roll_loop(self):
+        dfe = LmsDfe(n_taps=3)
+        weights = np.array([0.25, -0.1, 0.05])
+        expected = np.zeros(PRBS7_LEVELS.size)
+        for offset, weight in enumerate(weights, start=1):
+            expected += weight * np.roll(PRBS7_LEVELS, offset)
+        expected = np.repeat(expected, 8)
+        assert _bytes_equal(dfe.feedback_waveform(PRBS7_LEVELS, weights, 8), expected)
+
+    def test_empty_weights_feedback_is_zero(self):
+        dfe = LmsDfe(n_taps=1)
+        waveform = dfe.feedback_waveform(PRBS7_LEVELS, np.array([]), 4)
+        assert waveform.shape == (PRBS7_LEVELS.size * 4,)
+        assert not waveform.any()

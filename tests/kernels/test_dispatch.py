@@ -1,0 +1,168 @@
+"""Kernel-tier dispatch: resolution, JIT fallback, telemetry, warmup."""
+
+import numpy as np
+import pytest
+
+from repro import _kernels, telemetry
+from repro._kernels import dispatch
+from repro.events.kernel import SimulationError, Simulator
+
+SAMPLES = np.array([0.4, -0.6, 0.8, -0.2, 0.5, -0.7, 0.3])
+LEVELS = np.array([1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0])
+
+
+class _FakeJit:
+    """Stands in for the numba module so fallback/upgrade paths run anywhere."""
+
+    def __init__(self):
+        self.warmed = 0
+
+    def warmup(self):
+        self.warmed += 1
+
+    # Tier-"jit" dispatches delegate to the scalar kernels (bit-identical),
+    # so routing tests can assert on results without numba installed.
+    @staticmethod
+    def dfe_adapt(*args):
+        from repro._kernels import scalar
+        return scalar.dfe_adapt(*args)
+
+    @staticmethod
+    def dfe_adapt_decision_directed(*args):
+        from repro._kernels import scalar
+        return scalar.dfe_adapt_decision_directed(*args)
+
+    @staticmethod
+    def dfe_error_propagation(*args):
+        from repro._kernels import scalar
+        return scalar.dfe_error_propagation(*args)
+
+
+class TestResolveTier:
+    def test_auto_matches_environment(self):
+        expected = _kernels.TIER_JIT if _kernels.jit_available() else _kernels.TIER_PYTHON
+        assert _kernels.resolve_tier(_kernels.TIER_AUTO) == expected
+
+    def test_concrete_tiers_pass_through(self):
+        assert _kernels.resolve_tier("python") == "python"
+        assert _kernels.resolve_tier("reference") == "reference"
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(ValueError, match="warp"):
+            _kernels.resolve_tier("warp")
+
+    def test_jit_incapable_loops_resolve_to_python(self):
+        assert _kernels.resolve_tier("auto", jit_capable=False) == "python"
+        assert _kernels.resolve_tier("jit", jit_capable=False) == "python"
+
+    def test_forced_jit_without_numba_falls_back(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "_jit", None)
+        with telemetry.trace() as tracer:
+            assert _kernels.resolve_tier("jit") == "python"
+        assert tracer.counters["kernels.jit_fallback"] == 1
+
+    def test_jit_resolves_when_available(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "_jit", _FakeJit())
+        assert _kernels.resolve_tier("jit") == "jit"
+        assert _kernels.resolve_tier("auto") == "jit"
+        assert _kernels.jit_available()
+
+
+class TestTelemetryCounters:
+    def test_dfe_dispatch_counts_resolved_tier(self):
+        with telemetry.trace() as tracer:
+            _kernels.dfe_adapt(SAMPLES, LEVELS, 2, 0.05, 3, tier="python")
+        assert tracer.counters["kernels.tier.python"] == 1
+
+    def test_auto_dispatch_counts_concrete_tier(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "_jit", _FakeJit())
+        with telemetry.trace() as tracer:
+            _kernels.dfe_adapt(SAMPLES, LEVELS, 2, 0.05, 3, tier="auto")
+        assert tracer.counters["kernels.tier.jit"] == 1
+
+    def test_simulator_drain_counts_tier(self):
+        simulator = Simulator()
+        simulator.call_after(1.0e-9, lambda: None)
+        with telemetry.trace() as tracer:
+            simulator.run()
+        assert tracer.counters["kernels.tier.python"] == 1
+        assert tracer.counters["kernel.events"] == 1
+
+    def test_fallback_counter_fires_through_dispatch(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "_jit", None)
+        with telemetry.trace() as tracer:
+            _kernels.dfe_adapt(SAMPLES, LEVELS, 2, 0.05, 3, tier="jit")
+        assert tracer.counters["kernels.jit_fallback"] == 1
+        assert tracer.counters["kernels.tier.python"] == 1
+
+
+class TestWarmup:
+    def test_warmup_without_numba_is_a_clean_noop(self, monkeypatch):
+        monkeypatch.setattr(dispatch, "_jit", None)
+        with telemetry.trace() as tracer:
+            assert _kernels.warmup_jit() is False
+        assert "kernels.jit_warmup" not in tracer.counters
+
+    def test_warmup_compiles_and_counts(self, monkeypatch):
+        fake = _FakeJit()
+        monkeypatch.setattr(dispatch, "_jit", fake)
+        with telemetry.trace() as tracer:
+            assert _kernels.warmup_jit() is True
+        assert fake.warmed == 1
+        assert tracer.counters["kernels.jit_warmup"] == 1
+
+    @pytest.mark.skipif(not _kernels.jit_available(), reason="numba not installed")
+    def test_real_warmup_compiles_numba_kernels(self):
+        assert _kernels.warmup_jit() is True
+
+
+class TestSimulatorTiers:
+    def test_invalid_tier_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="warp"):
+            Simulator(kernel_tier="warp")
+
+    @staticmethod
+    def _scheduled(simulator):
+        order = []
+        simulator.call_after(2.0e-9, lambda: order.append("late"))
+        simulator.call_after(1.0e-9, lambda: order.append("early"))
+        simulator.call_after(1.0e-9, lambda: order.append("tied"))
+        return order
+
+    def test_tiers_execute_identical_event_order(self):
+        runs = {}
+        for tier in ("reference", "python", "auto"):
+            simulator = Simulator(kernel_tier=tier)
+            order = self._scheduled(simulator)
+            executed = simulator.run()
+            runs[tier] = (order, executed, simulator.now)
+        assert runs["reference"] == runs["python"] == runs["auto"]
+
+    def test_run_until_budget_error_matches_reference(self):
+        for tier in ("reference", "python"):
+            simulator = Simulator(kernel_tier=tier)
+
+            def reschedule():
+                simulator.call_after(0.0, reschedule)
+
+            simulator.call_after(0.0, reschedule)
+            with pytest.raises(SimulationError, match="zero-delay loop"):
+                simulator.run_until(1.0e-9, max_events=25)
+
+    def test_run_budget_error_matches_reference(self):
+        for tier in ("reference", "python"):
+            simulator = Simulator(kernel_tier=tier)
+
+            def reschedule():
+                simulator.call_after(1.0e-12, reschedule)
+
+            simulator.call_after(0.0, reschedule)
+            with pytest.raises(SimulationError, match="without draining"):
+                simulator.run(max_events=25)
+
+    def test_run_until_advances_clock_to_stop_time(self):
+        for tier in ("reference", "python"):
+            simulator = Simulator(kernel_tier=tier)
+            simulator.call_after(1.0e-9, lambda: None)
+            assert simulator.run_until(5.0e-9) == 1
+            assert simulator.now == 5.0e-9
