@@ -33,6 +33,9 @@ import numpy as np
 
 __all__ = [
     "NONFINITE_TOKENS",
+    "dumps_strict",
+    "dumps_compact",
+    "loads_strict",
     "encode_float",
     "encode_float_array",
     "encode_json_value",
@@ -52,6 +55,46 @@ _NONFINITE_TAG = "__nonfinite__"
 _LITERAL_TAG = "__literal__"
 
 
+def dumps_strict(payload, *, indent: int | None = None, sort_keys: bool = False) -> str:
+    """``json.dumps`` with ``allow_nan=False`` — the only sanctioned serializer.
+
+    Every persisted JSON document in this repository goes through here (or
+    :func:`dumps_compact`); a bare ``NaN`` / ``Infinity`` token raises
+    ``ValueError`` at write time instead of corrupting a file that strict
+    parsers reject.  Separators follow the ``json.dumps`` defaults so
+    existing golden-pinned serializations stay byte-identical.
+    """
+    return json.dumps(payload, indent=indent, sort_keys=sort_keys, allow_nan=False)
+
+
+def dumps_compact(payload, *, sort_keys: bool = False) -> str:
+    """Strict JSON with compact separators — the JSONL record form.
+
+    Checkpoint lines, audit sidecar lines and telemetry trace records are
+    all written in this shape, one record per line.
+    """
+    return json.dumps(payload, sort_keys=sort_keys, allow_nan=False, separators=(",", ":"))
+
+
+def _reject_nonfinite_constant(token: str):
+    raise ValueError(
+        f"non-RFC-8259 token {token!r} in JSON input; strict documents encode "
+        f"non-finite floats as sentinel strings (see repro._jsonio)"
+    )
+
+
+def loads_strict(text: str):
+    """``json.loads`` that rejects the bare ``NaN`` / ``Infinity`` tokens.
+
+    Documents written by :func:`dumps_strict` / :func:`dumps_compact` never
+    contain them, so a hit means the file was produced by an unsanctioned
+    serializer — better to fail loudly than to silently import a float that
+    the strict writers could never round-trip.  Malformed JSON raises
+    ``json.JSONDecodeError`` exactly as ``json.loads`` does.
+    """
+    return json.loads(text, parse_constant=_reject_nonfinite_constant)
+
+
 def _is_tagged(value: dict) -> bool:
     return set(value) == {_NONFINITE_TAG} or set(value) == {_LITERAL_TAG}
 
@@ -60,10 +103,8 @@ def encode_float(value: float) -> float | str:
     """One float as itself, or as its sentinel string when non-finite."""
     if np.isnan(value):
         return "NaN"
-    if value == float("inf"):
-        return "Infinity"
-    if value == float("-inf"):
-        return "-Infinity"
+    if np.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
     return value
 
 

@@ -1,0 +1,126 @@
+"""Rule base class, finding record and rule registry for repro-lint.
+
+The analyzer is deliberately **stdlib-only** (``ast`` + ``tokenize``): the
+CI lint job runs it without installing numpy/scipy, exactly like the ruff
+steps it sits beside.  Keep every module under :mod:`repro._lint` free of
+third-party imports.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PARSE_ERROR_CODE",
+    "Finding",
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "rule_codes",
+]
+
+#: Pseudo-code reported when a file cannot be parsed at all.  Not a
+#: registered rule: it cannot be pragma- or baseline-suppressed.
+PARSE_ERROR_CODE = "RPL000"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``snippet`` is the stripped source line — it doubles as the baseline
+    identity of the finding (line numbers drift when unrelated code moves,
+    the offending line's text does not).
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    snippet: str
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to examine one file.
+
+    ``relpath`` is the posix-style path relative to the repository root;
+    every rule scopes itself off it (``src/repro/...`` vs ``tests/...``),
+    so callers synthesizing contexts (the fixture tests) choose the scope
+    by choosing the relpath.
+    """
+
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def line_at(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    @property
+    def in_src(self) -> bool:
+        return self.relpath.startswith("src/repro/")
+
+
+class Rule:
+    """Base class: subclasses set ``code``/``name``/``summary`` and
+    implement :meth:`check` yielding findings for one file."""
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 0)
+        col = getattr(node, "col_offset", 0) + 1
+        return Finding(
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            code=self.code,
+            message=message,
+            snippet=ctx.line_at(line),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (instantiated once) to the registry."""
+    rule = cls()
+    if not rule.code or rule.code in _REGISTRY:
+        raise ValueError(f"rule code {rule.code!r} is empty or already registered")
+    _REGISTRY[rule.code] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules in code order."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rule_codes() -> list[str]:
+    return sorted(_REGISTRY)

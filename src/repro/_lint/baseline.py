@@ -1,0 +1,109 @@
+"""Shrink-only JSON baseline for repro-lint findings.
+
+The baseline mirrors the convention of the ruff ``[format].exclude`` list
+in ``ruff.toml``: it grandfathers violations that predate a rule, it is
+reviewed like code, and **it only shrinks** — fix a finding, delete its
+entry, never add one.  Mechanical enforcement of the shrink direction:
+an entry that no longer matches any finding is *stale* and fails the run
+(exit code 1), so a fixed violation cannot linger in the file.
+
+Entries identify findings by ``(path, code, snippet)`` — the stripped
+source line rather than its number — so unrelated edits that shift lines
+do not invalidate the baseline, while any edit to the offending line
+itself forces a fresh look.  ``count`` covers several identical lines in
+one file.
+
+The file is plain :mod:`json` (not :mod:`repro._jsonio`): findings are
+path/code/text records with no floats, and the analyzer must import
+without numpy.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .base import Finding
+
+__all__ = ["BASELINE_VERSION", "Baseline", "BaselineError"]
+
+BASELINE_VERSION = 1
+
+_HEADER_COMMENT = (
+    "repro-lint baseline — grandfathered findings, reviewed like code. "
+    "This list only shrinks: fix a finding, delete its entry, never add one. "
+    "Stale entries (no longer matching any finding) fail the lint run."
+)
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+@dataclass
+class Baseline:
+    """Loaded baseline entries, consumed as findings match them."""
+
+    path: Path | None = None
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read *path*; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported version {payload.get('version')!r} "
+                f"(expected {BASELINE_VERSION})"
+            )
+        entries: Counter = Counter()
+        for entry in payload.get("entries", ()):
+            key = (str(entry["path"]), str(entry["code"]), str(entry["snippet"]))
+            entries[key] += int(entry.get("count", 1))
+        return cls(path=path, entries=entries)
+
+    def apply(self, findings: list[Finding]) -> tuple[list[Finding], list[dict]]:
+        """Split *findings* into (kept, stale-entry records).
+
+        Each finding matching a baseline entry with remaining count is
+        suppressed; whatever baseline capacity is left over afterwards is
+        stale and must be deleted from the file.
+        """
+        remaining = Counter(self.entries)
+        kept: list[Finding] = []
+        for finding in findings:
+            key = (finding.path, finding.code, finding.snippet)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                kept.append(finding)
+        stale = [
+            {"path": path, "code": code, "snippet": snippet, "count": count}
+            for (path, code, snippet), count in sorted(remaining.items())
+            if count > 0
+        ]
+        return kept, stale
+
+    @staticmethod
+    def write(path: str | Path, findings: list[Finding]) -> Path:
+        """Serialize *findings* as a fresh baseline at *path*."""
+        entries = Counter((f.path, f.code, f.snippet) for f in findings)
+        payload = {
+            "comment": _HEADER_COMMENT,
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"path": p, "code": c, "snippet": s, "count": n}
+                for (p, c, s), n in sorted(entries.items())
+            ],
+        }
+        path = Path(path)
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return path

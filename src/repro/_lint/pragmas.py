@@ -1,0 +1,104 @@
+"""Inline ``# repro-lint: disable=RPLxxx`` pragma parsing.
+
+Two placements suppress a finding:
+
+* on the offending line itself::
+
+      rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — why
+
+* on a comment-only line directly above the offending line::
+
+      # repro-lint: disable=RPL001 — why this site is exempt
+      rng = rng or np.random.default_rng()
+
+A file-wide variant ``# repro-lint: disable-file=RPLxxx`` (anywhere in the
+file, conventionally in the module docstring area) suppresses the listed
+codes for the whole file.  Multiple codes separate with commas
+(``disable=RPL001,RPL003``); ``disable=all`` suppresses everything.  Every
+pragma is expected to carry a trailing justification — the analyzer does
+not parse it, reviewers do.
+
+Comments are found with :mod:`tokenize`, so pragma-looking text inside
+string literals never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["PragmaMap", "collect_pragmas"]
+
+# Matched only inside COMMENT tokens, so no leading ``#`` is required —
+# ``# noqa: BLE001; repro-lint: disable=RPL007 — why`` works too.
+_PRAGMA_RE = re.compile(r"repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9,\s]+)")
+_CODE_RE = re.compile(r"^RPL\d{3}$")
+
+#: Marker stored instead of a code set when ``disable=all`` was written.
+ALL = "*"
+
+
+@dataclass
+class PragmaMap:
+    """Per-line and file-wide suppressions collected from one file."""
+
+    line_disables: dict[int, set[str]] = field(default_factory=dict)
+    file_disables: set[str] = field(default_factory=set)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        if ALL in self.file_disables or code in self.file_disables:
+            return True
+        codes = self.line_disables.get(line)
+        return codes is not None and (ALL in codes or code in codes)
+
+
+def _parse_codes(raw: str) -> set[str]:
+    codes: set[str] = set()
+    for part in raw.split(","):
+        token = part.strip()
+        if not token:
+            continue
+        if token.lower() == "all":
+            codes.add(ALL)
+        elif _CODE_RE.match(token):
+            codes.add(token)
+        # Unknown tokens are ignored: a typoed code must not silently
+        # suppress a different rule.
+    return codes
+
+
+def collect_pragmas(source: str) -> PragmaMap:
+    """Scan *source* for repro-lint pragmas.
+
+    A pragma on a comment-only line also registers for the next line, so
+    a standalone comment directly above the offending statement works.
+    Tokenization errors (the file will fail ``ast.parse`` anyway) yield an
+    empty map.
+    """
+    pragmas = PragmaMap()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return pragmas
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA_RE.search(token.string)
+        if not match:
+            continue
+        kind, raw_codes = match.groups()
+        codes = _parse_codes(raw_codes)
+        if not codes:
+            continue
+        if kind == "disable-file":
+            pragmas.file_disables.update(codes)
+            continue
+        line = token.start[0]
+        pragmas.line_disables.setdefault(line, set()).update(codes)
+        # Comment-only line: the pragma covers the following line too.
+        prefix = token.line[: token.start[1]]
+        if not prefix.strip():
+            pragmas.line_disables.setdefault(line + 1, set()).update(codes)
+    return pragmas

@@ -1,0 +1,84 @@
+"""File discovery and per-file rule driving for repro-lint."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .base import PARSE_ERROR_CODE, FileContext, Finding, all_rules
+from .pragmas import collect_pragmas
+
+# Importing ``rules`` populates the registry as a side effect of its
+# ``@register`` decorators; ``all_rules()`` is empty until then.
+from . import rules as _rules  # noqa: F401
+
+__all__ = ["iter_python_files", "lint_source", "lint_file", "lint_paths"]
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".ruff_cache", ".pytest_cache"}
+
+
+def iter_python_files(paths: list[str | Path], root: Path) -> list[Path]:
+    """Every ``.py`` file under *paths*, sorted for deterministic output."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not any(part in _SKIP_DIR_NAMES for part in candidate.parts):
+                    files.add(candidate)
+        else:
+            files.add(path)
+    return sorted(files)
+
+
+def normalize_relpath(path: Path, root: Path) -> str:
+    """Posix-style path relative to *root* (absolute when outside it)."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_source(source: str, relpath: str) -> list[Finding]:
+    """Run every rule over *source*, scoping and reporting as *relpath*.
+
+    Pragma suppression is applied here; baseline suppression is the
+    caller's job (:meth:`repro._lint.baseline.Baseline.apply`).  A syntax
+    error yields a single un-suppressible ``RPL000`` finding.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=relpath,
+                line=exc.lineno or 0,
+                col=(exc.offset or 0) or 1,
+                code=PARSE_ERROR_CODE,
+                message=f"file does not parse: {exc.msg}",
+                snippet=(exc.text or "").strip(),
+            )
+        ]
+    ctx = FileContext(relpath=relpath, source=source, tree=tree, lines=source.splitlines())
+    pragmas = collect_pragmas(source)
+    findings: list[Finding] = []
+    for rule in all_rules():
+        for finding in rule.check(ctx):
+            if not pragmas.is_suppressed(finding.code, finding.line):
+                findings.append(finding)
+    return sorted(findings, key=lambda f: (f.line, f.col, f.code))
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, normalize_relpath(path, root))
+
+
+def lint_paths(paths: list[str | Path], root: Path) -> list[Finding]:
+    """Lint every python file under *paths*; findings sorted by location."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths, root):
+        findings.extend(lint_file(path, root))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))

@@ -203,7 +203,7 @@ class CircuitLevelCdr:
     ) -> CircuitSimulationResult:
         """Run the transient simulation for the given transmitted bits."""
         config = self.config
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
         bits = np.asarray(bits, dtype=np.uint8)
         stream = generate_edge_times(
             bits,

@@ -262,7 +262,7 @@ class BehavioralCdrChannel:
         config = self.config
         bits = np.asarray(bits, dtype=np.uint8)
         require_positive_int("number of bits", int(bits.size))
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
 
         simulator = Simulator(kernel_tier=self.kernel_tier)
         recorder = WaveformRecorder()

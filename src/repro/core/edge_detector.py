@@ -64,7 +64,7 @@ class EdgeDetector:
         self.simulator = simulator
         self.name = name
         self.total_delay_s = total_delay_s
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
 
         cell_delay = total_delay_s / n_cells
         cell_timing = CmlTiming(nominal_delay_s=cell_delay,

@@ -130,7 +130,7 @@ class MultiChannelReceiver:
     def __init__(self, config: MultiChannelConfig | None = None,
                  rng: np.random.Generator | None = None) -> None:
         self.config = config or MultiChannelConfig()
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
         self._pll = SharedPll(self.config.pll)
 
     # -- shared bias distribution --------------------------------------------

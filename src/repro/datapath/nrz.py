@@ -200,7 +200,7 @@ def generate_edge_times(
         generator is created if omitted).
     """
     jitter = jitter or JitterSpec()
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
     require_positive("bit_rate_hz", bit_rate_hz)
 
     nominal_period = 1.0 / bit_rate_hz

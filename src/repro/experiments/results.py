@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import csv
 import io
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -26,8 +25,10 @@ import numpy as np
 
 from .._jsonio import (
     decode_json_value as _decode_json_value,
+    dumps_strict,
     encode_float_array as _encode_float_array,
     encode_json_value as _encode_json_value,
+    loads_strict,
 )
 from ..reporting.tables import Series, TextTable
 
@@ -347,12 +348,12 @@ class SweepResult:
         ``allow_nan=False`` guarantees no bare ``NaN`` / ``Infinity`` token
         can ever reach a non-Python consumer.
         """
-        return json.dumps(self.to_dict(), indent=indent, allow_nan=False)
+        return dumps_strict(self.to_dict(), indent=indent)
 
     @classmethod
     def from_json(cls, text: str) -> "SweepResult":
         """Deserialize :meth:`to_json` output."""
-        return cls.from_dict(json.loads(text))
+        return cls.from_dict(loads_strict(text))
 
     def save(self, path: str | Path) -> Path:
         """Write the JSON serialization to *path* and return it."""

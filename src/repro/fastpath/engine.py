@@ -275,7 +275,7 @@ class FastCdrChannel:
         config = self.config
         bits = np.asarray(bits, dtype=np.uint8)
         require_positive_int("number of bits", int(bits.size))
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
 
         # --- stimulus (identical draws to the event path) -------------------
         if stream is None:

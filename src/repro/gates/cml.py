@@ -103,7 +103,7 @@ class CmlGate:
         self.timing = timing
         self.invert_output = invert_output
         self._evaluate = evaluate
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
         self._delay_scale = delay_scale
         self.event_count = 0
         for index, signal in enumerate(self.inputs):

@@ -46,7 +46,7 @@ class DelayLine:
         self.name = name
         self.timing = timing
         self.n_cells = n_cells
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
 
         self.taps: list[Signal] = []
         self.cells: list[BufferGate] = []

@@ -117,7 +117,7 @@ class GatedRingOscillator:
             self.parameters.control_current_midpoint_a
             if control_current_a is None else float(control_current_a)
         )
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
 
         n_stages = self.parameters.n_stages
         # The CmlTiming carries the mid-point delay; the actual control current

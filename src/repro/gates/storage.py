@@ -30,7 +30,7 @@ class CmlLatch:
         self.enable = enable
         self.output = output
         self.timing = timing
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
         data.subscribe(self._on_event)
         enable.subscribe(self._on_event)
 
@@ -63,7 +63,7 @@ class CmlFlipFlop:
         self.clock = clock
         self.output = output
         self.timing = timing
-        self._rng = rng or np.random.default_rng()
+        self._rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
         self.decisions: list[tuple[float, int]] = []
         self._master = Signal(simulator, f"{name}.master", initial=int(data.value))
         # Master latch is transparent while the clock is LOW, slave while HIGH,

@@ -208,7 +208,7 @@ def edge_stream_from_waveform(
             crossings, edge_times, nominal_period, match_window_ui=match_window_ui
         )
         if jitter is not None:
-            rng = rng or np.random.default_rng()
+            rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
             displacement_ui = displacement_ui + jitter_displacements_ui(edge_times, jitter, rng)
         edge_times = edge_times + displacement_ui * nominal_period
         edge_times = np.maximum.accumulate(edge_times)

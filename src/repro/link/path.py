@@ -329,7 +329,7 @@ class LinkPath:
         if edge_times.size:
             displacement_ui = table[edge_bit_index % period]
             if jitter is not None:
-                rng = rng or np.random.default_rng()
+                rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
                 displacement_ui = displacement_ui + jitter_displacements_ui(edge_times, jitter, rng)
             edge_times = edge_times + displacement_ui * nominal_period
             edge_times = np.maximum.accumulate(edge_times)
@@ -419,7 +419,7 @@ class LinkCdrChannel:
         *settle_bits* defaults to the link's configured ``settle_ui``.
         """
         bits = np.asarray(bits, dtype=np.uint8).ravel()
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
         settle = self.path.config.settle_ui if settle_bits is None else settle_bits
         stream = self.path.transmit(
             bits,

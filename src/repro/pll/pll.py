@@ -177,7 +177,7 @@ class ChannelBiasMismatch:
         """
         require_positive_int("n_channels", n_channels)
         require_positive("control_current_a", control_current_a)
-        rng = rng or np.random.default_rng()
+        rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy: reproducible callers pass a seeded Generator
         target = cco.frequency_hz(control_current_a)
         gains = rng.normal(1.0, self.mirror_gain_sigma, size=n_channels)
         frequency_errors = rng.normal(0.0, self.oscillator_frequency_sigma, size=n_channels)

@@ -104,8 +104,7 @@ class Series:
     points: list[tuple[float, float]] = field(default_factory=list)
 
     @classmethod
-    def from_sweep_result(cls, result, metric: str = "errors",
-                          name: str | None = None) -> "Series":
+    def from_sweep_result(cls, result, metric: str = "errors", name: str | None = None) -> "Series":
         """One metric of a 1-D :class:`repro.experiments.SweepResult` as a curve."""
         return result.to_series(metric, name)
 

@@ -79,9 +79,12 @@ class JitterToleranceMask:
             return float(amplitude)
         return amplitude
 
-    def frequencies_for_sweep(self, points_per_decade: int = 5,
-                              minimum_hz: float = 1.0e4,
-                              maximum_hz: float | None = None) -> np.ndarray:
+    def frequencies_for_sweep(
+        self,
+        points_per_decade: int = 5,
+        minimum_hz: float = 1.0e4,
+        maximum_hz: float | None = None,
+    ) -> np.ndarray:
         """Log-spaced jitter frequencies covering the mask's specification range.
 
         The tolerance template of the specification is defined up to a maximum
@@ -94,8 +97,7 @@ class JitterToleranceMask:
         n_points = max(2, int(np.ceil(decades * points_per_decade)) + 1)
         return np.logspace(np.log10(minimum_hz), np.log10(maximum), n_points)
 
-    def check_compliance(self, frequencies_hz: np.ndarray,
-                         tolerated_ui_pp: np.ndarray) -> bool:
+    def check_compliance(self, frequencies_hz: np.ndarray, tolerated_ui_pp: np.ndarray) -> bool:
         """True when the measured tolerance meets the mask at every frequency."""
         required = self.amplitude_ui_pp(np.asarray(frequencies_hz, dtype=float))
         return bool(np.all(np.asarray(tolerated_ui_pp, dtype=float) >= required))

@@ -51,7 +51,14 @@ from .._validation import (
     require_positive,
 )
 from ..datapath.cid import RunLengthDistribution, geometric_run_distribution
-from ..jitter.pdf import DEFAULT_GRID_STEP_UI, Pdf, delta_pdf, gaussian_pdf, sinusoidal_pdf, uniform_pdf
+from ..jitter.pdf import (
+    DEFAULT_GRID_STEP_UI,
+    Pdf,
+    delta_pdf,
+    gaussian_pdf,
+    sinusoidal_pdf,
+    uniform_pdf,
+)
 from .qfunc import q_function
 
 __all__ = [
@@ -114,9 +121,12 @@ class CdrJitterBudget:
         require_positive("bit_rate_hz", self.bit_rate_hz)
 
     @classmethod
-    def paper_table1(cls, sj_amplitude_ui_pp: float = 0.0,
-                     sj_frequency_hz: float = 100.0e6,
-                     frequency_offset: float = 0.0) -> "CdrJitterBudget":
+    def paper_table1(
+        cls,
+        sj_amplitude_ui_pp: float = 0.0,
+        sj_frequency_hz: float = 100.0e6,
+        frequency_offset: float = 0.0,
+    ) -> "CdrJitterBudget":
         """Return the Table 1 budget with the swept stressors filled in."""
         return cls(
             sj_amplitude_ui_pp=sj_amplitude_ui_pp,
@@ -124,8 +134,9 @@ class CdrJitterBudget:
             frequency_offset=frequency_offset,
         )
 
-    def with_sinusoidal(self, amplitude_ui_pp: float,
-                        frequency_hz: float | None = None) -> "CdrJitterBudget":
+    def with_sinusoidal(
+        self, amplitude_ui_pp: float, frequency_hz: float | None = None
+    ) -> "CdrJitterBudget":
         """Return a copy with the sinusoidal-jitter stressor replaced."""
         return replace(
             self,
@@ -253,8 +264,9 @@ class GatedOscillatorBerModel:
             self._boundary_pdf_cache[run_length] = pdf
         return pdf
 
-    def _sampling_means_ui(self, positions: np.ndarray,
-                           phases_ui: np.ndarray | None = None) -> np.ndarray:
+    def _sampling_means_ui(
+        self, positions: np.ndarray, phases_ui: np.ndarray | None = None
+    ) -> np.ndarray:
         """Mean sampling instant of each run *position* (UI after the trigger).
 
         With *phases_ui* given, returns a ``(n_phases, n_positions)`` grid —
@@ -270,8 +282,9 @@ class GatedOscillatorBerModel:
         """RMS accumulated oscillator jitter at each run position's sampling edge."""
         return self.budget.osc_sigma_ui_per_bit * np.sqrt(positions.astype(float))
 
-    def _right_error_probabilities(self, means: np.ndarray, positions: np.ndarray,
-                                   run_length: int, boundary_pdf: Pdf) -> np.ndarray:
+    def _right_error_probabilities(
+        self, means: np.ndarray, positions: np.ndarray, run_length: int, boundary_pdf: Pdf
+    ) -> np.ndarray:
         """Right-overshoot probability; *means* may carry a leading phase axis."""
         sigmas = self._sampling_sigmas_ui(positions)
         # Error when  mean + G > run_length + J_end  <=>  G - J_end > run_length - mean.
@@ -285,13 +298,11 @@ class GatedOscillatorBerModel:
         probabilities = np.sum(density * tails, axis=-1) * boundary_pdf.step
         return np.clip(probabilities, 0.0, 1.0)
 
-    def _left_error_probabilities(self, means: np.ndarray,
-                                  positions: np.ndarray) -> np.ndarray:
+    def _left_error_probabilities(self, means: np.ndarray, positions: np.ndarray) -> np.ndarray:
         """Before-run-start probability; *means* may carry a leading phase axis."""
         if self.budget.osc_sigma_ui_per_bit <= 0.0:
             return (means < 0.0).astype(float)
-        return np.asarray(q_function(means / self._sampling_sigmas_ui(positions)),
-                          dtype=float)
+        return np.asarray(q_function(means / self._sampling_sigmas_ui(positions)), dtype=float)
 
     # -- public API ----------------------------------------------------------
 
@@ -315,8 +326,7 @@ class GatedOscillatorBerModel:
             positions = np.arange(1, k + 1)
             weights = joint[k - 1, :k]
             means = self._sampling_means_ui(positions)
-            p_right = self._right_error_probabilities(means, positions, k,
-                                                      boundary_pdf)
+            p_right = self._right_error_probabilities(means, positions, k, boundary_pdf)
             p_left = self._left_error_probabilities(means, positions)
             p_bit = np.minimum(1.0, p_right + p_left)
             active = weights > 0.0
@@ -356,8 +366,7 @@ class GatedOscillatorBerModel:
             positions = np.arange(1, k + 1)
             weights = joint[k - 1, :k]
             means = self._sampling_means_ui(positions, phases_ui)
-            p_right = self._right_error_probabilities(means, positions, k,
-                                                      boundary_pdf)
+            p_right = self._right_error_probabilities(means, positions, k, boundary_pdf)
             p_left = self._left_error_probabilities(means, positions)
             p_bit = np.minimum(1.0, p_right + p_left)
             totals += p_bit @ weights
@@ -367,8 +376,7 @@ class GatedOscillatorBerModel:
         """BER with the sampling phase moved to *phase_ui* (same budget/code)."""
         return float(self.ber_at_phases(np.array([float(phase_ui)]))[0])
 
-    def eye_margin_ui(self, target_ber: float = 1.0e-12, *,
-                      tolerance_ui: float = 1.0e-4) -> float:
+    def eye_margin_ui(self, target_ber: float = 1.0e-12, *, tolerance_ui: float = 1.0e-4) -> float:
         """Horizontal eye margin: how much the sampling phase can move before BER > target.
 
         Returns the width (UI) of the sampling-phase interval around the

@@ -71,7 +71,7 @@ def simulate_ber(
     """
     budget = budget or CdrJitterBudget()
     run_lengths = run_lengths or geometric_run_distribution(max_run=5)
-    rng = rng or np.random.default_rng()
+    rng = rng or np.random.default_rng()  # repro-lint: disable=RPL001 — opt-in entropy
     n_bits = require_positive_int("n_bits", n_bits)
 
     max_run = run_lengths.max_run

@@ -68,7 +68,13 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from .. import telemetry
-from .._jsonio import content_key, decode_json_value, encode_json_value
+from .._jsonio import (
+    content_key,
+    decode_json_value,
+    dumps_compact,
+    encode_json_value,
+    loads_strict,
+)
 
 __all__ = [
     "FAILURE_POLICIES",
@@ -397,7 +403,7 @@ def _append_records(path: Path, records: list[dict]) -> None:
     """Append JSONL *records* and force them to disk (crash durability)."""
     with path.open("a", encoding="utf-8") as handle:
         for record in records:
-            handle.write(json.dumps(record, allow_nan=False, separators=(",", ":")))
+            handle.write(dumps_compact(record))
             handle.write("\n")
         handle.flush()
         os.fsync(handle.fileno())
@@ -416,7 +422,7 @@ def _load_checkpoint(path: Path, header: dict) -> dict[int, Any]:
     if not lines:
         return {}
     try:
-        first = json.loads(lines[0])
+        first = loads_strict(lines[0])
     except json.JSONDecodeError:
         raise CheckpointMismatchError(f"{path} is not a sweep checkpoint") from None
     if not isinstance(first, dict) or first.get("kind") != _CHECKPOINT_KIND:
@@ -432,7 +438,7 @@ def _load_checkpoint(path: Path, header: dict) -> dict[int, Any]:
         if not line.strip():
             continue
         try:
-            record = json.loads(line)
+            record = loads_strict(line)
         except json.JSONDecodeError:
             break
         if record.get("kind") == "point":
@@ -474,7 +480,7 @@ def _load_audit_sidecar(path: Path, header: dict) -> dict[int, tuple[str, int]]:
     if not lines:
         return {}
     try:
-        first = json.loads(lines[0])
+        first = loads_strict(lines[0])
     except json.JSONDecodeError:
         raise CheckpointMismatchError(f"{path} is not a sweep audit sidecar") from None
     if not isinstance(first, dict) or first.get("kind") != _AUDIT_KIND:
@@ -490,7 +496,7 @@ def _load_audit_sidecar(path: Path, header: dict) -> dict[int, tuple[str, int]]:
         if not line.strip():
             continue
         try:
-            record = json.loads(line)
+            record = loads_strict(line)
         except json.JSONDecodeError:
             break
         if record.get("kind") == "audit":

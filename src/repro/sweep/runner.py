@@ -57,7 +57,7 @@ def _invoke(packed: tuple[SweepWorker, Any, np.random.SeedSequence]) -> Any:
     worker, task, child_seed = packed
     try:
         return worker(task, np.random.default_rng(child_seed))
-    except Exception as exc:  # noqa: BLE001 — re-raised in the parent
+    except Exception as exc:  # noqa: BLE001; repro-lint: disable=RPL007 — worker-exception carrier, re-raised in the parent
         return _WorkerFailure(exc)
 
 

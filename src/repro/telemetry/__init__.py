@@ -48,13 +48,12 @@ Span pattern (the null span makes the branch unnecessary)::
 
 from __future__ import annotations
 
-import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
-from .._jsonio import encode_json_value
+from .._jsonio import dumps_compact, encode_json_value, loads_strict
 
 __all__ = [
     "TRACE_KIND",
@@ -325,10 +324,7 @@ class Tracer:
     def write_jsonl(self, path: str | Path) -> Path:
         """Write the trace as strict RFC 8259 JSONL and return the path."""
         path = Path(path)
-        lines = [
-            json.dumps(encode_json_value(record), allow_nan=False, separators=(",", ":"))
-            for record in self.records()
-        ]
+        lines = [dumps_compact(encode_json_value(record)) for record in self.records()]
         path.write_text("\n".join(lines) + "\n", encoding="utf-8")
         return path
 
@@ -344,7 +340,7 @@ def read_trace(path: str | Path) -> dict:
     lines = [line for line in path.read_text(encoding="utf-8").splitlines() if line.strip()]
     if not lines:
         raise ValueError(f"{path} is empty, not a telemetry trace")
-    header = json.loads(lines[0])
+    header = loads_strict(lines[0])
     if not isinstance(header, dict) or header.get("kind") != TRACE_KIND:
         raise ValueError(f"{path} is not a telemetry trace")
     trace_data: dict = {
@@ -355,7 +351,7 @@ def read_trace(path: str | Path) -> dict:
         "histograms": {},
     }
     for line in lines[1:]:
-        record = json.loads(line)
+        record = loads_strict(line)
         kind = record.get("kind")
         if kind == "span":
             trace_data["spans"].append(

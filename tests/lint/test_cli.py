@@ -1,0 +1,144 @@
+"""CLI exit-code / output-format contract for ``python -m repro._lint``."""
+
+import io
+import json
+
+import pytest
+
+from repro._lint import DEFAULT_BASELINE_NAME, main
+
+CLEAN = "import numpy as np\nrng = np.random.default_rng(7)\n"
+DIRTY = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def write_module(root, relpath, source):
+    path = root / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def run_cli(root, *argv):
+    stream = io.StringIO()
+    code = main(["--root", str(root), *argv], stream=stream)
+    return code, stream.getvalue()
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/mod.py", CLEAN)
+        code, output = run_cli(tmp_path, "src")
+        assert code == 0
+        assert "0 findings" in output
+
+    def test_findings_exit_one(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/mod.py", DIRTY)
+        code, output = run_cli(tmp_path, "src")
+        assert code == 1
+        assert "RPL001" in output and "1 finding" in output
+
+    def test_missing_path_exits_two(self, tmp_path):
+        code, _ = run_cli(tmp_path, "no_such_dir")
+        assert code == 2
+
+    def test_no_paths_exits_two(self, tmp_path):
+        code, _ = run_cli(tmp_path)
+        assert code == 2
+
+    def test_corrupt_baseline_exits_two(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/mod.py", CLEAN)
+        (tmp_path / DEFAULT_BASELINE_NAME).write_text("not json", encoding="utf-8")
+        code, _ = run_cli(tmp_path, "src")
+        assert code == 2
+
+    def test_parse_error_exits_one(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/mod.py", "def broken(:\n")
+        code, output = run_cli(tmp_path, "src")
+        assert code == 1
+        assert "RPL000" in output
+
+
+class TestJsonOutput:
+    def test_report_shape(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/mod.py", DIRTY)
+        code, output = run_cli(tmp_path, "--format", "json", "src")
+        assert code == 1
+        report = json.loads(output)
+        assert report["version"] == 1
+        assert report["summary"]["findings"] == 1
+        (finding,) = report["findings"]
+        assert finding["code"] == "RPL001"
+        assert finding["path"] == "src/repro/core/mod.py"
+        assert finding["line"] == 2
+        assert finding["snippet"] == "rng = np.random.default_rng()"
+
+    def test_clean_report(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/mod.py", CLEAN)
+        code, output = run_cli(tmp_path, "--format", "json", "src")
+        assert code == 0
+        report = json.loads(output)
+        assert report["findings"] == [] and report["stale_baseline"] == []
+
+
+class TestBaselineFlow:
+    def test_write_then_enforce_then_stale(self, tmp_path):
+        module = write_module(tmp_path, "src/repro/core/mod.py", DIRTY)
+
+        code, output = run_cli(tmp_path, "--write-baseline", "src")
+        assert code == 0 and "1 finding" in output
+
+        # Grandfathered: same tree now lints clean against the baseline.
+        code, output = run_cli(tmp_path, "src")
+        assert code == 0 and "suppressed by baseline" in output
+
+        # Fixing the violation makes the entry stale -> the run fails
+        # until the entry is deleted (the list only shrinks).
+        module.write_text(CLEAN, encoding="utf-8")
+        code, output = run_cli(tmp_path, "src")
+        assert code == 1
+        assert "stale baseline entry" in output
+
+    def test_no_baseline_flag_reports_everything(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/mod.py", DIRTY)
+        run_cli(tmp_path, "--write-baseline", "src")
+        code, output = run_cli(tmp_path, "--no-baseline", "src")
+        assert code == 1 and "RPL001" in output
+
+    def test_explicit_baseline_path(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/mod.py", DIRTY)
+        baseline = tmp_path / "custom_baseline.json"
+        code, _ = run_cli(tmp_path, "--write-baseline", "--baseline", str(baseline), "src")
+        assert code == 0 and baseline.exists()
+        code, _ = run_cli(tmp_path, "--baseline", str(baseline), "src")
+        assert code == 0
+
+
+class TestListRules:
+    def test_lists_all_seven_rules(self, tmp_path):
+        code, output = run_cli(tmp_path, "--list-rules")
+        assert code == 0
+        for expected in (f"RPL00{n}" for n in range(1, 8)):
+            assert expected in output
+
+
+class TestDiscovery:
+    def test_pycache_is_skipped(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/mod.py", CLEAN)
+        write_module(tmp_path, "src/repro/core/__pycache__/junk.py", DIRTY)
+        code, _ = run_cli(tmp_path, "src")
+        assert code == 0
+
+    def test_single_file_argument(self, tmp_path):
+        write_module(tmp_path, "src/repro/core/mod.py", DIRTY)
+        code, output = run_cli(tmp_path, "src/repro/core/mod.py")
+        assert code == 1 and "RPL001" in output
+
+    @pytest.mark.parametrize("fmt", ["text", "json"])
+    def test_output_is_deterministic(self, tmp_path, fmt):
+        write_module(tmp_path, "src/repro/core/b.py", DIRTY)
+        write_module(tmp_path, "src/repro/core/a.py", DIRTY)
+        first = run_cli(tmp_path, "--format", fmt, "src")
+        second = run_cli(tmp_path, "--format", fmt, "src")
+        assert first == second
+        # Findings come out path-sorted regardless of creation order.
+        assert first[1].index("a.py") < first[1].index("b.py")

@@ -19,6 +19,10 @@ def _identity(task, rng):
     return task
 
 
+def _own_task_index(task, rng):
+    return task_index(rng)
+
+
 class TestTaskIndex:
     def test_recovers_flat_index_from_spawned_generator(self):
         children = np.random.SeedSequence(7).spawn(5)
@@ -26,7 +30,7 @@ class TestTaskIndex:
             assert task_index(np.random.default_rng(child)) == expected
 
     def test_matches_runner_task_order(self):
-        indices = map_tasks(lambda task, rng: task_index(rng), list("abcd"), seed=0, workers=1)
+        indices = map_tasks(_own_task_index, list("abcd"), seed=0, workers=1)
         assert indices == [0, 1, 2, 3]
 
 
