@@ -15,6 +15,15 @@ embedded as ``stage_breakdown`` in the benchmark's entry, and the
 breakdowns alone are also written to
 ``benchmarks/results/bench_stage_breakdown.json`` (the CI artifact).
 
+Every entry is stamped with the run's provenance manifest
+(:func:`repro.telemetry.manifest.collect_manifest` — the sanctioned
+place for environment reads), and each run appends one manifest-stamped
+record of all speedups to ``benchmarks/results/bench_history.jsonl``.
+``BENCH_fastpath.json`` is overwritten per run; the history ledger only
+grows, so ``python -m repro.telemetry.report --history`` can render the
+speedup trajectory and flag trend regressions that the hard floors are
+too coarse to catch.
+
 The run *fails* (exit code 1) when any benchmark's fastpath speedup drops
 below the floor (default 5x, ``--floor``) — the regression gate CI relies on.
 
@@ -25,7 +34,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import platform
 import sys
 import time
 from pathlib import Path
@@ -62,11 +70,16 @@ from repro.sweep import (
     ber_vs_frequency_offset_sweep,
     ber_vs_sj_sweep,
 )
-from repro.telemetry.report import stage_breakdown
+from repro._jsonio import dumps_compact
+from repro.fastpath.backends import resolve_backend
+from repro.telemetry.manifest import collect_manifest
+from repro.telemetry.report import HISTORY_KIND, HISTORY_VERSION, stage_breakdown
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
 BREAKDOWN_PATH = (Path(__file__).resolve().parent
                   / "results" / "bench_stage_breakdown.json")
+HISTORY_PATH = (Path(__file__).resolve().parent
+                / "results" / "bench_history.jsonl")
 
 BASE_JITTER = JitterSpec(dj_ui_pp=0.2, rj_ui_rms=0.01, sj_phase_rad=np.pi / 2)
 SJ_FIG14 = JitterSpec(dj_ui_pp=0.0, rj_ui_rms=0.0,
@@ -402,6 +415,14 @@ def main() -> int:
     else:
         print("kernel tier: python (numba not installed — scalar middle tier)")
 
+    # One provenance manifest for the whole run, stamped into every entry
+    # and the history record: the auto-resolved backend and kernel tier
+    # are what the dispatched benchmarks actually exercise.
+    manifest = collect_manifest(
+        backend=resolve_backend().name,
+        kernel_tier=_kernels.resolve_tier("auto"),
+    )
+
     print("timing fig09 BER-vs-SJ sweep (event vs fast)...")
     fig09 = _traced("fig09_ber_vs_sj_sweep", bench_fig09_sj_sweep,
                     n_bits=1000 * scale)
@@ -445,8 +466,9 @@ def main() -> int:
           f"(isolated DFE adapt {kernels['dfe_adapt_speedup']}x)")
 
     payload = {
-        "python": platform.python_version(),
-        "machine": platform.machine(),
+        "python": manifest.python,
+        "machine": manifest.machine,
+        "manifest": manifest.to_dict(),
         "benchmarks": {
             "fig09_ber_vs_sj_sweep": fig09,
             "fig10_ber_vs_offset_sweep": fig10,
@@ -457,6 +479,8 @@ def main() -> int:
             "bittrue_kernels": kernels,
         },
     }
+    for entry in payload["benchmarks"].values():
+        entry["manifest"] = manifest.to_dict()
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RESULT_PATH}")
 
@@ -466,6 +490,22 @@ def main() -> int:
     BREAKDOWN_PATH.write_text(
         json.dumps({"benchmarks": breakdowns}, indent=2) + "\n")
     print(f"wrote {BREAKDOWN_PATH}")
+
+    # Append this run to the persistent speedup ledger (the trend input
+    # of `python -m repro.telemetry.report --history`).
+    history_record = {
+        "kind": HISTORY_KIND,
+        "version": HISTORY_VERSION,
+        "quick": bool(arguments.quick),
+        "floor": arguments.floor,
+        "manifest": manifest.to_dict(),
+        "entries": {name: {"speedup": entry["speedup"]}
+                    for name, entry in payload["benchmarks"].items()},
+    }
+    HISTORY_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with HISTORY_PATH.open("a", encoding="utf-8") as handle:
+        handle.write(dumps_compact(history_record) + "\n")
+    print(f"appended {HISTORY_PATH}")
 
     floor = arguments.floor
     below = {name: entry["speedup"]

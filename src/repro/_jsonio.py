@@ -21,6 +21,13 @@ return values) can share them without importing the experiments package
 upward.  :func:`content_key` canonicalizes arbitrarily nested dataclass /
 array structures into a stable SHA-256 digest — the identity of a
 checkpoint or cache entry.
+
+The numpy import is guarded: stdlib-only consumers — the CI lint job's
+``python -m repro.telemetry.watch`` sidecar viewer — only ever feed plain
+Python values through the codec, and every numpy-specific branch below is
+reached exclusively by numpy-typed *inputs*, which cannot exist where
+numpy is absent.  Output is byte-identical either way (the non-finite
+float checks use :mod:`math`, which accepts numpy scalars too).
 """
 
 from __future__ import annotations
@@ -28,8 +35,19 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 
-import numpy as np
+try:
+    import numpy as np
+except ImportError:  # numpy-free consumers (telemetry watch in the lint job)
+    np = None
+
+#: isinstance() targets that exist only where numpy imported; the empty
+#: tuple makes every numpy branch statically unreachable without it.
+_NP_ARRAY = () if np is None else (np.ndarray,)
+_NP_BOOL = () if np is None else (np.bool_,)
+_NP_FLOAT = (float,) if np is None else (float, np.floating)
+_NP_INT = () if np is None else (np.integer,)
 
 __all__ = [
     "NONFINITE_TOKENS",
@@ -101,9 +119,9 @@ def _is_tagged(value: dict) -> bool:
 
 def encode_float(value: float) -> float | str:
     """One float as itself, or as its sentinel string when non-finite."""
-    if np.isnan(value):
+    if math.isnan(value):
         return "NaN"
-    if np.isinf(value):
+    if math.isinf(value):
         return "Infinity" if value > 0 else "-Infinity"
     return value
 
@@ -139,16 +157,16 @@ def encode_json_value(value):
         return encoded
     if isinstance(value, (list, tuple)):
         return [encode_json_value(child) for child in value]
-    if isinstance(value, np.ndarray):
+    if isinstance(value, _NP_ARRAY):
         return [encode_json_value(child) for child in value.tolist()]
-    if isinstance(value, np.bool_):
+    if isinstance(value, _NP_BOOL):
         return bool(value)
-    if isinstance(value, (float, np.floating)):
+    if isinstance(value, _NP_FLOAT):
         value = float(value)
-        if not np.isfinite(value):
+        if not math.isfinite(value):
             return {_NONFINITE_TAG: encode_float(value)}
         return value
-    if isinstance(value, np.integer):
+    if isinstance(value, _NP_INT):
         return int(value)
     return value
 
@@ -186,16 +204,16 @@ def canonical_payload(value):
         return {str(key): canonical_payload(child) for key, child in value.items()}
     if isinstance(value, (list, tuple)):
         return [canonical_payload(child) for child in value]
-    if isinstance(value, np.ndarray):
+    if isinstance(value, _NP_ARRAY):
         return {
             "__ndarray__": str(value.dtype),
             "values": [canonical_payload(child) for child in value.tolist()],
         }
-    if isinstance(value, np.bool_):
+    if isinstance(value, _NP_BOOL):
         return bool(value)
-    if isinstance(value, (float, np.floating)):
+    if isinstance(value, _NP_FLOAT):
         return encode_float(float(value))
-    if isinstance(value, np.integer):
+    if isinstance(value, _NP_INT):
         return int(value)
     if value is None or isinstance(value, (bool, int, str)):
         return value

@@ -1,4 +1,4 @@
-"""The seven repro-lint rules (RPL001–RPL007).
+"""The eight repro-lint rules (RPL001–RPL008).
 
 Each rule encodes one repo-wide invariant that a past PR was bitten by or
 explicitly contracts (see ARCHITECTURE.md for the table).  Rules scope
@@ -23,6 +23,10 @@ RPL006    no float ``==``/``!=`` against         ``src/repro/``
           are the sanctioned idiom)
 RPL007    no bare/broad ``except`` outside the   everywhere except the
           sanctioned isolation sites             sanctioned sites
+RPL008    environment reads flow through the     ``src/repro/`` /
+          provenance manifest                    ``benchmarks/`` /
+          (``repro.telemetry.manifest``)         ``examples/``, except the
+                                                 manifest module itself
 ========  =====================================  ==========================
 """
 
@@ -494,6 +498,64 @@ class BroadExceptRule(Rule):
                         node,
                         f"{name!s} outside the sanctioned isolation sites — catch "
                         f"the narrow exception type or justify with a pragma",
+                    )
+                )
+        return findings
+
+
+# --- RPL008 ------------------------------------------------------------------
+
+#: Exact dotted names whose *reference* is an environment read.  Matching
+#: is exact (not prefix), so ``os.environ.get(...)`` is reported once —
+#: at the inner ``os.environ`` attribute — never twice.
+_ENV_READS = {
+    "os.environ",
+    "os.environb",
+    "os.getenv",
+    "os.getenvb",
+    "os.putenv",
+    "sys.version",
+    "sys.version_info",
+    "sys.hexversion",
+    "sys.api_version",
+    "sys.implementation",
+}
+#: Everything under ``platform.`` is an environment read.
+_ENV_READ_PREFIXES = ("platform.",)
+#: The provenance manifest is the one sanctioned home of these reads.
+_ENV_READ_EXEMPT = ("src/repro/telemetry/manifest.py",)
+_ENV_READ_SCOPES = ("benchmarks/", "examples/")
+
+
+@register
+class EnvironmentReadRule(Rule):
+    code = "RPL008"
+    name = "environment-read"
+    summary = (
+        "environment reads (os.environ, platform.*, sys.version*) belong in "
+        "repro.telemetry.manifest — scattered reads make run provenance "
+        "incomplete and invite environment-dependent behaviour"
+    )
+
+    def check(self, ctx: FileContext) -> list[Finding]:
+        in_scope = ctx.in_src or ctx.relpath.startswith(_ENV_READ_SCOPES)
+        if not in_scope or ctx.relpath.startswith(_ENV_READ_EXEMPT):
+            return []
+        aliases = import_aliases(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            name = resolve_call_name(node, aliases)
+            if name is None:
+                continue
+            if name in _ENV_READS or name.startswith(_ENV_READ_PREFIXES):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"environment read '{name}' outside repro.telemetry.manifest "
+                        f"— record it in the RunManifest (collect_manifest) instead",
                     )
                 )
         return findings

@@ -37,6 +37,7 @@ from .._jsonio import content_key
 from .._validation import require_positive
 from ..datapath.cid import geometric_run_distribution
 from ..fastpath.backends import BACKENDS, resolve_backend
+from ..telemetry.manifest import collect_manifest
 from ..link import LinkPath, LinkTrainer, statistical_eye
 from ..statistical.ber_model import CdrJitterBudget
 from .results import AxisResult, PointFailure, SweepResult
@@ -368,6 +369,14 @@ def run_grid(
         _PointTask(point, resolve_backend(point.config, point.backend).name)
         for point in points
     ]
+    study_key = content_key({"study": "run_grid", "spec": spec, "axes": axes, "seed": seed})
+    spec_backend = resolve_backend(spec.config, spec.backend)
+    manifest = collect_manifest(
+        backend=spec_backend.name,
+        kernel_tier=spec_backend.kernel_tier,
+        content_key=study_key,
+        seed=seed,
+    )
     mapped = map_tasks_resilient(
         _measure_point,
         tasks,
@@ -378,7 +387,8 @@ def run_grid(
         max_retries=max_retries,
         chunk_timeout_s=chunk_timeout_s,
         checkpoint=checkpoint,
-        checkpoint_key=content_key({"study": "run_grid", "spec": spec, "axes": axes, "seed": seed}),
+        checkpoint_key=study_key,
+        manifest=manifest.to_dict(),
     )
     outcomes = mapped.values
 
@@ -413,7 +423,7 @@ def run_grid(
         point_backends=tuple(task.backend for task in tasks),
         n_bits=spec.stimulus.n_bits,
         seed=seed,
-        metadata=dict(metadata or {}),
+        metadata={**(metadata or {}), "manifest": manifest.to_dict()},
         details=details,
         failures=_grid_failures(mapped.failures, axis_results, shape),
         audit=mapped.audit,
@@ -527,6 +537,22 @@ def run_tolerance_search(
         _SearchTask(point, resolve_backend(point.config, point.backend).name, search)
         for point in points
     ]
+    study_key = content_key(
+        {
+            "study": "run_tolerance_search",
+            "spec": spec,
+            "axes": axes,
+            "seed": seed,
+            "search": search,
+        }
+    )
+    spec_backend = resolve_backend(spec.config, spec.backend)
+    manifest = collect_manifest(
+        backend=spec_backend.name,
+        kernel_tier=spec_backend.kernel_tier,
+        content_key=study_key,
+        seed=seed,
+    )
     mapped = map_tasks_resilient(
         _search_point,
         tasks,
@@ -537,15 +563,8 @@ def run_tolerance_search(
         max_retries=max_retries,
         chunk_timeout_s=chunk_timeout_s,
         checkpoint=checkpoint,
-        checkpoint_key=content_key(
-            {
-                "study": "run_tolerance_search",
-                "spec": spec,
-                "axes": axes,
-                "seed": seed,
-                "search": search,
-            }
-        ),
+        checkpoint_key=study_key,
+        manifest=manifest.to_dict(),
     )
     amplitudes = [value if value is not None else float("nan") for value in mapped.values]
 
@@ -558,6 +577,7 @@ def run_tolerance_search(
         "target_errors": search.target_errors,
     }
     info.update(metadata or {})
+    info["manifest"] = manifest.to_dict()
     return SweepResult(
         name=name,
         axes=axis_results,

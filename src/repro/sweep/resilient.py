@@ -52,6 +52,27 @@ checkpointed run also appends each task's deterministic audit fields
 JSONL sidecar.  On resume, restored points keep ``mode="checkpoint"``
 but carry the original execution's ``source_mode`` / ``source_attempts``
 from the sidecar, so a resumed study retains its full execution history.
+
+**Progress sidecar.**  With ``progress_sidecar=True`` (the default) a
+checkpointed run additionally streams live progress events to a
+``<checkpoint>.progress`` JSONL sidecar under the same study-identity
+discipline: a run ``start`` record (task/restored/pending counts),
+``chunk-start`` / ``chunk-end`` records with cumulative done / failed /
+restored / retry counts, ``pool`` records for pool-health transitions
+(spawn fallback, rebuild, abandonment), and an ``end`` record written
+only on normal completion — its absence marks a run as live or
+interrupted.  All wall-clock quantities (elapsed seconds, throughput,
+ETA — monotonic ``perf_counter`` durations) live under each record's
+``"timing"`` key, so the remaining fields are byte-identical across
+worker counts for healthy runs, exactly like the checkpoint itself.
+The numpy-free ``python -m repro.telemetry.watch`` CLI renders these
+sidecars offline or live.
+
+**Provenance.**  A ``manifest`` mapping (see
+:func:`repro.telemetry.manifest.collect_manifest`) passed by the caller
+is embedded verbatim in the checkpoint and progress headers.  It is
+diagnostic provenance, not identity: resume compares key / task count /
+seed only, so a checkpoint written on one machine restores on another.
 """
 
 from __future__ import annotations
@@ -99,6 +120,10 @@ _CHECKPOINT_KIND = "repro-sweep-checkpoint"
 _CHECKPOINT_VERSION = 1
 
 _AUDIT_KIND = "repro-sweep-audit"
+
+# Mirrored by the numpy-free watch CLI (repro.telemetry.watch), which
+# cannot import this module; tests pin the two copies equal.
+_PROGRESS_KIND = "repro-sweep-progress"
 
 
 @dataclass(frozen=True)
@@ -389,14 +414,19 @@ def _run_chunk(
 # --- checkpoint file ----------------------------------------------------------
 
 
-def _checkpoint_header(key: str, n_tasks: int, seed: int | None) -> dict:
-    return {
+def _checkpoint_header(
+    key: str, n_tasks: int, seed: int | None, manifest: dict | None = None
+) -> dict:
+    header = {
         "kind": _CHECKPOINT_KIND,
         "version": _CHECKPOINT_VERSION,
         "key": key,
         "n_tasks": n_tasks,
         "seed": seed,
     }
+    if manifest is not None:
+        header["manifest"] = manifest
+    return header
 
 
 def _append_records(path: Path, records: list[dict]) -> None:
@@ -506,6 +536,94 @@ def _load_audit_sidecar(path: Path, header: dict) -> dict[int, tuple[str, int]]:
     return sources
 
 
+# --- progress sidecar ---------------------------------------------------------
+
+
+def _progress_sidecar_path(checkpoint_path: Path) -> Path:
+    """The progress sidecar living next to *checkpoint_path* (``<name>.progress``)."""
+    return checkpoint_path.with_name(checkpoint_path.name + ".progress")
+
+
+def _progress_header(
+    key: str, n_tasks: int, seed: int | None, manifest: dict | None = None
+) -> dict:
+    header = {
+        "kind": _PROGRESS_KIND,
+        "version": _CHECKPOINT_VERSION,
+        "key": key,
+        "n_tasks": n_tasks,
+        "seed": seed,
+    }
+    if manifest is not None:
+        header["manifest"] = manifest
+    return header
+
+
+class _ProgressWriter:
+    """Streams run progress events to the ``<checkpoint>.progress`` sidecar.
+
+    Every event is one strict-JSON line, appended and fsync'd so an
+    external watcher (``python -m repro.telemetry.watch``) observes it
+    immediately and a crash can tear at most the trailing line.  Counts
+    are deterministic run facts; wall-clock quantities are confined to
+    each record's ``"timing"`` object (monotonic ``perf_counter``
+    durations — never wall-clock timestamps), keeping the remaining
+    fields byte-identical across worker counts for healthy runs.
+    """
+
+    def __init__(self, path: Path, header: dict):
+        self.path = path
+        if path.exists() and path.stat().st_size > 0:
+            lines = path.read_text(encoding="utf-8").splitlines()
+            try:
+                first = loads_strict(lines[0])
+            except json.JSONDecodeError:
+                raise CheckpointMismatchError(
+                    f"{path} is not a sweep progress sidecar"
+                ) from None
+            if not isinstance(first, dict) or first.get("kind") != _PROGRESS_KIND:
+                raise CheckpointMismatchError(f"{path} is not a sweep progress sidecar")
+            for name in ("version", "key", "n_tasks", "seed"):
+                if first.get(name) != header[name]:
+                    raise CheckpointMismatchError(
+                        f"progress sidecar {path} belongs to a different study: "
+                        f"{name} is {first.get(name)!r}, expected {header[name]!r}"
+                    )
+        else:
+            _append_records(path, [header])
+        self._origin = time.perf_counter()
+        self.done = 0
+        self.failed = 0
+        self.retries = 0
+        self.restored = 0
+        self.pending = 0
+
+    def _counts(self) -> dict:
+        return {
+            "done": self.done,
+            "failed": self.failed,
+            "restored": self.restored,
+            "retries": self.retries,
+            "pending": self.pending,
+        }
+
+    def _timing(self) -> dict:
+        elapsed = time.perf_counter() - self._origin
+        processed = self.done + self.failed
+        throughput = processed / elapsed if elapsed > 0 and processed else None
+        eta = self.pending / throughput if throughput else None
+        return {
+            "elapsed_s": elapsed,
+            "throughput_pts_per_s": throughput,
+            "eta_s": eta,
+        }
+
+    def emit(self, kind: str, **fields) -> None:
+        """Append one ``{"kind": kind, ...fields, counts, "timing"}`` event."""
+        record = {"kind": kind, **fields, **self._counts(), "timing": self._timing()}
+        _append_records(self.path, [record])
+
+
 def _count_pool_health(
     tracer,
     audits: list,
@@ -563,6 +681,8 @@ def map_tasks_resilient(
     checkpoint: str | Path | None = None,
     checkpoint_key: str | None = None,
     audit_sidecar: bool = True,
+    progress_sidecar: bool = True,
+    manifest: dict | None = None,
 ) -> ResilientMap:
     """Run ``worker(task, rng)`` over *tasks* with isolation and checkpoints.
 
@@ -611,6 +731,17 @@ def map_tasks_resilient(
         original execution's fields as ``source_mode`` /
         ``source_attempts`` on restored points' :class:`TaskAudit`.
         Ignored without a checkpoint.
+    progress_sidecar:
+        With a checkpoint, stream live progress events (run start,
+        chunk start/end with cumulative counts, pool-health transitions,
+        normal-completion end) to a ``<checkpoint>.progress`` sidecar
+        for the ``python -m repro.telemetry.watch`` CLI.  Ignored
+        without a checkpoint.
+    manifest:
+        Optional provenance mapping (a
+        :meth:`repro.telemetry.manifest.RunManifest.to_dict` payload)
+        embedded in the checkpoint and progress headers.  Diagnostic
+        only — never part of the resume identity comparison.
     """
     tasks = list(tasks)
     if failure_policy not in FAILURE_POLICIES:
@@ -640,7 +771,7 @@ def map_tasks_resilient(
         checkpoint_path = Path(checkpoint)
         if checkpoint_key is None:
             checkpoint_key = content_key({"tasks": tasks, "seed": seed})
-        header = _checkpoint_header(checkpoint_key, n_tasks, seed)
+        header = _checkpoint_header(checkpoint_key, n_tasks, seed, manifest)
         if audit_sidecar:
             sidecar_path = _audit_sidecar_path(checkpoint_path)
         if checkpoint_path.exists() and checkpoint_path.stat().st_size > 0:
@@ -676,16 +807,42 @@ def map_tasks_resilient(
 
     pending = [index for index in range(n_tasks) if audits[index] is None]
     size = chunk_size if chunk_size is not None else max(n_tasks, 1)
+
+    progress = None
+    if checkpoint_path is not None and progress_sidecar:
+        progress = _ProgressWriter(
+            _progress_sidecar_path(checkpoint_path),
+            _progress_header(checkpoint_key, n_tasks, seed, manifest),
+        )
+        progress.restored = n_restored
+        progress.pending = len(pending)
+        n_planned = (len(pending) + size - 1) // size
+        progress.emit("start", n_tasks=n_tasks, chunks=n_planned)
+
     pool = _PoolState(workers)
     n_chunks = 0
     try:
         for start in range(0, len(pending), size):
             chunk = pending[start : start + size]
             n_chunks += 1
+            if progress is not None:
+                progress.emit("chunk-start", chunk=n_chunks, size=len(chunk))
+            pool_flags = (pool.spawn_fallback, pool.breakages, pool.abandoned)
             with tracer.span("sweep.chunk"):
                 outcomes = _run_chunk(
                     pool, worker, tasks, children, chunk, retries, chunk_timeout_s, collect
                 )
+            if progress is not None:
+                # Pool-health transitions, like the audit `mode` fields,
+                # describe how the run executed — they appear only when
+                # the pool actually degraded, so healthy runs stay
+                # byte-identical at any worker count.
+                if pool.spawn_fallback and not pool_flags[0]:
+                    progress.emit("pool", transition="spawn-fallback", chunk=n_chunks)
+                if pool.breakages > pool_flags[1]:
+                    progress.emit("pool", transition="rebuild", chunk=n_chunks)
+                if pool.abandoned and not pool_flags[2]:
+                    progress.emit("pool", transition="abandoned", chunk=n_chunks)
             records = []
             audit_records = []
             chunk_failures = []
@@ -733,8 +890,19 @@ def map_tasks_resilient(
                 _append_records(checkpoint_path, records)
             if sidecar_path is not None and audit_records:
                 _append_records(sidecar_path, audit_records)
+            if progress is not None:
+                n_failed = len(chunk_failures)
+                progress.done += len(chunk) - n_failed
+                progress.failed += n_failed
+                progress.retries += sum(
+                    audits[index].attempts - 1 for index in chunk if audits[index].attempts > 1
+                )
+                progress.pending -= len(chunk)
+                progress.emit("chunk-end", chunk=n_chunks)
             if chunk_failures and failure_policy == "raise":
                 raise SweepTaskError(chunk_failures[0])
+        if progress is not None:
+            progress.emit("end", n_tasks=n_tasks, chunks=n_chunks)
     finally:
         pool.close()
         if tracer:
@@ -769,6 +937,8 @@ class ResilientRunner:
         checkpoint: str | Path | None = None,
         checkpoint_key: str | None = None,
         audit_sidecar: bool = True,
+        progress_sidecar: bool = True,
+        manifest: dict | None = None,
     ) -> ResilientMap:
         """Map *worker* over *tasks* with this runner's configuration."""
         return map_tasks_resilient(
@@ -783,4 +953,6 @@ class ResilientRunner:
             checkpoint=checkpoint,
             checkpoint_key=checkpoint_key,
             audit_sidecar=audit_sidecar,
+            progress_sidecar=progress_sidecar,
+            manifest=manifest,
         )

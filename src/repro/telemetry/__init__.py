@@ -48,6 +48,7 @@ Span pattern (the null span makes the branch unnecessary)::
 
 from __future__ import annotations
 
+import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -332,9 +333,16 @@ class Tracer:
 def read_trace(path: str | Path) -> dict:
     """Load a JSONL trace written by :meth:`Tracer.write_jsonl`.
 
-    Returns ``{"name", "spans", "counters", "gauges", "histograms"}`` with
-    spans as :class:`SpanRecord` objects and the scalar stores as plain
-    dicts.  Raises ``ValueError`` when the file is not a telemetry trace.
+    Returns ``{"name", "spans", "counters", "gauges", "histograms",
+    "truncated_tail"}`` with spans as :class:`SpanRecord` objects and the
+    scalar stores as plain dicts.  Raises ``ValueError`` when the file is
+    not a telemetry trace.
+
+    Like the checkpoint and audit readers, a torn trailing line (the
+    writer was interrupted mid-append) is tolerated rather than fatal:
+    parsing stops at the first malformed line, every complete record
+    before it is returned, and the raw torn text is reported under
+    ``"truncated_tail"`` (``None`` for an intact file).
     """
     path = Path(path)
     lines = [line for line in path.read_text(encoding="utf-8").splitlines() if line.strip()]
@@ -349,9 +357,14 @@ def read_trace(path: str | Path) -> dict:
         "counters": {},
         "gauges": {},
         "histograms": {},
+        "truncated_tail": None,
     }
     for line in lines[1:]:
-        record = loads_strict(line)
+        try:
+            record = loads_strict(line)
+        except json.JSONDecodeError:
+            trace_data["truncated_tail"] = line
+            break
         kind = record.get("kind")
         if kind == "span":
             trace_data["spans"].append(

@@ -21,17 +21,31 @@ functions for individual :class:`repro.reporting.TextTable` views, or
 embeds in ``BENCH_fastpath.json``.  Command line::
 
     PYTHONPATH=src python -m repro.telemetry.report trace.jsonl
+    PYTHONPATH=src python -m repro.telemetry.report --history \\
+        benchmarks/results/bench_history.jsonl
+
+The ``--history`` mode reads the append-only bench-history ledger
+(``benchmarks/run_bench.py`` appends one manifest-stamped record per
+run) and renders each benchmark's speedup trend; an entry whose latest
+speedup drops below ``--tolerance`` times its rolling median (over the
+previous ``--window`` runs) is flagged as a regression and the exit
+code is 1 — the soft trend gate beside the hard ``--floor`` one.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import statistics
 from pathlib import Path
 
+from .._jsonio import dumps_strict, loads_strict
 from ..reporting.tables import TextTable
 from . import SPAN_HISTOGRAM_PREFIX, Tracer, read_trace
 
 __all__ = [
+    "HISTORY_KIND",
+    "HISTORY_VERSION",
     "load_trace",
     "stage_table",
     "cache_table",
@@ -39,11 +53,21 @@ __all__ = [
     "counter_table",
     "stage_breakdown",
     "summarize",
+    "load_history",
+    "history_summary",
+    "history_table",
     "main",
 ]
 
 #: Counter-name prefixes summarized by the pool-health table.
 POOL_COUNTER_PREFIXES = ("sweep.",)
+
+#: ``kind`` tag of every ``bench_history.jsonl`` record
+#: (``benchmarks/run_bench.py`` writes them, this module reads them).
+HISTORY_KIND = "repro-bench-history"
+
+#: Bench-history record format version.
+HISTORY_VERSION = 1
 
 
 def load_trace(source: "str | Path | Tracer | dict") -> dict:
@@ -198,15 +222,149 @@ def summarize(source: "str | Path | Tracer | dict") -> str:
     return "\n".join(parts)
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point: print the summary of one trace file."""
-    parser = argparse.ArgumentParser(
-        description="Summarize a repro telemetry JSONL trace."
+# --- bench history ------------------------------------------------------------
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """All complete :data:`HISTORY_KIND` records of a bench-history ledger.
+
+    Torn-tail-tolerant like every JSONL reader here: parsing stops at the
+    first malformed line.  Raises ``ValueError`` when the file contains no
+    history record at all (the watcher was pointed at the wrong file).
+    """
+    path = Path(path)
+    records: list[dict] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        try:
+            record = loads_strict(line)
+        except json.JSONDecodeError:
+            break
+        if isinstance(record, dict) and record.get("kind") == HISTORY_KIND:
+            records.append(record)
+    if not records:
+        raise ValueError(f"{path} contains no {HISTORY_KIND} records")
+    return records
+
+
+def history_summary(
+    path: str | Path, *, window: int = 5, tolerance: float = 0.8
+) -> dict:
+    """JSON-safe speedup-trend summary of a bench-history ledger.
+
+    Per benchmark name: every recorded speedup in run order, the rolling
+    median of the up-to-*window* runs preceding the latest, and a
+    ``regression`` flag set when the latest speedup drops below
+    *tolerance* times that median.  A benchmark needs at least two prior
+    runs before it can be flagged — a fresh ledger is never a regression.
+    """
+    records = load_history(path)
+    speedups: dict[str, list[float]] = {}
+    for record in records:
+        for name, entry in record.get("entries", {}).items():
+            speedups.setdefault(name, []).append(float(entry["speedup"]))
+    benchmarks: dict[str, dict] = {}
+    regressions: list[str] = []
+    for name in sorted(speedups):
+        values = speedups[name]
+        latest = values[-1]
+        previous = values[:-1][-window:]
+        median = statistics.median(previous) if previous else None
+        ratio = latest / median if median else None
+        regression = (
+            len(previous) >= 2 and median is not None and latest < tolerance * median
+        )
+        if regression:
+            regressions.append(name)
+        benchmarks[name] = {
+            "speedups": values,
+            "latest": latest,
+            "median": median,
+            "ratio": ratio,
+            "regression": regression,
+        }
+    return {
+        "kind": HISTORY_KIND,
+        "runs": len(records),
+        "window": window,
+        "tolerance": tolerance,
+        "benchmarks": benchmarks,
+        "regressions": regressions,
+    }
+
+
+def history_table(summary: dict) -> TextTable:
+    """Render a :func:`history_summary` dict as one trend row per benchmark."""
+    table = TextTable(
+        headers=["benchmark", "runs", "median", "latest", "ratio", "status"],
+        title=f"bench history ({summary['runs']} runs, "
+        f"window {summary['window']}, tolerance {summary['tolerance']})",
     )
-    parser.add_argument("trace", help="path to a trace written by Tracer.write_jsonl")
+    for name, entry in summary["benchmarks"].items():
+        median = f"{entry['median']:g}x" if entry["median"] is not None else "-"
+        ratio = f"{entry['ratio']:.2f}" if entry["ratio"] is not None else "-"
+        status = "REGRESSION" if entry["regression"] else "ok"
+        table.add_row(name, len(entry["speedups"]), median, f"{entry['latest']:g}x", ratio, status)
+    return table
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: trace summary, or ``--history`` speedup trends.
+
+    Exit codes: 0 on success, 1 on an unreadable input or a flagged
+    history regression, 2 on usage errors (argparse).
+    """
+    parser = argparse.ArgumentParser(
+        description="Summarize a repro telemetry JSONL trace or bench history."
+    )
+    parser.add_argument(
+        "trace", nargs="?", default=None,
+        help="path to a trace written by Tracer.write_jsonl",
+    )
+    parser.add_argument(
+        "--history", metavar="PATH", default=None,
+        help="render speedup trends of a bench_history.jsonl ledger instead",
+    )
+    parser.add_argument(
+        "--window", type=int, default=5,
+        help="rolling-median window of --history (default 5)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.8,
+        help="regression threshold as a fraction of the rolling median (default 0.8)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
     arguments = parser.parse_args(argv)
-    print(summarize(Path(arguments.trace)))
-    return 0
+    if (arguments.trace is None) == (arguments.history is None):
+        parser.error("exactly one of a trace path or --history is required")
+
+    try:
+        if arguments.history is not None:
+            summary = history_summary(
+                arguments.history, window=arguments.window, tolerance=arguments.tolerance
+            )
+            if arguments.format == "json":
+                print(dumps_strict(summary, sort_keys=True))
+            else:
+                print(history_table(summary).render())
+                for name in summary["regressions"]:
+                    entry = summary["benchmarks"][name]
+                    print(
+                        f"REGRESSION: {name} speedup {entry['latest']:g}x fell below "
+                        f"{arguments.tolerance:g}x its rolling median {entry['median']:g}x"
+                    )
+            return 1 if summary["regressions"] else 0
+        if arguments.format == "json":
+            print(dumps_strict(stage_breakdown(Path(arguments.trace)), sort_keys=True))
+        else:
+            print(summarize(Path(arguments.trace)))
+        return 0
+    except (OSError, ValueError) as exc:
+        print(f"report: {exc}")
+        return 1
 
 
 if __name__ == "__main__":

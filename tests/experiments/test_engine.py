@@ -360,3 +360,46 @@ class TestToleranceSearch:
             ToleranceSearch(maximum=0.0)
         with pytest.raises(ValueError):
             ToleranceSearch(resolution=-1.0)
+
+
+class TestProvenanceStamping:
+    def test_run_grid_stamps_a_manifest(self):
+        from repro.telemetry.manifest import RunManifest
+
+        result = run_grid(BASE, [FREQUENCY_AXIS], seed=3, workers=1)
+        manifest = RunManifest.from_dict(result.metadata["manifest"])
+        assert manifest.backend == FASTEST_CLEAN
+        assert manifest.kernel_tier in (None, "python", "jit")
+        assert manifest.seed == 3
+        assert manifest.content_key  # the study's content hash
+
+    def test_manifest_survives_the_json_round_trip(self):
+        from repro.experiments import SweepResult
+
+        result = run_grid(BASE, [FREQUENCY_AXIS], seed=3, workers=1)
+        restored = SweepResult.from_json(result.to_json())
+        assert restored.metadata["manifest"] == result.metadata["manifest"]
+
+    def test_checkpoint_header_carries_the_same_manifest(self, tmp_path):
+        import json
+
+        checkpoint = tmp_path / "grid.jsonl"
+        result = run_grid(
+            BASE, [FREQUENCY_AXIS], seed=3, workers=1, checkpoint=checkpoint
+        )
+        header = json.loads(checkpoint.read_text().splitlines()[0])
+        assert header["manifest"] == result.metadata["manifest"]
+        progress_header = json.loads(
+            (tmp_path / "grid.jsonl.progress").read_text().splitlines()[0]
+        )
+        assert progress_header["manifest"] == result.metadata["manifest"]
+
+    def test_tolerance_search_stamps_a_manifest(self):
+        from repro.telemetry.manifest import RunManifest
+
+        result = run_tolerance_search(
+            BASE, [ParameterAxis("sj_frequency_hz", (2.5e6,))],
+            ToleranceSearch(maximum=1.0, target_errors=2), seed=0, workers=1)
+        manifest = RunManifest.from_dict(result.metadata["manifest"])
+        assert manifest.seed == 0
+        assert manifest.content_key

@@ -401,6 +401,69 @@ class TestBroadExcept:
         assert kept == [] and stale == []
 
 
+# --- RPL008 environment-read --------------------------------------------------
+
+
+class TestEnvironmentRead:
+    def test_os_environ_subscript(self):
+        finding = single('import os\nvalue = os.environ["REPRO_SEED"]\n')
+        assert finding.code == "RPL008"
+        assert "os.environ" in finding.message
+        assert "manifest" in finding.message
+
+    def test_os_environ_get_is_flagged_once(self):
+        assert codes('import os\nvalue = os.environ.get("REPRO_SEED")\n') == ["RPL008"]
+
+    def test_os_getenv(self):
+        assert codes('import os\nvalue = os.getenv("REPRO_SEED")\n') == ["RPL008"]
+
+    def test_platform_call(self):
+        assert codes("import platform\nv = platform.python_version()\n") == ["RPL008"]
+
+    def test_platform_from_import(self):
+        assert codes("from platform import machine\narch = machine()\n") == ["RPL008"]
+
+    def test_sys_version_info(self):
+        assert codes("import sys\nok = sys.version_info >= (3, 11)\n") == ["RPL008"]
+
+    def test_benchmarks_are_in_scope(self):
+        assert codes(
+            "import platform\nv = platform.python_version()\n", "benchmarks/run_bench.py"
+        ) == ["RPL008"]
+
+    def test_manifest_module_is_exempt(self):
+        assert (
+            codes(
+                "import platform\nv = platform.python_version()\n",
+                "src/repro/telemetry/manifest.py",
+            )
+            == []
+        )
+
+    def test_tests_are_out_of_scope(self):
+        assert codes("import os\nvalue = os.getenv('X')\n", TEST) == []
+
+    def test_other_sys_attributes_are_fine(self):
+        assert codes("import sys\nsys.exit(1)\n") == []
+        assert codes("import sys\npath = sys.path\n") == []
+
+    def test_local_name_platform_is_not_confused(self):
+        assert codes("platform = object()\nv = platform.python_version()\n") == []
+
+    def test_pragma_suppresses(self):
+        source = (
+            "import os\n"
+            'value = os.getenv("REPRO_SEED")  # repro-lint: disable=RPL008 — fixture\n'
+        )
+        assert codes(source) == []
+
+    def test_baseline_suppresses(self, tmp_path):
+        findings = lint_source('import os\nvalue = os.getenv("X")\n', SRC)
+        Baseline.write(tmp_path / "base.json", findings)
+        kept, stale = Baseline.load(tmp_path / "base.json").apply(findings)
+        assert kept == [] and stale == []
+
+
 # --- pragma placement & parse-error behaviour ---------------------------------
 
 

@@ -355,3 +355,174 @@ class TestAuditSidecar:
         sources = [audit.source_mode for audit in resumed.audit]
         assert "serial" in sources  # everything durably written still counts
         assert sources[-1] is None  # the torn tail's audits are simply absent
+
+
+def _progress_records(path):
+    import json
+
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestProgressSidecar:
+    def test_event_stream_of_a_healthy_run(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, chunk_size=3, checkpoint=checkpoint
+        )
+        records = _progress_records(tmp_path / "sweep.jsonl.progress")
+        header = records[0]
+        assert header["kind"] == "repro-sweep-progress"
+        assert header["n_tasks"] == len(TASKS)
+        kinds = [record["kind"] for record in records[1:]]
+        assert kinds[0] == "start" and kinds[-1] == "end"
+        assert kinds.count("chunk-start") == kinds.count("chunk-end") == 4
+        last = records[-1]
+        assert last["done"] == len(TASKS)
+        assert (last["failed"], last["restored"], last["pending"]) == (0, 0, 0)
+
+    def test_wall_clock_is_confined_to_the_timing_object(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, chunk_size=3, checkpoint=checkpoint
+        )
+        for record in _progress_records(tmp_path / "sweep.jsonl.progress")[1:]:
+            assert set(record["timing"]) == {
+                "elapsed_s",
+                "throughput_pts_per_s",
+                "eta_s",
+            }
+            deterministic = {
+                key: value for key, value in record.items() if key != "timing"
+            }
+            assert all(
+                isinstance(value, (str, int)) for value in deterministic.values()
+            ), deterministic
+
+    def test_non_timing_fields_identical_across_worker_counts(self, tmp_path):
+        import json
+
+        streams = []
+        for workers in (1, 2):
+            checkpoint = tmp_path / f"sweep-w{workers}.jsonl"
+            map_tasks_resilient(
+                _draw, TASKS, seed=42, workers=workers, chunk_size=3,
+                checkpoint=checkpoint,
+            )
+            stripped = []
+            for record in _progress_records(
+                tmp_path / f"sweep-w{workers}.jsonl.progress"
+            ):
+                record.pop("timing", None)
+                stripped.append(json.dumps(record, sort_keys=True))
+            streams.append(stripped)
+        assert streams[0] == streams[1]
+
+    def test_failures_and_retries_are_counted(self, tmp_path):
+        reset_fault_state()
+        checkpoint = tmp_path / "sweep.jsonl"
+        flaky = FailOnceThenSucceed(_draw, indices=(1, 5), tag="progress-test")
+        map_tasks_resilient(
+            flaky,
+            TASKS,
+            seed=42,
+            workers=1,
+            failure_policy="retry",
+            max_retries=1,
+            checkpoint=checkpoint,
+        )
+        last = _progress_records(tmp_path / "sweep.jsonl.progress")[-1]
+        assert last["kind"] == "end"
+        assert last["done"] == len(TASKS)
+        assert last["failed"] == 0
+        assert last["retries"] == 2
+
+    def test_interrupted_run_has_no_end_record(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        faulty = FailEveryNth(_draw, every=4)
+        with pytest.raises(SweepTaskError):
+            map_tasks_resilient(
+                faulty, TASKS, seed=42, workers=1, chunk_size=3,
+                failure_policy="raise", checkpoint=checkpoint,
+            )
+        kinds = [r["kind"] for r in _progress_records(tmp_path / "sweep.jsonl.progress")]
+        assert "end" not in kinds  # absence of "end" == live or interrupted
+
+    def test_resume_appends_fresh_start_and_counts_restored(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+        map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+        records = _progress_records(tmp_path / "sweep.jsonl.progress")
+        starts = [r for r in records if r["kind"] == "start"]
+        assert len(starts) == 2
+        assert starts[1]["restored"] == len(TASKS)
+        assert starts[1]["pending"] == 0
+        assert records[-1]["kind"] == "end"
+
+    def test_disabled_sidecar_leaves_no_file(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint,
+            progress_sidecar=False,
+        )
+        assert not (tmp_path / "sweep.jsonl.progress").exists()
+
+    def test_no_checkpoint_means_no_sidecar(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        map_tasks_resilient(_draw, TASKS, seed=42, workers=1)
+        assert list(tmp_path.iterdir()) == []
+
+    def test_manifest_lands_in_both_headers(self, tmp_path):
+        import json
+
+        checkpoint = tmp_path / "sweep.jsonl"
+        manifest = {"kind": "repro-run-manifest", "version": 1, "python": "3.12.0"}
+        map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint, manifest=manifest
+        )
+        for name in ("sweep.jsonl", "sweep.jsonl.progress"):
+            header = json.loads((tmp_path / name).read_text().splitlines()[0])
+            assert header["manifest"] == manifest
+
+    def test_manifest_is_not_part_of_the_resume_identity(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint,
+            manifest={"kind": "repro-run-manifest", "python": "3.12.0"},
+        )
+        resumed = map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint,
+            manifest={"kind": "repro-run-manifest", "python": "3.13.1"},
+        )
+        assert resumed.values == _reference()
+
+    def test_corrupt_sidecar_is_rejected(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+        (tmp_path / "sweep.jsonl.progress").write_text("not json at all\n")
+        with pytest.raises(CheckpointMismatchError, match="not a sweep progress"):
+            map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+
+    def test_foreign_study_sidecar_is_rejected(self, tmp_path):
+        import json
+
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+        sidecar = tmp_path / "sweep.jsonl.progress"
+        lines = sidecar.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["key"] = "someone-elses-study"
+        sidecar.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+        with pytest.raises(CheckpointMismatchError, match="different study"):
+            map_tasks_resilient(_draw, TASKS, seed=42, workers=1, checkpoint=checkpoint)
+
+    def test_torn_sidecar_tail_is_tolerated_on_resume(self, tmp_path):
+        checkpoint = tmp_path / "sweep.jsonl"
+        map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, chunk_size=3, checkpoint=checkpoint
+        )
+        sidecar = tmp_path / "sweep.jsonl.progress"
+        sidecar.write_text(sidecar.read_text() + '{"kind": "chu')
+        resumed = map_tasks_resilient(
+            _draw, TASKS, seed=42, workers=1, checkpoint=checkpoint
+        )
+        assert resumed.values == _reference()

@@ -1,11 +1,19 @@
-"""Trace reporting: stage/cache/pool tables, stage_breakdown, CLI."""
+"""Trace reporting: stage/cache/pool tables, stage_breakdown, history, CLI."""
+
+import json
 
 import pytest
 
+from repro._jsonio import dumps_compact
 from repro.telemetry import Tracer
 from repro.telemetry.report import (
+    HISTORY_KIND,
+    HISTORY_VERSION,
     cache_table,
     counter_table,
+    history_summary,
+    history_table,
+    load_history,
     load_trace,
     main,
     pool_table,
@@ -124,6 +132,67 @@ class TestSummarize:
         assert "pool health" not in text
 
 
+def _history_file(tmp_path, speedups_per_run, name="loop"):
+    """Write a synthetic bench-history ledger: one record per run."""
+    path = tmp_path / "bench_history.jsonl"
+    lines = []
+    for speedup in speedups_per_run:
+        lines.append(
+            dumps_compact(
+                {
+                    "kind": HISTORY_KIND,
+                    "version": HISTORY_VERSION,
+                    "quick": True,
+                    "floor": 5,
+                    "manifest": {"kind": "repro-run-manifest"},
+                    "entries": {name: {"speedup": speedup}},
+                }
+            )
+        )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestHistory:
+    def test_load_history_skips_foreign_and_torn_records(self, tmp_path):
+        path = _history_file(tmp_path, [2.0, 3.0])
+        with path.open("a") as handle:
+            handle.write('{"kind": "other"}\n{"kind": "repro-bench-hist')
+        assert len(load_history(path)) == 2
+
+    def test_load_history_rejects_non_ledger(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"kind": "nope"}\n')
+        with pytest.raises(ValueError, match="no repro-bench-history"):
+            load_history(path)
+
+    def test_steady_trend_is_healthy(self, tmp_path):
+        summary = history_summary(_history_file(tmp_path, [2.0, 2.1, 1.9, 2.0]))
+        assert summary["regressions"] == []
+        assert summary["benchmarks"]["loop"]["median"] == 2.0
+
+    def test_drop_below_tolerance_times_median_is_flagged(self, tmp_path):
+        summary = history_summary(_history_file(tmp_path, [2.0, 2.1, 1.9, 1.0]))
+        assert summary["regressions"] == ["loop"]
+        assert summary["benchmarks"]["loop"]["regression"] is True
+
+    def test_fresh_ledger_is_never_a_regression(self, tmp_path):
+        # One prior run is noise, not a trend: no flag even on a 10x drop.
+        summary = history_summary(_history_file(tmp_path, [2.0, 0.2]))
+        assert summary["regressions"] == []
+
+    def test_median_uses_rolling_window(self, tmp_path):
+        # Ancient fast runs outside the window must not flag a stable present.
+        speedups = [9.0, 9.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0]
+        summary = history_summary(_history_file(tmp_path, speedups), window=5)
+        assert summary["regressions"] == []
+        assert summary["benchmarks"]["loop"]["median"] == 2.0
+
+    def test_history_table_lists_benchmarks(self, tmp_path):
+        summary = history_summary(_history_file(tmp_path, [2.0, 2.1]))
+        assert "loop" in history_table(summary).render()
+
+
 class TestCli:
     def test_main_prints_report(self, tmp_path, capsys):
         path = _tracer().write_jsonl(tmp_path / "trace.jsonl")
@@ -132,8 +201,51 @@ class TestCli:
         assert "telemetry report: study" in out
         assert "stage breakdown" in out
 
-    def test_main_rejects_non_trace(self, tmp_path):
+    def test_main_rejects_non_trace_with_exit_1(self, tmp_path, capsys):
         path = tmp_path / "other.jsonl"
         path.write_text('{"kind":"nope"}\n')
-        with pytest.raises(ValueError, match="not a telemetry trace"):
-            main([str(path)])
+        assert main([str(path)]) == 1
+        assert "report:" in capsys.readouterr().out
+
+    def test_missing_trace_file_exits_1(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl")]) == 1
+        assert "report:" in capsys.readouterr().out
+
+    def test_trace_json_format_matches_stage_breakdown(self, tmp_path, capsys):
+        path = _tracer().write_jsonl(tmp_path / "trace.jsonl")
+        assert main([str(path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == stage_breakdown(path)
+
+    def test_requires_exactly_one_input(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+        path = _history_file(tmp_path, [2.0])
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(path), "--history", str(path)])
+        assert excinfo.value.code == 2
+
+    def test_history_healthy_exits_0(self, tmp_path, capsys):
+        path = _history_file(tmp_path, [2.0, 2.1, 2.0])
+        assert main(["--history", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "loop" in out
+        assert "REGRESSION" not in out
+
+    def test_history_regression_exits_1_and_names_benchmark(self, tmp_path, capsys):
+        path = _history_file(tmp_path, [2.0, 2.1, 1.9, 1.0])
+        assert main(["--history", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION: loop" in out
+
+    def test_history_json_format_matches_summary(self, tmp_path, capsys):
+        path = _history_file(tmp_path, [2.0, 2.1, 1.9, 1.0])
+        assert main(["--history", str(path), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == history_summary(path)
+        assert payload["regressions"] == ["loop"]
+
+    def test_history_missing_file_exits_1(self, tmp_path, capsys):
+        assert main(["--history", str(tmp_path / "absent.jsonl")]) == 1
+        assert "report:" in capsys.readouterr().out

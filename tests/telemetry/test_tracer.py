@@ -204,3 +204,25 @@ class TestJsonlRoundTrip:
         path.write_text("")
         with pytest.raises(ValueError, match="empty"):
             read_trace(path)
+
+    def test_read_tolerates_torn_tail(self, tmp_path):
+        # A crash mid-append tears at most the last line; everything
+        # durably written before it must still load.
+        tracer = Tracer("study")
+        with tracer.span("outer"):
+            pass
+        tracer.count("kernel.events", 3)
+        path = tracer.write_jsonl(tmp_path / "trace.jsonl")
+        intact = read_trace(path)
+        assert intact["truncated_tail"] is None
+
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + '\n{"kind": "tel')
+        torn = read_trace(path)
+        assert torn["name"] == "study"
+        assert torn["truncated_tail"] == '{"kind": "tel'
+        # Only the torn record is lost, nothing before it.
+        n_loaded = len(torn["spans"]) + sum(
+            len(torn[section]) for section in ("counters", "gauges", "histograms")
+        )
+        assert n_loaded == len(lines) - 2  # header and torn record excluded
